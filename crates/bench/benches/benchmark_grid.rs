@@ -1,0 +1,22 @@
+//! Throughput of the ReproMPI-style benchmarking step over a small grid
+//! (cells per second bounds full-dataset generation time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpcp_bench::bench_spec;
+use mpcp_benchmark::BenchConfig;
+
+fn bench(c: &mut Criterion) {
+    let spec = bench_spec();
+    let lib = spec.library(None);
+    let cells = spec.sample_count(&lib) as u64;
+    let mut g = c.benchmark_group("benchmark_grid");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("generate_tiny_grid", |b| {
+        b.iter(|| spec.generate(std::hint::black_box(&lib), &BenchConfig::quick()).records.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 2 micro-harness: simulation cost of the chain-vs-linear
+//! broadcast comparison that generates the figure (one cell per bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcp_collectives::AlgKind;
+use mpcp_simnet::{Machine, Simulator, Topology};
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::hydra();
+    let topo = Topology::new(8, 8);
+    let sim = Simulator::new(&machine.model, &topo);
+    let m = 1 << 20;
+    let mut g = c.benchmark_group("fig2_cell");
+    g.sample_size(20);
+    for (name, kind) in [
+        ("linear", AlgKind::BcastLinear),
+        ("chain_c4_seg64K", AlgKind::BcastChain { chains: 4, seg: 64 << 10 }),
+        ("chain_c16_seg1K", AlgKind::BcastChain { chains: 16, seg: 1 << 10 }),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let progs = kind.build(&topo, m);
+                sim.run(std::hint::black_box(&progs)).unwrap().makespan()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Prediction latency of a trained selector — the paper's Section II
+//! notes offline use tolerates seconds while online use needs
+//! microseconds; this measures where each learner lands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcp_bench::trained_selector;
+use mpcp_collectives::Collective;
+use mpcp_core::Instance;
+use mpcp_ml::Learner;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selector_prediction_latency");
+    g.sample_size(50);
+    for learner in [Learner::knn(), Learner::gam(), Learner::xgboost()] {
+        let selector = trained_selector(&learner);
+        let inst = Instance::new(Collective::Allreduce, 64 << 10, 6, 8);
+        g.bench_function(BenchmarkId::from_parameter(learner.name()), |b| {
+            b.iter(|| selector.select(std::hint::black_box(&inst)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

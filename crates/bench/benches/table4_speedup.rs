@@ -1,0 +1,28 @@
+//! Micro-variant of the Table IV pipeline: train + evaluate one learner
+//! on the shared miniature dataset (full Table IV runs via the
+//! `table4` experiment binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcp_bench::bench_records;
+use mpcp_core::{evaluate, mean_speedup, splits, Selector};
+use mpcp_ml::Learner;
+
+fn bench(c: &mut Criterion) {
+    let (spec, lib, records) = bench_records();
+    let train = splits::filter_records(&records, &[2, 8]);
+    let test = splits::filter_records(&records, &[4]);
+    let mut g = c.benchmark_group("table4_micro");
+    g.sample_size(10);
+    for learner in [Learner::knn(), Learner::gam()] {
+        g.bench_function(BenchmarkId::from_parameter(learner.name()), |b| {
+            b.iter(|| {
+                let sel = Selector::train(&learner, &train, lib.configs(spec.coll));
+                mean_speedup(&evaluate(&sel, &test, &lib, spec.coll))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

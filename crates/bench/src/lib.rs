@@ -1,0 +1,61 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The paper-scale experiment regeneration lives in `mpcp-experiments`
+//! binaries; these benches measure the *performance of the pipeline
+//! stages themselves*: simulator event rate, schedule construction,
+//! benchmark-grid throughput, learner training time, and — relevant to
+//! the paper's offline/online discussion in Section II — the prediction
+//! latency of a trained selector.
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
+use mpcp_collectives::Collective;
+use mpcp_core::Selector;
+use mpcp_ml::{Dataset, Learner};
+use mpcp_simnet::Machine;
+
+/// A small but non-trivial dataset spec shared by benches.
+pub fn bench_spec() -> DatasetSpec {
+    DatasetSpec {
+        id: "bench",
+        coll: Collective::Allreduce,
+        lib: LibKind::OpenMpi,
+        machine: Machine::hydra(),
+        nodes: vec![2, 4, 8],
+        ppn: vec![1, 4, 8],
+        msizes: vec![16, 1 << 10, 16 << 10, 256 << 10],
+        seed: 0xBE7C,
+    }
+}
+
+/// Generate the shared benchmark dataset records.
+pub fn bench_records(
+) -> (DatasetSpec, mpcp_collectives::MpiLibrary, Vec<mpcp_benchmark::Record>) {
+    let spec = bench_spec();
+    let lib = spec.library(None);
+    let data = spec.generate(&lib, &BenchConfig::quick());
+    (spec, lib, data.records)
+}
+
+/// Train a selector on the shared dataset with the given learner.
+pub fn trained_selector(learner: &Learner) -> Selector {
+    let (spec, lib, records) = bench_records();
+    Selector::train(learner, &records, lib.configs(spec.coll))
+}
+
+/// A runtime-surface regression dataset for learner-training benches.
+pub fn training_dataset(n_per_cell: usize) -> Dataset {
+    let mut d = Dataset::new(4);
+    for mi in 0..10 {
+        let m = (1u64 << (2 * mi)) as f64;
+        for p in [4.0f64, 8.0, 16.0, 32.0, 64.0, 128.0] {
+            for k in 0..n_per_cell {
+                let jitter = 1.0 + 0.01 * (k as f64);
+                d.push(
+                    &[m.ln(), p / 4.0, 4.0, p],
+                    (5.0 + 0.02 * m / p + 3.0 * p.ln()) * jitter,
+                );
+            }
+        }
+    }
+    d
+}

@@ -1,0 +1,451 @@
+//! The paper's eight datasets (Table II) and their generation.
+//!
+//! Each dataset fixes a collective, an MPI library, and a machine, and
+//! sweeps `#nodes × #ppn × #msizes × #algorithm-configurations`. Node
+//! lists are the union of the Table III training and test node counts
+//! (the paper's Table II lists 11 node counts for Hydra while its
+//! Table III training set adds node count 20 — we follow Table III; see
+//! DESIGN.md "Known deviations").
+
+use std::path::Path;
+
+use rayon::prelude::*;
+
+use mpcp_collectives::{Collective, MpiLibrary};
+use mpcp_collectives::decision::TuningGrid;
+use mpcp_simnet::{Machine, SimTime, Simulator, Topology};
+
+use crate::noise::{cell_stream, NoiseModel};
+use crate::record::{read_csv, write_csv, Record};
+use crate::repro::{summarize, BenchConfig};
+
+/// Which simulated MPI library a dataset uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LibKind {
+    /// Open MPI 4.0.2 with the fixed decision rules.
+    OpenMpi,
+    /// Intel MPI 2019 with the machine-tuned decision table.
+    IntelMpi,
+}
+
+impl LibKind {
+    /// Library name as printed in Table II.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LibKind::OpenMpi => "Open MPI",
+            LibKind::IntelMpi => "Intel MPI",
+        }
+    }
+
+    /// Library version as printed in Table II.
+    pub fn version(&self) -> &'static str {
+        match self {
+            LibKind::OpenMpi => "4.0.2",
+            LibKind::IntelMpi => "2019",
+        }
+    }
+}
+
+/// A dataset definition (one row of Table II).
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset id, `d1`..`d8`.
+    pub id: &'static str,
+    /// The collective benchmarked.
+    pub coll: Collective,
+    /// Library under test.
+    pub lib: LibKind,
+    /// Machine profile.
+    pub machine: Machine,
+    /// All node counts (training ∪ test, Table III).
+    pub nodes: Vec<u32>,
+    /// Processes-per-node values.
+    pub ppn: Vec<u32>,
+    /// Message sizes in bytes.
+    pub msizes: Vec<u64>,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+/// The paper's fixed-size-collective message grid.
+pub fn paper_msizes() -> Vec<u64> {
+    vec![1, 16, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 512 << 10, 1 << 20, 4 << 20]
+}
+
+/// The 8-point message grid used by d6 and d8 (Fig. 8's axis ends at
+/// 512 KiB).
+pub fn short_msizes() -> Vec<u64> {
+    vec![1, 16, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 512 << 10]
+}
+
+fn hydra_nodes() -> Vec<u32> {
+    vec![4, 7, 8, 13, 16, 19, 20, 24, 27, 32, 35, 36]
+}
+
+fn hydra_ppn() -> Vec<u32> {
+    vec![1, 4, 8, 10, 16, 17, 20, 24, 28, 32]
+}
+
+fn jupiter_nodes() -> Vec<u32> {
+    vec![4, 7, 8, 13, 16, 19, 20, 24, 27, 32]
+}
+
+fn jupiter_ppn() -> Vec<u32> {
+    vec![1, 2, 4, 8, 10, 12, 16]
+}
+
+fn supermuc_nodes() -> Vec<u32> {
+    vec![20, 27, 32, 35, 48]
+}
+
+fn supermuc_ppn() -> Vec<u32> {
+    vec![1, 8, 16, 24, 48]
+}
+
+impl DatasetSpec {
+    /// d1: `MPI_Bcast`, Open MPI, Hydra.
+    pub fn d1() -> DatasetSpec {
+        DatasetSpec {
+            id: "d1",
+            coll: Collective::Bcast,
+            lib: LibKind::OpenMpi,
+            machine: Machine::hydra(),
+            nodes: hydra_nodes(),
+            ppn: hydra_ppn(),
+            msizes: paper_msizes(),
+            seed: 0xD1,
+        }
+    }
+
+    /// d2: `MPI_Allreduce`, Open MPI, Hydra.
+    pub fn d2() -> DatasetSpec {
+        DatasetSpec {
+            id: "d2",
+            coll: Collective::Allreduce,
+            lib: LibKind::OpenMpi,
+            machine: Machine::hydra(),
+            nodes: hydra_nodes(),
+            ppn: hydra_ppn(),
+            msizes: paper_msizes(),
+            seed: 0xD2,
+        }
+    }
+
+    /// d3: `MPI_Bcast`, Open MPI, Jupiter.
+    pub fn d3() -> DatasetSpec {
+        DatasetSpec {
+            id: "d3",
+            coll: Collective::Bcast,
+            lib: LibKind::OpenMpi,
+            machine: Machine::jupiter(),
+            nodes: jupiter_nodes(),
+            ppn: jupiter_ppn(),
+            msizes: paper_msizes(),
+            seed: 0xD3,
+        }
+    }
+
+    /// d4: `MPI_Allreduce`, Open MPI, Jupiter.
+    pub fn d4() -> DatasetSpec {
+        DatasetSpec {
+            id: "d4",
+            coll: Collective::Allreduce,
+            lib: LibKind::OpenMpi,
+            machine: Machine::jupiter(),
+            nodes: jupiter_nodes(),
+            ppn: jupiter_ppn(),
+            msizes: paper_msizes(),
+            seed: 0xD4,
+        }
+    }
+
+    /// d5: `MPI_Allreduce`, Intel MPI, Hydra.
+    pub fn d5() -> DatasetSpec {
+        DatasetSpec {
+            id: "d5",
+            coll: Collective::Allreduce,
+            lib: LibKind::IntelMpi,
+            machine: Machine::hydra(),
+            nodes: hydra_nodes(),
+            ppn: hydra_ppn(),
+            msizes: paper_msizes(),
+            seed: 0xD5,
+        }
+    }
+
+    /// d6: `MPI_Alltoall`, Intel MPI, Hydra.
+    pub fn d6() -> DatasetSpec {
+        DatasetSpec {
+            id: "d6",
+            coll: Collective::Alltoall,
+            lib: LibKind::IntelMpi,
+            machine: Machine::hydra(),
+            nodes: hydra_nodes(),
+            ppn: hydra_ppn(),
+            msizes: short_msizes(),
+            seed: 0xD6,
+        }
+    }
+
+    /// d7: `MPI_Bcast`, Intel MPI, Hydra.
+    pub fn d7() -> DatasetSpec {
+        DatasetSpec {
+            id: "d7",
+            coll: Collective::Bcast,
+            lib: LibKind::IntelMpi,
+            machine: Machine::hydra(),
+            nodes: hydra_nodes(),
+            ppn: hydra_ppn(),
+            msizes: paper_msizes(),
+            seed: 0xD7,
+        }
+    }
+
+    /// d8: `MPI_Bcast`, Open MPI, SuperMUC-NG.
+    pub fn d8() -> DatasetSpec {
+        DatasetSpec {
+            id: "d8",
+            coll: Collective::Bcast,
+            lib: LibKind::OpenMpi,
+            machine: Machine::supermuc_ng(),
+            nodes: supermuc_nodes(),
+            ppn: supermuc_ppn(),
+            msizes: short_msizes(),
+            seed: 0xD8,
+        }
+    }
+
+    /// All eight datasets in Table II order.
+    pub fn all() -> Vec<DatasetSpec> {
+        vec![
+            Self::d1(),
+            Self::d2(),
+            Self::d3(),
+            Self::d4(),
+            Self::d5(),
+            Self::d6(),
+            Self::d7(),
+            Self::d8(),
+        ]
+    }
+
+    /// Look up by id (`"d1"`..`"d8"`).
+    pub fn by_id(id: &str) -> Option<DatasetSpec> {
+        Self::all().into_iter().find(|d| d.id == id)
+    }
+
+    /// A miniature dataset for tests: tiny grid, Open MPI allreduce.
+    pub fn tiny_for_tests() -> DatasetSpec {
+        DatasetSpec {
+            id: "tiny",
+            coll: Collective::Allreduce,
+            lib: LibKind::OpenMpi,
+            machine: Machine::hydra(),
+            nodes: vec![2, 3, 4],
+            ppn: vec![1, 2],
+            msizes: vec![16, 4 << 10, 256 << 10],
+            seed: 0x7E57,
+        }
+    }
+
+    /// Build the library this dataset benchmarks (Intel MPI runs its
+    /// tuning sweep here; pass `None` to use the vendor-default grid).
+    pub fn library(&self, intel_grid: Option<TuningGrid>) -> MpiLibrary {
+        match self.lib {
+            LibKind::OpenMpi => MpiLibrary::open_mpi_4_0_2(),
+            LibKind::IntelMpi => {
+                let grid = intel_grid.unwrap_or_else(|| {
+                    TuningGrid::vendor_default(self.machine.max_nodes, self.machine.max_ppn)
+                });
+                MpiLibrary::intel_mpi_2019_for(&self.machine, grid, &[self.coll])
+            }
+        }
+    }
+
+    /// Number of grid cells (`#configs × #nodes × #ppn × #msizes`) —
+    /// Table II's `#samples`.
+    pub fn sample_count(&self, library: &MpiLibrary) -> usize {
+        library.configs(self.coll).len() * self.nodes.len() * self.ppn.len() * self.msizes.len()
+    }
+
+    /// Benchmark the full grid.
+    ///
+    /// Every cell simulates the collective once (deterministic) and runs
+    /// the ReproMPI repetition loop around it with cell-seeded noise.
+    pub fn generate(&self, library: &MpiLibrary, bench: &BenchConfig) -> DatasetResult {
+        let noise = NoiseModel::default();
+        let configs = library.configs(self.coll);
+        // Parallelize over (nodes, ppn): each worker owns one topology.
+        let mut grid: Vec<(u32, u32)> = Vec::new();
+        for &n in &self.nodes {
+            for &ppn in &self.ppn {
+                grid.push((n, ppn));
+            }
+        }
+        let cells: Vec<(Vec<Record>, SimTime)> = grid
+            .par_iter()
+            .map(|&(n, ppn)| {
+                let topo = Topology::new(n, ppn);
+                let sim = Simulator::new(&self.machine.model, &topo);
+                let mut records = Vec::with_capacity(configs.len() * self.msizes.len());
+                let mut consumed = SimTime::ZERO;
+                for (uid, cfg) in configs.iter().enumerate() {
+                    for &m in &self.msizes {
+                        let progs = cfg.build(&topo, m);
+                        let base = sim
+                            .run(&progs)
+                            .unwrap_or_else(|e| {
+                                panic!("{} {} n={n} ppn={ppn} m={m}: {e}", self.id, cfg.label())
+                            })
+                            .makespan();
+                        let mut stream = cell_stream(self.seed, uid as u32, n, ppn, m);
+                        let meas = summarize(base, bench, &noise, &mut stream);
+                        consumed += meas.consumed;
+                        records.push(Record {
+                            nodes: n,
+                            ppn,
+                            msize: m,
+                            uid: uid as u32,
+                            alg_id: cfg.alg_id,
+                            excluded: cfg.excluded,
+                            runtime: meas.median_secs,
+                            base: meas.base.as_secs_f64(),
+                            reps: meas.reps,
+                        });
+                    }
+                }
+                (records, consumed)
+            })
+            .collect();
+        let mut records = Vec::new();
+        let mut total_bench = SimTime::ZERO;
+        for (r, c) in cells {
+            records.extend(r);
+            total_bench += c;
+        }
+        DatasetResult { id: self.id, records, total_bench }
+    }
+
+    /// Generate, caching the records as CSV under `cache_dir` (the
+    /// library and its decision logic are rebuilt deterministically and
+    /// are not cached).
+    pub fn generate_cached(
+        &self,
+        library: &MpiLibrary,
+        bench: &BenchConfig,
+        cache_dir: &Path,
+    ) -> DatasetResult {
+        let path = cache_dir.join(format!("{}.csv", self.id));
+        if let Ok(records) = read_csv(&path) {
+            if records.len() == self.sample_count(library) {
+                return DatasetResult { id: self.id, records, total_bench: SimTime::ZERO };
+            }
+        }
+        let result = self.generate(library, bench);
+        if let Err(e) = write_csv(&path, &result.records) {
+            eprintln!("warning: could not cache {}: {e}", path.display());
+        }
+        result
+    }
+}
+
+/// A generated dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetResult {
+    /// Dataset id.
+    pub id: &'static str,
+    /// All measured cells.
+    pub records: Vec<Record>,
+    /// Total simulated benchmarking time across the grid (zero when
+    /// loaded from cache).
+    pub total_bench: SimTime,
+}
+
+impl DatasetResult {
+    /// Upper bound on benchmarking time: `#cells × budget` (the paper's
+    /// "3 hours" bound for SuperMUC-NG).
+    pub fn budget_bound(&self, bench: &BenchConfig) -> SimTime {
+        SimTime(self.records.len() as u64 * bench.budget.picos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_dataset_shapes() {
+        let all = DatasetSpec::all();
+        assert_eq!(all.len(), 8);
+        let d1 = &all[0];
+        assert_eq!(d1.nodes.len(), 12); // Table III union (see DESIGN.md)
+        assert_eq!(d1.ppn.len(), 10);
+        assert_eq!(d1.msizes.len(), 10);
+        let d3 = DatasetSpec::by_id("d3").unwrap();
+        assert_eq!(d3.nodes.len(), 10);
+        assert_eq!(d3.ppn.len(), 7);
+        let d8 = DatasetSpec::by_id("d8").unwrap();
+        assert_eq!(d8.nodes.len(), 5);
+        assert_eq!(d8.ppn.len(), 5);
+        assert_eq!(d8.msizes.len(), 8);
+    }
+
+    #[test]
+    fn ppn_respects_machine_limits() {
+        for spec in DatasetSpec::all() {
+            for &ppn in &spec.ppn {
+                assert!(ppn <= spec.machine.max_ppn, "{}: ppn {ppn}", spec.id);
+            }
+            for &n in &spec.nodes {
+                assert!(n <= spec.machine.max_nodes, "{}: nodes {n}", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_dataset_generates() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let result = spec.generate(&lib, &BenchConfig::quick());
+        assert_eq!(result.records.len(), spec.sample_count(&lib));
+        for r in &result.records {
+            assert!(r.runtime > 0.0, "cell {r:?}");
+            assert!(r.base > 0.0);
+            assert!(r.reps >= 1);
+            // Noise is mild: median within 50% of truth.
+            assert!((r.runtime - r.base).abs() / r.base < 0.5);
+        }
+        assert!(result.total_bench.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let a = spec.generate(&lib, &BenchConfig::quick());
+        let b = spec.generate(&lib, &BenchConfig::quick());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let dir = std::env::temp_dir().join("mpcp_ds_cache_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let a = spec.generate_cached(&lib, &BenchConfig::quick(), &dir);
+        let b = spec.generate_cached(&lib, &BenchConfig::quick(), &dir);
+        assert_eq!(a.records, b.records);
+        assert_eq!(b.total_bench, SimTime::ZERO); // loaded from cache
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_bound_covers_consumed() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let bench = BenchConfig::quick();
+        let result = spec.generate(&lib, &bench);
+        assert!(result.total_bench <= result.budget_bound(&bench));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the benchmark harness: budget adherence,
+//! reproducibility, and record serialization.
+
+use proptest::prelude::*;
+
+use mpcp_benchmark::noise::{cell_stream, SplitMix64};
+use mpcp_benchmark::record::Record;
+use mpcp_benchmark::repro::{summarize, BenchConfig};
+use mpcp_benchmark::NoiseModel;
+use mpcp_simnet::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn repetition_loop_respects_budget_and_cap(
+        base_us in 0.1f64..1e6,
+        budget_ms in 1.0f64..2000.0,
+        max_reps in 1u32..1000,
+        seed in any::<u64>(),
+    ) {
+        let config = BenchConfig {
+            max_reps,
+            budget: SimTime::from_secs_f64(budget_ms * 1e-3),
+            sync_per_rep: SimTime::from_micros_f64(5.0),
+        };
+        let mut stream = SplitMix64::new(seed);
+        let m = summarize(
+            SimTime::from_micros_f64(base_us),
+            &config,
+            &NoiseModel::default(),
+            &mut stream,
+        );
+        prop_assert!(m.reps >= 1);
+        prop_assert!(m.reps <= max_reps.max(1));
+        // Either under budget, or a single mandatory repetition.
+        prop_assert!(m.consumed <= config.budget || m.reps == 1);
+        prop_assert!(m.min_secs <= m.median_secs);
+        prop_assert!(m.median_secs > 0.0);
+    }
+
+    #[test]
+    fn measurements_are_seed_reproducible(
+        base_us in 0.1f64..1e4,
+        seed in any::<u64>(),
+    ) {
+        let config = BenchConfig::quick();
+        let noise = NoiseModel::default();
+        let run = || {
+            let mut stream = SplitMix64::new(seed);
+            summarize(SimTime::from_micros_f64(base_us), &config, &noise, &mut stream)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.median_secs, b.median_secs);
+        prop_assert_eq!(a.reps, b.reps);
+        prop_assert_eq!(a.consumed, b.consumed);
+    }
+
+    #[test]
+    fn median_is_close_to_base_for_mild_noise(
+        base_us in 1.0f64..1e5,
+        seed in any::<u64>(),
+    ) {
+        let config = BenchConfig { max_reps: 200, ..BenchConfig::paper_default("Hydra") };
+        let noise = NoiseModel { sigma: 0.02, outlier_prob: 0.0, outlier_scale: 1.0 };
+        let mut stream = SplitMix64::new(seed);
+        let m = summarize(SimTime::from_micros_f64(base_us), &config, &noise, &mut stream);
+        if m.reps >= 50 {
+            let rel = (m.median_secs - base_us * 1e-6).abs() / (base_us * 1e-6);
+            prop_assert!(rel < 0.05, "relative median error {rel}");
+        }
+    }
+
+    #[test]
+    fn record_csv_roundtrips(
+        nodes in 1u32..1000,
+        ppn in 1u32..64,
+        msize in 0u64..(1 << 40),
+        uid in 0u32..500,
+        alg_id in 0u32..20,
+        excluded in any::<bool>(),
+        runtime in 1e-9f64..1e3,
+        base in 1e-9f64..1e3,
+        reps in 1u32..501,
+    ) {
+        let r = Record { nodes, ppn, msize, uid, alg_id, excluded, runtime, base, reps };
+        let back = Record::from_csv(&r.to_csv()).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn cell_streams_are_order_free(
+        seed in any::<u64>(),
+        a in (0u32..100, 1u32..50, 1u32..50, 1u64..1_000_000),
+        b in (0u32..100, 1u32..50, 1u32..50, 1u64..1_000_000),
+    ) {
+        // Stream for cell `a` is identical whether or not cell `b` was
+        // generated first (grid-order independence).
+        let direct = cell_stream(seed, a.0, a.1, a.2, a.3).next_u64();
+        let _interleaved = cell_stream(seed, b.0, b.1, b.2, b.3).next_u64();
+        let after = cell_stream(seed, a.0, a.1, a.2, a.3).next_u64();
+        prop_assert_eq!(direct, after);
+    }
+}

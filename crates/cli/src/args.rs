@@ -1,0 +1,132 @@
+//! Tiny dependency-free argument parsing: `--key value` flags plus a
+//! leading subcommand, with human-friendly size and list syntax.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand + `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    opts: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        if let Some(cmd) = it.next() {
+            if cmd.starts_with("--") {
+                return Err(format!("expected a subcommand before {cmd}"));
+            }
+            out.command = cmd;
+        }
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {a:?}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            if out.opts.insert(key.to_string(), value).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw option lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(|s| s.as_str())
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Option with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// All option keys (for unknown-flag diagnostics).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.opts.keys().map(|s| s.as_str())
+    }
+}
+
+/// Parse a human byte size: `4096`, `1K`, `64K`, `2M`, `1G` (binary
+/// multiples, as MPI benchmarks use).
+pub fn parse_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (num, mult) = match t.chars().last() {
+        Some('K') | Some('k') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('M') | Some('m') => (&t[..t.len() - 1], 1u64 << 20),
+        Some('G') | Some('g') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    num.parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad size {s:?} (use e.g. 4096, 64K, 2M)"))
+}
+
+/// Parse a comma-separated list with an element parser.
+pub fn parse_list<T, F: Fn(&str) -> Result<T, String>>(s: &str, f: F) -> Result<Vec<T>, String> {
+    s.split(',').map(|x| f(x.trim())).collect()
+}
+
+/// Parse a u32 list: `1,8,16`.
+pub fn parse_u32_list(s: &str) -> Result<Vec<u32>, String> {
+    parse_list(s, |x| x.parse::<u32>().map_err(|_| format!("bad number {x:?}")))
+}
+
+/// Parse a size list: `16,1K,64K`.
+pub fn parse_size_list(s: &str) -> Result<Vec<u64>, String> {
+    parse_list(s, parse_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = args(&["bench", "--machine", "hydra", "--ppn", "1,8"]).unwrap();
+        assert_eq!(a.command, "bench");
+        assert_eq!(a.get("machine"), Some("hydra"));
+        assert_eq!(a.require("ppn").unwrap(), "1,8");
+        assert!(a.require("nope").is_err());
+        assert_eq!(a.get_or("learner", "gam"), "gam");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(args(&["--machine", "hydra"]).is_err()); // flag before cmd
+        assert!(args(&["bench", "stray"]).is_err());
+        assert!(args(&["bench", "--x"]).is_err()); // missing value
+        assert!(args(&["bench", "--x", "1", "--x", "2"]).is_err()); // dup
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert_eq!(parse_size("64K").unwrap(), 65536);
+        assert_eq!(parse_size("2M").unwrap(), 2 << 20);
+        assert_eq!(parse_size("1g").unwrap(), 1 << 30);
+        assert!(parse_size("x").is_err());
+        assert!(parse_size("4.5K").is_err());
+    }
+
+    #[test]
+    fn lists() {
+        assert_eq!(parse_u32_list("1, 8,16").unwrap(), vec![1, 8, 16]);
+        assert_eq!(parse_size_list("16,1K").unwrap(), vec![16, 1024]);
+        assert!(parse_u32_list("1,x").is_err());
+    }
+}

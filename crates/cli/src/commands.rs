@@ -1,0 +1,329 @@
+//! Implementations of the `mpcp` subcommands.
+
+use std::path::Path;
+
+use mpcp_benchmark::record::{read_csv, write_csv};
+use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
+use mpcp_collectives::{Collective, MpiLibrary};
+use mpcp_core::tuning_file::{default_query_sizes, TuningFile};
+use mpcp_core::{Instance, RuntimeTable, Selector};
+use mpcp_ml::Learner;
+use mpcp_simnet::{Machine, Simulator, Topology};
+
+use crate::args::{parse_size, parse_size_list, parse_u32_list, Args};
+
+fn parse_coll(s: &str) -> Result<Collective, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "bcast" => Collective::Bcast,
+        "allreduce" => Collective::Allreduce,
+        "alltoall" => Collective::Alltoall,
+        "reduce" => Collective::Reduce,
+        "allgather" => Collective::Allgather,
+        "scatter" => Collective::Scatter,
+        "gather" => Collective::Gather,
+        "barrier" => Collective::Barrier,
+        other => return Err(format!("unknown collective {other:?}")),
+    })
+}
+
+fn parse_machine(s: &str) -> Result<Machine, String> {
+    Machine::by_name(s).ok_or_else(|| {
+        format!("unknown machine {s:?} (available: Hydra, Jupiter, SuperMUC-NG)")
+    })
+}
+
+fn parse_learner(s: &str) -> Result<Learner, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "knn" => Learner::knn(),
+        "gam" => Learner::gam(),
+        "xgboost" | "xgb" => Learner::xgboost(),
+        "forest" | "rf" => Learner::forest(),
+        "linear" => Learner::linear(),
+        other => return Err(format!("unknown learner {other:?}")),
+    })
+}
+
+fn library(args: &Args, machine: &Machine, coll: Collective) -> Result<MpiLibrary, String> {
+    match args.get_or("lib", "openmpi").to_ascii_lowercase().as_str() {
+        "openmpi" | "open-mpi" => Ok(MpiLibrary::open_mpi_4_0_2()),
+        "intelmpi" | "intel-mpi" | "intel" => Ok(MpiLibrary::intel_mpi_2019_for(
+            machine,
+            mpcp_collectives::decision::TuningGrid::vendor_default(
+                machine.max_nodes,
+                machine.max_ppn,
+            ),
+            &[coll],
+        )),
+        other => Err(format!("unknown library {other:?} (openmpi | intelmpi)")),
+    }
+}
+
+/// `mpcp machines`
+pub fn machines() -> Result<String, String> {
+    let mut out = String::from("machine       nodes  max_ppn  interconnect\n");
+    for m in Machine::all() {
+        out.push_str(&format!(
+            "{:<12}  {:<5}  {:<7}  {}\n",
+            m.name, m.max_nodes, m.max_ppn, m.interconnect
+        ));
+    }
+    Ok(out)
+}
+
+/// `mpcp algorithms --coll <c> [--lib openmpi]`
+pub fn algorithms(args: &Args) -> Result<String, String> {
+    let coll = parse_coll(args.require("coll")?)?;
+    let machine = parse_machine(args.get_or("machine", "hydra"))?;
+    let lib = library(args, &machine, coll)?;
+    let mut out = format!("{} {} — {} configurations for {}:\n", lib.name, lib.version,
+        lib.configs(coll).len(), coll.mpi_name());
+    out.push_str("uid   label\n");
+    for (uid, cfg) in lib.configs(coll).iter().enumerate() {
+        out.push_str(&format!(
+            "{uid:<4}  {}{}\n",
+            cfg.label(),
+            if cfg.excluded { "   [excluded: benchmark-only]" } else { "" }
+        ));
+    }
+    Ok(out)
+}
+
+/// `mpcp simulate ...`
+pub fn simulate(args: &Args) -> Result<String, String> {
+    let machine = parse_machine(args.require("machine")?)?;
+    let coll = parse_coll(args.require("coll")?)?;
+    let nodes: u32 = args.require("nodes")?.parse().map_err(|_| "bad --nodes".to_string())?;
+    let ppn: u32 = args.require("ppn")?.parse().map_err(|_| "bad --ppn".to_string())?;
+    let msize = parse_size(args.get_or("msize", "0"))?;
+    let topo = Topology::new(nodes, ppn);
+    let lib = library(args, &machine, coll)?;
+    let uid = match args.get("alg") {
+        Some(s) => s.parse::<usize>().map_err(|_| "bad --alg (use a uid)".to_string())?,
+        None => lib.default_choice(coll, msize, &topo),
+    };
+    let configs = lib.configs(coll);
+    if uid >= configs.len() {
+        return Err(format!("--alg {uid} out of range (0..{})", configs.len()));
+    }
+    let progs = lib.build(coll, uid, &topo, msize);
+    let r = Simulator::new(&machine.model, &topo)
+        .run(&progs)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    Ok(format!(
+        "{} of {} bytes on {} ({}x{} ranks)\nalgorithm: {}\nruntime:   {:.3} us\nmessages:  {} ({} bytes inter-node, {} intra-node)\nevents:    {}\n",
+        coll.mpi_name(),
+        msize,
+        machine.name,
+        nodes,
+        ppn,
+        configs[uid].label(),
+        r.makespan().as_micros_f64(),
+        r.messages,
+        r.bytes_inter,
+        r.bytes_intra,
+        r.events
+    ))
+}
+
+/// `mpcp bench ...`
+pub fn bench(args: &Args) -> Result<String, String> {
+    let machine = parse_machine(args.require("machine")?)?;
+    let coll = parse_coll(args.require("coll")?)?;
+    let nodes = parse_u32_list(args.require("nodes")?)?;
+    let ppn = parse_u32_list(args.require("ppn")?)?;
+    let msizes = parse_size_list(args.require("msizes")?)?;
+    let out_path = args.require("out")?;
+    let seed: u64 = args.get_or("seed", "1").parse().map_err(|_| "bad --seed".to_string())?;
+    let lib_kind = match args.get_or("lib", "openmpi") {
+        "intelmpi" | "intel" => LibKind::IntelMpi,
+        _ => LibKind::OpenMpi,
+    };
+    let spec = DatasetSpec {
+        id: "cli",
+        coll,
+        lib: lib_kind,
+        machine: machine.clone(),
+        nodes,
+        ppn,
+        msizes,
+        seed,
+    };
+    let library = spec.library(None);
+    let bench = BenchConfig::paper_default(&machine.name);
+    let t0 = std::time::Instant::now();
+    let data = spec.generate(&library, &bench);
+    write_csv(Path::new(out_path), &data.records).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "benchmarked {} cells ({} configurations) in {:.1}s\nsimulated benchmarking time: {:.1} min (bound {:.1} min)\nwrote {}\n",
+        data.records.len(),
+        library.configs(coll).len(),
+        t0.elapsed().as_secs_f64(),
+        data.total_bench.as_secs_f64() / 60.0,
+        data.budget_bound(&bench).as_secs_f64() / 60.0,
+        out_path
+    ))
+}
+
+fn load_and_train(args: &Args) -> Result<(Selector, MpiLibrary, Collective, Vec<mpcp_benchmark::Record>), String> {
+    let coll = parse_coll(args.require("coll")?)?;
+    let machine = parse_machine(args.get_or("machine", "hydra"))?;
+    let lib = library(args, &machine, coll)?;
+    let data = read_csv(Path::new(args.require("data")?)).map_err(|e| e.to_string())?;
+    if data.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let train = match args.get("train-nodes") {
+        Some(s) => {
+            let keep = parse_u32_list(s)?;
+            data.iter().filter(|r| keep.contains(&r.nodes)).copied().collect()
+        }
+        None => data.clone(),
+    };
+    if train.is_empty() {
+        return Err("no training records after --train-nodes filter".into());
+    }
+    let learner = parse_learner(args.get_or("learner", "gam"))?;
+    let selector = Selector::train(&learner, &train, lib.configs(coll));
+    Ok((selector, lib, coll, data))
+}
+
+/// `mpcp select ...`
+pub fn select(args: &Args) -> Result<String, String> {
+    let (selector, lib, coll, data) = load_and_train(args)?;
+    let nodes: u32 = args.require("nodes")?.parse().map_err(|_| "bad --nodes".to_string())?;
+    let ppn: u32 = args.require("ppn")?.parse().map_err(|_| "bad --ppn".to_string())?;
+    let msize = parse_size(args.require("msize")?)?;
+    let inst = Instance::new(coll, msize, nodes, ppn);
+    let (uid, pred) = selector.select(&inst);
+    let configs = lib.configs(coll);
+    let default_uid = lib.default_choice(coll, msize, &Topology::new(nodes, ppn));
+    let mut out = format!(
+        "instance: {inst}\npredicted best: uid {uid} = {} (~{pred:.1} us predicted)\nlibrary default: uid {default_uid} = {}\n",
+        configs[uid as usize].label(),
+        configs[default_uid].label()
+    );
+    // If the instance was benchmarked, show the ground truth too.
+    let table = RuntimeTable::new(&data);
+    if let Some((best_uid, best)) = table.best(&inst) {
+        out.push_str(&format!(
+            "measured best: uid {best_uid} = {} ({:.1} us)\n",
+            configs[best_uid as usize].label(),
+            best * 1e6
+        ));
+        if let Some(t) = table.runtime(&inst, uid) {
+            out.push_str(&format!("predicted algorithm measured at {:.1} us\n", t * 1e6));
+        }
+    }
+    Ok(out)
+}
+
+/// `mpcp tune ...`
+pub fn tune(args: &Args) -> Result<String, String> {
+    let (selector, lib, coll, _) = load_and_train(args)?;
+    let nodes: u32 = args.require("nodes")?.parse().map_err(|_| "bad --nodes".to_string())?;
+    let ppn: u32 = args.require("ppn")?.parse().map_err(|_| "bad --ppn".to_string())?;
+    let tf = TuningFile::generate(
+        &selector,
+        lib.configs(coll),
+        coll,
+        nodes,
+        ppn,
+        &default_query_sizes(),
+    );
+    let rendered = tf.render();
+    if let Some(path) = args.get("out") {
+        tf.write(Path::new(path)).map_err(|e| e.to_string())?;
+        Ok(format!("{rendered}\nwritten to {path}\n"))
+    } else {
+        Ok(rendered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run_args(v: &[&str]) -> Result<String, String> {
+        crate::run(Args::parse(v.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn machines_lists_all_three() {
+        let out = machines().unwrap();
+        assert!(out.contains("Hydra"));
+        assert!(out.contains("Jupiter"));
+        assert!(out.contains("SuperMUC-NG"));
+    }
+
+    #[test]
+    fn algorithms_lists_configs() {
+        let out = run_args(&["algorithms", "--coll", "allreduce"]).unwrap();
+        assert!(out.contains("recursive_doubling"));
+        assert!(out.contains("rabenseifner"));
+    }
+
+    #[test]
+    fn simulate_runs_default_and_explicit() {
+        let out = run_args(&[
+            "simulate", "--machine", "hydra", "--coll", "bcast", "--nodes", "4", "--ppn", "2",
+            "--msize", "64K",
+        ])
+        .unwrap();
+        assert!(out.contains("runtime:"), "{out}");
+        let out2 = run_args(&[
+            "simulate", "--machine", "jupiter", "--coll", "barrier", "--nodes", "3", "--ppn", "2",
+            "--alg", "2",
+        ])
+        .unwrap();
+        assert!(out2.contains("dissemination"), "{out2}");
+    }
+
+    #[test]
+    fn bench_select_tune_roundtrip() {
+        let dir = std::env::temp_dir().join("mpcp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let tunef = dir.join("x.tune");
+        let out = run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3,4", "--ppn",
+            "1,2", "--msizes", "16,4K", "--out", csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("benchmarked"), "{out}");
+        let out = run_args(&[
+            "select", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner", "knn",
+            "--train-nodes", "2,4", "--nodes", "3", "--ppn", "2", "--msize", "4K",
+        ])
+        .unwrap();
+        assert!(out.contains("predicted best"), "{out}");
+        assert!(out.contains("measured best"), "{out}");
+        let out = run_args(&[
+            "tune", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner", "knn",
+            "--train-nodes", "2,4", "--nodes", "3", "--ppn", "2", "--out",
+            tunef.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("written to"), "{out}");
+        assert!(tunef.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_readable() {
+        assert!(run_args(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(run_args(&["simulate", "--coll", "bcast"]).unwrap_err().contains("--machine"));
+        assert!(run_args(&[
+            "simulate", "--machine", "moonbase", "--coll", "bcast", "--nodes", "2", "--ppn", "1",
+            "--msize", "1K"
+        ])
+        .unwrap_err()
+        .contains("unknown machine"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_args(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # mpcp-cli — the `mpcp` command-line tool
+//!
+//! A front end over the whole pipeline, mirroring how the paper's
+//! framework would be operated in production:
+//!
+//! ```text
+//! mpcp machines                                   # list machine profiles
+//! mpcp algorithms --coll bcast --lib openmpi      # list algorithm configs
+//! mpcp simulate  --machine hydra --coll bcast --nodes 8 --ppn 16 --msize 1M
+//! mpcp bench     --machine hydra --coll bcast --nodes 2,4,8 --ppn 1,8 \
+//!                --msizes 16,4K,256K --out bcast.csv
+//! mpcp select    --data bcast.csv --coll bcast --learner gam \
+//!                --train-nodes 2,4,8 --nodes 6 --ppn 16 --msize 64K
+//! mpcp tune      --data bcast.csv --coll bcast --learner gam \
+//!                --train-nodes 2,4,8 --nodes 6 --ppn 16 --out bcast.tune
+//! ```
+//!
+//! The library exposes the command implementations so they are testable;
+//! `src/main.rs` is a thin wrapper.
+
+pub mod args;
+pub mod commands;
+
+use args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mpcp — MPI collective performance prediction (CLUSTER'20 reproduction)
+
+USAGE: mpcp <COMMAND> [--key value ...]
+
+COMMANDS:
+  machines    list simulated machine profiles (Table I)
+  algorithms  list a library's algorithm configurations
+              --coll <bcast|allreduce|alltoall|reduce|allgather|scatter|gather|barrier>
+              [--lib openmpi]
+  simulate    run one collective once on the simulator
+              --machine <name> --coll <c> --nodes <n> --ppn <N> --msize <size>
+              [--alg <uid>] [--lib openmpi]
+  bench       benchmark a grid and write a dataset CSV
+              --machine <name> --coll <c> --nodes <list> --ppn <list>
+              --msizes <sizes> --out <file> [--lib openmpi] [--seed <u64>]
+  select      train on a dataset CSV and predict the best algorithm
+              --data <file> --coll <c> --train-nodes <list>
+              --nodes <n> --ppn <N> --msize <size> [--learner knn|gam|xgboost]
+              [--machine <name>] [--lib openmpi]
+  tune        emit a tuning file for one allocation (10-15 msize queries)
+              --data <file> --coll <c> --train-nodes <list>
+              --nodes <n> --ppn <N> --out <file> [--learner ...]
+
+Sizes accept K/M/G suffixes (binary); lists are comma-separated.";
+
+/// Dispatch a parsed command line; returns the text to print.
+pub fn run(args: Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "machines" => commands::machines(),
+        "algorithms" => commands::algorithms(&args),
+        "simulate" => commands::simulate(&args),
+        "bench" => commands::bench(&args),
+        "select" => commands::select(&args),
+        "tune" => commands::tune(&args),
+        "" | "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}

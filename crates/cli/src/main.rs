@@ -1,0 +1,18 @@
+//! The `mpcp` binary: thin wrapper over [`mpcp_cli::run`].
+
+fn main() {
+    let args = match mpcp_cli::args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", mpcp_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match mpcp_cli::run(args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

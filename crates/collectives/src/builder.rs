@@ -1,0 +1,110 @@
+//! Program-set builder shared by all schedule generators.
+
+use mpcp_simnet::program::{Tag, TAG_STRIDE};
+use mpcp_simnet::{Instr, Program, Topology};
+
+/// Accumulates one instruction list per rank and hands out disjoint tag
+/// ranges per communication phase.
+pub struct Builder {
+    progs: Vec<Vec<Instr>>,
+    phase: u32,
+    p: u32,
+}
+
+impl Builder {
+    /// Create an empty builder for `topo.size()` ranks.
+    pub fn new(topo: &Topology) -> Self {
+        let p = topo.size();
+        Builder { progs: (0..p).map(|_| Vec::new()).collect(), phase: 0, p }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.p
+    }
+
+    /// Reserve a fresh tag range for one phase. Segment loops index tags
+    /// as `base + segment`, unrolled rounds as `base + round`; ranges from
+    /// different phases never overlap (`TAG_STRIDE` apart).
+    pub fn phase_tag(&mut self) -> Tag {
+        let t = self.phase * TAG_STRIDE;
+        self.phase = self
+            .phase
+            .checked_add(1)
+            .expect("tag phase overflow: schedule uses too many phases");
+        t
+    }
+
+    /// Append an instruction to `rank`'s program.
+    #[inline]
+    pub fn push(&mut self, rank: u32, instr: Instr) {
+        self.progs[rank as usize].push(instr);
+    }
+
+    /// Finish and return one [`Program`] per rank.
+    pub fn finish(self) -> Vec<Program> {
+        self.progs.into_iter().map(Program::from_instrs).collect()
+    }
+}
+
+/// Block size used by scatter/allgather/ring phases: the message is cut
+/// into `p` uniform blocks of `ceil(m/p)` bytes (the simulator models
+/// timing and volume, so the ±1-byte imbalance of exact partitions is
+/// ignored; totals are conservatively rounded up).
+#[inline]
+pub fn block_size(msize: u64, p: u32) -> u64 {
+    msize.div_ceil(p as u64)
+}
+
+/// Effective segment size: `seg = 0` (unsegmented) behaves as one segment
+/// covering the whole message.
+#[inline]
+pub fn effective_seg(msize: u64, seg: u64) -> u64 {
+    if seg == 0 {
+        msize.max(1)
+    } else {
+        seg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_disjoint() {
+        let topo = Topology::new(2, 1);
+        let mut b = Builder::new(&topo);
+        let t0 = b.phase_tag();
+        let t1 = b.phase_tag();
+        assert_eq!(t0, 0);
+        assert_eq!(t1, TAG_STRIDE);
+    }
+
+    #[test]
+    fn block_size_rounds_up() {
+        assert_eq!(block_size(10, 4), 3);
+        assert_eq!(block_size(8, 4), 2);
+        assert_eq!(block_size(0, 4), 0);
+        assert_eq!(block_size(1, 4), 1);
+    }
+
+    #[test]
+    fn effective_seg_handles_zero() {
+        assert_eq!(effective_seg(4096, 0), 4096);
+        assert_eq!(effective_seg(4096, 1024), 1024);
+        assert_eq!(effective_seg(0, 0), 1);
+    }
+
+    #[test]
+    fn builder_collects_programs() {
+        let topo = Topology::new(2, 1);
+        let mut b = Builder::new(&topo);
+        b.push(0, Instr::send(1, 8, 0));
+        b.push(1, Instr::recv(0, 8, 0));
+        let progs = b.finish();
+        assert_eq!(progs.len(), 2);
+        assert_eq!(progs[0].count_sends(), 1);
+    }
+}

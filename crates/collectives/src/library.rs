@@ -1,0 +1,183 @@
+//! Simulated MPI libraries: algorithm lists plus a default decision
+//! logic, presented behind one façade as a real library would be.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mpcp_simnet::{Machine, Program, Topology};
+
+use crate::coll::{AlgorithmConfig, Collective};
+use crate::decision::{DecisionLogic, IntelDecision, OpenMpiDecision, TuningGrid};
+use crate::registry;
+
+/// A simulated MPI library: per-collective algorithm configurations
+/// (`u_{j,l}` in the paper) and the built-in selection heuristic that
+/// plays the role of "algorithm 0".
+#[derive(Clone)]
+pub struct MpiLibrary {
+    /// Library name as in Table II ("Open MPI", "Intel MPI").
+    pub name: &'static str,
+    /// Version string as in Table II.
+    pub version: &'static str,
+    configs: Arc<BTreeMap<Collective, Vec<AlgorithmConfig>>>,
+    decision: Arc<dyn DecisionLogic>,
+}
+
+impl MpiLibrary {
+    /// Open MPI 4.0.2: the full `coll/tuned` parameter grid with the
+    /// fixed (hard-coded) decision rules.
+    pub fn open_mpi_4_0_2() -> MpiLibrary {
+        let mut configs = BTreeMap::new();
+        for coll in Collective::ALL {
+            configs.insert(coll, registry::open_mpi(coll));
+        }
+        let decision = OpenMpiDecision::new(
+            registry::open_mpi_bcast(),
+            registry::open_mpi_allreduce(),
+            registry::open_mpi_alltoall(),
+        );
+        MpiLibrary {
+            name: "Open MPI",
+            version: "4.0.2",
+            configs: Arc::new(configs),
+            decision: Arc::new(decision),
+        }
+    }
+
+    /// Intel MPI 2019 on a given machine: vendor-preset algorithm ids and
+    /// a decision table produced by an exhaustive `mpitune`-style sweep
+    /// over `grid` on that machine.
+    ///
+    /// Pass [`TuningGrid::vendor_default`] for realistic behaviour; the
+    /// sweep simulates every configuration on every grid point, so
+    /// prefer a reduced grid in tests.
+    pub fn intel_mpi_2019(machine: &Machine, grid: TuningGrid) -> MpiLibrary {
+        let mut configs = BTreeMap::new();
+        for coll in Collective::ALL {
+            configs.insert(coll, registry::intel(coll));
+        }
+        let decision = IntelDecision::tune(&machine.model, &configs, grid);
+        MpiLibrary {
+            name: "Intel MPI",
+            version: "2019",
+            configs: Arc::new(configs),
+            decision: Arc::new(decision),
+        }
+    }
+
+    /// Intel MPI tuned only for `colls` (cheaper when a dataset uses a
+    /// single collective).
+    pub fn intel_mpi_2019_for(
+        machine: &Machine,
+        grid: TuningGrid,
+        colls: &[Collective],
+    ) -> MpiLibrary {
+        let mut configs = BTreeMap::new();
+        for &coll in colls {
+            configs.insert(coll, registry::intel(coll));
+        }
+        let decision = IntelDecision::tune(&machine.model, &configs, grid);
+        MpiLibrary {
+            name: "Intel MPI",
+            version: "2019",
+            configs: Arc::new(configs),
+            decision: Arc::new(decision),
+        }
+    }
+
+    /// All configurations for a collective, indexed by `uid`.
+    pub fn configs(&self, coll: Collective) -> &[AlgorithmConfig] {
+        self.configs
+            .get(&coll)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Configurations eligible for selection (excludes benchmark-only
+    /// entries like the buggy Open MPI broadcast algorithm 8).
+    pub fn selectable(&self, coll: Collective) -> impl Iterator<Item = (usize, &AlgorithmConfig)> {
+        self.configs(coll).iter().enumerate().filter(|(_, c)| !c.excluded)
+    }
+
+    /// What the library's own heuristic would run for this instance
+    /// (the paper's baseline, "Default").
+    pub fn default_choice(&self, coll: Collective, msize: u64, topo: &Topology) -> usize {
+        self.decision.select(coll, msize, topo)
+    }
+
+    /// Compile configuration `uid` of `coll` for an instance.
+    pub fn build(&self, coll: Collective, uid: usize, topo: &Topology, msize: u64) -> Vec<Program> {
+        self.configs(coll)[uid].build(topo, msize)
+    }
+
+    /// Name of the built-in decision logic.
+    pub fn decision_name(&self) -> &'static str {
+        self.decision.name()
+    }
+}
+
+impl std::fmt::Debug for MpiLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiLibrary")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("decision", &self.decision.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_simnet::{Machine, Simulator};
+
+    #[test]
+    fn open_mpi_library_shape() {
+        let lib = MpiLibrary::open_mpi_4_0_2();
+        assert_eq!(lib.name, "Open MPI");
+        assert!(lib.configs(Collective::Bcast).len() > 50);
+        assert_eq!(
+            lib.selectable(Collective::Bcast).count(),
+            lib.configs(Collective::Bcast).len() - 1
+        );
+    }
+
+    #[test]
+    fn default_choice_is_selectable() {
+        let lib = MpiLibrary::open_mpi_4_0_2();
+        let topo = Topology::new(8, 8);
+        for coll in Collective::ALL {
+            for m in [1u64, 4096, 1 << 20] {
+                let uid = lib.default_choice(coll, m, &topo);
+                assert!(!lib.configs(coll)[uid].excluded);
+            }
+        }
+    }
+
+    #[test]
+    fn library_builds_runnable_programs() {
+        let lib = MpiLibrary::open_mpi_4_0_2();
+        let machine = Machine::hydra();
+        let topo = Topology::new(2, 2);
+        let uid = lib.default_choice(Collective::Allreduce, 8192, &topo);
+        let progs = lib.build(Collective::Allreduce, uid, &topo, 8192);
+        let r = Simulator::new(&machine.model, &topo).run(&progs).unwrap();
+        assert!(r.makespan().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn intel_library_tunes_on_machine() {
+        let machine = Machine::hydra();
+        let lib = MpiLibrary::intel_mpi_2019_for(
+            &machine,
+            TuningGrid::tiny(),
+            &[Collective::Allreduce],
+        );
+        assert_eq!(lib.configs(Collective::Allreduce).len(), 16);
+        let topo = Topology::new(3, 2);
+        let uid = lib.default_choice(Collective::Allreduce, 1024, &topo);
+        assert!(uid < 16);
+        // Collectives not tuned have no configs.
+        assert!(lib.configs(Collective::Bcast).is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Algorithm-configuration registries for the two simulated MPI
+//! libraries.
+//!
+//! The Open MPI lists mirror the `coll/tuned` algorithm numbering of
+//! Open MPI 4.0.2 and enumerate the paper's parameter grid (segment sizes
+//! 1K/4K/16K/64K/128K plus unsegmented, chain counts 2/4/8/16, k-nomial
+//! radices). The Intel MPI lists expose the vendor style instead: many
+//! algorithm ids, each a fixed parameter preset. List lengths match
+//! Table II: 16 Intel allreduce, 5 Intel alltoall, 12 Intel bcast ids.
+
+use crate::coll::{AlgKind, AlgorithmConfig, Collective};
+
+/// The paper's segment-size grid (bytes); 0 = unsegmented.
+pub const SEG_SIZES: [u64; 6] = [0, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10];
+
+/// The paper's chain-count grid for the chain broadcast (Fig. 2).
+pub const CHAIN_COUNTS: [u32; 4] = [2, 4, 8, 16];
+
+/// Open MPI 4.0.2 broadcast: algorithms 1–9 with the full parameter grid.
+/// Algorithm 8 is benchmarked but excluded from selection (the paper
+/// reports it buggy in this release).
+pub fn open_mpi_bcast() -> Vec<AlgorithmConfig> {
+    let mut v = Vec::new();
+    v.push(AlgorithmConfig::new(1, AlgKind::BcastLinear));
+    for &chains in &CHAIN_COUNTS {
+        for &seg in &SEG_SIZES {
+            v.push(AlgorithmConfig::new(2, AlgKind::BcastChain { chains, seg }));
+        }
+    }
+    for &seg in &SEG_SIZES {
+        v.push(AlgorithmConfig::new(3, AlgKind::BcastPipeline { seg }));
+    }
+    for &seg in &SEG_SIZES {
+        v.push(AlgorithmConfig::new(4, AlgKind::BcastSplitBinary { seg }));
+    }
+    for &seg in &SEG_SIZES {
+        v.push(AlgorithmConfig::new(5, AlgKind::BcastBinary { seg }));
+    }
+    for &seg in &SEG_SIZES {
+        v.push(AlgorithmConfig::new(6, AlgKind::BcastBinomial { seg }));
+    }
+    for &radix in &[4u32, 8] {
+        for &seg in &SEG_SIZES {
+            v.push(AlgorithmConfig::new(7, AlgKind::BcastKnomial { radix, seg }));
+        }
+    }
+    v.push(AlgorithmConfig::new(8, AlgKind::BcastScatterAllgather).excluded());
+    v.push(AlgorithmConfig::new(9, AlgKind::BcastScatterAllgatherRing));
+    v
+}
+
+/// Open MPI 4.0.2 allreduce: algorithms 1–6, segmented ring over the
+/// segment grid.
+pub fn open_mpi_allreduce() -> Vec<AlgorithmConfig> {
+    let mut v = vec![
+        AlgorithmConfig::new(1, AlgKind::AllreduceLinear),
+        AlgorithmConfig::new(2, AlgKind::AllreduceNonoverlapping),
+        AlgorithmConfig::new(3, AlgKind::AllreduceRecDoubling),
+        AlgorithmConfig::new(4, AlgKind::AllreduceRing),
+    ];
+    for &seg in SEG_SIZES.iter().filter(|&&s| s != 0) {
+        v.push(AlgorithmConfig::new(5, AlgKind::AllreduceSegRing { seg }));
+    }
+    v.push(AlgorithmConfig::new(6, AlgKind::AllreduceRabenseifner));
+    v
+}
+
+/// Open MPI 4.0.2 alltoall: linear, pairwise, Bruck, linear-sync, spread.
+pub fn open_mpi_alltoall() -> Vec<AlgorithmConfig> {
+    vec![
+        AlgorithmConfig::new(1, AlgKind::AlltoallLinear),
+        AlgorithmConfig::new(2, AlgKind::AlltoallPairwise),
+        AlgorithmConfig::new(3, AlgKind::AlltoallBruck),
+        AlgorithmConfig::new(4, AlgKind::AlltoallLinearSync { window: 8 }),
+        AlgorithmConfig::new(5, AlgKind::AlltoallSpread),
+    ]
+}
+
+/// Open MPI reduce: linear, chain/pipeline, binary, binomial and
+/// k-nomial trees over the segment grid.
+pub fn open_mpi_reduce() -> Vec<AlgorithmConfig> {
+    let mut v = vec![AlgorithmConfig::new(1, AlgKind::ReduceLinear)];
+    for &seg in &SEG_SIZES {
+        v.push(AlgorithmConfig::new(2, AlgKind::ReducePipeline { seg }));
+    }
+    for &seg in &SEG_SIZES {
+        v.push(AlgorithmConfig::new(3, AlgKind::ReduceBinary { seg }));
+    }
+    for &seg in &SEG_SIZES {
+        v.push(AlgorithmConfig::new(4, AlgKind::ReduceKnomial { radix: 2, seg }));
+    }
+    for &radix in &[4u32, 8] {
+        for &seg in &SEG_SIZES {
+            v.push(AlgorithmConfig::new(5, AlgKind::ReduceKnomial { radix, seg }));
+        }
+    }
+    v
+}
+
+/// Open MPI allgather: linear, bruck, recursive doubling, ring, neighbor
+/// exchange (the `coll/tuned` set).
+pub fn open_mpi_allgather() -> Vec<AlgorithmConfig> {
+    vec![
+        AlgorithmConfig::new(1, AlgKind::AllgatherLinear),
+        AlgorithmConfig::new(2, AlgKind::AllgatherBruck),
+        AlgorithmConfig::new(3, AlgKind::AllgatherRecDoubling),
+        AlgorithmConfig::new(4, AlgKind::AllgatherRing),
+        AlgorithmConfig::new(5, AlgKind::AllgatherNeighborExchange),
+    ]
+}
+
+/// Open MPI scatter: basic linear and binomial.
+pub fn open_mpi_scatter() -> Vec<AlgorithmConfig> {
+    vec![
+        AlgorithmConfig::new(1, AlgKind::ScatterLinear),
+        AlgorithmConfig::new(2, AlgKind::ScatterBinomial),
+    ]
+}
+
+/// Open MPI gather: basic linear, binomial, windowed linear-sync.
+pub fn open_mpi_gather() -> Vec<AlgorithmConfig> {
+    vec![
+        AlgorithmConfig::new(1, AlgKind::GatherLinear),
+        AlgorithmConfig::new(2, AlgKind::GatherBinomial),
+        AlgorithmConfig::new(3, AlgKind::GatherLinearSync { window: 8 }),
+        AlgorithmConfig::new(3, AlgKind::GatherLinearSync { window: 64 }),
+    ]
+}
+
+/// Open MPI barrier: central (double ring stand-in), recursive doubling,
+/// dissemination ("bruck"), tree.
+pub fn open_mpi_barrier() -> Vec<AlgorithmConfig> {
+    vec![
+        AlgorithmConfig::new(1, AlgKind::BarrierCentral),
+        AlgorithmConfig::new(2, AlgKind::BarrierRecDoubling),
+        AlgorithmConfig::new(3, AlgKind::BarrierDissemination),
+        AlgorithmConfig::new(4, AlgKind::BarrierTree),
+    ]
+}
+
+/// Open MPI list for a collective.
+pub fn open_mpi(coll: Collective) -> Vec<AlgorithmConfig> {
+    match coll {
+        Collective::Bcast => open_mpi_bcast(),
+        Collective::Allreduce => open_mpi_allreduce(),
+        Collective::Alltoall => open_mpi_alltoall(),
+        Collective::Reduce => open_mpi_reduce(),
+        Collective::Allgather => open_mpi_allgather(),
+        Collective::Scatter => open_mpi_scatter(),
+        Collective::Gather => open_mpi_gather(),
+        Collective::Barrier => open_mpi_barrier(),
+    }
+}
+
+/// Intel MPI 2019 broadcast: 12 algorithm ids, vendor-style fixed
+/// presets (Table II, dataset d7).
+pub fn intel_bcast() -> Vec<AlgorithmConfig> {
+    let presets = [
+        AlgKind::BcastLinear,
+        AlgKind::BcastBinomial { seg: 0 },
+        AlgKind::BcastBinomial { seg: 16 << 10 },
+        AlgKind::BcastKnomial { radix: 4, seg: 0 },
+        AlgKind::BcastKnomial { radix: 8, seg: 16 << 10 },
+        AlgKind::BcastChain { chains: 4, seg: 16 << 10 },
+        AlgKind::BcastChain { chains: 8, seg: 64 << 10 },
+        AlgKind::BcastPipeline { seg: 16 << 10 },
+        AlgKind::BcastPipeline { seg: 64 << 10 },
+        AlgKind::BcastBinary { seg: 32 << 10 },
+        AlgKind::BcastScatterAllgather,
+        AlgKind::BcastScatterAllgatherRing,
+    ];
+    presets
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| AlgorithmConfig::new(i as u32 + 1, k))
+        .collect()
+}
+
+/// Intel MPI 2019 allreduce: 16 algorithm ids (Table II, dataset d5).
+pub fn intel_allreduce() -> Vec<AlgorithmConfig> {
+    let presets = [
+        AlgKind::AllreduceRecDoubling,
+        AlgKind::AllreduceRabenseifner,
+        AlgKind::AllreduceRing,
+        AlgKind::AllreduceSegRing { seg: 1 << 10 },
+        AlgKind::AllreduceSegRing { seg: 4 << 10 },
+        AlgKind::AllreduceSegRing { seg: 16 << 10 },
+        AlgKind::AllreduceSegRing { seg: 64 << 10 },
+        AlgKind::AllreduceSegRing { seg: 128 << 10 },
+        AlgKind::AllreduceLinear,
+        AlgKind::AllreduceNonoverlapping,
+        AlgKind::AllreduceReduceBcast { radix: 2, seg: 16 << 10 },
+        AlgKind::AllreduceReduceBcast { radix: 4, seg: 0 },
+        AlgKind::AllreduceReduceBcast { radix: 4, seg: 16 << 10 },
+        AlgKind::AllreduceReduceBcast { radix: 8, seg: 0 },
+        AlgKind::AllreduceReduceBcast { radix: 8, seg: 64 << 10 },
+        AlgKind::AllreduceReduceBcast { radix: 2, seg: 64 << 10 },
+    ];
+    presets
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| AlgorithmConfig::new(i as u32 + 1, k))
+        .collect()
+}
+
+/// Intel MPI 2019 alltoall: 5 algorithm ids (Table II, dataset d6).
+pub fn intel_alltoall() -> Vec<AlgorithmConfig> {
+    let presets = [
+        AlgKind::AlltoallBruck,
+        AlgKind::AlltoallLinear,
+        AlgKind::AlltoallPairwise,
+        AlgKind::AlltoallLinearSync { window: 8 },
+        AlgKind::AlltoallSpread,
+    ];
+    presets
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| AlgorithmConfig::new(i as u32 + 1, k))
+        .collect()
+}
+
+/// Intel MPI presets for the extended collectives (vendor-style fixed
+/// parameter allocations).
+pub fn intel_extended(coll: Collective) -> Vec<AlgorithmConfig> {
+    let presets: Vec<AlgKind> = match coll {
+        Collective::Reduce => vec![
+            AlgKind::ReduceLinear,
+            AlgKind::ReduceKnomial { radix: 2, seg: 0 },
+            AlgKind::ReduceKnomial { radix: 2, seg: 16 << 10 },
+            AlgKind::ReduceKnomial { radix: 4, seg: 16 << 10 },
+            AlgKind::ReduceKnomial { radix: 8, seg: 64 << 10 },
+            AlgKind::ReduceBinary { seg: 16 << 10 },
+            AlgKind::ReducePipeline { seg: 64 << 10 },
+        ],
+        Collective::Allgather => vec![
+            AlgKind::AllgatherLinear,
+            AlgKind::AllgatherBruck,
+            AlgKind::AllgatherRecDoubling,
+            AlgKind::AllgatherRing,
+            AlgKind::AllgatherNeighborExchange,
+        ],
+        Collective::Scatter => open_mpi_scatter().into_iter().map(|c| c.kind).collect(),
+        Collective::Gather => vec![
+            AlgKind::GatherLinear,
+            AlgKind::GatherBinomial,
+            AlgKind::GatherLinearSync { window: 16 },
+        ],
+        Collective::Barrier => vec![
+            AlgKind::BarrierCentral,
+            AlgKind::BarrierRecDoubling,
+            AlgKind::BarrierDissemination,
+            AlgKind::BarrierTree,
+        ],
+        _ => unreachable!("paper collectives have dedicated intel lists"),
+    };
+    presets
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| AlgorithmConfig::new(i as u32 + 1, k))
+        .collect()
+}
+
+/// Experimental algorithms (topology-aware hierarchical variants and the
+/// double tree) — future-work material not part of the paper's library
+/// lists, so the cached Table II datasets remain stable. Exercised by
+/// the `extended_collectives` experiment and the examples.
+pub fn experimental(coll: Collective) -> Vec<AlgorithmConfig> {
+    match coll {
+        Collective::Bcast => vec![
+            AlgorithmConfig::new(101, AlgKind::BcastHierarchical { seg: 0 }),
+            AlgorithmConfig::new(101, AlgKind::BcastHierarchical { seg: 16 << 10 }),
+            AlgorithmConfig::new(102, AlgKind::BcastDoubleTree { seg: 16 << 10 }),
+            AlgorithmConfig::new(102, AlgKind::BcastDoubleTree { seg: 64 << 10 }),
+        ],
+        Collective::Allreduce => vec![
+            AlgorithmConfig::new(101, AlgKind::AllreduceHierarchical { seg: 0 }),
+            AlgorithmConfig::new(101, AlgKind::AllreduceHierarchical { seg: 16 << 10 }),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Intel MPI list for a collective.
+pub fn intel(coll: Collective) -> Vec<AlgorithmConfig> {
+    match coll {
+        Collective::Bcast => intel_bcast(),
+        Collective::Allreduce => intel_allreduce(),
+        Collective::Alltoall => intel_alltoall(),
+        other => intel_extended(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn open_mpi_bcast_has_nine_algorithm_ids() {
+        let ids: HashSet<u32> = open_mpi_bcast().iter().map(|c| c.alg_id).collect();
+        assert_eq!(ids, (1..=9).collect());
+    }
+
+    #[test]
+    fn open_mpi_allreduce_has_six_algorithm_ids() {
+        let ids: HashSet<u32> = open_mpi_allreduce().iter().map(|c| c.alg_id).collect();
+        assert_eq!(ids, (1..=6).collect());
+    }
+
+    #[test]
+    fn intel_counts_match_table2() {
+        assert_eq!(intel_allreduce().len(), 16); // d5
+        assert_eq!(intel_alltoall().len(), 5); // d6
+        assert_eq!(intel_bcast().len(), 12); // d7
+    }
+
+    #[test]
+    fn chain_grid_matches_fig2() {
+        let chains: HashSet<u32> = open_mpi_bcast()
+            .iter()
+            .filter_map(|c| match c.kind {
+                AlgKind::BcastChain { chains, .. } => Some(chains),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chains, CHAIN_COUNTS.iter().copied().collect());
+    }
+
+    #[test]
+    fn exactly_one_excluded_config() {
+        let excluded: Vec<_> = open_mpi_bcast().into_iter().filter(|c| c.excluded).collect();
+        assert_eq!(excluded.len(), 1);
+        assert_eq!(excluded[0].alg_id, 8);
+    }
+
+    #[test]
+    fn all_configs_are_distinct() {
+        for coll in Collective::ALL {
+            for list in [open_mpi(coll), intel(coll)] {
+                let mut seen = HashSet::new();
+                for c in &list {
+                    assert!(seen.insert(c.kind), "duplicate {:?}", c.kind);
+                    assert_eq!(c.kind.collective(), coll);
+                }
+            }
+        }
+    }
+}

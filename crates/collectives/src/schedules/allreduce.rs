@@ -1,0 +1,268 @@
+//! `MPI_Allreduce` algorithm schedules, mirroring Open MPI's
+//! `coll/tuned` allreduce family plus the k-nomial reduce+bcast presets
+//! used by the simulated Intel MPI library.
+
+use mpcp_simnet::program::SegInstr;
+use mpcp_simnet::{Instr, Program, Topology};
+
+use crate::builder::{block_size, Builder};
+use crate::schedules::blocks::{self, Tree};
+use crate::trees::{log2_ceil, pow2_floor};
+
+/// Algorithm 1 — basic linear: flat reduce to rank 0 followed by flat
+/// broadcast.
+pub fn linear(topo: &Topology, msize: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::linear_reduce(&mut b, msize);
+    blocks::linear_bcast(&mut b, msize);
+    b.finish()
+}
+
+/// Algorithm 2 ("nonoverlapping") and the Intel reduce+bcast presets:
+/// k-nomial tree reduce to rank 0, then k-nomial tree broadcast, both
+/// optionally segmented.
+pub fn reduce_bcast(topo: &Topology, msize: u64, radix: u32, seg: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    let tree = Tree::Knomial(radix.max(2));
+    blocks::tree_reduce(&mut b, msize, seg, tree);
+    blocks::tree_bcast(&mut b, msize, seg, tree);
+    b.finish()
+}
+
+/// Algorithm 3 — recursive doubling: `log2(p)` rounds exchanging the full
+/// buffer, with standard surplus-rank folding for non-powers-of-two.
+pub fn recursive_doubling(topo: &Topology, msize: u64) -> Vec<Program> {
+    let p = topo.size();
+    let p2 = pow2_floor(p);
+    let mut b = Builder::new(topo);
+    let pre = b.phase_tag();
+    let rd = b.phase_tag();
+    let post = b.phase_tag();
+
+    // Surplus ranks fold their contribution into a base partner.
+    for v in p2..p {
+        b.push(v, Instr::send(v - p2, msize, pre));
+        b.push(v - p2, Instr::recv(v, msize, pre));
+        b.push(v - p2, Instr::Compute { bytes: msize });
+    }
+    let rounds = log2_ceil(p2);
+    for j in 0..rounds {
+        let dist = 1u32 << j;
+        for v in 0..p2 {
+            let partner = v ^ dist;
+            b.push(v, Instr::SendRecv {
+                send_peer: partner,
+                send_bytes: msize,
+                send_tag: rd + j,
+                recv_peer: partner,
+                recv_bytes: msize,
+                recv_tag: rd + j,
+            });
+            b.push(v, Instr::Compute { bytes: msize });
+        }
+    }
+    for v in p2..p {
+        b.push(v - p2, Instr::send(v, msize, post));
+        b.push(v, Instr::recv(v - p2, msize, post));
+    }
+    b.finish()
+}
+
+/// Algorithm 4 (`seg = 0`) and algorithm 5 ("segmented ring"): ring
+/// reduce-scatter followed by ring allgather. With segmentation, each
+/// `ceil(m/p)`-byte ring block is further pipelined in `seg`-byte pieces.
+pub fn ring(topo: &Topology, msize: u64, seg: u64) -> Vec<Program> {
+    let p = topo.size();
+    let block = block_size(msize, p);
+    let (piece, per_block) = if seg == 0 || seg >= block || block == 0 {
+        (block, 1u32)
+    } else {
+        (seg, block.div_ceil(seg) as u32)
+    };
+    let steps = (p - 1) * per_block;
+    let mut b = Builder::new(topo);
+    let rs_tag = b.phase_tag();
+    let ag_tag = b.phase_tag();
+    for v in 0..p {
+        let next = (v + 1) % p;
+        let prev = (v + p - 1) % p;
+        b.push(
+            v,
+            Instr::fixed_loop(steps, piece, vec![
+                SegInstr::SendRecv {
+                    send_peer: next,
+                    send_tag_base: rs_tag,
+                    recv_peer: prev,
+                    recv_tag_base: rs_tag,
+                },
+                SegInstr::Compute,
+            ]),
+        );
+        b.push(
+            v,
+            Instr::fixed_loop(steps, piece, vec![SegInstr::SendRecv {
+                send_peer: next,
+                send_tag_base: ag_tag,
+                recv_peer: prev,
+                recv_tag_base: ag_tag,
+            }]),
+        );
+    }
+    b.finish()
+}
+
+/// Algorithm 6 — Rabenseifner: recursive-halving reduce-scatter followed
+/// by recursive-doubling allgather; surplus ranks above the largest power
+/// of two fold in before and receive the result after.
+pub fn rabenseifner(topo: &Topology, msize: u64) -> Vec<Program> {
+    let p = topo.size();
+    let p2 = pow2_floor(p);
+    let mut b = Builder::new(topo);
+    let pre = b.phase_tag();
+    let rs = b.phase_tag();
+    let ag = b.phase_tag();
+    let post = b.phase_tag();
+
+    for v in p2..p {
+        b.push(v, Instr::send(v - p2, msize, pre));
+        b.push(v - p2, Instr::recv(v, msize, pre));
+        b.push(v - p2, Instr::Compute { bytes: msize });
+    }
+    let rounds = log2_ceil(p2);
+    // Reduce-scatter by recursive halving: distances p2/2, p2/4, ..., 1;
+    // exchanged bytes m/2, m/4, ..., m/p2.
+    for step in 0..rounds {
+        let dist = p2 >> (step + 1);
+        let bytes = msize.div_ceil(1u64 << (step + 1));
+        for v in 0..p2 {
+            let partner = v ^ dist;
+            b.push(v, Instr::SendRecv {
+                send_peer: partner,
+                send_bytes: bytes,
+                send_tag: rs + step,
+                recv_peer: partner,
+                recv_bytes: bytes,
+                recv_tag: rs + step,
+            });
+            b.push(v, Instr::Compute { bytes });
+        }
+    }
+    // Allgather by recursive doubling: reverse order, same byte ladder.
+    for step in (0..rounds).rev() {
+        let dist = p2 >> (step + 1);
+        let bytes = msize.div_ceil(1u64 << (step + 1));
+        for v in 0..p2 {
+            let partner = v ^ dist;
+            b.push(v, Instr::SendRecv {
+                send_peer: partner,
+                send_bytes: bytes,
+                send_tag: ag + step,
+                recv_peer: partner,
+                recv_bytes: bytes,
+                recv_tag: ag + step,
+            });
+        }
+    }
+    for v in p2..p {
+        b.push(v - p2, Instr::send(v, msize, post));
+        b.push(v, Instr::recv(v - p2, msize, post));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_simnet::{Machine, Simulator};
+
+    fn run(progs: &[Program], topo: &Topology) -> mpcp_simnet::SimResult {
+        let machine = Machine::hydra();
+        Simulator::new(&machine.model, topo).run(progs).unwrap()
+    }
+
+    /// Information-flow invariants for a completed allreduce:
+    /// every rank receives at least ~m bytes (its result depends on all
+    /// inputs), and the total reduction work is at least (p-1)·m across
+    /// ranks (p-1 folds are information-theoretically required).
+    fn assert_allreduce_shape(progs: &[Program], topo: &Topology, m: u64) {
+        let p = topo.size();
+        let r = run(progs, topo);
+        let slack = 2 * block_size(m, p);
+        for rank in 0..p as usize {
+            assert!(
+                r.recv_bytes[rank] + slack >= m,
+                "rank {rank} received only {} of ~{m}",
+                r.recv_bytes[rank]
+            );
+        }
+        let total_compute_proxy: u64 = r.recv_bytes.iter().sum();
+        assert!(total_compute_proxy >= (p as u64 - 1) * m.saturating_sub(slack));
+    }
+
+    #[test]
+    fn all_allreduce_algorithms_complete() {
+        let m = 100_000u64;
+        for (nodes, ppn) in [(2u32, 1u32), (2, 2), (3, 2), (4, 4), (5, 3)] {
+            let topo = Topology::new(nodes, ppn);
+            assert_allreduce_shape(&linear(&topo, m), &topo, m);
+            assert_allreduce_shape(&reduce_bcast(&topo, m, 2, 0), &topo, m);
+            assert_allreduce_shape(&reduce_bcast(&topo, m, 4, 8192), &topo, m);
+            assert_allreduce_shape(&recursive_doubling(&topo, m), &topo, m);
+            assert_allreduce_shape(&ring(&topo, m, 0), &topo, m);
+            assert_allreduce_shape(&ring(&topo, m, 4096), &topo, m);
+            assert_allreduce_shape(&rabenseifner(&topo, m), &topo, m);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_wins_small_messages() {
+        let topo = Topology::new(16, 1);
+        let m = 16u64;
+        let t_rd = run(&recursive_doubling(&topo, m), &topo).makespan();
+        let t_ring = run(&ring(&topo, m, 0), &topo).makespan();
+        assert!(t_rd.as_secs_f64() < t_ring.as_secs_f64(), "rd {t_rd} ring {t_ring}");
+    }
+
+    #[test]
+    fn ring_wins_large_messages() {
+        let topo = Topology::new(8, 2);
+        let m = 4 << 20;
+        let t_rd = run(&recursive_doubling(&topo, m), &topo).makespan();
+        let t_ring = run(&ring(&topo, m, 0), &topo).makespan();
+        assert!(t_ring.as_secs_f64() < t_rd.as_secs_f64(), "ring {t_ring} rd {t_rd}");
+    }
+
+    #[test]
+    fn rabenseifner_beats_linear_at_scale() {
+        let topo = Topology::new(8, 4);
+        let m = 1 << 20;
+        let t_rab = run(&rabenseifner(&topo, m), &topo).makespan();
+        let t_lin = run(&linear(&topo, m), &topo).makespan();
+        assert!(
+            t_rab.as_secs_f64() * 4.0 < t_lin.as_secs_f64(),
+            "rabenseifner {t_rab} linear {t_lin}"
+        );
+    }
+
+    #[test]
+    fn ring_reduction_work_is_distributed() {
+        let topo = Topology::new(4, 1);
+        let m = 40_000u64;
+        let r = run(&ring(&topo, m, 0), &topo);
+        // Every rank both receives and sends ~2m in a ring allreduce.
+        for v in 0..4usize {
+            assert!(r.recv_bytes[v] >= 2 * m - 4 * block_size(m, 4));
+            assert!(r.sent_bytes[v] >= 2 * m - 4 * block_size(m, 4));
+        }
+    }
+
+    #[test]
+    fn nonpow2_surplus_ranks_get_result() {
+        for p in [(3u32, 1u32), (5, 1), (3, 2), (7, 1)] {
+            let topo = Topology::new(p.0, p.1);
+            let m = 32_768u64;
+            assert_allreduce_shape(&recursive_doubling(&topo, m), &topo, m);
+            assert_allreduce_shape(&rabenseifner(&topo, m), &topo, m);
+        }
+    }
+}

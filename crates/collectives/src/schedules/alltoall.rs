@@ -1,0 +1,210 @@
+//! `MPI_Alltoall` algorithm schedules. The message size `msize` is the
+//! per-destination buffer (each rank sends `msize` bytes to every other
+//! rank); self-blocks are local copies and not simulated.
+
+use mpcp_simnet::{Instr, Program, Topology};
+
+use crate::builder::Builder;
+use crate::trees::log2_ceil;
+
+/// Basic linear: post all nonblocking receives, then all nonblocking
+/// sends (destination order staggered by own rank to avoid a hot spot),
+/// then one wait-all.
+pub fn linear(topo: &Topology, msize: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 0..p {
+        for i in 1..p {
+            let src = (v + p - i) % p;
+            b.push(v, Instr::IRecv { peer: src, bytes: msize, tag });
+        }
+        for i in 1..p {
+            let dst = (v + i) % p;
+            b.push(v, Instr::ISend { peer: dst, bytes: msize, tag });
+        }
+        b.push(v, Instr::WaitAll);
+    }
+    b.finish()
+}
+
+/// Pairwise exchange: `p-1` rounds; in round `r` rank `v` sends to
+/// `v + r` and receives from `v - r` (mod p) — a congestion-free schedule
+/// on many fabrics.
+pub fn pairwise(topo: &Topology, msize: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 0..p {
+        for r in 1..p {
+            let to = (v + r) % p;
+            let from = (v + p - r) % p;
+            b.push(v, Instr::SendRecv {
+                send_peer: to,
+                send_bytes: msize,
+                send_tag: tag + r,
+                recv_peer: from,
+                recv_bytes: msize,
+                recv_tag: tag + r,
+            });
+        }
+    }
+    b.finish()
+}
+
+/// Bruck: `ceil(log2 p)` rounds; round `j` forwards every block whose
+/// offset has bit `j` set (≈ half the buffer), trading extra volume for
+/// logarithmic latency. Optimal for small messages.
+pub fn bruck(topo: &Topology, msize: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    let rounds = log2_ceil(p);
+    for j in 0..rounds {
+        let dist = 1u32 << j;
+        // Number of block offsets in [0, p) with bit j set.
+        let period = 1u64 << (j + 1);
+        let full = (p as u64 / period) * (period / 2);
+        let rem = (p as u64 % period).saturating_sub(period / 2);
+        let count = full + rem;
+        let bytes = count * msize;
+        for v in 0..p {
+            let to = (v + p - dist % p) % p;
+            let from = (v + dist) % p;
+            b.push(v, Instr::SendRecv {
+                send_peer: to,
+                send_bytes: bytes,
+                send_tag: tag + j,
+                recv_peer: from,
+                recv_bytes: bytes,
+                recv_tag: tag + j,
+            });
+        }
+    }
+    b.finish()
+}
+
+/// Linear with a bounded window: like [`linear`] but at most `window`
+/// outstanding send/receive pairs at a time (Open MPI's
+/// "linear_sync"-style throttling).
+pub fn linear_sync(topo: &Topology, msize: u64, window: u32) -> Vec<Program> {
+    let p = topo.size();
+    let w = window.max(1);
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 0..p {
+        let peers: Vec<u32> = (1..p).map(|i| (v + i) % p).collect();
+        for chunk in peers.chunks(w as usize) {
+            for &peer in chunk {
+                // Receive from the mirror peer (the rank whose send of
+                // this round targets us), keeping windows globally
+                // aligned so no window waits on a later one.
+                let src = (2 * v + p - peer % p) % p;
+                b.push(v, Instr::IRecv { peer: src, bytes: msize, tag });
+                b.push(v, Instr::ISend { peer, bytes: msize, tag });
+            }
+            b.push(v, Instr::WaitAll);
+        }
+    }
+    b.finish()
+}
+
+/// Spread: all receives posted up front, then one *blocking* send per
+/// round in staggered order — serializes injections but never floods the
+/// receive side.
+pub fn spread(topo: &Topology, msize: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 0..p {
+        for i in 1..p {
+            let src = (v + p - i) % p;
+            b.push(v, Instr::IRecv { peer: src, bytes: msize, tag });
+        }
+        for i in 1..p {
+            let dst = (v + i) % p;
+            b.push(v, Instr::Send { peer: dst, bytes: msize, tag });
+        }
+        b.push(v, Instr::WaitAll);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_simnet::{Machine, Simulator};
+
+    fn run(progs: &[Program], topo: &Topology) -> mpcp_simnet::SimResult {
+        let machine = Machine::hydra();
+        Simulator::new(&machine.model, topo).run(progs).unwrap()
+    }
+
+    /// Every rank must receive at least (p-1)·m bytes (Bruck relays more).
+    fn assert_alltoall_complete(progs: &[Program], topo: &Topology, m: u64) {
+        let p = topo.size() as u64;
+        let r = run(progs, topo);
+        for rank in 0..p as usize {
+            assert!(
+                r.recv_bytes[rank] >= (p - 1) * m,
+                "rank {rank} received {} < {}",
+                r.recv_bytes[rank],
+                (p - 1) * m
+            );
+        }
+    }
+
+    #[test]
+    fn all_alltoall_algorithms_complete() {
+        let m = 4096u64;
+        for (nodes, ppn) in [(2u32, 1u32), (2, 2), (3, 2), (4, 2), (5, 1)] {
+            let topo = Topology::new(nodes, ppn);
+            assert_alltoall_complete(&linear(&topo, m), &topo, m);
+            assert_alltoall_complete(&pairwise(&topo, m), &topo, m);
+            assert_alltoall_complete(&bruck(&topo, m), &topo, m);
+            assert_alltoall_complete(&linear_sync(&topo, m, 4), &topo, m);
+            assert_alltoall_complete(&spread(&topo, m), &topo, m);
+        }
+    }
+
+    #[test]
+    fn bruck_volume_is_logarithmic_rounds() {
+        let topo = Topology::new(4, 2); // p = 8
+        let progs = bruck(&topo, 1000);
+        // Each rank does exactly log2(8) = 3 sendrecvs of 4 blocks each.
+        assert_eq!(progs[0].count_sends(), 3);
+        assert_eq!(progs[0].count_sent_bytes(), 3 * 4 * 1000);
+    }
+
+    #[test]
+    fn bruck_wins_small_messages_at_scale() {
+        let topo = Topology::new(8, 4);
+        let m = 16u64;
+        let t_bruck = run(&bruck(&topo, m), &topo).makespan();
+        let t_pair = run(&pairwise(&topo, m), &topo).makespan();
+        assert!(
+            t_bruck.as_secs_f64() < t_pair.as_secs_f64(),
+            "bruck {t_bruck} pairwise {t_pair}"
+        );
+    }
+
+    #[test]
+    fn pairwise_wins_large_messages() {
+        let topo = Topology::new(4, 2);
+        let m = 1 << 20;
+        let t_bruck = run(&bruck(&topo, m), &topo).makespan();
+        let t_pair = run(&pairwise(&topo, m), &topo).makespan();
+        assert!(
+            t_pair.as_secs_f64() < t_bruck.as_secs_f64(),
+            "pairwise {t_pair} bruck {t_bruck}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_sized_linear_does_not_deadlock() {
+        // Large per-pair messages exercise RTS/CTS with nonblocking ops.
+        let topo = Topology::new(2, 2);
+        assert_alltoall_complete(&linear(&topo, 1 << 20), &topo, 1 << 20);
+        assert_alltoall_complete(&spread(&topo, 1 << 20), &topo, 1 << 20);
+    }
+}

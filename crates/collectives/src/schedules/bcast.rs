@@ -1,0 +1,262 @@
+//! `MPI_Bcast` algorithm schedules (root 0), mirroring the Open MPI
+//! `coll/tuned` broadcast family.
+
+use mpcp_simnet::program::SegInstr;
+use mpcp_simnet::{Instr, Program, Topology};
+
+use crate::builder::{block_size, effective_seg, Builder};
+use crate::schedules::blocks::{self, Tree};
+use crate::trees;
+
+/// Algorithm 1 — basic linear: the root sends the full message to every
+/// rank with consecutive blocking sends. No parameters.
+pub fn linear(topo: &Topology, msize: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::linear_bcast(&mut b, msize);
+    b.finish()
+}
+
+/// Algorithm 2 (chains ≥ 2) / algorithm 3 (chains = 1, "pipeline") —
+/// chain broadcast: the non-root ranks form `chains` linear pipelines,
+/// each fed by the root; `seg`-byte segments flow down every chain
+/// concurrently.
+pub fn chain(topo: &Topology, msize: u64, chains: u32, seg: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    let seg = effective_seg(msize, seg);
+    let ch = trees::chains(p, chains);
+
+    // Root: one send per chain head, per segment.
+    let root_body: Vec<SegInstr> = ch
+        .heads
+        .iter()
+        .map(|&h| SegInstr::Send { peer: h, tag_base: tag })
+        .collect();
+    if !root_body.is_empty() {
+        b.push(0, Instr::seg_loop(msize, seg, root_body));
+    }
+
+    // Chain members: receive from predecessor, forward to successor.
+    for v in 1..p {
+        let mut body = vec![SegInstr::Recv { peer: ch.prev[v as usize], tag_base: tag }];
+        if let Some(next) = ch.next[v as usize] {
+            body.push(SegInstr::Send { peer: next, tag_base: tag });
+        }
+        b.push(v, Instr::seg_loop(msize, seg, body));
+    }
+    b.finish()
+}
+
+/// Algorithm 5 — binary tree, segmented.
+pub fn binary(topo: &Topology, msize: u64, seg: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::tree_bcast(&mut b, msize, seg, Tree::Binary);
+    b.finish()
+}
+
+/// Algorithms 6 and 7 — binomial (`radix = 2`) and k-nomial trees,
+/// segmented.
+pub fn knomial(topo: &Topology, msize: u64, radix: u32, seg: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::tree_bcast(&mut b, msize, seg, Tree::Knomial(radix.max(2)));
+    b.finish()
+}
+
+/// Algorithm 4 — split-binary tree: the message is halved; each half is
+/// pipelined down one subtree of the binary tree, and afterwards ranks of
+/// opposite subtrees exchange their halves pairwise.
+///
+/// When the two subtrees differ in size (p-1 odd), the unpaired ranks
+/// receive the missing half directly from the root (a simplification of
+/// Open MPI's leftover handling that preserves volume and critical path).
+pub fn split_binary(topo: &Topology, msize: u64, seg: u64) -> Vec<Program> {
+    let p = topo.size();
+    if p <= 2 {
+        // Degenerates to a single pipeline.
+        return chain(topo, msize, 1, seg);
+    }
+    let half = msize.div_ceil(2);
+    let seg = effective_seg(half, seg);
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    let xtag = b.phase_tag();
+    let ltag = b.phase_tag();
+
+    // Which half-tree does v belong to? (1 = left, 2 = right, 0 = root)
+    let side = |mut v: u32| -> u32 {
+        while v > 2 {
+            v = trees::binary_parent(v).unwrap();
+        }
+        v
+    };
+    let left: Vec<u32> = (1..p).filter(|&v| side(v) == 1).collect();
+    let right: Vec<u32> = (1..p).filter(|&v| side(v) == 2).collect();
+
+    // Phase 1: pipeline one half into each subtree.
+    let mut root_body = vec![SegInstr::Send { peer: 1, tag_base: tag }];
+    if p > 2 {
+        root_body.push(SegInstr::Send { peer: 2, tag_base: tag });
+    }
+    b.push(0, Instr::seg_loop(half, seg, root_body));
+    for v in 1..p {
+        let mut body = vec![SegInstr::Recv {
+            peer: trees::binary_parent(v).unwrap(),
+            tag_base: tag,
+        }];
+        for c in trees::binary_children(v, p) {
+            body.push(SegInstr::Send { peer: c, tag_base: tag });
+        }
+        b.push(v, Instr::seg_loop(half, seg, body));
+    }
+
+    // Phase 2: exchange halves across the subtrees.
+    let paired = left.len().min(right.len());
+    for i in 0..paired {
+        let (l, r) = (left[i], right[i]);
+        b.push(l, Instr::SendRecv {
+            send_peer: r,
+            send_bytes: half,
+            send_tag: xtag,
+            recv_peer: r,
+            recv_bytes: half,
+            recv_tag: xtag,
+        });
+        b.push(r, Instr::SendRecv {
+            send_peer: l,
+            send_bytes: half,
+            send_tag: xtag,
+            recv_peer: l,
+            recv_bytes: half,
+            recv_tag: xtag,
+        });
+    }
+    // Unpaired leftovers get the missing half from the root.
+    for &v in left.iter().skip(paired).chain(right.iter().skip(paired)) {
+        b.push(0, Instr::send(v, half, ltag + v));
+        b.push(v, Instr::recv(0, half, ltag + v));
+    }
+    b.finish()
+}
+
+/// Algorithm 8 ("scatter_allgather", recursive doubling) and algorithm 9
+/// ("scatter_allgather_ring"): binomial scatter of `p` uniform blocks,
+/// then an allgather — recursive doubling or ring.
+pub fn scatter_allgather(topo: &Topology, msize: u64, ring: bool) -> Vec<Program> {
+    let p = topo.size();
+    let block = block_size(msize, p);
+    let mut b = Builder::new(topo);
+    blocks::binomial_scatter(&mut b, block);
+    if ring {
+        blocks::ring_allgather(&mut b, block);
+    } else {
+        blocks::rd_allgather(&mut b, block);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_simnet::{Machine, Simulator};
+
+    fn run(progs: &[Program], topo: &Topology) -> mpcp_simnet::SimResult {
+        let machine = Machine::hydra();
+        Simulator::new(&machine.model, topo).run(progs).unwrap()
+    }
+
+    /// Every non-root rank must receive at least (close to) the full
+    /// message; block-based algorithms may round up to ceil(m/p)·p.
+    fn assert_bcast_complete(progs: &[Program], topo: &Topology, m: u64) {
+        let r = run(progs, topo);
+        let slack = block_size(m, topo.size());
+        for rank in 1..topo.size() as usize {
+            assert!(
+                r.recv_bytes[rank] + slack >= m,
+                "rank {rank} received only {} of {m}",
+                r.recv_bytes[rank]
+            );
+        }
+    }
+
+    #[test]
+    fn all_bcast_algorithms_deliver() {
+        let m = 200_000u64;
+        for (nodes, ppn) in [(2u32, 1u32), (2, 2), (3, 2), (4, 4), (5, 3)] {
+            let topo = Topology::new(nodes, ppn);
+            assert_bcast_complete(&linear(&topo, m), &topo, m);
+            for c in [1, 2, 4, 8] {
+                assert_bcast_complete(&chain(&topo, m, c, 8192), &topo, m);
+                assert_bcast_complete(&chain(&topo, m, c, 0), &topo, m);
+            }
+            assert_bcast_complete(&binary(&topo, m, 8192), &topo, m);
+            assert_bcast_complete(&knomial(&topo, m, 2, 8192), &topo, m);
+            assert_bcast_complete(&knomial(&topo, m, 4, 0), &topo, m);
+            assert_bcast_complete(&knomial(&topo, m, 8, 16384), &topo, m);
+            assert_bcast_complete(&split_binary(&topo, m, 8192), &topo, m);
+            assert_bcast_complete(&scatter_allgather(&topo, m, false), &topo, m);
+            assert_bcast_complete(&scatter_allgather(&topo, m, true), &topo, m);
+        }
+    }
+
+    #[test]
+    fn tiny_message_still_delivers() {
+        let topo = Topology::new(3, 2);
+        assert_bcast_complete(&knomial(&topo, 1, 2, 0), &topo, 1);
+        assert_bcast_complete(&scatter_allgather(&topo, 1, true), &topo, 1);
+        assert_bcast_complete(&split_binary(&topo, 1, 1024), &topo, 1);
+    }
+
+    #[test]
+    fn chain_beats_linear_for_large_messages() {
+        // The Fig. 2 mechanism: a segmented chain pipelines, linear
+        // serializes p-1 full-size sends at the root.
+        let topo = Topology::new(8, 4);
+        let m = 4 << 20;
+        let t_linear = run(&linear(&topo, m), &topo).makespan();
+        let t_chain = run(&chain(&topo, m, 4, 65536), &topo).makespan();
+        assert!(
+            t_chain.as_secs_f64() * 4.0 < t_linear.as_secs_f64(),
+            "chain {t_chain} vs linear {t_linear}"
+        );
+    }
+
+    #[test]
+    fn segmentation_helps_the_chain() {
+        let topo = Topology::new(8, 2);
+        let m = 4 << 20;
+        let t_noseg = run(&chain(&topo, m, 1, 0), &topo).makespan();
+        let t_seg = run(&chain(&topo, m, 1, 65536), &topo).makespan();
+        assert!(
+            t_seg.as_secs_f64() < t_noseg.as_secs_f64(),
+            "seg {t_seg} vs noseg {t_noseg}"
+        );
+    }
+
+    #[test]
+    fn binomial_wins_for_small_messages() {
+        // Latency-bound regime: log2(p) rounds beat a p-1 send chain.
+        let topo = Topology::new(16, 2);
+        let m = 16u64;
+        let t_tree = run(&knomial(&topo, m, 2, 0), &topo).makespan();
+        let t_chain = run(&chain(&topo, m, 1, 0), &topo).makespan();
+        assert!(
+            t_tree.as_secs_f64() < t_chain.as_secs_f64(),
+            "binomial {t_tree} vs pipeline {t_chain}"
+        );
+    }
+
+    #[test]
+    fn split_binary_pairs_exchange() {
+        let topo = Topology::new(4, 2); // p = 8, subtrees of 4 and 3
+        let m = 100_000u64;
+        assert_bcast_complete(&split_binary(&topo, m, 4096), &topo, m);
+    }
+
+    #[test]
+    fn two_rank_split_binary_degenerates() {
+        let topo = Topology::new(2, 1);
+        let m = 10_000u64;
+        assert_bcast_complete(&split_binary(&topo, m, 1024), &topo, m);
+    }
+}

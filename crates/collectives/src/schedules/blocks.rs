@@ -1,0 +1,319 @@
+//! Shared phases used by composite algorithms: tree broadcast/reduce,
+//! binomial scatter, ring and recursive-doubling allgather.
+//!
+//! Every phase appends instructions to an existing [`Builder`], reserving
+//! its own tag range(s), so composites simply call phases in sequence.
+//! All phases address *virtual* ranks with the root at 0; callers using a
+//! different root must map (the paper's benchmarks are root-0).
+
+use mpcp_simnet::program::SegInstr;
+use mpcp_simnet::Instr;
+
+use crate::builder::{effective_seg, Builder};
+use crate::trees::{self, pow2_floor};
+
+/// Tree shape used by tree-structured broadcast/reduce phases.
+#[derive(Clone, Copy, Debug)]
+pub enum Tree {
+    /// k-nomial with the given radix (radix 2 = binomial).
+    Knomial(u32),
+    /// Complete binary tree (heap order).
+    Binary,
+}
+
+impl Tree {
+    fn parent(&self, v: u32) -> Option<u32> {
+        match *self {
+            Tree::Knomial(k) => trees::knomial_parent(v, k),
+            Tree::Binary => trees::binary_parent(v),
+        }
+    }
+
+    fn children(&self, v: u32, p: u32) -> Vec<u32> {
+        match *self {
+            Tree::Knomial(k) => trees::knomial_children(v, k, p),
+            Tree::Binary => trees::binary_children(v, p),
+        }
+    }
+}
+
+/// Segmented tree broadcast of `msize` bytes down `tree`.
+///
+/// Every rank's loop body is `[recv parent, send child_0, ...]` per
+/// segment, so segments pipeline down the tree.
+pub fn tree_bcast(b: &mut Builder, msize: u64, seg: u64, tree: Tree) {
+    let p = b.size();
+    let tag = b.phase_tag();
+    let seg = effective_seg(msize, seg);
+    for v in 0..p {
+        let mut body = Vec::new();
+        if let Some(parent) = tree.parent(v) {
+            body.push(SegInstr::Recv { peer: parent, tag_base: tag });
+        }
+        for c in tree.children(v, p) {
+            body.push(SegInstr::Send { peer: c, tag_base: tag });
+        }
+        if !body.is_empty() {
+            b.push(v, Instr::seg_loop(msize, seg, body));
+        }
+    }
+}
+
+/// Segmented tree reduction of `msize` bytes up `tree` to virtual rank 0.
+///
+/// Loop body: `[recv child_0, compute, ..., send parent]` per segment —
+/// partial results pipeline up the tree.
+pub fn tree_reduce(b: &mut Builder, msize: u64, seg: u64, tree: Tree) {
+    let p = b.size();
+    let tag = b.phase_tag();
+    let seg = effective_seg(msize, seg);
+    for v in 0..p {
+        let mut body = Vec::new();
+        // Receive from smaller subtrees first (they finish earlier).
+        let mut children = tree.children(v, p);
+        children.reverse();
+        for c in children {
+            body.push(SegInstr::Recv { peer: c, tag_base: tag });
+            body.push(SegInstr::Compute);
+        }
+        if let Some(parent) = tree.parent(v) {
+            body.push(SegInstr::Send { peer: parent, tag_base: tag });
+        }
+        if !body.is_empty() {
+            b.push(v, Instr::seg_loop(msize, seg, body));
+        }
+    }
+}
+
+/// Linear (flat) broadcast: rank 0 sends `msize` to every other rank with
+/// blocking sends, in rank order.
+pub fn linear_bcast(b: &mut Builder, msize: u64) {
+    let p = b.size();
+    let tag = b.phase_tag();
+    for v in 1..p {
+        b.push(0, Instr::send(v, msize, tag));
+        b.push(v, Instr::recv(0, msize, tag));
+    }
+}
+
+/// Linear (flat) reduce to rank 0: every rank sends the full buffer; the
+/// root receives and folds them in rank order.
+pub fn linear_reduce(b: &mut Builder, msize: u64) {
+    let p = b.size();
+    let tag = b.phase_tag();
+    for v in 1..p {
+        b.push(0, Instr::recv(v, msize, tag));
+        b.push(0, Instr::Compute { bytes: msize });
+        b.push(v, Instr::send(0, msize, tag));
+    }
+}
+
+/// Size of virtual rank `v`'s contiguous binomial subtree over `p` ranks.
+pub fn binomial_subtree_size(v: u32, p: u32) -> u32 {
+    if v == 0 {
+        p
+    } else {
+        let lsb = v & v.wrapping_neg();
+        lsb.min(p - v)
+    }
+}
+
+/// Binomial scatter of `p` blocks of `block` bytes from rank 0: each rank
+/// ends up holding its own block (rank `v` gets block `v`).
+pub fn binomial_scatter(b: &mut Builder, block: u64) {
+    let p = b.size();
+    let tag = b.phase_tag();
+    for v in 0..p {
+        if let Some(parent) = trees::binomial_parent(v) {
+            let bytes = block * binomial_subtree_size(v, p) as u64;
+            b.push(v, Instr::recv(parent, bytes, tag + v));
+        }
+        for c in trees::binomial_children(v, p) {
+            let bytes = block * binomial_subtree_size(c, p) as u64;
+            b.push(v, Instr::send(c, bytes, tag + c));
+        }
+    }
+}
+
+/// Ring allgather: after `p-1` rounds of passing one block to the right,
+/// every rank holds all `p` blocks.
+pub fn ring_allgather(b: &mut Builder, block: u64) {
+    let p = b.size();
+    let tag = b.phase_tag();
+    for v in 0..p {
+        let next = (v + 1) % p;
+        let prev = (v + p - 1) % p;
+        b.push(
+            v,
+            Instr::fixed_loop(p - 1, block, vec![SegInstr::SendRecv {
+                send_peer: next,
+                send_tag_base: tag,
+                recv_peer: prev,
+                recv_tag_base: tag,
+            }]),
+        );
+    }
+}
+
+/// Recursive-doubling allgather of one `block` per rank, with the
+/// standard power-of-two remainder handling: surplus ranks fold their
+/// block into a partner first and receive the complete buffer afterwards.
+pub fn rd_allgather(b: &mut Builder, block: u64) {
+    let p = b.size();
+    let p2 = pow2_floor(p);
+    let pre_tag = b.phase_tag();
+    let rd_tag = b.phase_tag();
+    let post_tag = b.phase_tag();
+
+    // Pre-phase: ranks p2..p hand their block to rank v - p2.
+    for v in p2..p {
+        b.push(v, Instr::send(v - p2, block, pre_tag));
+        b.push(v - p2, Instr::recv(v, block, pre_tag));
+    }
+
+    // Accumulated byte counts per participating rank.
+    let mut have: Vec<u64> = (0..p2).map(|v| if v + p2 < p { 2 * block } else { block }).collect();
+    let rounds = trees::log2_ceil(p2);
+    for j in 0..rounds {
+        let dist = 1u32 << j;
+        let snapshot = have.clone();
+        for v in 0..p2 {
+            let partner = v ^ dist;
+            b.push(
+                v,
+                Instr::SendRecv {
+                    send_peer: partner,
+                    send_bytes: snapshot[v as usize],
+                    send_tag: rd_tag + j,
+                    recv_peer: partner,
+                    recv_bytes: snapshot[partner as usize],
+                    recv_tag: rd_tag + j,
+                },
+            );
+            have[v as usize] = snapshot[v as usize] + snapshot[partner as usize];
+        }
+    }
+
+    // Post-phase: surplus ranks receive the complete buffer.
+    let total = block * p as u64;
+    for v in p2..p {
+        b.push(v - p2, Instr::send(v, total, post_tag));
+        b.push(v, Instr::recv(v - p2, total, post_tag));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_simnet::{Machine, Simulator, Topology};
+
+    fn run_phase<F: FnOnce(&mut Builder)>(nodes: u32, ppn: u32, f: F) -> mpcp_simnet::SimResult {
+        let topo = Topology::new(nodes, ppn);
+        let mut b = Builder::new(&topo);
+        f(&mut b);
+        let progs = b.finish();
+        let machine = Machine::hydra();
+        Simulator::new(&machine.model, &topo).run(&progs).unwrap()
+    }
+
+    #[test]
+    fn tree_bcast_delivers_full_message_everywhere() {
+        for p in [(2, 1), (3, 2), (4, 2)] {
+            for tree in [Tree::Knomial(2), Tree::Knomial(4), Tree::Binary] {
+                let m = 100_000u64;
+                let r = run_phase(p.0, p.1, |b| tree_bcast(b, m, 8192, tree));
+                for rank in 1..(p.0 * p.1) as usize {
+                    assert_eq!(r.recv_bytes[rank], m, "{tree:?} p={p:?} rank={rank}");
+                }
+                assert_eq!(r.recv_bytes[0], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_folds_everything_into_root() {
+        let m = 50_000u64;
+        let r = run_phase(3, 2, |b| tree_reduce(b, m, 4096, Tree::Knomial(2)));
+        // Root receives from its direct children only, but total received
+        // bytes across ranks equals (p-1) * m (every rank forwards once).
+        let total: u64 = r.recv_bytes.iter().sum();
+        assert_eq!(total, 5 * m);
+        assert!(r.recv_bytes[0] > 0);
+        // Leaves receive nothing.
+        let leaves = (0..6u32).filter(|&v| trees::binomial_children(v, 6).is_empty());
+        for leaf in leaves {
+            assert_eq!(r.recv_bytes[leaf as usize], 0);
+        }
+    }
+
+    #[test]
+    fn linear_phases_move_expected_volume() {
+        let m = 10_000u64;
+        let r = run_phase(2, 2, |b| linear_bcast(b, m));
+        assert_eq!(r.sent_bytes[0], 3 * m);
+        let r = run_phase(2, 2, |b| linear_reduce(b, m));
+        assert_eq!(r.recv_bytes[0], 3 * m);
+    }
+
+    #[test]
+    fn binomial_subtree_sizes_partition() {
+        for p in [2u32, 5, 8, 13, 16, 36] {
+            let total: u32 = (1..p).map(|v| {
+                // Each rank's own subtree contributes itself exactly once:
+                // sizes of all direct children of the root sum to p-1.
+                if trees::binomial_parent(v) == Some(0) {
+                    binomial_subtree_size(v, p)
+                } else {
+                    0
+                }
+            }).sum();
+            assert_eq!(total, p - 1, "p={p}");
+        }
+    }
+
+    #[test]
+    fn scatter_gives_every_rank_its_block() {
+        let block = 1000u64;
+        let r = run_phase(3, 2, |b| binomial_scatter(b, block));
+        // Every non-root rank receives its whole subtree's blocks.
+        for v in 1..6u32 {
+            let expect = block * binomial_subtree_size(v, 6) as u64;
+            assert_eq!(r.recv_bytes[v as usize], expect, "rank {v}");
+        }
+    }
+
+    #[test]
+    fn ring_allgather_volume() {
+        let block = 512u64;
+        let p = 6u64;
+        let r = run_phase(3, 2, |b| ring_allgather(b, block));
+        for v in 0..p as usize {
+            assert_eq!(r.recv_bytes[v], (p - 1) * block);
+        }
+    }
+
+    #[test]
+    fn rd_allgather_volume_pow2() {
+        let block = 512u64;
+        let r = run_phase(4, 1, |b| rd_allgather(b, block));
+        // log2(4) = 2 rounds: receive 1 block then 2 blocks.
+        for v in 0..4 {
+            assert_eq!(r.recv_bytes[v], 3 * block);
+        }
+    }
+
+    #[test]
+    fn rd_allgather_nonpow2_completes() {
+        let block = 512u64;
+        let p = 6u64;
+        let r = run_phase(3, 2, |b| rd_allgather(b, block));
+        // Surplus ranks (4, 5) must end up with the full buffer.
+        for v in 4..6 {
+            assert!(r.recv_bytes[v] >= p * block, "rank {v}: {}", r.recv_bytes[v]);
+        }
+        // Base ranks have all blocks except (at most) their own.
+        for v in 0..4 {
+            assert!(r.recv_bytes[v] >= (p - 1) * block, "rank {v}");
+        }
+    }
+}

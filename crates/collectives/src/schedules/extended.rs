@@ -1,0 +1,445 @@
+//! Schedules for the extended collectives (`MPI_Reduce`,
+//! `MPI_Allgather`, `MPI_Scatter`, `MPI_Gather`, `MPI_Barrier`) — the
+//! paper's framework is collective-agnostic, and these exercise it
+//! beyond the three operations its datasets cover.
+
+use mpcp_simnet::program::SegInstr;
+use mpcp_simnet::{Instr, Program, Topology};
+
+use crate::builder::{effective_seg, Builder};
+use crate::schedules::blocks::{self, Tree};
+use crate::trees::{self, log2_ceil, pow2_floor};
+
+// --------------------------------------------------------------------------
+// MPI_Reduce (root 0, message size = full vector)
+// --------------------------------------------------------------------------
+
+/// Flat reduce: the root receives and folds every rank's vector in rank
+/// order.
+pub fn reduce_linear(topo: &Topology, msize: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::linear_reduce(&mut b, msize);
+    b.finish()
+}
+
+/// Tree reduce (k-nomial or binary), segmented.
+pub fn reduce_tree(topo: &Topology, msize: u64, tree: Tree, seg: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::tree_reduce(&mut b, msize, seg, tree);
+    b.finish()
+}
+
+/// Reversed pipeline: segments flow from the chain tail toward the root,
+/// folded at every hop.
+pub fn reduce_pipeline(topo: &Topology, msize: u64, seg: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    let seg = effective_seg(msize, seg);
+    // Chain order 0 <- 1 <- 2 <- ... <- p-1.
+    for v in 0..p {
+        let mut body = Vec::new();
+        if v + 1 < p {
+            body.push(SegInstr::Recv { peer: v + 1, tag_base: tag });
+            body.push(SegInstr::Compute);
+        }
+        if v > 0 {
+            body.push(SegInstr::Send { peer: v - 1, tag_base: tag });
+        }
+        if !body.is_empty() {
+            b.push(v, Instr::seg_loop(msize, seg, body));
+        }
+    }
+    b.finish()
+}
+
+// --------------------------------------------------------------------------
+// MPI_Allgather (message size = per-rank block)
+// --------------------------------------------------------------------------
+
+/// Linear allgather: everyone nonblocking-sends its block to everyone.
+pub fn allgather_linear(topo: &Topology, block: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 0..p {
+        for i in 1..p {
+            let src = (v + p - i) % p;
+            b.push(v, Instr::IRecv { peer: src, bytes: block, tag });
+        }
+        for i in 1..p {
+            let dst = (v + i) % p;
+            b.push(v, Instr::ISend { peer: dst, bytes: block, tag });
+        }
+        b.push(v, Instr::WaitAll);
+    }
+    b.finish()
+}
+
+/// Ring allgather.
+pub fn allgather_ring(topo: &Topology, block: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::ring_allgather(&mut b, block);
+    b.finish()
+}
+
+/// Recursive-doubling allgather (surplus ranks folded off the power of
+/// two).
+pub fn allgather_rd(topo: &Topology, block: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::rd_allgather(&mut b, block);
+    b.finish()
+}
+
+/// Bruck allgather: `ceil(log2 p)` rounds of doubling concatenations.
+pub fn allgather_bruck(topo: &Topology, block: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    let rounds = log2_ceil(p);
+    for j in 0..rounds {
+        let dist = 1u32 << j;
+        // Round j moves min(2^j, p - 2^j) blocks.
+        let count = dist.min(p - dist) as u64;
+        let bytes = count * block;
+        for v in 0..p {
+            let to = (v + p - dist % p) % p;
+            let from = (v + dist) % p;
+            b.push(v, Instr::SendRecv {
+                send_peer: to,
+                send_bytes: bytes,
+                send_tag: tag + j,
+                recv_peer: from,
+                recv_bytes: bytes,
+                recv_tag: tag + j,
+            });
+        }
+    }
+    b.finish()
+}
+
+/// Neighbor-exchange allgather (even `p`; Open MPI falls back to the
+/// ring for odd process counts, as do we).
+pub fn allgather_neighbor(topo: &Topology, block: u64) -> Vec<Program> {
+    let p = topo.size();
+    if p % 2 != 0 {
+        return allgather_ring(topo, block);
+    }
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    // Round 0: exchange own block with the fixed partner.
+    for v in 0..p {
+        let partner = v ^ 1;
+        b.push(v, Instr::SendRecv {
+            send_peer: partner,
+            send_bytes: block,
+            send_tag: tag,
+            recv_peer: partner,
+            recv_bytes: block,
+            recv_tag: tag,
+        });
+    }
+    // Rounds 1..p/2: trade runs of two blocks with alternating sides.
+    for r in 1..(p / 2) {
+        for v in 0..p {
+            let even = v % 2 == 0;
+            // Even ranks alternate right/left; odd ranks mirror.
+            let dir_right = (r % 2 == 1) == even;
+            let partner = if dir_right { (v + 1) % p } else { (v + p - 1) % p };
+            b.push(v, Instr::SendRecv {
+                send_peer: partner,
+                send_bytes: 2 * block,
+                send_tag: tag + r,
+                recv_peer: partner,
+                recv_bytes: 2 * block,
+                recv_tag: tag + r,
+            });
+        }
+    }
+    b.finish()
+}
+
+// --------------------------------------------------------------------------
+// MPI_Scatter / MPI_Gather (root 0, message size = per-rank block)
+// --------------------------------------------------------------------------
+
+/// Linear scatter: the root sends each rank its block directly.
+pub fn scatter_linear(topo: &Topology, block: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 1..p {
+        b.push(0, Instr::send(v, block, tag + v));
+        b.push(v, Instr::recv(0, block, tag + v));
+    }
+    b.finish()
+}
+
+/// Binomial scatter (subtree blocks move together).
+pub fn scatter_binomial(topo: &Topology, block: u64) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::binomial_scatter(&mut b, block);
+    b.finish()
+}
+
+/// Linear gather: every rank sends its block to the root; the root
+/// receives them in rank order.
+pub fn gather_linear(topo: &Topology, block: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 1..p {
+        b.push(0, Instr::recv(v, block, tag + v));
+        b.push(v, Instr::send(0, block, tag + v));
+    }
+    b.finish()
+}
+
+/// Windowed linear gather: the root posts at most `window` nonblocking
+/// receives at a time.
+pub fn gather_linear_sync(topo: &Topology, block: u64, window: u32) -> Vec<Program> {
+    let p = topo.size();
+    let w = window.max(1) as usize;
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    let sources: Vec<u32> = (1..p).collect();
+    for chunk in sources.chunks(w) {
+        for &v in chunk {
+            b.push(0, Instr::IRecv { peer: v, bytes: block, tag: tag + v });
+        }
+        b.push(0, Instr::WaitAll);
+    }
+    for v in 1..p {
+        b.push(v, Instr::send(0, block, tag + v));
+    }
+    b.finish()
+}
+
+/// Binomial gather: the mirror image of the binomial scatter — each rank
+/// first collects its whole subtree, then forwards the coalesced run.
+pub fn gather_binomial(topo: &Topology, block: u64) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for v in 0..p {
+        // Children deliver their full subtrees, smallest subtree first
+        // (reverse of the scatter send order).
+        let mut children = trees::binomial_children(v, p);
+        children.reverse();
+        for c in children {
+            let bytes = block * blocks::binomial_subtree_size(c, p) as u64;
+            b.push(v, Instr::recv(c, bytes, tag + c));
+        }
+        if let Some(parent) = trees::binomial_parent(v) {
+            let bytes = block * blocks::binomial_subtree_size(v, p) as u64;
+            b.push(v, Instr::send(parent, bytes, tag + v));
+        }
+    }
+    b.finish()
+}
+
+// --------------------------------------------------------------------------
+// MPI_Barrier (token messages of zero payload)
+// --------------------------------------------------------------------------
+
+/// Central-coordinator barrier: everyone signals rank 0, rank 0 releases
+/// everyone.
+pub fn barrier_central(topo: &Topology) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let up = b.phase_tag();
+    let down = b.phase_tag();
+    for v in 1..p {
+        b.push(0, Instr::recv(v, 0, up + v));
+        b.push(v, Instr::send(0, 0, up + v));
+    }
+    for v in 1..p {
+        b.push(0, Instr::send(v, 0, down + v));
+        b.push(v, Instr::recv(0, 0, down + v));
+    }
+    b.finish()
+}
+
+/// Recursive-doubling barrier (pairwise token exchanges; surplus ranks
+/// notify in, then get released).
+pub fn barrier_rd(topo: &Topology) -> Vec<Program> {
+    let p = topo.size();
+    let p2 = pow2_floor(p);
+    let mut b = Builder::new(topo);
+    let pre = b.phase_tag();
+    let rd = b.phase_tag();
+    let post = b.phase_tag();
+    for v in p2..p {
+        b.push(v, Instr::send(v - p2, 0, pre));
+        b.push(v - p2, Instr::recv(v, 0, pre));
+    }
+    for j in 0..log2_ceil(p2) {
+        let dist = 1u32 << j;
+        for v in 0..p2 {
+            let partner = v ^ dist;
+            b.push(v, Instr::SendRecv {
+                send_peer: partner,
+                send_bytes: 0,
+                send_tag: rd + j,
+                recv_peer: partner,
+                recv_bytes: 0,
+                recv_tag: rd + j,
+            });
+        }
+    }
+    for v in p2..p {
+        b.push(v - p2, Instr::send(v, 0, post));
+        b.push(v, Instr::recv(v - p2, 0, post));
+    }
+    b.finish()
+}
+
+/// Dissemination barrier: `ceil(log2 p)` rounds; in round `k` every rank
+/// signals `v + 2^k` and waits for `v - 2^k` (mod p).
+pub fn barrier_dissemination(topo: &Topology) -> Vec<Program> {
+    let p = topo.size();
+    let mut b = Builder::new(topo);
+    let tag = b.phase_tag();
+    for k in 0..log2_ceil(p) {
+        let dist = (1u32 << k) % p;
+        for v in 0..p {
+            let to = (v + dist) % p;
+            let from = (v + p - dist) % p;
+            b.push(v, Instr::SendRecv {
+                send_peer: to,
+                send_bytes: 0,
+                send_tag: tag + k,
+                recv_peer: from,
+                recv_bytes: 0,
+                recv_tag: tag + k,
+            });
+        }
+    }
+    b.finish()
+}
+
+/// Tree barrier: binomial fan-in to rank 0, then binomial fan-out.
+pub fn barrier_tree(topo: &Topology) -> Vec<Program> {
+    let mut b = Builder::new(topo);
+    blocks::tree_reduce(&mut b, 0, 1, Tree::Knomial(2));
+    blocks::tree_bcast(&mut b, 0, 1, Tree::Knomial(2));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_simnet::{Machine, Simulator};
+
+    fn run(progs: &[Program], topo: &Topology) -> mpcp_simnet::SimResult {
+        let machine = Machine::hydra();
+        Simulator::new(&machine.model, topo).run(progs).unwrap()
+    }
+
+    #[test]
+    fn reduce_variants_fold_everything() {
+        let m = 60_000u64;
+        for (nodes, ppn) in [(2u32, 2u32), (3, 2), (4, 2)] {
+            let topo = Topology::new(nodes, ppn);
+            let p = topo.size() as u64;
+            for progs in [
+                reduce_linear(&topo, m),
+                reduce_tree(&topo, m, Tree::Knomial(2), 4096),
+                reduce_tree(&topo, m, Tree::Knomial(4), 0),
+                reduce_tree(&topo, m, Tree::Binary, 8192),
+                reduce_pipeline(&topo, m, 4096),
+            ] {
+                let r = run(&progs, &topo);
+                let total: u64 = r.recv_bytes.iter().sum();
+                assert_eq!(total, (p - 1) * m);
+                // Rank 0 ends holding the result: it always receives.
+                assert!(r.recv_bytes[0] > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_variants_deliver_all_blocks() {
+        let block = 3000u64;
+        for (nodes, ppn) in [(2u32, 2u32), (3, 2), (4, 2), (5, 1)] {
+            let topo = Topology::new(nodes, ppn);
+            let p = topo.size() as u64;
+            for (name, progs) in [
+                ("linear", allgather_linear(&topo, block)),
+                ("ring", allgather_ring(&topo, block)),
+                ("rd", allgather_rd(&topo, block)),
+                ("bruck", allgather_bruck(&topo, block)),
+                ("neighbor", allgather_neighbor(&topo, block)),
+            ] {
+                let r = run(&progs, &topo);
+                for v in 0..p as usize {
+                    assert!(
+                        r.recv_bytes[v] >= (p - 1) * block,
+                        "{name} p={p} rank {v}: {}",
+                        r.recv_bytes[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_and_gather_move_blocks() {
+        let block = 2048u64;
+        let topo = Topology::new(3, 2);
+        let p = topo.size() as u64;
+        for progs in [scatter_linear(&topo, block), scatter_binomial(&topo, block)] {
+            let r = run(&progs, &topo);
+            for v in 1..p as usize {
+                assert!(r.recv_bytes[v] >= block, "rank {v}");
+            }
+        }
+        for progs in [
+            gather_linear(&topo, block),
+            gather_binomial(&topo, block),
+            gather_linear_sync(&topo, block, 2),
+        ] {
+            let r = run(&progs, &topo);
+            assert!(r.recv_bytes[0] >= (p - 1) * block);
+        }
+    }
+
+    #[test]
+    fn barriers_complete_and_synchronize() {
+        for (nodes, ppn) in [(2u32, 1u32), (3, 2), (4, 4)] {
+            let topo = Topology::new(nodes, ppn);
+            let p = topo.size() as u64;
+            for (name, progs) in [
+                ("central", barrier_central(&topo)),
+                ("rd", barrier_rd(&topo)),
+                ("dissemination", barrier_dissemination(&topo)),
+                ("tree", barrier_tree(&topo)),
+            ] {
+                let r = run(&progs, &topo);
+                assert!(r.messages >= p - 1, "{name}: {} messages", r.messages);
+                assert!(r.makespan().as_secs_f64() > 0.0, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_beats_central_at_scale() {
+        let topo = Topology::new(16, 4);
+        let t_diss = run(&barrier_dissemination(&topo), &topo).makespan();
+        let t_central = run(&barrier_central(&topo), &topo).makespan();
+        assert!(t_diss.as_secs_f64() < t_central.as_secs_f64());
+    }
+
+    #[test]
+    fn binomial_gather_coalesces_subtrees() {
+        let topo = Topology::new(4, 2); // p = 8, pow2
+        let block = 1000u64;
+        let progs = gather_binomial(&topo, block);
+        let r = run(&progs, &topo);
+        // Root receives exactly p-1 blocks' worth (coalesced).
+        assert_eq!(r.recv_bytes[0], 7 * block);
+        // Rank 4 (subtree of 4) receives 3 blocks before forwarding 4.
+        assert_eq!(r.recv_bytes[4], 3 * block);
+        assert_eq!(r.sent_bytes[4], 4 * block);
+    }
+}

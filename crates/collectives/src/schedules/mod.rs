@@ -1,0 +1,135 @@
+//! Schedule generators: compile `(algorithm, topology, message size)` into
+//! per-rank simulator programs.
+//!
+//! Submodules group generators by collective; [`blocks`] holds the phases
+//! (scatter, reduce, allgather, tree broadcast) that composite algorithms
+//! share. All generators are deterministic and allocation-light: segment
+//! loops use [`mpcp_simnet::Instr::Loop`], so program size is independent
+//! of the segment count.
+
+pub mod allreduce;
+pub mod alltoall;
+pub mod bcast;
+pub mod blocks;
+pub mod extended;
+pub mod hierarchical;
+
+use mpcp_simnet::{Program, Topology};
+
+use crate::coll::AlgKind;
+
+/// Compile `kind` for the given instance. Single-process topologies yield
+/// empty programs (a collective over one rank is a no-op).
+pub fn build(kind: AlgKind, topo: &Topology, msize: u64) -> Vec<Program> {
+    use AlgKind::*;
+    if topo.size() == 1 {
+        return vec![Program::empty()];
+    }
+    match kind {
+        BcastLinear => bcast::linear(topo, msize),
+        BcastChain { chains, seg } => bcast::chain(topo, msize, chains, seg),
+        BcastPipeline { seg } => bcast::chain(topo, msize, 1, seg),
+        BcastSplitBinary { seg } => bcast::split_binary(topo, msize, seg),
+        BcastBinary { seg } => bcast::binary(topo, msize, seg),
+        BcastBinomial { seg } => bcast::knomial(topo, msize, 2, seg),
+        BcastKnomial { radix, seg } => bcast::knomial(topo, msize, radix, seg),
+        BcastScatterAllgather => bcast::scatter_allgather(topo, msize, false),
+        BcastScatterAllgatherRing => bcast::scatter_allgather(topo, msize, true),
+        BcastHierarchical { seg } => hierarchical::bcast_hierarchical(topo, msize, seg),
+        BcastDoubleTree { seg } => hierarchical::bcast_double_tree(topo, msize, seg),
+        AllreduceLinear => allreduce::linear(topo, msize),
+        AllreduceNonoverlapping => allreduce::reduce_bcast(topo, msize, 2, 0),
+        AllreduceRecDoubling => allreduce::recursive_doubling(topo, msize),
+        AllreduceRing => allreduce::ring(topo, msize, 0),
+        AllreduceSegRing { seg } => allreduce::ring(topo, msize, seg),
+        AllreduceRabenseifner => allreduce::rabenseifner(topo, msize),
+        AllreduceReduceBcast { radix, seg } => allreduce::reduce_bcast(topo, msize, radix, seg),
+        AllreduceHierarchical { seg } => hierarchical::allreduce_hierarchical(topo, msize, seg),
+        AlltoallLinear => alltoall::linear(topo, msize),
+        AlltoallPairwise => alltoall::pairwise(topo, msize),
+        AlltoallBruck => alltoall::bruck(topo, msize),
+        AlltoallLinearSync { window } => alltoall::linear_sync(topo, msize, window),
+        AlltoallSpread => alltoall::spread(topo, msize),
+        ReduceLinear => extended::reduce_linear(topo, msize),
+        ReduceKnomial { radix, seg } => {
+            extended::reduce_tree(topo, msize, blocks::Tree::Knomial(radix.max(2)), seg)
+        }
+        ReduceBinary { seg } => extended::reduce_tree(topo, msize, blocks::Tree::Binary, seg),
+        ReducePipeline { seg } => extended::reduce_pipeline(topo, msize, seg),
+        AllgatherLinear => extended::allgather_linear(topo, msize),
+        AllgatherRing => extended::allgather_ring(topo, msize),
+        AllgatherRecDoubling => extended::allgather_rd(topo, msize),
+        AllgatherBruck => extended::allgather_bruck(topo, msize),
+        AllgatherNeighborExchange => extended::allgather_neighbor(topo, msize),
+        ScatterLinear => extended::scatter_linear(topo, msize),
+        ScatterBinomial => extended::scatter_binomial(topo, msize),
+        GatherLinear => extended::gather_linear(topo, msize),
+        GatherBinomial => extended::gather_binomial(topo, msize),
+        GatherLinearSync { window } => extended::gather_linear_sync(topo, msize, window),
+        BarrierCentral => extended::barrier_central(topo),
+        BarrierRecDoubling => extended::barrier_rd(topo),
+        BarrierDissemination => extended::barrier_dissemination(topo),
+        BarrierTree => extended::barrier_tree(topo),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::Collective;
+
+    #[test]
+    fn single_rank_is_noop() {
+        let topo = Topology::new(1, 1);
+        for kind in [
+            AlgKind::BcastLinear,
+            AlgKind::AllreduceRing,
+            AlgKind::AlltoallBruck,
+        ] {
+            let progs = build(kind, &topo, 1024);
+            assert_eq!(progs.len(), 1);
+            assert_eq!(progs[0].count_sends(), 0);
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_and_validates() {
+        let topo = Topology::new(3, 2); // p = 6, non power of two
+        let kinds = [
+            AlgKind::BcastLinear,
+            AlgKind::BcastChain { chains: 4, seg: 1024 },
+            AlgKind::BcastChain { chains: 2, seg: 0 },
+            AlgKind::BcastPipeline { seg: 512 },
+            AlgKind::BcastSplitBinary { seg: 1024 },
+            AlgKind::BcastBinary { seg: 0 },
+            AlgKind::BcastBinomial { seg: 2048 },
+            AlgKind::BcastKnomial { radix: 4, seg: 0 },
+            AlgKind::BcastScatterAllgather,
+            AlgKind::BcastScatterAllgatherRing,
+            AlgKind::AllreduceLinear,
+            AlgKind::AllreduceNonoverlapping,
+            AlgKind::AllreduceRecDoubling,
+            AlgKind::AllreduceRing,
+            AlgKind::AllreduceSegRing { seg: 1024 },
+            AlgKind::AllreduceRabenseifner,
+            AlgKind::AllreduceReduceBcast { radix: 4, seg: 4096 },
+            AlgKind::AlltoallLinear,
+            AlgKind::AlltoallPairwise,
+            AlgKind::AlltoallBruck,
+            AlgKind::AlltoallLinearSync { window: 2 },
+            AlgKind::AlltoallSpread,
+        ];
+        for kind in kinds {
+            let progs = build(kind, &topo, 10_000);
+            assert_eq!(progs.len(), 6, "{kind:?}");
+            for (r, prog) in progs.iter().enumerate() {
+                prog.validate(r as u32, 6).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            }
+            // Something must actually be communicated.
+            let total: u64 = progs.iter().map(|p| p.count_sends()).sum();
+            assert!(total > 0, "{kind:?} sends nothing");
+        }
+        // The collective() mapping covers every kind used above.
+        assert_eq!(kinds.iter().filter(|k| k.collective() == Collective::Bcast).count(), 10);
+    }
+}

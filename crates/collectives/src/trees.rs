@@ -1,0 +1,313 @@
+//! Tree and chain topologies over *virtual ranks*.
+//!
+//! All generators work on virtual ranks `v = (rank - root) mod p`, so the
+//! root is always virtual rank 0; with the paper's root-0 benchmarks the
+//! mapping is the identity, but the helpers stay general.
+
+/// Virtual-rank mapping.
+#[inline]
+pub fn to_vrank(rank: u32, root: u32, p: u32) -> u32 {
+    (rank + p - root) % p
+}
+
+/// Inverse virtual-rank mapping.
+#[inline]
+pub fn from_vrank(v: u32, root: u32, p: u32) -> u32 {
+    (v + root) % p
+}
+
+/// Parent of `v` in the binomial tree (lowest-set-bit convention, as in
+/// MPICH's binomial broadcast). Root (`v == 0`) has no parent.
+pub fn binomial_parent(v: u32) -> Option<u32> {
+    if v == 0 {
+        None
+    } else {
+        Some(v & (v - 1)) // clear lowest set bit
+    }
+}
+
+/// Children of `v` in the binomial tree over `p` ranks, largest subtree
+/// first (the order a pipelined broadcast sends in).
+pub fn binomial_children(v: u32, p: u32) -> Vec<u32> {
+    let mut children = Vec::new();
+    // Highest mask: largest power of two < p for the root, otherwise the
+    // lowest set bit of v bounds the subtree.
+    let top = if v == 0 {
+        let mut m = 1u32;
+        while m < p {
+            m <<= 1;
+        }
+        m >> 1
+    } else {
+        (v & v.wrapping_neg()) >> 1 // lowest set bit / 2
+    };
+    let mut mask = top;
+    while mask > 0 {
+        let c = v + mask;
+        if c < p {
+            children.push(c);
+        }
+        mask >>= 1;
+    }
+    children
+}
+
+/// Parent of `v` in the k-nomial tree with the given radix (lowest
+/// nonzero base-k digit convention).
+pub fn knomial_parent(v: u32, radix: u32) -> Option<u32> {
+    assert!(radix >= 2);
+    if v == 0 {
+        return None;
+    }
+    let mut mask = 1u32;
+    loop {
+        let digit = (v / mask) % radix;
+        if digit != 0 {
+            return Some(v - digit * mask);
+        }
+        mask *= radix;
+    }
+}
+
+/// Children of `v` in the k-nomial tree over `p` ranks, largest subtrees
+/// first.
+pub fn knomial_children(v: u32, radix: u32, p: u32) -> Vec<u32> {
+    assert!(radix >= 2);
+    // Highest digit position available to v: below its lowest nonzero
+    // digit (or the global top for the root).
+    let mut top = 1u64;
+    while top * radix as u64 <= (p.saturating_sub(1)) as u64 {
+        top *= radix as u64;
+    }
+    let limit = if v == 0 {
+        u64::MAX
+    } else {
+        // lowest nonzero digit position of v
+        let mut mask = 1u64;
+        while (v as u64 / mask) % radix as u64 == 0 {
+            mask *= radix as u64;
+        }
+        mask
+    };
+    let mut children = Vec::new();
+    let mut mask = top;
+    while mask >= 1 {
+        if mask < limit {
+            for d in 1..radix as u64 {
+                let c = v as u64 + d * mask;
+                if c < p as u64 {
+                    children.push(c as u32);
+                }
+            }
+        }
+        if mask == 1 {
+            break;
+        }
+        mask /= radix as u64;
+    }
+    children
+}
+
+/// Parent in the complete binary tree (children `2v+1`, `2v+2`).
+pub fn binary_parent(v: u32) -> Option<u32> {
+    if v == 0 {
+        None
+    } else {
+        Some((v - 1) / 2)
+    }
+}
+
+/// Children in the complete binary tree over `p` ranks.
+pub fn binary_children(v: u32, p: u32) -> Vec<u32> {
+    [2 * v + 1, 2 * v + 2].into_iter().filter(|&c| c < p).collect()
+}
+
+/// Split the non-root virtual ranks `1..p` into `chains` contiguous
+/// chains. Returns for each virtual rank `v >= 1` the pair
+/// `(predecessor, successor)` where predecessor 0 means the root feeds
+/// this rank and successor `None` ends the chain, plus the list of chain
+/// heads.
+pub struct Chains {
+    /// `prev[v]` for v in 1..p: the rank this rank receives from.
+    pub prev: Vec<u32>,
+    /// `next[v]`: the rank this rank forwards to, if any.
+    pub next: Vec<Option<u32>>,
+    /// First rank of each chain (all fed directly by the root).
+    pub heads: Vec<u32>,
+}
+
+/// Build `chains` contiguous chains over virtual ranks `1..p`.
+pub fn chains(p: u32, chains: u32) -> Chains {
+    assert!(p >= 1);
+    let nonroot = p.saturating_sub(1);
+    let c = chains.max(1).min(nonroot.max(1));
+    let len = nonroot.div_ceil(c.max(1)).max(1);
+    let mut prev = vec![0u32; p as usize];
+    let mut next = vec![None; p as usize];
+    let mut heads = Vec::new();
+    for v in 1..p {
+        let idx = v - 1;
+        let pos = idx % len;
+        if pos == 0 {
+            heads.push(v);
+            prev[v as usize] = 0;
+        } else {
+            prev[v as usize] = v - 1;
+        }
+        let is_last_in_chain = pos + 1 == len || v == p - 1;
+        if !is_last_in_chain {
+            next[v as usize] = Some(v + 1);
+        }
+    }
+    Chains { prev, next, heads }
+}
+
+/// Largest power of two ≤ `p`.
+#[inline]
+pub fn pow2_floor(p: u32) -> u32 {
+    if p == 0 {
+        0
+    } else {
+        1 << (31 - p.leading_zeros())
+    }
+}
+
+/// `ceil(log2(p))`.
+#[inline]
+pub fn log2_ceil(p: u32) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        32 - (p - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_tree<P, C>(p: u32, parent: P, children: C)
+    where
+        P: Fn(u32) -> Option<u32>,
+        C: Fn(u32) -> Vec<u32>,
+    {
+        // Every non-root has exactly one parent, and is listed in that
+        // parent's children.
+        let mut seen = HashSet::new();
+        for v in 1..p {
+            let par = parent(v).unwrap_or_else(|| panic!("rank {v} has no parent"));
+            assert!(par < v, "parent {par} of {v} must be smaller");
+            assert!(
+                children(par).contains(&v),
+                "rank {v} missing from children of {par} (got {:?})",
+                children(par)
+            );
+            assert!(seen.insert(v));
+        }
+        // No child is claimed twice.
+        let mut claimed = HashSet::new();
+        for v in 0..p {
+            for c in children(v) {
+                assert!(c < p);
+                assert!(claimed.insert(c), "rank {c} claimed twice");
+            }
+        }
+        assert_eq!(claimed.len() as u32, p - 1);
+    }
+
+    #[test]
+    fn binomial_tree_is_consistent() {
+        for p in [2u32, 3, 4, 5, 7, 8, 13, 16, 31, 33, 100] {
+            check_tree(p, binomial_parent, |v| binomial_children(v, p));
+        }
+    }
+
+    #[test]
+    fn binomial_root_children_for_pow2() {
+        assert_eq!(binomial_children(0, 8), vec![4, 2, 1]);
+        assert_eq!(binomial_children(4, 8), vec![6, 5]);
+        assert_eq!(binomial_children(0, 2), vec![1]);
+    }
+
+    #[test]
+    fn knomial_tree_is_consistent() {
+        for radix in [2u32, 3, 4, 8] {
+            for p in [2u32, 3, 5, 8, 9, 16, 27, 30, 65] {
+                check_tree(p, |v| knomial_parent(v, radix), |v| {
+                    knomial_children(v, radix, p)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn knomial_radix2_equals_binomial() {
+        for p in [2u32, 7, 8, 19, 32] {
+            for v in 0..p {
+                let mut a = knomial_children(v, 2, p);
+                let mut b = binomial_children(v, p);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "p={p} v={v}");
+                assert_eq!(knomial_parent(v, 2), binomial_parent(v));
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_is_consistent() {
+        for p in [2u32, 3, 6, 7, 15, 16, 33] {
+            check_tree(p, binary_parent, |v| binary_children(v, p));
+        }
+    }
+
+    #[test]
+    fn chains_cover_all_ranks() {
+        for p in [2u32, 3, 5, 6, 9, 17, 23, 33] {
+            for c in [1u32, 2, 3, 4, 8, 16] {
+                let ch = chains(p, c);
+                assert!(!ch.heads.is_empty());
+                assert!(ch.heads.len() as u32 <= c.max(1));
+                // Walk every chain; together they must cover 1..p.
+                let mut seen = HashSet::new();
+                for &h in &ch.heads {
+                    let mut cur = h;
+                    loop {
+                        assert!(seen.insert(cur), "rank {cur} in two chains (p={p},c={c})");
+                        match ch.next[cur as usize] {
+                            Some(n) => {
+                                assert_eq!(ch.prev[n as usize], cur);
+                                cur = n;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                assert_eq!(seen.len() as u32, p - 1, "p={p} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn vrank_roundtrip() {
+        let p = 12;
+        for root in 0..p {
+            for r in 0..p {
+                let v = to_vrank(r, root, p);
+                assert_eq!(from_vrank(v, root, p), r);
+            }
+            assert_eq!(to_vrank(root, root, p), 0);
+        }
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(7), 4);
+        assert_eq!(pow2_floor(8), 8);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(9), 4);
+    }
+}

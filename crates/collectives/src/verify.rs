@@ -1,0 +1,264 @@
+//! Semantic volume invariants for collective schedules.
+//!
+//! The simulator tracks per-rank sent/received bytes; these checks verify
+//! that a schedule moved enough data to have actually implemented its
+//! collective. They are deliberately *lower bounds with a block-rounding
+//! slack* (block-based algorithms cut the buffer into `ceil(m/p)`-byte
+//! blocks), so every registered algorithm must pass them — the property
+//! tests lean on this.
+
+use mpcp_simnet::{SimResult, Topology};
+
+use crate::builder::block_size;
+use crate::coll::Collective;
+
+/// A violated invariant, with enough context to debug the schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyError {
+    /// Rank at fault (or u32::MAX for global checks).
+    pub rank: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {}: {}", self.rank, self.message)
+    }
+}
+
+/// Check the volume invariants of a completed collective simulation.
+pub fn check(
+    coll: Collective,
+    topo: &Topology,
+    msize: u64,
+    result: &SimResult,
+) -> Result<(), VerifyError> {
+    let p = topo.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let block = block_size(msize, p);
+    match coll {
+        Collective::Bcast => {
+            // Every non-root rank must receive the full message (block
+            // algorithms may round up per block; split-binary halves
+            // round up once per half).
+            let need = msize.saturating_sub(block.max(2));
+            for rank in 1..p {
+                let got = result.recv_bytes[rank as usize];
+                if got < need {
+                    return Err(VerifyError {
+                        rank,
+                        message: format!("bcast delivered {got} bytes, need >= {need} (m={msize})"),
+                    });
+                }
+            }
+        }
+        Collective::Allreduce => {
+            // Every rank's result depends on all inputs: it must receive
+            // at least ~m bytes, and across ranks at least (p-1) folds of
+            // m bytes must flow (information-theoretic minimum).
+            let need = msize.saturating_sub(2 * block);
+            let mut total = 0u64;
+            for rank in 0..p {
+                let got = result.recv_bytes[rank as usize];
+                total += got;
+                if got < need {
+                    return Err(VerifyError {
+                        rank,
+                        message: format!(
+                            "allreduce delivered {got} bytes, need >= {need} (m={msize})"
+                        ),
+                    });
+                }
+            }
+            let global_need = (p as u64 - 1) * msize.saturating_sub(2 * block);
+            if total < global_need {
+                return Err(VerifyError {
+                    rank: u32::MAX,
+                    message: format!("allreduce moved {total} bytes total, need >= {global_need}"),
+                });
+            }
+        }
+        Collective::Alltoall => {
+            // Every rank receives one block from every other rank.
+            let need = (p as u64 - 1) * msize;
+            for rank in 0..p {
+                let got = result.recv_bytes[rank as usize];
+                if got < need {
+                    return Err(VerifyError {
+                        rank,
+                        message: format!(
+                            "alltoall delivered {got} bytes, need >= {need} (m={msize})"
+                        ),
+                    });
+                }
+            }
+        }
+        Collective::Reduce => {
+            // The root's result depends on every rank's vector: across
+            // ranks at least (p-1) vectors must flow, and the root must
+            // take in at least ~m bytes.
+            let total: u64 = result.recv_bytes.iter().sum();
+            let global_need = (p as u64 - 1) * msize.saturating_sub(2 * block);
+            if total < global_need {
+                return Err(VerifyError {
+                    rank: u32::MAX,
+                    message: format!("reduce moved {total} bytes total, need >= {global_need}"),
+                });
+            }
+            let root_need = msize.saturating_sub(2 * block);
+            if result.recv_bytes[0] < root_need {
+                return Err(VerifyError {
+                    rank: 0,
+                    message: format!(
+                        "reduce root received {} bytes, need >= {root_need}",
+                        result.recv_bytes[0]
+                    ),
+                });
+            }
+        }
+        Collective::Allgather => {
+            // Message size is the per-rank block: everyone ends with all
+            // other ranks' blocks.
+            let need = (p as u64 - 1) * msize;
+            for rank in 0..p {
+                let got = result.recv_bytes[rank as usize];
+                if got < need {
+                    return Err(VerifyError {
+                        rank,
+                        message: format!(
+                            "allgather delivered {got} bytes, need >= {need} (block={msize})"
+                        ),
+                    });
+                }
+            }
+        }
+        Collective::Scatter => {
+            // Every non-root rank receives at least its own block.
+            for rank in 1..p {
+                let got = result.recv_bytes[rank as usize];
+                if got < msize {
+                    return Err(VerifyError {
+                        rank,
+                        message: format!(
+                            "scatter delivered {got} bytes, need >= {msize} (block={msize})"
+                        ),
+                    });
+                }
+            }
+        }
+        Collective::Gather => {
+            // The root collects one block from every other rank.
+            let need = (p as u64 - 1) * msize;
+            if result.recv_bytes[0] < need {
+                return Err(VerifyError {
+                    rank: 0,
+                    message: format!(
+                        "gather root received {} bytes, need >= {need}",
+                        result.recv_bytes[0]
+                    ),
+                });
+            }
+        }
+        Collective::Barrier => {
+            // No data moves, but synchronization structure must: at
+            // least p-1 token messages, and no rank may finish at t=0
+            // without having taken part.
+            if result.messages < p as u64 - 1 {
+                return Err(VerifyError {
+                    rank: u32::MAX,
+                    message: format!(
+                        "barrier exchanged only {} messages for {p} ranks",
+                        result.messages
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::AlgKind;
+    use mpcp_simnet::{Machine, Simulator};
+
+    fn run(kind: AlgKind, topo: &Topology, m: u64) -> SimResult {
+        let machine = Machine::hydra();
+        let progs = kind.build(topo, m);
+        Simulator::new(&machine.model, topo).run(&progs).unwrap()
+    }
+
+    #[test]
+    fn check_accepts_correct_schedules() {
+        let topo = Topology::new(3, 2);
+        let m = 50_000;
+        for kind in [
+            AlgKind::BcastChain { chains: 2, seg: 4096 },
+            AlgKind::BcastScatterAllgather,
+            AlgKind::AllreduceRing,
+            AlgKind::AlltoallBruck,
+        ] {
+            let r = run(kind, &topo, m);
+            check(kind.collective(), &topo, m, &r)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn check_rejects_short_volume() {
+        let topo = Topology::new(2, 2);
+        let m = 10_000;
+        // Run a broadcast but verify against a larger message size: the
+        // invariant must fire.
+        let r = run(AlgKind::BcastLinear, &topo, m);
+        let err = check(Collective::Bcast, &topo, 10 * m, &r).unwrap_err();
+        assert!(err.message.contains("bcast delivered"));
+    }
+
+    #[test]
+    fn check_accepts_extended_collectives() {
+        let topo = Topology::new(3, 2);
+        for (kind, m) in [
+            (AlgKind::ReduceKnomial { radix: 2, seg: 4096 }, 50_000u64),
+            (AlgKind::ReducePipeline { seg: 4096 }, 50_000),
+            (AlgKind::AllgatherBruck, 3000),
+            (AlgKind::AllgatherNeighborExchange, 3000),
+            (AlgKind::ScatterBinomial, 2048),
+            (AlgKind::GatherBinomial, 2048),
+            (AlgKind::BarrierDissemination, 0),
+        ] {
+            let r = run(kind, &topo, m);
+            check(kind.collective(), &topo, m, &r)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn check_rejects_short_gather() {
+        let topo = Topology::new(2, 2);
+        // Run a gather of small blocks, verify against bigger ones.
+        let r = run(AlgKind::GatherLinear, &topo, 100);
+        assert!(check(Collective::Gather, &topo, 10_000, &r).is_err());
+    }
+
+    #[test]
+    fn check_rejects_silent_barrier() {
+        // A barrier result with no messages must fail.
+        let topo = Topology::new(2, 2);
+        let r = run(AlgKind::BarrierDissemination, &topo, 0);
+        let mut fake = r.clone();
+        fake.messages = 0;
+        assert!(check(Collective::Barrier, &topo, 0, &fake).is_err());
+    }
+
+    #[test]
+    fn single_rank_vacuously_passes() {
+        let topo = Topology::new(1, 1);
+        let r = run(AlgKind::BcastLinear, &topo, 100);
+        assert!(check(Collective::Bcast, &topo, 100, &r).is_ok());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests: every algorithm configuration, on arbitrary
+//! topologies and message sizes, must build valid programs, run
+//! deadlock-free, and satisfy its collective's volume invariants.
+
+use proptest::prelude::*;
+
+use mpcp_collectives::{registry, verify, AlgKind, Collective};
+use mpcp_simnet::{Machine, Simulator, Topology};
+
+fn any_bcast_kind() -> impl Strategy<Value = AlgKind> {
+    let segs = prop::sample::select(vec![0u64, 1 << 10, 7_777, 64 << 10]);
+    prop_oneof![
+        Just(AlgKind::BcastLinear),
+        ((1u32..6), segs.clone()).prop_map(|(c, s)| AlgKind::BcastChain { chains: c, seg: s }),
+        segs.clone().prop_map(|s| AlgKind::BcastPipeline { seg: s }),
+        segs.clone().prop_map(|s| AlgKind::BcastSplitBinary { seg: s }),
+        segs.clone().prop_map(|s| AlgKind::BcastBinary { seg: s }),
+        segs.clone().prop_map(|s| AlgKind::BcastBinomial { seg: s }),
+        ((2u32..9), segs).prop_map(|(r, s)| AlgKind::BcastKnomial { radix: r, seg: s }),
+        Just(AlgKind::BcastScatterAllgather),
+        Just(AlgKind::BcastScatterAllgatherRing),
+    ]
+}
+
+fn any_allreduce_kind() -> impl Strategy<Value = AlgKind> {
+    let segs = prop::sample::select(vec![1u64 << 10, 5000, 64 << 10]);
+    prop_oneof![
+        Just(AlgKind::AllreduceLinear),
+        Just(AlgKind::AllreduceNonoverlapping),
+        Just(AlgKind::AllreduceRecDoubling),
+        Just(AlgKind::AllreduceRing),
+        segs.clone().prop_map(|s| AlgKind::AllreduceSegRing { seg: s }),
+        Just(AlgKind::AllreduceRabenseifner),
+        ((2u32..9), segs).prop_map(|(r, s)| AlgKind::AllreduceReduceBcast { radix: r, seg: s }),
+    ]
+}
+
+fn any_alltoall_kind() -> impl Strategy<Value = AlgKind> {
+    prop_oneof![
+        Just(AlgKind::AlltoallLinear),
+        Just(AlgKind::AlltoallPairwise),
+        Just(AlgKind::AlltoallBruck),
+        (1u32..9).prop_map(|w| AlgKind::AlltoallLinearSync { window: w }),
+        Just(AlgKind::AlltoallSpread),
+    ]
+}
+
+fn check_kind(kind: AlgKind, nodes: u32, ppn: u32, msize: u64) -> Result<(), TestCaseError> {
+    let topo = Topology::new(nodes, ppn);
+    let machine = Machine::hydra();
+    let progs = kind.build(&topo, msize);
+    prop_assert_eq!(progs.len(), topo.size() as usize);
+    for (r, prog) in progs.iter().enumerate() {
+        prop_assert!(prog.validate(r as u32, topo.size()).is_ok(), "{kind:?}");
+    }
+    let result = Simulator::new(&machine.model, &topo)
+        .run(&progs)
+        .map_err(|e| TestCaseError::fail(format!("{kind:?} on {nodes}x{ppn}: {e}")))?;
+    verify::check(kind.collective(), &topo, msize, &result)
+        .map_err(|e| TestCaseError::fail(format!("{kind:?} on {nodes}x{ppn} m={msize}: {e}")))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bcast_invariants(
+        kind in any_bcast_kind(),
+        nodes in 1u32..6,
+        ppn in 1u32..5,
+        msize in 1u64..500_000,
+    ) {
+        check_kind(kind, nodes, ppn, msize)?;
+    }
+
+    #[test]
+    fn allreduce_invariants(
+        kind in any_allreduce_kind(),
+        nodes in 1u32..6,
+        ppn in 1u32..5,
+        msize in 1u64..300_000,
+    ) {
+        check_kind(kind, nodes, ppn, msize)?;
+    }
+
+    #[test]
+    fn alltoall_invariants(
+        kind in any_alltoall_kind(),
+        nodes in 1u32..5,
+        ppn in 1u32..4,
+        msize in 1u64..50_000,
+    ) {
+        check_kind(kind, nodes, ppn, msize)?;
+    }
+
+    #[test]
+    fn registry_configs_build_on_any_topology(
+        coll_idx in 0usize..3,
+        nodes in 2u32..5,
+        ppn in 1u32..4,
+        msize in prop::sample::select(vec![1u64, 1024, 65536]),
+    ) {
+        let coll = Collective::ALL[coll_idx];
+        let topo = Topology::new(nodes, ppn);
+        for cfg in registry::open_mpi(coll) {
+            let progs = cfg.build(&topo, msize);
+            for (r, prog) in progs.iter().enumerate() {
+                prop_assert!(prog.validate(r as u32, topo.size()).is_ok(), "{}", cfg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_scales_sanely_with_message_size(
+        kind in any_bcast_kind(),
+        nodes in 2u32..5,
+        ppn in 1u32..4,
+    ) {
+        // 256x the bytes must not be *faster*, and must grow by less
+        // than 10^6x (sanity band, catches unit mistakes).
+        let topo = Topology::new(nodes, ppn);
+        let machine = Machine::hydra();
+        let sim = Simulator::new(&machine.model, &topo);
+        let t1 = sim.run(&kind.build(&topo, 4096)).unwrap().makespan();
+        let t2 = sim.run(&kind.build(&topo, 4096 * 256)).unwrap().makespan();
+        prop_assert!(t2 >= t1, "{kind:?}");
+        prop_assert!(t2.picos() < t1.picos().saturating_mul(1_000_000), "{kind:?}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Evaluation the paper's way (Section V): every strategy's choice is
+//! looked up in the *measured* dataset, so the comparison needs no extra
+//! benchmark runs. Three strategies per test instance:
+//!
+//! * **Exhaustive Search (Best)** — argmin over the measured runtimes;
+//! * **Default** — what the library's hard-coded decision logic picks;
+//! * **Prediction** — what the trained [`Selector`] picks.
+//!
+//! Fig. 4–8 plot runtimes normalized to Best; Table IV reports the mean
+//! speed-up of Prediction over Default.
+
+use std::collections::HashMap;
+
+use mpcp_benchmark::Record;
+use mpcp_collectives::{Collective, MpiLibrary};
+use mpcp_simnet::Topology;
+
+use crate::instance::Instance;
+use crate::selector::Selector;
+
+/// Per-instance entries: `(uid, runtime_seconds, excluded)`.
+type CellEntries = Vec<(u32, f64, bool)>;
+
+/// Measured runtimes indexed by `(nodes, ppn, msize)` then by uid.
+pub struct RuntimeTable {
+    cells: HashMap<(u32, u32, u64), CellEntries>,
+}
+
+impl RuntimeTable {
+    /// Index a record set.
+    pub fn new(records: &[Record]) -> RuntimeTable {
+        let mut cells: HashMap<(u32, u32, u64), CellEntries> = HashMap::new();
+        for r in records {
+            cells
+                .entry((r.nodes, r.ppn, r.msize))
+                .or_default()
+                .push((r.uid, r.runtime, r.excluded));
+        }
+        RuntimeTable { cells }
+    }
+
+    /// All distinct instances in the table, sorted.
+    pub fn instances(&self, coll: Collective) -> Vec<Instance> {
+        let mut keys: Vec<&(u32, u32, u64)> = self.cells.keys().collect();
+        keys.sort();
+        keys.iter()
+            .map(|&&(n, ppn, m)| Instance::new(coll, m, n, ppn))
+            .collect()
+    }
+
+    /// Measured runtime of configuration `uid` on an instance.
+    pub fn runtime(&self, inst: &Instance, uid: u32) -> Option<f64> {
+        self.cells
+            .get(&(inst.nodes, inst.ppn, inst.msize))?
+            .iter()
+            .find(|(u, _, _)| *u == uid)
+            .map(|(_, t, _)| *t)
+    }
+
+    /// Empirically best selectable configuration `(uid, runtime)`.
+    pub fn best(&self, inst: &Instance) -> Option<(u32, f64)> {
+        self.cells
+            .get(&(inst.nodes, inst.ppn, inst.msize))?
+            .iter()
+            .filter(|(_, _, excluded)| !excluded)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(u, t, _)| (*u, *t))
+    }
+}
+
+/// One test instance scored under the three strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceEval {
+    /// The test instance.
+    pub instance: Instance,
+    /// Exhaustive-search winner.
+    pub best_uid: u32,
+    /// Its measured runtime (seconds).
+    pub best: f64,
+    /// The library default's choice.
+    pub default_uid: u32,
+    /// Its measured runtime.
+    pub default: f64,
+    /// The selector's choice.
+    pub predicted_uid: u32,
+    /// Its measured runtime.
+    pub predicted: f64,
+}
+
+impl InstanceEval {
+    /// Speed-up of the prediction over the default (> 1 means the
+    /// predicted algorithm is faster) — the Table IV metric.
+    pub fn speedup(&self) -> f64 {
+        self.default / self.predicted
+    }
+
+    /// Runtime of a strategy normalized to the best (the Fig. 4–8
+    /// y-axis; Best ≡ 1.0).
+    pub fn normalized_default(&self) -> f64 {
+        self.default / self.best
+    }
+
+    /// Normalized runtime of the prediction.
+    pub fn normalized_predicted(&self) -> f64 {
+        self.predicted / self.best
+    }
+}
+
+/// Score a selector on every instance of a (test) record set.
+pub fn evaluate(
+    selector: &Selector,
+    test_records: &[Record],
+    library: &MpiLibrary,
+    coll: Collective,
+) -> Vec<InstanceEval> {
+    let table = RuntimeTable::new(test_records);
+    let mut evals = Vec::new();
+    for inst in table.instances(coll) {
+        let Some((best_uid, best)) = table.best(&inst) else { continue };
+        let topo = Topology::new(inst.nodes, inst.ppn);
+        let default_uid = library.default_choice(coll, inst.msize, &topo) as u32;
+        let default = table
+            .runtime(&inst, default_uid)
+            .expect("default choice missing from the benchmark grid");
+        let (predicted_uid, _) = selector.select(&inst);
+        let predicted = table
+            .runtime(&inst, predicted_uid)
+            .expect("predicted choice missing from the benchmark grid");
+        evals.push(InstanceEval {
+            instance: inst,
+            best_uid,
+            best,
+            default_uid,
+            default,
+            predicted_uid,
+            predicted,
+        });
+    }
+    evals
+}
+
+/// Mean per-instance speed-up over the default (Table IV entry).
+pub fn mean_speedup(evals: &[InstanceEval]) -> f64 {
+    if evals.is_empty() {
+        return f64::NAN;
+    }
+    evals.iter().map(|e| e.speedup()).sum::<f64>() / evals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splits;
+    use mpcp_benchmark::{BenchConfig, DatasetSpec};
+    use mpcp_ml::Learner;
+
+    fn tiny_eval(learner: Learner) -> (Vec<InstanceEval>, usize) {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        // Train on nodes {2, 4}, test on node 3 (unseen).
+        let train = splits::filter_records(&data.records, &[2, 4]);
+        let test = splits::filter_records(&data.records, &[3]);
+        let selector = Selector::train(&learner, &train, lib.configs(spec.coll));
+        let evals = evaluate(&selector, &test, &lib, spec.coll);
+        let expected_instances = spec.ppn.len() * spec.msizes.len();
+        (evals, expected_instances)
+    }
+
+    #[test]
+    fn evaluates_every_test_instance() {
+        let (evals, expected) = tiny_eval(Learner::knn());
+        assert_eq!(evals.len(), expected);
+    }
+
+    #[test]
+    fn best_lower_bounds_everything() {
+        let (evals, _) = tiny_eval(Learner::gam());
+        for e in &evals {
+            assert!(e.best <= e.default + 1e-15, "{e:?}");
+            assert!(e.best <= e.predicted + 1e-15, "{e:?}");
+            assert!(e.normalized_default() >= 1.0 - 1e-12);
+            assert!(e.normalized_predicted() >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn prediction_not_much_worse_than_default_on_tiny_grid() {
+        // Even with a tiny training grid the selector should be in the
+        // same league as the default logic on average.
+        let (evals, _) = tiny_eval(Learner::knn());
+        let s = mean_speedup(&evals);
+        assert!(s > 0.5, "mean speedup {s}");
+    }
+
+    #[test]
+    fn runtime_table_lookup() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        let table = RuntimeTable::new(&data.records);
+        let r = &data.records[0];
+        let inst = Instance::new(spec.coll, r.msize, r.nodes, r.ppn);
+        assert_eq!(table.runtime(&inst, r.uid), Some(r.runtime));
+        let (_, best) = table.best(&inst).unwrap();
+        assert!(best <= r.runtime);
+    }
+
+    #[test]
+    fn mean_speedup_of_empty_is_nan() {
+        assert!(mean_speedup(&[]).is_nan());
+    }
+}

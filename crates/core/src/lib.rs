@@ -1,0 +1,45 @@
+//! # mpcp-core — algorithm selection for MPI collectives via runtime
+//! regression
+//!
+//! The paper's primary contribution (CLUSTER 2020): given benchmark
+//! measurements of every algorithm configuration `u_{j,l}` of an MPI
+//! collective over a grid of instances `(message size m, nodes n,
+//! processes-per-node N)`, fit **one regression model per configuration**
+//! that predicts *absolute running time*, and answer unseen instances by
+//! querying every model and returning the argmin (Fig. 3 of the paper).
+//!
+//! ```no_run
+//! use mpcp_benchmark::{BenchConfig, DatasetSpec};
+//! use mpcp_core::{Selector, splits};
+//! use mpcp_ml::Learner;
+//!
+//! let spec = DatasetSpec::d1(); // MPI_Bcast, Open MPI, Hydra
+//! let library = spec.library(None);
+//! let data = spec.generate(&library, &BenchConfig::paper_default("Hydra"));
+//!
+//! let split = splits::paper_split("Hydra");
+//! let train = splits::filter_records(&data.records, &split.train_full);
+//! let selector = Selector::train(
+//!     &Learner::gam(),
+//!     &train,
+//!     library.configs(spec.coll),
+//! );
+//! let inst = mpcp_core::Instance::new(spec.coll, 65536, 27, 16);
+//! let (uid, predicted_us) = selector.select(&inst);
+//! println!("predicted best: {uid} (~{predicted_us:.1} us)");
+//! ```
+//!
+//! [`evaluation`] scores a selector the way the paper does: the running
+//! time of the predicted algorithm (looked up in the measured dataset)
+//! against the empirical best (exhaustive search) and the library's
+//! hard-coded default — yielding Fig. 4–8 and Table IV.
+
+pub mod evaluation;
+pub mod instance;
+pub mod selector;
+pub mod splits;
+pub mod tuning_file;
+
+pub use evaluation::{evaluate, mean_speedup, InstanceEval, RuntimeTable};
+pub use instance::Instance;
+pub use selector::Selector;

@@ -1,0 +1,198 @@
+//! The per-configuration regression selector (Fig. 3 of the paper).
+//!
+//! One regression model is fitted per algorithm configuration; a query
+//! evaluates every model on the instance's feature vector and returns
+//! the configuration with the smallest predicted running time. Excluded
+//! (benchmark-only) configurations are never trained or selected.
+
+use mpcp_benchmark::Record;
+use mpcp_collectives::AlgorithmConfig;
+use mpcp_ml::{Dataset, Learner, Model};
+use rayon::prelude::*;
+
+use crate::instance::{Instance, NUM_FEATURES};
+
+/// Targets are modelled in microseconds: strictly positive and in a
+/// numerically comfortable range for the Gamma/Tweedie objectives.
+const SECS_TO_TARGET: f64 = 1e6;
+
+/// Floor for measured runtimes when used as regression targets, keeping
+/// the positive-target objectives valid.
+const MIN_TARGET_US: f64 = 1e-3;
+
+fn features_of(r: &Record) -> [f64; NUM_FEATURES] {
+    [
+        ((r.msize + 1) as f64).log2(),
+        r.nodes as f64,
+        r.ppn as f64,
+        (r.nodes * r.ppn) as f64,
+    ]
+}
+
+/// A trained algorithm selector for one collective on one machine/library.
+pub struct Selector {
+    learner_name: &'static str,
+    /// One model per configuration uid; `None` for excluded uids (or
+    /// uids absent from the training records).
+    models: Vec<Option<Model>>,
+}
+
+impl Selector {
+    /// Fit one regression model per selectable configuration from
+    /// benchmark records.
+    ///
+    /// Models are trained on the *measured* (noisy median) runtimes, as
+    /// in the paper; training is parallel across configurations.
+    pub fn train(learner: &Learner, records: &[Record], configs: &[AlgorithmConfig]) -> Selector {
+        assert!(!records.is_empty(), "no training records");
+        let mut per_uid: Vec<Dataset> =
+            (0..configs.len()).map(|_| Dataset::new(NUM_FEATURES)).collect();
+        for r in records {
+            let uid = r.uid as usize;
+            assert!(uid < configs.len(), "record uid {uid} out of range");
+            if configs[uid].excluded {
+                continue;
+            }
+            let target = (r.runtime * SECS_TO_TARGET).max(MIN_TARGET_US);
+            per_uid[uid].push(&features_of(r), target);
+        }
+        let models: Vec<Option<Model>> = per_uid
+            .par_iter()
+            .enumerate()
+            .map(|(uid, data)| {
+                if configs[uid].excluded || data.is_empty() {
+                    None
+                } else {
+                    Some(learner.fit(data))
+                }
+            })
+            .collect();
+        Selector { learner_name: learner.name(), models }
+    }
+
+    /// Predicted running time (microseconds) of configuration `uid` on
+    /// an instance, if that configuration is selectable.
+    pub fn predict_uid(&self, uid: usize, instance: &Instance) -> Option<f64> {
+        self.models[uid].as_ref().map(|m| m.predict(&instance.features()))
+    }
+
+    /// Predicted runtimes for all selectable configurations.
+    pub fn predict_all(&self, instance: &Instance) -> Vec<(u32, f64)> {
+        let x = instance.features();
+        self.models
+            .iter()
+            .enumerate()
+            .filter_map(|(uid, m)| m.as_ref().map(|m| (uid as u32, m.predict(&x))))
+            .collect()
+    }
+
+    /// The paper's selection rule: argmin of predicted runtime.
+    /// Returns `(uid, predicted_microseconds)`.
+    pub fn select(&self, instance: &Instance) -> (u32, f64) {
+        self.predict_all(instance)
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("selector has no trained models")
+    }
+
+    /// Name of the underlying learner ("KNN", "GAM", "XGBoost", ...).
+    pub fn learner_name(&self) -> &'static str {
+        self.learner_name
+    }
+
+    /// Number of trained (selectable) models.
+    pub fn model_count(&self) -> usize {
+        self.models.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_benchmark::{BenchConfig, DatasetSpec};
+    use mpcp_collectives::Collective;
+
+    fn trained(learner: Learner) -> (Selector, DatasetSpec, Vec<Record>) {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        let selector = Selector::train(&learner, &data.records, lib.configs(spec.coll));
+        (selector, spec, data.records)
+    }
+
+    #[test]
+    fn trains_one_model_per_selectable_config() {
+        let (selector, spec, _) = trained(Learner::knn());
+        let lib = spec.library(None);
+        let selectable = lib.selectable(spec.coll).count();
+        assert_eq!(selector.model_count(), selectable);
+    }
+
+    #[test]
+    fn select_returns_a_selectable_uid() {
+        for learner in [Learner::knn(), Learner::gam(), Learner::xgboost()] {
+            let (selector, spec, _) = trained(learner);
+            let lib = spec.library(None);
+            let inst = Instance::new(Collective::Allreduce, 1024, 3, 2);
+            let (uid, pred) = selector.select(&inst);
+            assert!(pred > 0.0, "{}", selector.learner_name());
+            assert!(!lib.configs(spec.coll)[uid as usize].excluded);
+        }
+    }
+
+    #[test]
+    fn knn_predictions_stay_within_training_range() {
+        // KNN averages K training targets, so every prediction must lie
+        // within the per-configuration target range.
+        let (selector, _, records) = trained(Learner::knn());
+        let mut lo = std::collections::HashMap::new();
+        let mut hi = std::collections::HashMap::new();
+        for r in &records {
+            let t = r.runtime * 1e6;
+            let l = lo.entry(r.uid).or_insert(t);
+            *l = l.min(t);
+            let h = hi.entry(r.uid).or_insert(t);
+            *h = h.max(t);
+        }
+        let mut checked = 0;
+        for r in records.iter().step_by(7) {
+            let inst = Instance::new(Collective::Allreduce, r.msize, r.nodes, r.ppn);
+            if let Some(pred) = selector.predict_uid(r.uid as usize, &inst) {
+                assert!(
+                    pred >= lo[&r.uid] - 1e-9 && pred <= hi[&r.uid] + 1e-9,
+                    "uid {} pred {pred} outside [{}, {}]",
+                    r.uid,
+                    lo[&r.uid],
+                    hi[&r.uid]
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn excluded_configs_are_never_selected() {
+        // d-style bcast library has an excluded config (alg 8).
+        let mut spec = DatasetSpec::tiny_for_tests();
+        spec.coll = Collective::Bcast;
+        let lib = spec.library(None);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        let selector = Selector::train(&Learner::knn(), &data.records, lib.configs(spec.coll));
+        let configs = lib.configs(spec.coll);
+        for m in [1u64, 1024, 1 << 20] {
+            let inst = Instance::new(Collective::Bcast, m, 3, 2);
+            let (uid, _) = selector.select(&inst);
+            assert!(!configs[uid as usize].excluded);
+        }
+    }
+
+    #[test]
+    fn predict_all_covers_all_models() {
+        let (selector, _, _) = trained(Learner::gam());
+        let inst = Instance::new(Collective::Allreduce, 64, 2, 2);
+        let all = selector.predict_all(&inst);
+        assert_eq!(all.len(), selector.model_count());
+        assert!(all.iter().all(|(_, p)| p.is_finite() && *p > 0.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Train/test splits over node counts (Table III of the paper).
+//!
+//! The paper trains on "commonly allocated" node counts and tests on odd
+//! node counts never seen in training — the realistic scenario where the
+//! model must generalize to an allocation size the benchmark never ran
+//! on.
+
+use mpcp_benchmark::Record;
+
+/// Table III row: training (full and small) and test node counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Split {
+    /// Full training dataset node counts.
+    pub train_full: Vec<u32>,
+    /// Small training dataset node counts.
+    pub train_small: Vec<u32>,
+    /// Test node counts (disjoint from training).
+    pub test: Vec<u32>,
+}
+
+/// Table III, by machine name.
+pub fn paper_split(machine: &str) -> Split {
+    match machine.to_ascii_lowercase().as_str() {
+        "hydra" => Split {
+            train_full: vec![4, 8, 16, 20, 24, 32, 36],
+            train_small: vec![4, 16, 36],
+            test: vec![7, 13, 19, 27, 35],
+        },
+        "jupiter" => Split {
+            train_full: vec![4, 8, 16, 20, 24, 32],
+            train_small: vec![4, 16, 32],
+            test: vec![7, 13, 19, 27],
+        },
+        "supermuc-ng" => Split {
+            train_full: vec![20, 32, 48],
+            train_small: vec![20, 32, 48],
+            test: vec![27, 35],
+        },
+        other => panic!("no Table III split for machine {other:?}"),
+    }
+}
+
+/// Records whose node count is in `nodes`.
+pub fn filter_records(records: &[Record], nodes: &[u32]) -> Vec<Record> {
+    records.iter().filter(|r| nodes.contains(&r.nodes)).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_are_disjoint() {
+        for m in ["Hydra", "Jupiter", "SuperMUC-NG"] {
+            let s = paper_split(m);
+            for t in &s.test {
+                assert!(!s.train_full.contains(t), "{m}: {t} in both");
+            }
+            // Small training set is a subset of the full one.
+            for n in &s.train_small {
+                assert!(s.train_full.contains(n), "{m}: small ⊄ full");
+            }
+        }
+    }
+
+    #[test]
+    fn hydra_matches_table3() {
+        let s = paper_split("hydra");
+        assert_eq!(s.train_full, vec![4, 8, 16, 20, 24, 32, 36]);
+        assert_eq!(s.train_small, vec![4, 16, 36]);
+        assert_eq!(s.test, vec![7, 13, 19, 27, 35]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Table III split")]
+    fn unknown_machine_panics() {
+        paper_split("frontier");
+    }
+
+    #[test]
+    fn filter_selects_by_node_count() {
+        let mk = |nodes| Record {
+            nodes,
+            ppn: 1,
+            msize: 1,
+            uid: 0,
+            alg_id: 1,
+            excluded: false,
+            runtime: 1.0,
+            base: 1.0,
+            reps: 1,
+        };
+        let records = vec![mk(4), mk(7), mk(8), mk(7)];
+        let f = filter_records(&records, &[7]);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|r| r.nodes == 7));
+    }
+}

@@ -1,0 +1,149 @@
+//! Tuning-file generation — the paper's deployment story (Section II):
+//! once the node allocation is known (e.g. from SLURM), query the models
+//! for 10–15 message sizes and write a configuration file that overrides
+//! the library's algorithm selection for the upcoming run.
+
+use std::io::Write;
+use std::path::Path;
+
+use mpcp_collectives::{AlgorithmConfig, Collective};
+
+use crate::instance::Instance;
+use crate::selector::Selector;
+
+/// One selected entry: from this message size (inclusive) upwards, use
+/// the given configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuningEntry {
+    /// Lower bound of the message-size range (bytes).
+    pub msize_from: u64,
+    /// Selected configuration uid.
+    pub uid: u32,
+    /// Library algorithm id.
+    pub alg_id: u32,
+    /// Human-readable configuration label.
+    pub label: String,
+}
+
+/// A per-collective tuning file for one `(nodes, ppn)` allocation.
+#[derive(Clone, Debug)]
+pub struct TuningFile {
+    /// The collective tuned.
+    pub coll: Collective,
+    /// Allocation node count.
+    pub nodes: u32,
+    /// Allocation ppn.
+    pub ppn: u32,
+    /// Entries in ascending message-size order, deduplicated.
+    pub entries: Vec<TuningEntry>,
+}
+
+/// The 13 query points the generator uses (the paper suggests 10–15).
+pub fn default_query_sizes() -> Vec<u64> {
+    vec![
+        1,
+        16,
+        256,
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        128 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+    ]
+}
+
+impl TuningFile {
+    /// Query the selector across message sizes and build the file,
+    /// merging adjacent ranges that select the same configuration.
+    pub fn generate(
+        selector: &Selector,
+        configs: &[AlgorithmConfig],
+        coll: Collective,
+        nodes: u32,
+        ppn: u32,
+        msizes: &[u64],
+    ) -> TuningFile {
+        let mut entries: Vec<TuningEntry> = Vec::new();
+        let mut sizes = msizes.to_vec();
+        sizes.sort_unstable();
+        for &m in &sizes {
+            let (uid, _) = selector.select(&Instance::new(coll, m, nodes, ppn));
+            if entries.last().map(|e| e.uid) == Some(uid) {
+                continue; // extend the previous range
+            }
+            let cfg = &configs[uid as usize];
+            entries.push(TuningEntry { msize_from: m, uid, alg_id: cfg.alg_id, label: cfg.label() });
+        }
+        TuningFile { coll, nodes, ppn, entries }
+    }
+
+    /// Render in an MCA-parameter-file-like format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# mpcp tuning file: {} on {} nodes x {} ppn\n",
+            self.coll, self.nodes, self.ppn
+        ));
+        out.push_str("# msize_from_bytes  alg_id  configuration\n");
+        for e in &self.entries {
+            out.push_str(&format!("{:<18} {:<7} {}\n", e.msize_from, e.alg_id, e.label));
+        }
+        out
+    }
+
+    /// Write to disk.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splits;
+    use crate::Selector;
+    use mpcp_benchmark::{BenchConfig, DatasetSpec};
+    use mpcp_ml::Learner;
+
+    #[test]
+    fn generates_merged_ranges() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        let train = splits::filter_records(&data.records, &[2, 4]);
+        let selector = Selector::train(&Learner::knn(), &train, lib.configs(spec.coll));
+        let tf = TuningFile::generate(
+            &selector,
+            lib.configs(spec.coll),
+            spec.coll,
+            3,
+            2,
+            &default_query_sizes(),
+        );
+        assert!(!tf.entries.is_empty());
+        assert!(tf.entries.len() <= default_query_sizes().len());
+        // Ranges ascend and are deduplicated.
+        for w in tf.entries.windows(2) {
+            assert!(w[0].msize_from < w[1].msize_from);
+            assert_ne!(w[0].uid, w[1].uid);
+        }
+        let text = tf.render();
+        assert!(text.contains("MPI_Allreduce"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn query_sizes_are_in_paper_range() {
+        let q = default_query_sizes();
+        assert!(q.len() >= 10 && q.len() <= 15);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the selection framework: the selector's
+//! argmin semantics and the evaluation's ordering invariants.
+
+use proptest::prelude::*;
+
+use mpcp_benchmark::Record;
+use mpcp_collectives::{AlgKind, AlgorithmConfig, Collective};
+use mpcp_core::{evaluate, Instance, RuntimeTable, Selector};
+use mpcp_ml::Learner;
+
+/// Synthesize a consistent record grid with the given per-uid runtime
+/// functions (deterministic, strictly positive).
+fn synth_records(n_uids: u32) -> Vec<Record> {
+    let mut records = Vec::new();
+    for uid in 0..n_uids {
+        for nodes in [2u32, 3, 4, 5] {
+            for ppn in [1u32, 2] {
+                for msize in [64u64, 4096, 262_144] {
+                    // Each uid has a different affine runtime surface so
+                    // the best uid varies across the grid.
+                    let t = 1e-6
+                        * (1.0
+                            + uid as f64
+                            + msize as f64 * 1e-5 / (1.0 + uid as f64)
+                            + nodes as f64 * 0.3
+                            + ppn as f64 * 0.2);
+                    records.push(Record {
+                        nodes,
+                        ppn,
+                        msize,
+                        uid,
+                        alg_id: uid + 1,
+                        excluded: false,
+                        runtime: t,
+                        base: t,
+                        reps: 10,
+                    });
+                }
+            }
+        }
+    }
+    records
+}
+
+fn configs(n: u32) -> Vec<AlgorithmConfig> {
+    (0..n)
+        .map(|i| AlgorithmConfig::new(i + 1, AlgKind::BcastChain { chains: i + 1, seg: 0 }))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn selector_argmin_matches_per_uid_predictions(
+        n_uids in 2u32..6,
+        msize in prop::sample::select(vec![64u64, 4096, 262_144]),
+        nodes in 2u32..6,
+        ppn in 1u32..3,
+    ) {
+        let records = synth_records(n_uids);
+        let cfgs = configs(n_uids);
+        let selector = Selector::train(&Learner::knn(), &records, &cfgs);
+        let inst = Instance::new(Collective::Bcast, msize, nodes, ppn);
+        let (uid, pred) = selector.select(&inst);
+        for (u, p) in selector.predict_all(&inst) {
+            prop_assert!(pred <= p + 1e-12, "uid {uid} pred {pred} vs uid {u} pred {p}");
+        }
+    }
+
+    #[test]
+    fn runtime_table_best_is_global_minimum(
+        n_uids in 2u32..6,
+    ) {
+        let records = synth_records(n_uids);
+        let table = RuntimeTable::new(&records);
+        for inst in table.instances(Collective::Bcast) {
+            let (_, best) = table.best(&inst).unwrap();
+            for uid in 0..n_uids {
+                let t = table.runtime(&inst, uid).unwrap();
+                prop_assert!(best <= t + 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_orderings_hold_on_synthetic_data(
+        n_uids in 2u32..6,
+    ) {
+        // A selector trained on the full synthetic grid, evaluated on it:
+        // best <= predicted and best <= default always.
+        let records = synth_records(n_uids);
+        let cfgs = configs(n_uids);
+        let selector = Selector::train(&Learner::knn(), &records, &cfgs);
+        // An ad-hoc library is overkill here; reuse evaluate() through
+        // the real library only in integration tests. Here check the
+        // ordering against the table directly.
+        let table = RuntimeTable::new(&records);
+        for inst in table.instances(Collective::Bcast) {
+            let (uid, _) = selector.select(&inst);
+            let (best_uid, best) = table.best(&inst).unwrap();
+            let chosen = table.runtime(&inst, uid).unwrap();
+            prop_assert!(best <= chosen + 1e-18);
+            prop_assert!(table.runtime(&inst, best_uid).unwrap() <= chosen + 1e-18);
+        }
+        // Silence unused import when the evaluate-based variant is
+        // feature-gated out.
+        let _ = evaluate;
+    }
+}

@@ -1,0 +1,79 @@
+//! Calibration probe: runs a reduced d1-style sweep and reports how the
+//! machine model + decision rules shape up against the paper's expected
+//! result (Open MPI default beaten substantially on Hydra broadcast).
+//! Useful when adjusting `simnet::machine` parameters; not part of the
+//! paper regeneration set.
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec};
+use mpcp_core::{evaluate, mean_speedup, splits, Instance, Selector};
+use mpcp_ml::Learner;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut spec = DatasetSpec::d1();
+    spec.nodes = vec![4, 8, 13, 16, 24, 27, 32];
+    spec.ppn = vec![1, 16, 32];
+    let library = spec.library(None);
+    let bench = BenchConfig::paper_default(&spec.machine.name);
+    println!(
+        "probe grid: {} cells, {} configs",
+        spec.sample_count(&library),
+        library.configs(spec.coll).len()
+    );
+    let data = spec.generate(&library, &bench);
+    println!("generation: {:.1}s", t0.elapsed().as_secs_f64());
+
+    let train = splits::filter_records(&data.records, &[4, 8, 16, 24, 32]);
+    let test = splits::filter_records(&data.records, &[13, 27]);
+
+    for learner in [Learner::knn(), Learner::gam(), Learner::xgboost()] {
+        let t1 = std::time::Instant::now();
+        let selector = Selector::train(&learner, &train, library.configs(spec.coll));
+        let fit_t = t1.elapsed().as_secs_f64();
+        let evals = evaluate(&selector, &test, &library, spec.coll);
+        let s = mean_speedup(&evals);
+        let norm_pred: f64 =
+            evals.iter().map(|e| e.normalized_predicted()).sum::<f64>() / evals.len() as f64;
+        let norm_def: f64 =
+            evals.iter().map(|e| e.normalized_default()).sum::<f64>() / evals.len() as f64;
+        println!(
+            "{:<8} fit {:>6.1}s  mean speedup {:.2}  norm(pred) {:.2}  norm(default) {:.2}",
+            selector.learner_name(),
+            fit_t,
+            s,
+            norm_pred,
+            norm_def
+        );
+    }
+
+    // What wins where (noise-free best), for model calibration.
+    let table = mpcp_core::RuntimeTable::new(&data.records);
+    let configs = library.configs(spec.coll);
+    for &(m, n, ppn) in &[
+        (16u64, 27u32, 32u32),
+        (16 << 10, 27, 32),
+        (512 << 10, 27, 32),
+        (4 << 20, 27, 32),
+        (4 << 20, 27, 1),
+        (4 << 20, 13, 16),
+    ] {
+        let inst = Instance::new(spec.coll, m, n, ppn);
+        if let Some((uid, t)) = table.best(&inst) {
+            let d_uid = library.default_choice(
+                spec.coll,
+                m,
+                &mpcp_simnet::Topology::new(n, ppn),
+            );
+            let d_t = table.runtime(&inst, d_uid as u32).unwrap();
+            println!(
+                "m={m:<9} n={n:<3} ppn={ppn:<3} best={:<28} {:>10.1}us | default={:<28} {:>10.1}us  ratio {:.2}",
+                configs[uid as usize].label(),
+                t * 1e6,
+                configs[d_uid].label(),
+                d_t * 1e6,
+                d_t / t
+            );
+        }
+    }
+    println!("total {:.1}s", t0.elapsed().as_secs_f64());
+}

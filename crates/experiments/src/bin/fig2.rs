@@ -1,0 +1,67 @@
+//! Fig. 2 — speed-up of the chain broadcast (algorithm 2) in all its
+//! configurations (segment size × chain count) over the basic linear
+//! broadcast (algorithm 1), on 32 × 32 processes, Open MPI, Hydra.
+//!
+//! The paper reports speed-ups between 10 and 50 at 4 MiB depending on
+//! the parameters — the motivating evidence for modelling algorithmic
+//! parameters in the prediction.
+
+use mpcp_benchmark::datasets::paper_msizes;
+use mpcp_collectives::registry::{CHAIN_COUNTS, SEG_SIZES};
+use mpcp_collectives::AlgKind;
+use mpcp_experiments::{fast_mode, render_table, write_result_csv};
+use mpcp_simnet::{Machine, Simulator, Topology};
+
+fn main() {
+    let machine = Machine::hydra();
+    let topo = if fast_mode() { Topology::new(8, 8) } else { Topology::new(32, 32) };
+    let sim = Simulator::new(&machine.model, &topo);
+    let msizes = paper_msizes();
+
+    println!(
+        "Fig. 2: Speed-up of chain broadcast configurations over linear; {}x{} processes, Open MPI 4.0.2, Hydra",
+        topo.nodes(),
+        topo.ppn()
+    );
+
+    // Baseline: algorithm 1 (linear).
+    let mut linear_t = Vec::new();
+    for &m in &msizes {
+        let progs = AlgKind::BcastLinear.build(&topo, m);
+        linear_t.push(sim.run(&progs).expect("linear bcast").makespan().as_secs_f64());
+    }
+
+    let segs: Vec<u64> = SEG_SIZES.iter().copied().filter(|&s| s != 0).collect();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut max_speedup_4m = 0.0f64;
+    let mut min_speedup_4m = f64::INFINITY;
+    for &seg in &segs {
+        for &chains in &CHAIN_COUNTS {
+            let mut row = vec![format!("seg {}K", seg / 1024), chains.to_string()];
+            for (i, &m) in msizes.iter().enumerate() {
+                let progs = AlgKind::BcastChain { chains, seg }.build(&topo, m);
+                let t = sim.run(&progs).expect("chain bcast").makespan().as_secs_f64();
+                let speedup = linear_t[i] / t;
+                if m == 4 << 20 {
+                    max_speedup_4m = max_speedup_4m.max(speedup);
+                    min_speedup_4m = min_speedup_4m.min(speedup);
+                }
+                row.push(format!("{speedup:.1}"));
+                csv.push(format!("{seg},{chains},{m},{speedup:.4}"));
+            }
+            rows.push(row);
+        }
+    }
+    let mut headers: Vec<String> = vec!["segment".into(), "chains".into()];
+    headers.extend(msizes.iter().map(|m| m.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&headers_ref, &rows));
+    if let Some(&m) = msizes.last() {
+        println!(
+            "speed-up range at m={} bytes: {:.1} .. {:.1} (paper: ~10 .. ~50)",
+            m, min_speedup_4m, max_speedup_4m
+        );
+    }
+    write_result_csv("fig2.csv", "seg_bytes,chains,msize,speedup_vs_linear", &csv);
+}

@@ -1,0 +1,26 @@
+//! Fig. 4 — comparison of selection strategies for `MPI_Bcast`,
+//! Open MPI 4.0.2, Hydra: Exhaustive Search (Best) vs Default vs
+//! Prediction (GAM), on test nodes 27 and 35 at ppn 1/16/32.
+
+use mpcp_experiments::{load_dataset, print_comparison};
+use mpcp_ml::Learner;
+
+fn main() {
+    let prepared = load_dataset("d1");
+    let ppn: Vec<u32> = [1u32, 16, 32]
+        .into_iter()
+        .filter(|p| prepared.spec.ppn.contains(p))
+        .collect();
+    let nodes: Vec<u32> = [27u32, 35]
+        .into_iter()
+        .filter(|n| prepared.spec.nodes.contains(n))
+        .collect();
+    print_comparison(
+        "fig4",
+        "Fig. 4: Algorithm selection strategies for MPI_Bcast; Open MPI 4.0.2; Hydra (GAM prediction)",
+        &prepared,
+        &Learner::gam(),
+        &nodes,
+        &ppn,
+    );
+}

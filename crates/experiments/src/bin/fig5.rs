@@ -1,0 +1,62 @@
+//! Fig. 5 — which broadcast algorithm each regression learner (KNN, GAM,
+//! XGBoost) predicts for every test process configuration and message
+//! size; `MPI_Bcast`, Open MPI 4.0.2, Hydra.
+//!
+//! The paper's observations reproduced here: the learners produce
+//! genuinely different selection maps, (almost) all algorithm ids get
+//! used, and algorithm 8 never appears (excluded as buggy).
+
+use std::collections::BTreeSet;
+
+use mpcp_core::Instance;
+use mpcp_experiments::{load_dataset, render_table, write_result_csv};
+use mpcp_ml::Learner;
+
+fn main() {
+    let prepared = load_dataset("d1");
+    let spec = &prepared.spec;
+    let configs = prepared.library.configs(spec.coll);
+    let show_nodes: Vec<u32> =
+        [7u32, 19, 35].into_iter().filter(|n| spec.nodes.contains(n)).collect();
+    let show_ppn: Vec<u32> = spec.ppn.clone();
+    let msizes = spec.msizes.clone();
+
+    println!("Fig. 5: Predicted broadcast algorithm id per process configuration (nodes x ppn)");
+    println!("        and message size, for each learner; Open MPI 4.0.2; Hydra\n");
+
+    let mut csv = Vec::new();
+    for (name, learner) in Learner::paper_learners() {
+        let selector = prepared.train_selector(&learner, false);
+        let mut used = BTreeSet::new();
+        // One table: rows = msize, cols = configurations.
+        let mut headers: Vec<String> = vec!["msize".into()];
+        for &n in &show_nodes {
+            for &ppn in &show_ppn {
+                headers.push(format!("{n:02}x{ppn:02}"));
+            }
+        }
+        let mut rows = Vec::new();
+        for &m in &msizes {
+            let mut row = vec![m.to_string()];
+            for &n in &show_nodes {
+                for &ppn in &show_ppn {
+                    let (uid, _) = selector.select(&Instance::new(spec.coll, m, n, ppn));
+                    let alg = configs[uid as usize].alg_id;
+                    used.insert(alg);
+                    row.push(alg.to_string());
+                    csv.push(format!("{name},{n},{ppn},{m},{alg},{uid}"));
+                }
+            }
+            rows.push(row);
+        }
+        println!("--- {name} ---");
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        println!("{}", render_table(&headers_ref, &rows));
+        println!(
+            "algorithm ids used by {name}: {:?}  (8 must be absent: excluded as buggy)\n",
+            used
+        );
+        assert!(!used.contains(&8), "excluded algorithm 8 was selected");
+    }
+    write_result_csv("fig5.csv", "learner,nodes,ppn,msize,alg_id,uid", &csv);
+}

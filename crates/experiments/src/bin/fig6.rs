@@ -1,0 +1,35 @@
+//! Fig. 6 — comparison of selection strategies for `MPI_Allreduce`,
+//! Intel MPI 2019, Hydra. The paper's finding: the Intel default is
+//! already near-optimal and the prediction matches it (robustness).
+
+use mpcp_experiments::{load_dataset, print_comparison};
+use mpcp_ml::Learner;
+
+fn main() {
+    let prepared = load_dataset("d5");
+    let ppn: Vec<u32> = [1u32, 16, 32]
+        .into_iter()
+        .filter(|p| prepared.spec.ppn.contains(p))
+        .collect();
+    let nodes: Vec<u32> = [27u32, 35]
+        .into_iter()
+        .filter(|n| prepared.spec.nodes.contains(n))
+        .collect();
+    let rows = print_comparison(
+        "fig6",
+        "Fig. 6: Algorithm selection strategies for MPI_Allreduce; Intel MPI 2019; Hydra (GAM prediction)",
+        &prepared,
+        &Learner::gam(),
+        &nodes,
+        &ppn,
+    );
+    let close = rows
+        .iter()
+        .filter(|r| (r.norm_default - r.norm_predicted).abs() < 0.25)
+        .count();
+    println!(
+        "instances where default and prediction are within 25% of each other: {}/{}",
+        close,
+        rows.len()
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 7 — comparison of selection strategies for `MPI_Allreduce`,
+//! Open MPI 4.0.2, Jupiter, at ppn 1/8/16. The paper finds the default
+//! mostly good except a mid-size band (~16 KiB) where prediction wins.
+
+use mpcp_experiments::{load_dataset, print_comparison};
+use mpcp_ml::Learner;
+
+fn main() {
+    let prepared = load_dataset("d4");
+    let ppn: Vec<u32> = [1u32, 8, 16]
+        .into_iter()
+        .filter(|p| prepared.spec.ppn.contains(p))
+        .collect();
+    let nodes: Vec<u32> = [27u32, 19]
+        .into_iter()
+        .filter(|n| prepared.spec.nodes.contains(n))
+        .collect();
+    let rows = print_comparison(
+        "fig7",
+        "Fig. 7: Algorithm selection strategies for MPI_Allreduce; Open MPI 4.0.2; Jupiter (GAM prediction)",
+        &prepared,
+        &Learner::gam(),
+        &nodes,
+        &ppn,
+    );
+    // Paper's observation: a mid-size band where the default loses.
+    let mid: Vec<_> = rows
+        .iter()
+        .filter(|r| (4 << 10..=64 << 10).contains(&r.msize))
+        .collect();
+    if !mid.is_empty() {
+        let worst = mid.iter().map(|r| r.norm_default).fold(0.0f64, f64::max);
+        println!("worst default normalized runtime in the 4..64 KiB band: {worst:.2}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 8 — comparison of selection strategies for `MPI_Bcast`,
+//! Open MPI 4.0.2, SuperMUC-NG, test nodes 27/35 at ppn 1/24/48.
+
+use mpcp_experiments::{load_dataset, print_comparison};
+use mpcp_ml::Learner;
+
+fn main() {
+    let prepared = load_dataset("d8");
+    let ppn: Vec<u32> = [1u32, 24, 48]
+        .into_iter()
+        .filter(|p| prepared.spec.ppn.contains(p))
+        .collect();
+    let nodes: Vec<u32> = [27u32, 35]
+        .into_iter()
+        .filter(|n| prepared.spec.nodes.contains(n))
+        .collect();
+    print_comparison(
+        "fig8",
+        "Fig. 8: Algorithm selection strategies for MPI_Bcast; Open MPI 4.0.2; SuperMUC-NG (GAM prediction)",
+        &prepared,
+        &Learner::gam(),
+        &nodes,
+        &ppn,
+    );
+}

@@ -1,0 +1,44 @@
+//! Diagnostic: compare candidate "default rule" algorithms against the
+//! per-instance best, to calibrate the Open MPI fixed decision rules.
+
+use mpcp_collectives::{registry, AlgKind};
+use mpcp_simnet::{Machine, Simulator, Topology};
+
+fn main() {
+    let machine = Machine::hydra();
+    let configs = registry::open_mpi_bcast();
+    for &(n, ppn) in &[(27u32, 32u32), (27, 16), (27, 1), (13, 16), (35, 4)] {
+        let topo = Topology::new(n, ppn);
+        let sim = Simulator::new(&machine.model, &topo);
+        for &m in &[4096u64, 16 << 10, 64 << 10, 512 << 10, 4 << 20] {
+            let mut best = (f64::INFINITY, String::new());
+            for c in &configs {
+                if c.excluded {
+                    continue;
+                }
+                let t = sim.run(&c.build(&topo, m)).unwrap().makespan().as_secs_f64();
+                if t < best.0 {
+                    best = (t, c.label());
+                }
+            }
+            let candidates = [
+                AlgKind::BcastBinomial { seg: 0 },
+                AlgKind::BcastBinomial { seg: 4 << 10 },
+                AlgKind::BcastSplitBinary { seg: 4 << 10 },
+                AlgKind::BcastSplitBinary { seg: 64 << 10 },
+                AlgKind::BcastSplitBinary { seg: 128 << 10 },
+                AlgKind::BcastBinary { seg: 16 << 10 },
+                AlgKind::BcastBinary { seg: 64 << 10 },
+                AlgKind::BcastPipeline { seg: 128 << 10 },
+            ];
+            let mut line = format!("n={n:<3} ppn={ppn:<3} m={m:<8} best {:>9.1}us ({})  |", best.0 * 1e6, best.1);
+            for c in candidates {
+                let t = sim.run(&c.build(&topo, m)).unwrap().makespan().as_secs_f64();
+                line.push_str(&format!(" {:.1}", t / best.0));
+            }
+            println!("{line}");
+        }
+        println!();
+    }
+    println!("candidate order: binom0 binom4K splitbin4K splitbin64K splitbin128K binary16K binary64K pipe128K");
+}

@@ -1,0 +1,39 @@
+//! Table I — hardware overview of the three simulated machines.
+
+use mpcp_experiments::{render_table, write_result_csv};
+use mpcp_simnet::Machine;
+
+fn main() {
+    let rows: Vec<Vec<String>> = Machine::all()
+        .into_iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                m.max_nodes.to_string(),
+                m.max_ppn.to_string(),
+                m.processor.clone(),
+                m.interconnect.clone(),
+                format!(
+                    "alpha={:.2}us, {}x{:.1}GB/s rails",
+                    m.model.alpha_inter * 1e6,
+                    m.model.rails,
+                    1e-9 / m.model.beta_rail
+                ),
+            ]
+        })
+        .collect();
+    println!("Table I: Hardware overview (simulated profiles)");
+    println!(
+        "{}",
+        render_table(
+            &["Machine", "n", "Max ppn", "Processor", "Interconnect", "Model"],
+            &rows
+        )
+    );
+    let csv_rows: Vec<String> = rows.iter().map(|r| r.join(";")).collect();
+    write_result_csv(
+        "table1.csv",
+        "machine;nodes;max_ppn;processor;interconnect;model",
+        &csv_rows,
+    );
+}

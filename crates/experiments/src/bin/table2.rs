@@ -1,0 +1,63 @@
+//! Table II — overview of datasets d1..d8: routine, library, machine,
+//! and grid dimensions. `#samples` is re-derived from our configuration
+//! registries (`#configs × #nodes × #ppn × #msizes`).
+
+use mpcp_benchmark::DatasetSpec;
+use mpcp_collectives::registry;
+use mpcp_experiments::{render_table, write_result_csv};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for spec in DatasetSpec::all() {
+        let configs = match spec.lib {
+            mpcp_benchmark::LibKind::OpenMpi => registry::open_mpi(spec.coll),
+            mpcp_benchmark::LibKind::IntelMpi => registry::intel(spec.coll),
+        };
+        let alg_ids: std::collections::BTreeSet<u32> = configs.iter().map(|c| c.alg_id).collect();
+        let samples = configs.len() * spec.nodes.len() * spec.ppn.len() * spec.msizes.len();
+        rows.push(vec![
+            spec.id.to_string(),
+            spec.coll.mpi_name().to_string(),
+            spec.lib.name().to_string(),
+            spec.lib.version().to_string(),
+            spec.machine.name.clone(),
+            alg_ids.len().to_string(),
+            spec.nodes.len().to_string(),
+            spec.ppn.len().to_string(),
+            spec.msizes.len().to_string(),
+            samples.to_string(),
+        ]);
+        csv.push(format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            spec.id,
+            spec.coll.mpi_name(),
+            spec.lib.name(),
+            spec.lib.version(),
+            spec.machine.name,
+            alg_ids.len(),
+            spec.nodes.len(),
+            spec.ppn.len(),
+            spec.msizes.len(),
+            samples
+        ));
+    }
+    println!("Table II: Overview of datasets");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Dataset", "MPI routine", "MPI", "Version", "Machine", "#algorithms", "#nodes",
+                "#ppn", "#msg.sizes", "#samples"
+            ],
+            &rows
+        )
+    );
+    println!("(#algorithms counts distinct library algorithm ids; #samples =");
+    println!(" #configurations x #nodes x #ppn x #msizes, see DESIGN.md)");
+    write_result_csv(
+        "table2.csv",
+        "dataset,routine,mpi,version,machine,algorithms,nodes,ppn,msizes,samples",
+        &csv,
+    );
+}

@@ -1,0 +1,37 @@
+//! Table III — training and test node counts per machine.
+
+use mpcp_core::splits;
+use mpcp_experiments::{render_table, write_result_csv};
+
+fn main() {
+    let fmt = |v: &[u32]| {
+        v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+    };
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for machine in ["Hydra", "Jupiter", "SuperMUC-NG"] {
+        let s = splits::paper_split(machine);
+        rows.push(vec![
+            machine.to_string(),
+            fmt(&s.train_full),
+            fmt(&s.train_small),
+            fmt(&s.test),
+        ]);
+        csv.push(format!(
+            "{};{};{};{}",
+            machine,
+            fmt(&s.train_full),
+            fmt(&s.train_small),
+            fmt(&s.test)
+        ));
+    }
+    println!("Table III: Training and test datasets by machine and number of compute nodes (n)");
+    println!(
+        "{}",
+        render_table(
+            &["Machine", "Full training dataset (n)", "Small training dataset (n)", "Test dataset (n)"],
+            &rows
+        )
+    );
+    write_result_csv("table3.csv", "machine;train_full;train_small;test", &csv);
+}

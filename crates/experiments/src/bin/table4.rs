@@ -1,0 +1,67 @@
+//! Table IV — overall prediction quality: mean speed-up of the predicted
+//! algorithm over the library's default selection, per dataset and
+//! learner, for (a) the full and (b) the small training dataset.
+//!
+//! Run with `MPCP_DATASETS=d1,d2` to restrict the sweep (all eight by
+//! default; d1..d8 take a while on one core).
+
+use mpcp_benchmark::DatasetSpec;
+use mpcp_core::mean_speedup;
+use mpcp_experiments::{load_dataset, render_table, write_result_csv};
+use mpcp_ml::Learner;
+
+fn main() {
+    let ids: Vec<String> = std::env::var("MPCP_DATASETS")
+        .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+        .unwrap_or_else(|_| DatasetSpec::all().iter().map(|d| d.id.to_string()).collect());
+
+    let learners = Learner::paper_learners();
+    // speedups[small][learner][dataset]
+    let mut cells = vec![vec![vec![f64::NAN; ids.len()]; learners.len()]; 2];
+
+    for (di, id) in ids.iter().enumerate() {
+        let prepared = load_dataset(id);
+        for (li, (name, learner)) in learners.iter().enumerate() {
+            for (si, small) in [false, true].into_iter().enumerate() {
+                let evals = prepared.evaluate_learner(learner, small);
+                let s = mean_speedup(&evals);
+                cells[si][li][di] = s;
+                eprintln!(
+                    "[{id}] {name} {} training: mean speed-up {s:.2} over {} instances",
+                    if small { "small" } else { "large" },
+                    evals.len()
+                );
+            }
+        }
+    }
+
+    let mut csv = Vec::new();
+    for (si, label) in [(0, "(a) Large training dataset"), (1, "(b) Small training dataset")] {
+        println!("\nTable IV{label}: relative speed-up over the default selection (higher is better)");
+        let mut headers: Vec<String> = vec!["method".into()];
+        headers.extend(ids.iter().cloned());
+        headers.push("mean".into());
+        let mut rows = Vec::new();
+        for (li, (name, _)) in learners.iter().enumerate() {
+            let vals = &cells[si][li];
+            let mean = vals.iter().copied().filter(|v| v.is_finite()).sum::<f64>()
+                / vals.iter().filter(|v| v.is_finite()).count().max(1) as f64;
+            let mut row = vec![name.to_string()];
+            for (di, v) in vals.iter().enumerate() {
+                row.push(format!("{v:.2}"));
+                csv.push(format!(
+                    "{},{},{},{v:.4}",
+                    if si == 0 { "large" } else { "small" },
+                    name,
+                    ids[di]
+                ));
+            }
+            row.push(format!("{mean:.2}"));
+            rows.push(row);
+        }
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        println!("{}", render_table(&headers_ref, &rows));
+    }
+    println!("(paper, large training set: KNN 1.37, GAM 1.48, XGBoost 1.41 mean)");
+    write_result_csv("table4.csv", "training,method,dataset,mean_speedup", &csv);
+}

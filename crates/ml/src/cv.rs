@@ -1,0 +1,95 @@
+//! Cross-validation utilities (used for the overfitting monitoring the
+//! paper mentions, and by the test suite).
+
+use crate::dataset::Dataset;
+use crate::model::Learner;
+
+/// Deterministic k-fold split: returns `(train, test)` index pairs.
+/// Rows are assigned to folds round-robin after a fixed-stride shuffle,
+/// so folds are reproducible without an RNG.
+pub fn kfold_indices(n: usize, k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let k = k.min(n.max(2));
+    // Stride permutation: visits all indices when stride ⊥ n.
+    let stride = largest_coprime_stride(n);
+    let order: Vec<usize> = (0..n).map(|i| (i * stride) % n.max(1)).collect();
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, &idx) in order.iter().enumerate() {
+        folds[pos % k].push(idx);
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train: Vec<usize> = (0..k).filter(|&g| g != f).flat_map(|g| folds[g].clone()).collect();
+            (train, test)
+        })
+        .collect()
+}
+
+fn largest_coprime_stride(n: usize) -> usize {
+    if n <= 2 {
+        return 1;
+    }
+    let mut s = n / 2 + 1;
+    while gcd(s, n) != 1 {
+        s += 1;
+    }
+    s
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Mean k-fold MAPE of a learner on a dataset.
+pub fn cv_mape(data: &Dataset, learner: &Learner, k: usize) -> f64 {
+    let folds = kfold_indices(data.len(), k);
+    let mut total = 0.0;
+    for (train_idx, test_idx) in &folds {
+        let train = data.subset(train_idx);
+        let test = data.subset(test_idx);
+        let model = learner.fit(&train);
+        let preds: Vec<f64> = (0..test.len()).map(|i| model.predict(test.row(i))).collect();
+        total += crate::metrics::mape(test.targets(), &preds);
+    }
+    total / folds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_all_indices() {
+        for n in [10usize, 37, 100] {
+            for k in [2usize, 5] {
+                let folds = kfold_indices(n, k);
+                assert_eq!(folds.len(), k);
+                let mut seen = vec![false; n];
+                for (train, test) in &folds {
+                    assert_eq!(train.len() + test.len(), n);
+                    for &i in test {
+                        assert!(!seen[i], "index {i} in two test folds");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cv_detects_generalization() {
+        // A smooth surface: KNN should generalize across folds.
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push(&[i as f64], (i as f64 * 0.1).exp());
+        }
+        let err = cv_mape(&d, &Learner::knn(), 5);
+        assert!(err < 0.5, "CV MAPE {err}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Gradient-boosted trees with second-order (Newton) updates — a
+//! from-scratch reimplementation of the `xgboost` configuration the paper
+//! uses: 200 boosting rounds, default tree parameters, and a Tweedie (or
+//! Gamma) objective with a log link, which suits strictly positive,
+//! right-skewed runtimes.
+
+// Index-based loops are clearer for these numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::tree::{GradTree, SortedColumns, TreeParams};
+
+/// Boosting objective. Gamma and Tweedie model `μ = exp(score)` (log
+/// link) and assume strictly positive targets.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Plain squared error on the raw score.
+    SquaredError,
+    /// Gamma deviance (xgboost `reg:gamma`).
+    Gamma,
+    /// Tweedie deviance with variance power `p ∈ (1, 2)` (xgboost
+    /// `reg:tweedie`; the paper uses this for its runtime models).
+    Tweedie { p: f64 },
+}
+
+impl Objective {
+    /// First/second-order gradients of the loss at raw score `s` for
+    /// target `y`.
+    #[inline]
+    fn grad(&self, y: f64, s: f64) -> (f64, f64) {
+        match *self {
+            Objective::SquaredError => (s - y, 1.0),
+            Objective::Gamma => {
+                // l = y·e^{-s} + s  (up to constants); μ = e^s.
+                let e = (-s).exp();
+                (1.0 - y * e, (y * e).max(1e-16))
+            }
+            Objective::Tweedie { p } => {
+                let a = (y * ((1.0 - p) * s).exp()).max(0.0);
+                let b = ((2.0 - p) * s).exp();
+                let g = -a + b;
+                let h = (-(1.0 - p) * a + (2.0 - p) * b).max(1e-16)
+                ;
+                (g, h)
+            }
+        }
+    }
+
+    /// Initial raw score for targets `y`.
+    fn base_score(&self, y: &[f64]) -> f64 {
+        let mean = y.iter().sum::<f64>() / y.len().max(1) as f64;
+        match self {
+            Objective::SquaredError => mean,
+            _ => mean.max(1e-12).ln(),
+        }
+    }
+
+    /// Map a raw score to the response scale.
+    #[inline]
+    fn response(&self, s: f64) -> f64 {
+        match self {
+            Objective::SquaredError => s,
+            // Clamp to keep exp well-behaved on extreme extrapolations.
+            _ => s.clamp(-30.0, 30.0).exp(),
+        }
+    }
+}
+
+/// Boosting hyper-parameters (xgboost defaults; deliberately untuned,
+/// per the paper's robustness protocol).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Number of boosting rounds (the paper trains 200).
+    pub rounds: usize,
+    /// Learning rate (xgboost default 0.3).
+    pub eta: f64,
+    /// Objective; the paper settled on Tweedie (Gamma also worked).
+    pub objective: Objective,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// L2 regularization on leaf weights.
+    pub lambda: f64,
+    /// Minimum split gain.
+    pub gamma: f64,
+    /// Minimum hessian sum per child.
+    pub min_child_weight: f64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        GbtParams {
+            rounds: 200,
+            eta: 0.3,
+            objective: Objective::Tweedie { p: 1.5 },
+            max_depth: 6,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+/// A fitted boosted ensemble.
+#[derive(Debug)]
+pub struct GbtModel {
+    base: f64,
+    eta: f64,
+    objective: Objective,
+    trees: Vec<GradTree>,
+}
+
+impl GbtModel {
+    /// Fit with Newton boosting.
+    pub fn fit(data: &Dataset, params: &GbtParams) -> GbtModel {
+        assert!(!data.is_empty(), "cannot fit GBT on an empty dataset");
+        if !matches!(params.objective, Objective::SquaredError) {
+            assert!(
+                data.targets().iter().all(|&y| y > 0.0),
+                "Gamma/Tweedie objectives need strictly positive targets"
+            );
+        }
+        let n = data.len();
+        let sorted = SortedColumns::new(data);
+        let features: Vec<usize> = (0..data.nfeat()).collect();
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            min_child_weight: params.min_child_weight,
+            lambda: params.lambda,
+            gamma: params.gamma,
+        };
+        let base = params.objective.base_score(data.targets());
+        let mut score = vec![base; n];
+        let mut g = vec![0.0; n];
+        let mut h = vec![0.0; n];
+        let mut trees = Vec::with_capacity(params.rounds);
+        for _round in 0..params.rounds {
+            for i in 0..n {
+                let (gi, hi) = params.objective.grad(data.targets()[i], score[i]);
+                g[i] = gi;
+                h[i] = hi;
+            }
+            let tree = GradTree::fit(data, &sorted, &g, &h, &tree_params, &features, None);
+            for i in 0..n {
+                score[i] += params.eta * tree.predict(data.row(i));
+            }
+            trees.push(tree);
+        }
+        GbtModel { base, eta: params.eta, objective: params.objective, trees }
+    }
+
+    /// Predict the response for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut s = self.base;
+        for t in &self.trees {
+            s += self.eta * t.predict(x);
+        }
+        self.objective.response(s)
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if no trees were fitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+
+    fn synthetic_runtime_data() -> Dataset {
+        // Runtime-like surface: t = a + b·m/p + c·log(p), strictly
+        // positive, multiplicative structure.
+        let mut d = Dataset::new(3);
+        for mi in 0..12 {
+            let m = (1u64 << mi) as f64;
+            for p in [4.0f64, 8.0, 16.0, 32.0, 64.0] {
+                let t = 5.0 + 0.02 * m / p + 3.0 * p.ln();
+                d.push(&[m.ln(), p, m / p], t);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn tweedie_fits_runtime_surface() {
+        let d = synthetic_runtime_data();
+        let model = GbtModel::fit(&d, &GbtParams { rounds: 80, ..Default::default() });
+        let preds: Vec<f64> = (0..d.len()).map(|i| model.predict(d.row(i))).collect();
+        let err = mape(d.targets(), &preds);
+        assert!(err < 0.05, "training MAPE {err}");
+    }
+
+    #[test]
+    fn gamma_objective_also_fits() {
+        let d = synthetic_runtime_data();
+        let params = GbtParams { rounds: 80, objective: Objective::Gamma, ..Default::default() };
+        let model = GbtModel::fit(&d, &params);
+        let preds: Vec<f64> = (0..d.len()).map(|i| model.predict(d.row(i))).collect();
+        assert!(mape(d.targets(), &preds) < 0.05);
+        assert!(preds.iter().all(|&p| p > 0.0), "gamma predictions must be positive");
+    }
+
+    #[test]
+    fn squared_error_fits_linear_target() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push(&[i as f64], 2.0 * i as f64 + 1.0);
+        }
+        let params = GbtParams {
+            rounds: 100,
+            objective: Objective::SquaredError,
+            ..Default::default()
+        };
+        let model = GbtModel::fit(&d, &params);
+        assert!((model.predict(&[25.0]) - 51.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_error() {
+        let d = synthetic_runtime_data();
+        let short = GbtModel::fit(&d, &GbtParams { rounds: 5, ..Default::default() });
+        let long = GbtModel::fit(&d, &GbtParams { rounds: 100, ..Default::default() });
+        let err = |m: &GbtModel| {
+            let preds: Vec<f64> = (0..d.len()).map(|i| m.predict(d.row(i))).collect();
+            mape(d.targets(), &preds)
+        };
+        assert!(err(&long) < err(&short));
+        assert_eq!(long.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn tweedie_rejects_nonpositive_targets() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 0.0);
+        let _ = GbtModel::fit(&d, &GbtParams::default());
+    }
+
+    #[test]
+    fn positive_predictions_under_extrapolation() {
+        let d = synthetic_runtime_data();
+        let model = GbtModel::fit(&d, &GbtParams { rounds: 30, ..Default::default() });
+        // Far outside the training range: must stay positive and finite.
+        let p = model.predict(&[100.0, 10_000.0, 1e9]);
+        assert!(p.is_finite() && p > 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Minimal dense linear algebra: column-major matrices and a Cholesky
+//! solver — everything the GAM/linear fitters need, nothing more.
+
+// Index-based loops are clearer for these numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+/// A dense column-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major nested-slice literal (test convenience).
+    pub fn from_rows(rows: &[&[f64]]) -> Mat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut m = Mat::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column `j` as a slice (column-major storage makes this free).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// `self^T · self + penalty` (the normal-equations Gram matrix), with
+    /// rows optionally weighted: computes `Xᵀ W X` where `W = diag(w)`.
+    pub fn gram_weighted(&self, w: Option<&[f64]>) -> Mat {
+        let (n, d) = (self.rows, self.cols);
+        if let Some(w) = w {
+            assert_eq!(w.len(), n);
+        }
+        let mut g = Mat::zeros(d, d);
+        for j in 0..d {
+            let cj = self.col(j);
+            for k in j..d {
+                let ck = self.col(k);
+                let mut s = 0.0;
+                match w {
+                    Some(w) => {
+                        for i in 0..n {
+                            s += cj[i] * ck[i] * w[i];
+                        }
+                    }
+                    None => {
+                        for i in 0..n {
+                            s += cj[i] * ck[i];
+                        }
+                    }
+                }
+                g[(j, k)] = s;
+                g[(k, j)] = s;
+            }
+        }
+        g
+    }
+
+    /// `Xᵀ W z` for the normal equations right-hand side.
+    pub fn tmul_weighted(&self, z: &[f64], w: Option<&[f64]>) -> Vec<f64> {
+        let (n, d) = (self.rows, self.cols);
+        assert_eq!(z.len(), n);
+        let mut out = vec![0.0; d];
+        for j in 0..d {
+            let cj = self.col(j);
+            let mut s = 0.0;
+            match w {
+                Some(w) => {
+                    for i in 0..n {
+                        s += cj[i] * z[i] * w[i];
+                    }
+                }
+                None => {
+                    for i in 0..n {
+                        s += cj[i] * z[i];
+                    }
+                }
+            }
+            out[j] = s;
+        }
+        out
+    }
+
+    /// `X · beta`.
+    pub fn mul_vec(&self, beta: &[f64]) -> Vec<f64> {
+        assert_eq!(beta.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let c = self.col(j);
+            let b = beta[j];
+            if b != 0.0 {
+                for i in 0..self.rows {
+                    out[i] += c[i] * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Add `other` in place.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// Add `v` to the diagonal (ridge jitter).
+    pub fn add_diag(&mut self, v: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += v;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix;
+/// returns `None` if the matrix is not (numerically) SPD.
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factor `a = L·Lᵀ`.
+    pub fn new(a: &Mat) -> Option<Cholesky> {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "Cholesky needs a square matrix");
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return None;
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Some(Cholesky { l })
+    }
+
+    /// Solve `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        // Forward substitution: L·y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ·x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+}
+
+/// Solve the ridge-regularized SPD system `(A + jitter·I) x = b`,
+/// escalating the jitter until the factorization succeeds. Panics only if
+/// the system stays unsolvable at absurd regularization (non-finite
+/// inputs).
+pub fn solve_spd_with_jitter(a: &Mat, b: &[f64], base_jitter: f64) -> Vec<f64> {
+    let mut jitter = base_jitter.max(0.0);
+    for _ in 0..24 {
+        let mut m = a.clone();
+        if jitter > 0.0 {
+            m.add_diag(jitter);
+        }
+        if let Some(ch) = Cholesky::new(&m) {
+            let x = ch.solve(b);
+            if x.iter().all(|v| v.is_finite()) {
+                return x;
+            }
+        }
+        jitter = if jitter == 0.0 { 1e-10 } else { jitter * 10.0 };
+    }
+    panic!("solve_spd_with_jitter: system unsolvable even with jitter {jitter}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [2, 5/3... ] compute:
+        // 4x+2y=10, 2x+3y=9 → x=1.5, y=2.
+        let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&[10.0, 9.0]);
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigvals 3, -1
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn jitter_recovers_singular_system() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let x = solve_spd_with_jitter(&a, &[2.0, 2.0], 1e-8);
+        // Minimum-norm-ish solution: x0 + x1 ≈ 2.
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gram_and_tmul() {
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = x.gram_weighted(None);
+        assert!((g[(0, 0)] - 35.0).abs() < 1e-12);
+        assert!((g[(0, 1)] - 44.0).abs() < 1e-12);
+        assert!((g[(1, 1)] - 56.0).abs() < 1e-12);
+        let v = x.tmul_weighted(&[1.0, 1.0, 1.0], None);
+        assert_eq!(v, vec![9.0, 12.0]);
+        let w = x.tmul_weighted(&[1.0, 1.0, 1.0], Some(&[1.0, 0.0, 1.0]));
+        assert_eq!(w, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(x.mul_vec(&[1.0, -1.0]), vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    fn weighted_gram() {
+        let x = Mat::from_rows(&[&[1.0], &[2.0]]);
+        let g = x.gram_weighted(Some(&[2.0, 3.0]));
+        assert!((g[(0, 0)] - (2.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_random_spd_roundtrip() {
+        // Build SPD as MᵀM + I, check A·x(b) ≈ b.
+        let m = Mat::from_rows(&[
+            &[0.5, -1.2, 2.0],
+            &[1.1, 0.3, -0.7],
+            &[-0.4, 0.9, 1.5],
+            &[2.2, -0.1, 0.6],
+        ]);
+        let mut a = m.gram_weighted(None);
+        a.add_diag(1.0);
+        let b = [1.0, 2.0, 3.0];
+        let x = Cholesky::new(&a).unwrap().solve(&b);
+        // Verify residual.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in 0..3 {
+                s += a[(i, j)] * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Regression error metrics (the paper monitors MAE/RMSE while training;
+//! its headline metric — speed-up over the default selection — lives in
+//! `mpcp-core`).
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    (truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / truth.len() as f64)
+        .sqrt()
+}
+
+/// Mean absolute percentage error (truth values of zero are skipped).
+pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut s = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(pred) {
+        if t.abs() > 1e-30 {
+            s += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        s / n as f64
+    }
+}
+
+/// Coefficient of determination R².
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean: f64 = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    if ss_tot <= 0.0 {
+        if ss_res <= 1e-30 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(mape(&t, &t), 0.0);
+        assert_eq!(r2(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let t = [0.0, 2.0];
+        let p = [1.0, 1.0];
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - 1.0).abs() < 1e-12);
+        // mape skips the zero truth: |2-1|/2 = 0.5
+        assert!((mape(&t, &p) - 0.5).abs() < 1e-12);
+        // r2: mean=1, ss_tot=2, ss_res=2 → 0.
+        assert!((r2(&t, &p) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(r2(&[], &[]), 0.0);
+    }
+}

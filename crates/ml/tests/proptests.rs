@@ -1,0 +1,155 @@
+//! Property-based tests for the learners: structural invariants that
+//! must hold for any (reasonable) dataset.
+
+use proptest::prelude::*;
+
+use mpcp_ml::bspline::BsplineBasis;
+use mpcp_ml::cv::kfold_indices;
+use mpcp_ml::gbt::{GbtModel, GbtParams, Objective};
+use mpcp_ml::kdtree::KdTree;
+use mpcp_ml::knn::{KnnModel, KnnParams};
+use mpcp_ml::linalg::{solve_spd_with_jitter, Cholesky, Mat};
+use mpcp_ml::scaling::StandardScaler;
+use mpcp_ml::Dataset;
+
+fn dataset_2d(rows: &[(f64, f64, f64)]) -> Dataset {
+    let mut d = Dataset::new(2);
+    for &(a, b, y) in rows {
+        d.push(&[a, b], y);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_prediction_within_target_range(
+        rows in prop::collection::vec(
+            ((-100.0f64..100.0), (-100.0f64..100.0), (0.1f64..1000.0)), 2..60),
+        q in ((-200.0f64..200.0), (-200.0f64..200.0)),
+        k in 1usize..8,
+    ) {
+        let d = dataset_2d(&rows);
+        let model = KnnModel::fit(&d, &KnnParams { k, scale: true });
+        let p = model.predict(&[q.0, q.1]);
+        let lo = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+        let hi = rows.iter().map(|r| r.2).fold(0.0f64, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} not in [{lo},{hi}]");
+    }
+
+    #[test]
+    fn kdtree_matches_brute_force(
+        rows in prop::collection::vec(
+            ((-10.0f64..10.0), (-10.0f64..10.0), (0.0f64..1.0)), 1..80),
+        q in ((-12.0f64..12.0), (-12.0f64..12.0)),
+        k in 1usize..6,
+    ) {
+        let pts: Vec<(Vec<f64>, f64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (vec![r.0, r.1], i as f64))
+            .collect();
+        let tree = KdTree::build(pts.clone());
+        let got = tree.nearest(&[q.0, q.1], k);
+        let mut brute: Vec<f64> = pts
+            .iter()
+            .map(|(x, _)| (x[0] - q.0).powi(2) + (x[1] - q.1).powi(2))
+            .collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, (d2, _)) in got.iter().enumerate() {
+            prop_assert!((d2 - brute[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gbt_positive_objectives_predict_positive(
+        targets in prop::collection::vec(0.001f64..1e6, 4..40),
+        query in -50.0f64..50.0,
+    ) {
+        let mut d = Dataset::new(1);
+        for (i, &y) in targets.iter().enumerate() {
+            d.push(&[i as f64], y);
+        }
+        for objective in [Objective::Gamma, Objective::Tweedie { p: 1.5 }] {
+            let m = GbtModel::fit(&d, &GbtParams { rounds: 10, objective, ..Default::default() });
+            let p = m.predict(&[query]);
+            prop_assert!(p.is_finite() && p > 0.0, "{objective:?}: {p}");
+        }
+    }
+
+    #[test]
+    fn scaler_transform_is_affine_invertible(
+        rows in prop::collection::vec(((-1e6f64..1e6), (0.0f64..1.0)), 2..50),
+    ) {
+        let mut d = Dataset::new(2);
+        for &(a, b) in &rows {
+            d.push(&[a, b], 0.0);
+        }
+        let sc = StandardScaler::fit(&d);
+        // Affinity: t(x) - t(y) is proportional to x - y per coordinate.
+        let x = [rows[0].0, rows[0].1];
+        let y = [rows[1].0, rows[1].1];
+        let tx = sc.transform(&x);
+        let ty = sc.transform(&y);
+        let mid = [(x[0] + y[0]) / 2.0, (x[1] + y[1]) / 2.0];
+        let tm = sc.transform(&mid);
+        for i in 0..2 {
+            let expect = (tx[i] + ty[i]) / 2.0;
+            prop_assert!((tm[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kfold_partitions(n in 2usize..200, k in 2usize..8) {
+        let folds = kfold_indices(n, k);
+        let mut seen = vec![0u32; n];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), n);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(
+        vals in prop::collection::vec(-2.0f64..2.0, 9),
+        b in prop::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        // A = MᵀM + I is always SPD.
+        let m = Mat::from_rows(&[
+            &vals[0..3], &vals[3..6], &vals[6..9],
+        ]);
+        let mut a = m.gram_weighted(None);
+        a.add_diag(1.0);
+        let x = Cholesky::new(&a).unwrap().solve(&b);
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in 0..3 {
+                s += a[(i, j)] * x[j];
+            }
+            prop_assert!((s - b[i]).abs() < 1e-8);
+        }
+        // The jitter solver agrees on well-conditioned systems.
+        let x2 = solve_spd_with_jitter(&a, &b, 0.0);
+        for i in 0..3 {
+            prop_assert!((x[i] - x2[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bspline_partition_of_unity(
+        values in prop::collection::vec(-1000.0f64..1000.0, 2..100),
+        x in -2000.0f64..2000.0,
+        interior in 1usize..12,
+    ) {
+        if let Some(basis) = BsplineBasis::from_quantiles(&values, interior) {
+            let v = basis.eval(x);
+            let sum: f64 = v.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+            prop_assert!(v.iter().all(|&e| e >= -1e-12));
+        }
+    }
+}

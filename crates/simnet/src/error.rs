@@ -1,0 +1,53 @@
+//! Simulation errors.
+
+use std::fmt;
+
+use crate::topology::Rank;
+
+/// Errors produced while executing a set of rank programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Program count does not match the communicator size.
+    ProgramCountMismatch { programs: usize, ranks: u32 },
+    /// A program failed structural validation.
+    InvalidProgram { rank: Rank, reason: String },
+    /// The event queue drained while ranks were still blocked — the
+    /// schedule deadlocks (e.g. mismatched tags or missing sends).
+    Deadlock { blocked: Vec<Rank> },
+    /// A receive matched a message with a different byte count — the
+    /// schedule's send and receive sides disagree.
+    SizeMismatch {
+        src: Rank,
+        dst: Rank,
+        tag: u32,
+        sent: u64,
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ProgramCountMismatch { programs, ranks } => {
+                write!(f, "{programs} programs supplied for {ranks} ranks")
+            }
+            SimError::InvalidProgram { rank, reason } => {
+                write!(f, "invalid program for rank {rank}: {reason}")
+            }
+            SimError::Deadlock { blocked } => {
+                write!(
+                    f,
+                    "deadlock: {} rank(s) blocked forever (first few: {:?})",
+                    blocked.len(),
+                    &blocked[..blocked.len().min(8)]
+                )
+            }
+            SimError::SizeMismatch { src, dst, tag, sent, expected } => write!(
+                f,
+                "size mismatch {src}->{dst} tag {tag}: sent {sent} bytes, receiver expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

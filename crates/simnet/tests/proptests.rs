@@ -1,0 +1,154 @@
+//! Property-based tests for the discrete-event engine: any well-matched
+//! set of send/receive programs must complete without deadlock, conserve
+//! messages and bytes, and respect basic timing monotonicity.
+
+use proptest::prelude::*;
+
+use mpcp_simnet::program::SegInstr;
+use mpcp_simnet::{Instr, Machine, NetworkModel, Program, SimTime, Simulator, Topology};
+
+fn any_model() -> impl Strategy<Value = NetworkModel> {
+    (0..3usize).prop_map(|i| Machine::all()[i].model.clone())
+}
+
+/// A random matched communication pattern: a list of (src, dst, bytes,
+/// tag) messages; receivers post in the same per-(src,dst) order.
+fn matched_pattern(p: u32) -> impl Strategy<Value = Vec<(u32, u32, u64, u32)>> {
+    prop::collection::vec(
+        (0..p, 0..p, 1u64..200_000, 0u32..4),
+        1..20,
+    )
+    .prop_map(move |v| {
+        v.into_iter()
+            .filter(|(s, d, _, _)| s != d)
+            .enumerate()
+            // Disambiguate tags per (src,dst) pair so sizes can't cross.
+            .map(|(i, (s, d, b, t))| (s, d, b, t + 8 * i as u32))
+            .collect()
+    })
+}
+
+fn programs_for(p: u32, msgs: &[(u32, u32, u64, u32)]) -> Vec<Program> {
+    let mut progs: Vec<Vec<Instr>> = vec![Vec::new(); p as usize];
+    // Senders in message order; receivers post in the same global order
+    // (pairwise FIFO keeps this deadlock-free for eager AND rendezvous
+    // because every blocking recv's matching send is already posted or
+    // will be posted without depending on this recv).
+    for &(s, d, b, t) in msgs {
+        progs[s as usize].push(Instr::ISend { peer: d, bytes: b, tag: t });
+        progs[d as usize].push(Instr::IRecv { peer: s, bytes: b, tag: t });
+    }
+    for prog in &mut progs {
+        prog.push(Instr::WaitAll);
+    }
+    progs.into_iter().map(Program::from_instrs).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matched_nonblocking_patterns_complete(
+        model in any_model(),
+        nodes in 1u32..5,
+        ppn in 1u32..5,
+        pattern in matched_pattern(16),
+    ) {
+        let topo = Topology::new(nodes, ppn);
+        let p = topo.size();
+        let msgs: Vec<_> = pattern.into_iter()
+            .filter(|&(s, d, _, _)| s < p && d < p && s != d)
+            .collect();
+        let progs = programs_for(p, &msgs);
+        let result = Simulator::new(&model, &topo).run(&progs).unwrap();
+        // Conservation: every message delivered, bytes add up.
+        prop_assert_eq!(result.messages, msgs.len() as u64);
+        let total: u64 = msgs.iter().map(|m| m.2).sum();
+        prop_assert_eq!(result.bytes_inter + result.bytes_intra, total);
+        let recv_total: u64 = result.recv_bytes.iter().sum();
+        prop_assert_eq!(recv_total, total);
+        let sent_total: u64 = result.sent_bytes.iter().sum();
+        prop_assert_eq!(sent_total, total);
+    }
+
+    #[test]
+    fn bigger_messages_never_finish_faster(
+        model in any_model(),
+        bytes in 1u64..1_000_000,
+    ) {
+        let topo = Topology::new(2, 1);
+        let run = |b: u64| {
+            let progs = vec![
+                Program::from_instrs(vec![Instr::send(1, b, 0)]),
+                Program::from_instrs(vec![Instr::recv(0, b, 0)]),
+            ];
+            Simulator::new(&model, &topo).run(&progs).unwrap().makespan()
+        };
+        prop_assert!(run(2 * bytes) >= run(bytes));
+    }
+
+    #[test]
+    fn skew_delays_by_at_most_the_skew(
+        model in any_model(),
+        skew_us in 0.0f64..500.0,
+    ) {
+        let topo = Topology::new(2, 2);
+        let progs = vec![
+            Program::from_instrs(vec![Instr::send(2, 5000, 0)]),
+            Program::empty(),
+            Program::from_instrs(vec![Instr::recv(0, 5000, 0)]),
+            Program::empty(),
+        ];
+        let sim = Simulator::new(&model, &topo);
+        let base = sim.run(&progs).unwrap().makespan();
+        let skew = SimTime::from_micros_f64(skew_us);
+        let skewed = sim
+            .run_with_skew(&progs, &[skew, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO])
+            .unwrap()
+            .makespan();
+        prop_assert!(skewed >= base);
+        prop_assert!(skewed.picos() <= base.picos() + skew.picos());
+    }
+
+    #[test]
+    fn segmented_loop_volume_is_exact(
+        total in 1u64..2_000_000,
+        seg in 1u64..100_000,
+    ) {
+        let model = Machine::hydra().model;
+        let topo = Topology::new(2, 1);
+        let progs = vec![
+            Program::from_instrs(vec![Instr::seg_loop(total, seg, vec![SegInstr::Send {
+                peer: 1,
+                tag_base: 0,
+            }])]),
+            Program::from_instrs(vec![Instr::seg_loop(total, seg, vec![SegInstr::Recv {
+                peer: 0,
+                tag_base: 0,
+            }])]),
+        ];
+        let r = Simulator::new(&model, &topo).run(&progs).unwrap();
+        prop_assert_eq!(r.recv_bytes[1], total);
+        prop_assert_eq!(r.messages as u64, total.div_ceil(seg));
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        nodes in 1u32..4,
+        ppn in 1u32..4,
+        pattern in matched_pattern(9),
+    ) {
+        let model = Machine::jupiter().model;
+        let topo = Topology::new(nodes, ppn);
+        let p = topo.size();
+        let msgs: Vec<_> = pattern.into_iter()
+            .filter(|&(s, d, _, _)| s < p && d < p && s != d)
+            .collect();
+        let progs = programs_for(p, &msgs);
+        let sim = Simulator::new(&model, &topo);
+        let a = sim.run(&progs).unwrap();
+        let b = sim.run(&progs).unwrap();
+        prop_assert_eq!(a.finish, b.finish);
+        prop_assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,59 @@
+//! Autotuning workflow (the paper's Section II deployment story):
+//! benchmark once per machine, then — when a SLURM allocation is known —
+//! query the models for a handful of message sizes and emit a tuning
+//! file that overrides the MPI library's algorithm selection.
+//!
+//! ```sh
+//! cargo run --release --example autotune_bcast
+//! ```
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
+use mpcp_collectives::Collective;
+use mpcp_core::tuning_file::{default_query_sizes, TuningFile};
+use mpcp_core::{splits, Selector};
+use mpcp_ml::Learner;
+use mpcp_simnet::Machine;
+
+fn main() {
+    // Offline phase: benchmark the machine (here: a reduced grid so the
+    // example runs in seconds).
+    let spec = DatasetSpec {
+        id: "autotune",
+        coll: Collective::Bcast,
+        lib: LibKind::OpenMpi,
+        machine: Machine::hydra(),
+        nodes: vec![4, 8, 16, 24],
+        ppn: vec![1, 8, 16, 32],
+        msizes: vec![16, 256, 4 << 10, 64 << 10, 512 << 10, 2 << 20],
+        seed: 7,
+    };
+    let library = spec.library(None);
+    println!("offline benchmarking: {} cells ...", spec.sample_count(&library));
+    let data = spec.generate(&library, &BenchConfig::quick());
+
+    let train = splits::filter_records(&data.records, &spec.nodes);
+    let selector = Selector::train(&Learner::xgboost(), &train, library.configs(spec.coll));
+
+    // Online phase: SLURM hands us 12 nodes x 16 ppn (never benchmarked).
+    let (nodes, ppn) = (12u32, 16u32);
+    let t0 = std::time::Instant::now();
+    let tf = TuningFile::generate(
+        &selector,
+        library.configs(spec.coll),
+        Collective::Bcast,
+        nodes,
+        ppn,
+        &default_query_sizes(),
+    );
+    let query_time = t0.elapsed();
+    println!(
+        "\ngenerated tuning file for {nodes} x {ppn} in {:.1} ms ({} queries):\n",
+        query_time.as_secs_f64() * 1e3,
+        default_query_sizes().len()
+    );
+    print!("{}", tf.render());
+
+    let path = std::env::temp_dir().join("mpcp_bcast.tune");
+    tf.write(&path).expect("write tuning file");
+    println!("\nwritten to {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Learner comparison — including the baselines the paper *rejected*
+//! (random forest from the authors' earlier PMBS'18 work, and linear
+//! regression): cross-validated prediction error and end-to-end
+//! selection quality on one dataset.
+//!
+//! ```sh
+//! cargo run --release --example compare_learners
+//! ```
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
+use mpcp_collectives::Collective;
+use mpcp_core::{evaluate, mean_speedup, splits, Selector};
+use mpcp_ml::cv::cv_mape;
+use mpcp_ml::{Dataset, Learner};
+use mpcp_simnet::Machine;
+
+fn main() {
+    let spec = DatasetSpec {
+        id: "compare",
+        coll: Collective::Allreduce,
+        lib: LibKind::OpenMpi,
+        machine: Machine::jupiter(),
+        nodes: vec![4, 6, 8, 12, 16, 20],
+        ppn: vec![1, 4, 8, 16],
+        msizes: vec![16, 1 << 10, 16 << 10, 128 << 10, 1 << 20],
+        seed: 99,
+    };
+    let library = spec.library(None);
+    println!("benchmarking {} cells ...", spec.sample_count(&library));
+    let data = spec.generate(&library, &BenchConfig::quick());
+
+    let train = splits::filter_records(&data.records, &[4, 8, 16, 20]);
+    let test = splits::filter_records(&data.records, &[6, 12]);
+
+    // Per-configuration regression quality (5-fold CV on one config's
+    // records), plus end-to-end selection quality.
+    let probe_uid = 2; // recursive doubling
+    let mut probe = Dataset::new(4);
+    for r in train.iter().filter(|r| r.uid == probe_uid) {
+        probe.push(
+            &[
+                ((r.msize + 1) as f64).log2(),
+                r.nodes as f64,
+                r.ppn as f64,
+                (r.nodes * r.ppn) as f64,
+            ],
+            (r.runtime * 1e6).max(1e-3),
+        );
+    }
+
+    println!(
+        "\n{:<14} {:>12} {:>14} {:>16}",
+        "learner", "cv MAPE", "mean speedup", "norm. runtime"
+    );
+    for learner in [
+        Learner::knn(),
+        Learner::gam(),
+        Learner::xgboost(),
+        Learner::forest(),
+        Learner::linear(),
+    ] {
+        let err = cv_mape(&probe, &learner, 5);
+        let selector = Selector::train(&learner, &train, library.configs(spec.coll));
+        let evals = evaluate(&selector, &test, &library, spec.coll);
+        let speedup = mean_speedup(&evals);
+        let norm: f64 =
+            evals.iter().map(|e| e.normalized_predicted()).sum::<f64>() / evals.len() as f64;
+        println!(
+            "{:<14} {:>11.1}% {:>14.2} {:>16.2}",
+            learner.name(),
+            err * 100.0,
+            speedup,
+            norm
+        );
+    }
+    println!("\n(The paper keeps KNN/GAM/XGBoost and rejects forests and linear");
+    println!(" models; 'norm. runtime' is relative to the exhaustive best = 1.0.)");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: simulate MPI collectives, benchmark a small grid, train a
+//! runtime-regression selector, and ask it for the best broadcast
+//! algorithm on an unseen node count.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
+use mpcp_collectives::{AlgKind, Collective};
+use mpcp_core::{splits, Instance, Selector};
+use mpcp_ml::Learner;
+use mpcp_simnet::{Machine, Simulator, Topology};
+
+fn main() {
+    // --- 1. Simulate a single collective by hand. -----------------------
+    let machine = Machine::hydra();
+    let topo = Topology::new(8, 16); // 8 nodes x 16 ppn = 128 ranks
+    let msize = 1 << 20; // 1 MiB broadcast
+    let sim = Simulator::new(&machine.model, &topo);
+
+    for kind in [
+        AlgKind::BcastLinear,
+        AlgKind::BcastBinomial { seg: 0 },
+        AlgKind::BcastChain { chains: 4, seg: 64 << 10 },
+    ] {
+        let programs = kind.build(&topo, msize);
+        let result = sim.run(&programs).expect("schedule deadlocked?");
+        println!(
+            "{:<32} {:>10.1} us   ({} messages, {:.1} MiB over the fabric)",
+            format!("{}({})", kind.family(), kind.param_string()),
+            result.makespan().as_micros_f64(),
+            result.messages,
+            result.bytes_inter as f64 / (1 << 20) as f64
+        );
+    }
+
+    // --- 2. Benchmark a small grid and train a selector. ----------------
+    let spec = DatasetSpec {
+        id: "quickstart",
+        coll: Collective::Bcast,
+        lib: LibKind::OpenMpi,
+        machine: Machine::hydra(),
+        nodes: vec![2, 4, 6, 8],
+        ppn: vec![1, 8, 16],
+        msizes: vec![16, 1 << 10, 16 << 10, 256 << 10, 1 << 20],
+        seed: 1,
+    };
+    let library = spec.library(None);
+    println!(
+        "\nbenchmarking {} cells ({} bcast configurations) ...",
+        spec.sample_count(&library),
+        library.configs(spec.coll).len()
+    );
+    let data = spec.generate(&library, &BenchConfig::quick());
+
+    // Train on nodes {2, 4, 8}; node 6 stays unseen.
+    let train = splits::filter_records(&data.records, &[2, 4, 8]);
+    let selector = Selector::train(&Learner::gam(), &train, library.configs(spec.coll));
+
+    // --- 3. Query for an unseen allocation. ------------------------------
+    let configs = library.configs(spec.coll);
+    println!("\npredictions for the unseen allocation 6 nodes x 16 ppn:");
+    for m in [16u64, 16 << 10, 1 << 20] {
+        let inst = Instance::new(Collective::Bcast, m, 6, 16);
+        let (uid, pred_us) = selector.select(&inst);
+        let default_uid = library.default_choice(Collective::Bcast, m, &Topology::new(6, 16));
+        println!(
+            "  m = {:>8} B:  predicted {} (~{:.1} us)   [library default would be {}]",
+            m,
+            configs[uid as usize].label(),
+            pred_us,
+            configs[default_uid].label()
+        );
+    }
+}

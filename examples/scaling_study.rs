@@ -1,0 +1,79 @@
+//! Scaling study: how the *predicted best algorithm* changes with node
+//! count and message size — the crossover structure that makes static
+//! defaults lose. Also shows prediction generalizing to node counts the
+//! benchmark never visited (the paper's odd/even test protocol).
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
+use mpcp_collectives::Collective;
+use mpcp_core::{splits, Instance, RuntimeTable, Selector};
+use mpcp_ml::Learner;
+use mpcp_simnet::Machine;
+
+fn main() {
+    let all_nodes: Vec<u32> = vec![2, 3, 4, 6, 8, 10, 12, 14, 16];
+    let train_nodes = [2u32, 4, 8, 12, 16];
+    let test_nodes = [3u32, 6, 10, 14];
+
+    let spec = DatasetSpec {
+        id: "scaling",
+        coll: Collective::Bcast,
+        lib: LibKind::OpenMpi,
+        machine: Machine::hydra(),
+        nodes: all_nodes,
+        ppn: vec![8],
+        msizes: vec![16, 1 << 10, 16 << 10, 256 << 10, 4 << 20],
+        seed: 5,
+    };
+    let library = spec.library(None);
+    println!("benchmarking {} cells ...", spec.sample_count(&library));
+    let data = spec.generate(&library, &BenchConfig::quick());
+
+    let train = splits::filter_records(&data.records, &train_nodes);
+    let selector = Selector::train(&Learner::gam(), &train, library.configs(spec.coll));
+    let table = RuntimeTable::new(&data.records);
+    let configs = library.configs(spec.coll);
+
+    println!("\npredicted best broadcast algorithm id (ppn = 8), * = unseen node count:\n");
+    print!("{:>10}", "msize\\n");
+    for &n in &spec.nodes {
+        let marker = if test_nodes.contains(&n) { "*" } else { " " };
+        print!("{:>7}{marker}", n);
+    }
+    println!();
+    for &m in &spec.msizes {
+        print!("{:>10}", m);
+        for &n in &spec.nodes {
+            let inst = Instance::new(Collective::Bcast, m, n, 8);
+            let (uid, _) = selector.select(&inst);
+            print!("{:>8}", configs[uid as usize].alg_id);
+        }
+        println!();
+    }
+
+    println!("\nprediction quality on unseen node counts:");
+    for &n in &test_nodes {
+        let mut worst: f64 = 1.0;
+        let mut mean = 0.0;
+        let mut count = 0;
+        for &m in &spec.msizes {
+            let inst = Instance::new(Collective::Bcast, m, n, 8);
+            let Some((_, best)) = table.best(&inst) else { continue };
+            let (uid, _) = selector.select(&inst);
+            let t = table.runtime(&inst, uid).unwrap();
+            let norm = t / best;
+            worst = worst.max(norm);
+            mean += norm;
+            count += 1;
+        }
+        println!(
+            "  n = {:>2}: mean normalized runtime {:.2}, worst {:.2} (1.0 = exhaustive best)",
+            n,
+            mean / count as f64,
+            worst
+        );
+    }
+}

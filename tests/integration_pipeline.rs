@@ -1,0 +1,75 @@
+//! End-to-end pipeline integration: simulate → benchmark → train →
+//! select → evaluate, across all three paper learners, on a miniature
+//! dataset (kept small so the suite runs quickly in debug builds).
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec};
+use mpcp_core::{evaluate, mean_speedup, splits, Instance, Selector};
+use mpcp_ml::Learner;
+
+#[test]
+fn full_pipeline_runs_for_all_paper_learners() {
+    let spec = DatasetSpec::tiny_for_tests();
+    let library = spec.library(None);
+    let data = spec.generate(&library, &BenchConfig::quick());
+    assert_eq!(data.records.len(), spec.sample_count(&library));
+
+    let train = splits::filter_records(&data.records, &[2, 4]);
+    let test = splits::filter_records(&data.records, &[3]);
+    assert!(!train.is_empty() && !test.is_empty());
+
+    for (name, learner) in Learner::paper_learners() {
+        let selector = Selector::train(&learner, &train, library.configs(spec.coll));
+        let evals = evaluate(&selector, &test, &library, spec.coll);
+        assert!(!evals.is_empty(), "{name}: no evaluations");
+        for e in &evals {
+            // Exhaustive best is a lower bound for both strategies.
+            assert!(e.best <= e.default + 1e-15, "{name}: {e:?}");
+            assert!(e.best <= e.predicted + 1e-15, "{name}: {e:?}");
+            assert!(e.speedup().is_finite());
+        }
+        let s = mean_speedup(&evals);
+        // On a tiny grid the selector must at least be in the same league
+        // as the default heuristic.
+        assert!(s > 0.4, "{name}: mean speedup {s}");
+    }
+}
+
+#[test]
+fn selector_generalizes_across_node_counts() {
+    // Train including the largest/smallest nodes, query strictly inside.
+    let spec = DatasetSpec::tiny_for_tests();
+    let library = spec.library(None);
+    let data = spec.generate(&library, &BenchConfig::quick());
+    let selector = Selector::train(&Learner::knn(), &data.records, library.configs(spec.coll));
+    for m in [16u64, 4 << 10, 256 << 10] {
+        let inst = Instance::new(spec.coll, m, 3, 2);
+        let (uid, pred) = selector.select(&inst);
+        assert!(pred > 0.0);
+        assert!((uid as usize) < library.configs(spec.coll).len());
+    }
+}
+
+#[test]
+fn small_and_large_training_sets_give_similar_quality() {
+    // The paper's Table IV(b) point: a reduced training set is almost as
+    // good as the full one.
+    let spec = DatasetSpec::tiny_for_tests();
+    let library = spec.library(None);
+    let data = spec.generate(&library, &BenchConfig::quick());
+    let test = splits::filter_records(&data.records, &[3]);
+
+    let full = splits::filter_records(&data.records, &[2, 4]);
+    let small = splits::filter_records(&data.records, &[2]);
+
+    let s_full = {
+        let sel = Selector::train(&Learner::knn(), &full, library.configs(spec.coll));
+        mean_speedup(&evaluate(&sel, &test, &library, spec.coll))
+    };
+    let s_small = {
+        let sel = Selector::train(&Learner::knn(), &small, library.configs(spec.coll));
+        mean_speedup(&evaluate(&sel, &test, &library, spec.coll))
+    };
+    assert!(s_full.is_finite() && s_small.is_finite());
+    // Within a factor 2 of each other on this miniature grid.
+    assert!(s_small > 0.5 * s_full, "small {s_small} vs full {s_full}");
+}

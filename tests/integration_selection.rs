@@ -1,0 +1,98 @@
+//! Library-level integration: every registered algorithm configuration
+//! of both simulated MPI libraries builds, runs deadlock-free on the
+//! simulator, and satisfies its collective's volume invariants; the
+//! default decision logics always pick valid configurations.
+
+use mpcp_collectives::decision::TuningGrid;
+use mpcp_collectives::{verify, Collective, MpiLibrary};
+use mpcp_simnet::{Machine, Simulator, Topology};
+
+#[test]
+fn every_open_mpi_config_satisfies_collective_invariants() {
+    let lib = MpiLibrary::open_mpi_4_0_2();
+    let machine = Machine::hydra();
+    for (nodes, ppn) in [(2u32, 2u32), (3, 2)] {
+        let topo = Topology::new(nodes, ppn);
+        let sim = Simulator::new(&machine.model, &topo);
+        for coll in Collective::ALL {
+            let m = if coll == Collective::Alltoall { 4096 } else { 65536 };
+            for cfg in lib.configs(coll) {
+                let progs = cfg.build(&topo, m);
+                let result = sim
+                    .run(&progs)
+                    .unwrap_or_else(|e| panic!("{} on {nodes}x{ppn}: {e}", cfg.label()));
+                verify::check(coll, &topo, m, &result)
+                    .unwrap_or_else(|e| panic!("{} on {nodes}x{ppn}: {e}", cfg.label()));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_intel_config_satisfies_collective_invariants() {
+    let machine = Machine::jupiter();
+    let lib = MpiLibrary::intel_mpi_2019(&machine, TuningGrid::tiny());
+    let topo = Topology::new(3, 2);
+    let sim = Simulator::new(&machine.model, &topo);
+    for coll in Collective::ALL {
+        let m = if coll == Collective::Alltoall { 2048 } else { 32768 };
+        for cfg in lib.configs(coll) {
+            let progs = cfg.build(&topo, m);
+            let result = sim.run(&progs).unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+            verify::check(coll, &topo, m, &result)
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+        }
+    }
+}
+
+#[test]
+fn default_logics_cover_the_paper_grids() {
+    // The Open MPI fixed rules must return a valid, runnable config for
+    // every instance in the d1/d2-style grids.
+    let lib = MpiLibrary::open_mpi_4_0_2();
+    let machine = Machine::hydra();
+    for coll in Collective::ALL {
+        for &n in &[2u32, 4, 7, 13, 36] {
+            for &ppn in &[1u32, 16, 32] {
+                let topo = Topology::new(n, ppn);
+                for &m in &[1u64, 256, 4096, 65536, 1 << 20, 4 << 20] {
+                    let uid = lib.default_choice(coll, m, &topo);
+                    let cfg = &lib.configs(coll)[uid];
+                    assert!(!cfg.excluded);
+                    // Spot-check that it actually runs on a small topo.
+                    if n <= 4 && ppn <= 16 && m <= 65536 {
+                        let progs = cfg.build(&topo, m);
+                        Simulator::new(&machine.model, &topo)
+                            .run(&progs)
+                            .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn intel_default_is_near_optimal_on_its_tuning_grid() {
+    // The vendor sweep tunes on the same machine, so on tuned grid
+    // points the default must match the exhaustive best exactly
+    // (noise-free simulator, same grid).
+    let machine = Machine::hydra();
+    let lib =
+        MpiLibrary::intel_mpi_2019_for(&machine, TuningGrid::tiny(), &[Collective::Allreduce]);
+    let topo = Topology::new(4, 2);
+    let sim = Simulator::new(&machine.model, &topo);
+    for &m in &[16u64, 16 << 10, 1 << 20] {
+        let uid = lib.default_choice(Collective::Allreduce, m, &topo);
+        let t_default =
+            sim.run(&lib.build(Collective::Allreduce, uid, &topo, m)).unwrap().makespan();
+        let t_best = lib
+            .selectable(Collective::Allreduce)
+            .map(|(i, _)| {
+                sim.run(&lib.build(Collective::Allreduce, i, &topo, m)).unwrap().makespan()
+            })
+            .min()
+            .unwrap();
+        assert_eq!(t_default, t_best, "m={m}");
+    }
+}
