@@ -1,12 +1,27 @@
 //! Prediction latency of a trained selector — the paper's Section II
 //! notes offline use tolerates seconds while online use needs
-//! microseconds; this measures where each learner lands.
+//! microseconds; this measures where each learner lands, for both the
+//! scalar `select` path and the batched `select_batch` path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpcp_bench::trained_selector;
 use mpcp_collectives::Collective;
 use mpcp_core::Instance;
 use mpcp_ml::Learner;
+
+/// A block of query instances spanning the message-size/scale grid.
+fn query_block(n: usize) -> Vec<Instance> {
+    (0..n)
+        .map(|i| {
+            Instance::new(
+                Collective::Allreduce,
+                1u64 << (4 + (i % 16)),
+                2 + (i % 7) as u32,
+                1 + (i % 8) as u32,
+            )
+        })
+        .collect()
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("selector_prediction_latency");
@@ -18,6 +33,26 @@ fn bench(c: &mut Criterion) {
             b.iter(|| selector.select(std::hint::black_box(&inst)))
         });
     }
+    g.finish();
+
+    // Batched selection throughput: the same argmin over a block of
+    // instances, scalar loop vs `select_batch`.
+    let selector = trained_selector(&Learner::xgboost());
+    let block = query_block(512);
+    let mut g = c.benchmark_group("selector_batch_512");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(block.len() as u64));
+    g.bench_function("select_loop", |b| {
+        b.iter(|| {
+            std::hint::black_box(&block)
+                .iter()
+                .map(|i| selector.select(i))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("select_batch", |b| {
+        b.iter(|| selector.select_batch(std::hint::black_box(&block)))
+    });
     g.finish();
 }
 

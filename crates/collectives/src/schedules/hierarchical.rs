@@ -188,7 +188,7 @@ pub fn bcast_double_tree(topo: &Topology, msize: u64, seg: u64) -> Vec<Program> 
         // would deadlock: a rank can be interior in one tree and a
         // descendant of its own child in the other.)
         let vm = mirror(rank); // rank == mirror(vm)
-        let b_parent = trees::binary_parent(vm).map(|q| mirror(q));
+        let b_parent = trees::binary_parent(vm).map(mirror);
         if let Some(bp) = b_parent {
             body.push(SegInstr::IRecv { peer: bp, tag_base: tb });
         }

@@ -95,6 +95,44 @@ impl Selector {
             .expect("selector has no trained models")
     }
 
+    /// Batched selection: the argmin rule of [`Selector::select`]
+    /// applied to a block of instances at once.
+    ///
+    /// The feature matrix is assembled once (row-major), every model
+    /// evaluates the whole block through its batch kernel — models in
+    /// parallel — and a final pass folds the per-model prediction rows
+    /// into one argmin per instance. Agrees elementwise with calling
+    /// [`Selector::select`] in a loop (ties broken toward the lower
+    /// uid, which is also the order `predict_all` yields).
+    pub fn select_batch(&self, instances: &[Instance]) -> Vec<(u32, f64)> {
+        let mut xs = Vec::with_capacity(instances.len() * NUM_FEATURES);
+        for inst in instances {
+            xs.extend_from_slice(&inst.features());
+        }
+        let per_model: Vec<Option<Vec<f64>>> = self
+            .models
+            .par_iter()
+            .map(|m| m.as_ref().map(|m| m.predict_batch(&xs, NUM_FEATURES)))
+            .collect();
+        let mut best: Vec<(u32, f64)> = vec![(u32::MAX, f64::INFINITY); instances.len()];
+        for (uid, preds) in per_model.iter().enumerate() {
+            let Some(preds) = preds else { continue };
+            for (b, &p) in best.iter_mut().zip(preds) {
+                // `<=` mirrors `Iterator::min_by`, which keeps the LAST
+                // of equally minimal elements — so exact-tie behavior
+                // matches the scalar `select` path.
+                if p <= b.1 {
+                    *b = (uid as u32, p);
+                }
+            }
+        }
+        assert!(
+            instances.is_empty() || best[0].0 != u32::MAX,
+            "selector has no trained models"
+        );
+        best
+    }
+
     /// Name of the underlying learner ("KNN", "GAM", "XGBoost", ...).
     pub fn learner_name(&self) -> &'static str {
         self.learner_name

@@ -69,6 +69,32 @@ proptest! {
     }
 
     #[test]
+    fn select_batch_matches_looped_select(
+        n_uids in 2u32..6,
+        queries in prop::collection::vec(
+            (prop::sample::select(vec![64u64, 1024, 65_536, 262_144]), 2u32..8, 1u32..4),
+            1..40),
+        learner_idx in 0usize..3,
+    ) {
+        let records = synth_records(n_uids);
+        let cfgs = configs(n_uids);
+        let learner = [Learner::knn(), Learner::gam(), Learner::xgboost()][learner_idx];
+        let selector = Selector::train(&learner, &records, &cfgs);
+        let instances: Vec<Instance> = queries
+            .iter()
+            .map(|&(m, nodes, ppn)| Instance::new(Collective::Bcast, m, nodes, ppn))
+            .collect();
+        let batch = selector.select_batch(&instances);
+        prop_assert_eq!(batch.len(), instances.len());
+        for (i, inst) in instances.iter().enumerate() {
+            let (uid, pred) = selector.select(inst);
+            prop_assert_eq!(batch[i].0, uid, "instance {} chose a different uid", i);
+            prop_assert!(batch[i].1 == pred,
+                "instance {}: batch pred {} vs scalar {}", i, batch[i].1, pred);
+        }
+    }
+
+    #[test]
     fn runtime_table_best_is_global_minimum(
         n_uids in 2u32..6,
     ) {

@@ -1,0 +1,314 @@
+//! Flattened (structure-of-arrays) tree ensembles for batched
+//! inference.
+//!
+//! [`crate::tree::GradTree`] stores nodes as a `Vec` of structs, which
+//! is fine for growing but wasteful to traverse: every hop loads a
+//! 40-byte node to use at most 16 bytes of it. [`FlatTrees`] re-packs an
+//! ensemble into 16-byte traversal nodes (threshold + feature + left
+//! child) plus a separate leaf-value array, all trees concatenated,
+//! exploiting the builder invariant that a node's right child directly
+//! follows its left child — so only the left index is stored and
+//! `right = left + 1`.
+//!
+//! Leaves are encoded as **self-loops**: a leaf routes every row back
+//! to itself (`feat = 0`, `thresh = +∞`, `left = self`). Together with
+//! the stored per-tree depth this removes the am-I-at-a-leaf branch
+//! from batched traversal entirely: stepping any cursor exactly
+//! `depth` times is guaranteed to land (and stay) on its leaf, so
+//! [`FlatTrees::predict_batch_into`] walks a block of rows in lockstep
+//! with no data-dependent branches — the block's loads overlap instead
+//! of serializing on one row's (unpredictable) branch pattern.
+//!
+//! Feature values must not be NaN: a NaN comparison would step a
+//! parked cursor off its leaf. (The growers never produce NaN
+//! thresholds, and the paper's feature pipeline is NaN-free.)
+
+use crate::tree::{GradTree, LEAF};
+
+/// Rows traversed in lockstep per block by the batched kernel. Big
+/// enough to hide load latency behind independent work, small enough
+/// that cursor state stays in registers.
+const BLOCK: usize = 16;
+
+/// One traversal node, packed to 16 bytes so a hop is a single
+/// cache-friendly load (leaf values live in a separate array — they are
+/// only read once per tree, at the end of the walk).
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    /// Split threshold (`x[feat] <= thresh` routes left); leaves store
+    /// `+∞` so every comparison routes "left".
+    thresh: f64,
+    /// Split feature; leaves store 0 (self-loop encoding).
+    feat: u32,
+    /// Absolute index of the left child (right child is `left + 1`);
+    /// leaves store their own index, so `left == self` identifies a leaf
+    /// and traversal parks there.
+    left: u32,
+}
+
+/// An ensemble of regression trees packed into parallel arrays.
+#[derive(Clone, Debug, Default)]
+pub struct FlatTrees {
+    /// Traversal nodes for all trees, concatenated.
+    nodes: Vec<Node>,
+    /// Leaf value per node (already scaled by the caller's factor).
+    value: Vec<f64>,
+    /// Root node index of each tree.
+    roots: Vec<u32>,
+    /// Depth of each tree: traversal steps that guarantee leaf arrival.
+    depth: Vec<u32>,
+    /// Largest split-feature index across all nodes; lets
+    /// [`FlatTrees::predict_batch_into`] validate feature accesses once
+    /// per call instead of once per traversal step.
+    max_feat: u32,
+}
+
+impl FlatTrees {
+    /// Flatten an ensemble, scaling every leaf value by `scale`
+    /// (boosters pass the learning rate so prediction is a plain sum).
+    pub fn from_trees<'a>(trees: impl IntoIterator<Item = &'a GradTree>, scale: f64) -> FlatTrees {
+        let mut flat = FlatTrees::default();
+        let mut stack: Vec<(usize, u32)> = Vec::new();
+        for tree in trees {
+            let base = flat.nodes.len() as u32;
+            flat.roots.push(base);
+            for (i, node) in tree.nodes.iter().enumerate() {
+                let leaf = node.left == LEAF;
+                if !leaf {
+                    // The growers allocate children adjacently and
+                    // in-range; the packed layout (and the unchecked
+                    // batch traversal) depend on it.
+                    debug_assert_eq!(node.right, node.left + 1, "node {i} children not adjacent");
+                    assert!((node.right as usize) < tree.nodes.len(), "node {i} child out of range");
+                    flat.max_feat = flat.max_feat.max(node.feat);
+                }
+                flat.nodes.push(Node {
+                    thresh: if leaf { f64::INFINITY } else { node.thresh },
+                    feat: if leaf { 0 } else { node.feat },
+                    left: if leaf { base + i as u32 } else { base + node.left },
+                });
+                flat.value.push(node.value * scale);
+            }
+            // Tree depth = the step count after which every cursor has
+            // reached (and self-loops on) a leaf.
+            let mut maxd = 0u32;
+            stack.clear();
+            stack.push((base as usize, 0));
+            while let Some((i, d)) = stack.pop() {
+                let l = flat.nodes[i].left as usize;
+                if l == i {
+                    maxd = maxd.max(d);
+                } else {
+                    stack.push((l, d + 1));
+                    stack.push((l + 1, d + 1));
+                }
+            }
+            flat.depth.push(maxd);
+        }
+        flat
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total node count across trees.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sum of (scaled) leaf values over all trees for one row.
+    #[inline]
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        self.predict_one_from(x, 0.0)
+    }
+
+    /// Like [`FlatTrees::predict_one`] but accumulates onto `init`,
+    /// using the same summation order as [`FlatTrees::predict_batch_into`]
+    /// — so a scalar prediction seeded with the booster's base score is
+    /// bitwise identical to the batched one.
+    #[inline]
+    pub fn predict_one_from(&self, x: &[f64], init: f64) -> f64 {
+        let mut s = init;
+        for &root in &self.roots {
+            let mut i = root as usize;
+            loop {
+                let n = self.nodes[i];
+                let l = n.left as usize;
+                if l == i {
+                    s += self.value[i];
+                    break;
+                }
+                let go_left = x[n.feat as usize] <= n.thresh;
+                i = l + usize::from(!go_left);
+            }
+        }
+        s
+    }
+
+    /// Add each row's ensemble sum into `out` (`out[r] += Σ trees(x_r)`).
+    ///
+    /// `xs` is row-major with `nfeat` features per row; `out.len()` must
+    /// equal the row count. Trees form the outer loop so each tree's
+    /// arrays stay cache-resident while rows stream through; rows go
+    /// through in blocks of [`BLOCK`] independent cursors stepped the
+    /// tree's depth in lockstep — leaf self-loops make the extra steps
+    /// of early-arriving rows free of branches, so the whole block runs
+    /// without data-dependent control flow.
+    pub fn predict_batch_into(&self, xs: &[f64], nfeat: usize, out: &mut [f64]) {
+        assert!(nfeat > 0, "nfeat must be positive");
+        assert_eq!(xs.len(), out.len() * nfeat, "row-major shape mismatch");
+        assert!(
+            self.nodes.is_empty() || (self.max_feat as usize) < nfeat,
+            "model uses feature {} but rows have only {nfeat}",
+            self.max_feat,
+        );
+        let rows = out.len();
+        let full = rows - rows % BLOCK;
+        for (t, &root) in self.roots.iter().enumerate() {
+            let depth = self.depth[t];
+            if depth == 0 {
+                // Single-leaf tree (late boosting rounds often converge
+                // to these): the whole block gets the same constant.
+                let v = self.value[root as usize];
+                for o in out.iter_mut() {
+                    *o += v;
+                }
+                continue;
+            }
+            for r0 in (0..full).step_by(BLOCK) {
+                let mut idx = [root as usize; BLOCK];
+                for _ in 0..depth {
+                    for (b, i) in idx.iter_mut().enumerate() {
+                        // SAFETY: `*i` is `root` or a child index; both
+                        // are < `nodes.len()` by construction (checked
+                        // in `from_trees`). The feature index is ≤
+                        // `max_feat` < `nfeat` (asserted on entry) and
+                        // `r0 + b` < `full` ≤ `rows`, so the `xs` index
+                        // is < `rows * nfeat` = `xs.len()` (asserted on
+                        // entry). Eliding the per-step bounds checks
+                        // matters: the kernel is load-throughput bound.
+                        let (n, x) = unsafe {
+                            let n = *self.nodes.get_unchecked(*i);
+                            let x = *xs.get_unchecked((r0 + b) * nfeat + n.feat as usize);
+                            (n, x)
+                        };
+                        let go_left = x <= n.thresh;
+                        *i = n.left as usize + usize::from(!go_left);
+                    }
+                }
+                for (b, &i) in idx.iter().enumerate() {
+                    out[r0 + b] += self.value[i];
+                }
+            }
+            // Tail rows: ordinary early-exit traversal (identical
+            // arithmetic — one leaf value added per tree).
+            for r in full..rows {
+                let x = &xs[r * nfeat..(r + 1) * nfeat];
+                let mut i = root as usize;
+                loop {
+                    let n = self.nodes[i];
+                    let l = n.left as usize;
+                    if l == i {
+                        out[r] += self.value[i];
+                        break;
+                    }
+                    let go_left = x[n.feat as usize] <= n.thresh;
+                    i = l + usize::from(!go_left);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::tree::{GradTree, SortedColumns, TreeParams};
+
+    fn grown_tree() -> (Dataset, GradTree) {
+        let mut d = Dataset::new(2);
+        for i in 0..50 {
+            let (a, b) = ((i % 10) as f64, (i / 10) as f64);
+            d.push(&[a, b], a * 3.0 + b * b);
+        }
+        let g: Vec<f64> = d.targets().iter().map(|y| -y).collect();
+        let h = vec![1.0; d.len()];
+        let sorted = SortedColumns::new(&d);
+        let params = TreeParams { lambda: 0.0, ..Default::default() };
+        let t = GradTree::fit(&d, &sorted, &g, &h, &params, &[0, 1], None);
+        (d, t)
+    }
+
+    #[test]
+    fn flat_matches_pointer_traversal() {
+        let (d, t) = grown_tree();
+        let flat = FlatTrees::from_trees([&t], 1.0);
+        assert_eq!(flat.num_trees(), 1);
+        assert_eq!(flat.num_nodes(), t.node_count());
+        for (x, _) in d.iter() {
+            assert_eq!(flat.predict_one(x), t.predict(x));
+        }
+    }
+
+    #[test]
+    fn scale_multiplies_leaf_values() {
+        let (d, t) = grown_tree();
+        let flat = FlatTrees::from_trees([&t], 0.25);
+        for (x, _) in d.iter() {
+            assert!((flat.predict_one(x) - 0.25 * t.predict(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_accumulates_over_initialized_output() {
+        let (d, t) = grown_tree();
+        let flat = FlatTrees::from_trees([&t, &t], 1.0);
+        let mut xs = Vec::new();
+        for (x, _) in d.iter() {
+            xs.extend_from_slice(x);
+        }
+        let mut out = vec![10.0; d.len()];
+        flat.predict_batch_into(&xs, d.nfeat(), &mut out);
+        for (i, (x, _)) in d.iter().enumerate() {
+            assert!((out[i] - (10.0 + 2.0 * t.predict(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_blocked_and_tail_rows() {
+        let (d, t) = grown_tree();
+        let flat = FlatTrees::from_trees([&t], 1.0);
+        // 50 rows = 3 full blocks of 16 + a tail of 2: both paths run.
+        let mut xs = Vec::new();
+        for (x, _) in d.iter() {
+            xs.extend_from_slice(x);
+        }
+        let mut out = vec![0.0; d.len()];
+        flat.predict_batch_into(&xs, d.nfeat(), &mut out);
+        for (i, (x, _)) in d.iter().enumerate() {
+            assert_eq!(out[i], flat.predict_one(x), "row {i}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_stump_predicts_in_batch() {
+        // A single-leaf tree exercises the depth-0 fast path.
+        let mut d = Dataset::new(1);
+        d.push(&[1.0], 3.0);
+        let g = vec![-3.0];
+        let h = vec![1.0];
+        let sorted = SortedColumns::new(&d);
+        let params = TreeParams { max_depth: 0, lambda: 0.0, ..Default::default() };
+        let t = GradTree::fit(&d, &sorted, &g, &h, &params, &[0], None);
+        let flat = FlatTrees::from_trees([&t], 1.0);
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut out = vec![0.0; 20];
+        flat.predict_batch_into(&xs, 1, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, flat.predict_one(&xs[i..i + 1]));
+        }
+    }
+}

@@ -10,6 +10,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::flat::FlatTrees;
+use crate::hist::{fit_hist, BinnedDataset};
 use crate::tree::{GradTree, SortedColumns, TreeParams};
 
 /// Boosting objective. Gamma and Tweedie model `μ = exp(score)` (log
@@ -38,11 +40,17 @@ impl Objective {
                 (1.0 - y * e, (y * e).max(1e-16))
             }
             Objective::Tweedie { p } => {
-                let a = (y * ((1.0 - p) * s).exp()).max(0.0);
-                let b = ((2.0 - p) * s).exp();
+                // For the default p = 1.5 the two exponents are ±s/2, so
+                // one exp (plus a divide) replaces two — this loop runs
+                // n·rounds times and the exps dominate it.
+                let (a, b) = if p == 1.5 {
+                    let e = (0.5 * s).exp();
+                    ((y / e).max(0.0), e)
+                } else {
+                    ((y * ((1.0 - p) * s).exp()).max(0.0), ((2.0 - p) * s).exp())
+                };
                 let g = -a + b;
-                let h = (-(1.0 - p) * a + (2.0 - p) * b).max(1e-16)
-                ;
+                let h = (-(1.0 - p) * a + (2.0 - p) * b).max(1e-16);
                 (g, h)
             }
         }
@@ -68,6 +76,19 @@ impl Objective {
     }
 }
 
+/// How the weak-learner trees search for splits.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TreeMethod {
+    /// Exact greedy search over presorted columns (`xgboost`'s `exact`):
+    /// O(n) per feature per node. The reference implementation.
+    Exact,
+    /// Quantized histogram search (`xgboost`'s `hist` / LightGBM):
+    /// features pre-binned once, splits found by scanning ≤ `max_bins`
+    /// buckets, sibling histograms derived by subtraction. Equivalent
+    /// splits whenever a feature has ≤ `max_bins` distinct values.
+    Hist,
+}
+
 /// Boosting hyper-parameters (xgboost defaults; deliberately untuned,
 /// per the paper's robustness protocol).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -86,6 +107,10 @@ pub struct GbtParams {
     pub gamma: f64,
     /// Minimum hessian sum per child.
     pub min_child_weight: f64,
+    /// Split-search kernel (default [`TreeMethod::Hist`]).
+    pub tree_method: TreeMethod,
+    /// Histogram bins per feature for [`TreeMethod::Hist`] (≤ 256).
+    pub max_bins: usize,
 }
 
 impl Default for GbtParams {
@@ -98,17 +123,23 @@ impl Default for GbtParams {
             lambda: 1.0,
             gamma: 0.0,
             min_child_weight: 1.0,
+            tree_method: TreeMethod::Hist,
+            max_bins: BinnedDataset::MAX_BINS,
         }
     }
 }
 
 /// A fitted boosted ensemble.
+///
+/// Trees are kept in flattened structure-of-arrays form ([`FlatTrees`],
+/// leaf values pre-scaled by the learning rate), so prediction — scalar
+/// or batched — is a tight loop over parallel arrays rather than a
+/// pointer chase through node structs.
 #[derive(Debug)]
 pub struct GbtModel {
     base: f64,
-    eta: f64,
     objective: Objective,
-    trees: Vec<GradTree>,
+    flat: FlatTrees,
 }
 
 impl GbtModel {
@@ -122,7 +153,7 @@ impl GbtModel {
             );
         }
         let n = data.len();
-        let sorted = SortedColumns::new(data);
+        let y = data.targets();
         let features: Vec<usize> = (0..data.nfeat()).collect();
         let tree_params = TreeParams {
             max_depth: params.max_depth,
@@ -130,43 +161,119 @@ impl GbtModel {
             lambda: params.lambda,
             gamma: params.gamma,
         };
-        let base = params.objective.base_score(data.targets());
-        let mut score = vec![base; n];
+        let base = params.objective.base_score(y);
+
+        // μ-cache fast path: Gamma and the default Tweedie power express
+        // their gradients directly through μ = exp(score) (a divide or a
+        // square root per row), and μ itself is maintained
+        // *multiplicatively* through per-leaf factors exp(η·leaf) — so
+        // those objectives train without any per-row exponentials. The
+        // other objectives keep raw scores and call `grad` as usual.
+        let mu_fast = matches!(params.objective, Objective::Gamma)
+            || matches!(params.objective, Objective::Tweedie { p } if p == 1.5);
+        let mut score = if mu_fast { Vec::new() } else { vec![base; n] };
+        let mut mu = if mu_fast { vec![base.exp(); n] } else { Vec::new() };
+
         let mut g = vec![0.0; n];
         let mut h = vec![0.0; n];
+        let mut leaf: Vec<u32> = vec![0; n];
+        let mut factor: Vec<f64> = Vec::new();
         let mut trees = Vec::with_capacity(params.rounds);
+        // Bin (or presort) once; every round reuses the preprocessing.
+        let binned = matches!(params.tree_method, TreeMethod::Hist)
+            .then(|| BinnedDataset::from_dataset(data, params.max_bins));
+        let sorted =
+            matches!(params.tree_method, TreeMethod::Exact).then(|| SortedColumns::new(data));
+
         for _round in 0..params.rounds {
-            for i in 0..n {
-                let (gi, hi) = params.objective.grad(data.targets()[i], score[i]);
-                g[i] = gi;
-                h[i] = hi;
+            match params.objective {
+                Objective::Gamma if mu_fast => {
+                    for i in 0..n {
+                        let ye = y[i] / mu[i];
+                        g[i] = 1.0 - ye;
+                        h[i] = ye.max(1e-16);
+                    }
+                }
+                Objective::Tweedie { .. } if mu_fast => {
+                    // p = 1.5: exp(±s/2) are √μ and 1/√μ.
+                    for i in 0..n {
+                        let b = mu[i].sqrt();
+                        let a = (y[i] / b).max(0.0);
+                        g[i] = -a + b;
+                        h[i] = (0.5 * a + 0.5 * b).max(1e-16);
+                    }
+                }
+                _ => {
+                    for i in 0..n {
+                        let (gi, hi) = params.objective.grad(y[i], score[i]);
+                        g[i] = gi;
+                        h[i] = hi;
+                    }
+                }
             }
-            let tree = GradTree::fit(data, &sorted, &g, &h, &tree_params, &features, None);
-            for i in 0..n {
-                score[i] += params.eta * tree.predict(data.row(i));
+            let tree = match (&binned, &sorted) {
+                (Some(binned), _) => {
+                    let (tree, row_leaf) =
+                        fit_hist(binned, &g, &h, &tree_params, &features, None);
+                    leaf = row_leaf;
+                    tree
+                }
+                (_, Some(sorted)) => {
+                    let tree =
+                        GradTree::fit(data, sorted, &g, &h, &tree_params, &features, None);
+                    for i in 0..n {
+                        leaf[i] = tree.leaf_of(data.row(i));
+                    }
+                    tree
+                }
+                _ => unreachable!("one tree method is always prepared"),
+            };
+            if mu_fast {
+                factor.clear();
+                factor.extend(tree.nodes.iter().map(|nd| (params.eta * nd.value).exp()));
+                for i in 0..n {
+                    mu[i] *= factor[leaf[i] as usize];
+                }
+            } else {
+                for i in 0..n {
+                    score[i] += params.eta * tree.nodes[leaf[i] as usize].value;
+                }
             }
             trees.push(tree);
         }
-        GbtModel { base, eta: params.eta, objective: params.objective, trees }
+        let flat = FlatTrees::from_trees(trees.iter(), params.eta);
+        GbtModel { base, objective: params.objective, flat }
     }
 
-    /// Predict the response for one feature vector.
+    /// Predict the response for one feature vector. Accumulation order
+    /// matches [`GbtModel::predict_batch`] exactly, so the two paths
+    /// agree bitwise.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        let mut s = self.base;
-        for t in &self.trees {
-            s += self.eta * t.predict(x);
+        self.objective.response(self.flat.predict_one_from(x, self.base))
+    }
+
+    /// Predict responses for a row-major block of feature vectors
+    /// (`xs.len() == rows · nfeat`). Evaluates tree-by-tree over the
+    /// whole block, which is substantially faster than per-row calls.
+    pub fn predict_batch(&self, xs: &[f64], nfeat: usize) -> Vec<f64> {
+        assert_eq!(xs.len() % nfeat.max(1), 0, "row-major shape mismatch");
+        let rows = xs.len() / nfeat.max(1);
+        let mut out = vec![self.base; rows];
+        self.flat.predict_batch_into(xs, nfeat, &mut out);
+        for s in &mut out {
+            *s = self.objective.response(*s);
         }
-        self.objective.response(s)
+        out
     }
 
     /// Number of trees in the ensemble.
     pub fn len(&self) -> usize {
-        self.trees.len()
+        self.flat.num_trees()
     }
 
     /// True if no trees were fitted.
     pub fn is_empty(&self) -> bool {
-        self.trees.is_empty()
+        self.flat.num_trees() == 0
     }
 }
 

@@ -10,10 +10,13 @@
 //! (random forest, linear regression), so the rejection can be
 //! reproduced too.
 //!
-//! * [`gbt`] — second-order (Newton) gradient boosting on exact-greedy
-//!   regression trees; squared-error, Gamma-deviance and Tweedie
-//!   objectives with a log link, matching `xgboost`'s `reg:gamma` /
-//!   `reg:tweedie`.
+//! * [`gbt`] — second-order (Newton) gradient boosting; squared-error,
+//!   Gamma-deviance and Tweedie objectives with a log link, matching
+//!   `xgboost`'s `reg:gamma` / `reg:tweedie`. Two split kernels: the
+//!   exact-greedy sorted-column search ([`tree`]) and the default
+//!   quantized-histogram search ([`hist`]) with parent − sibling
+//!   subtraction; fitted ensembles are flattened to structure-of-arrays
+//!   form ([`flat`]) for fast scalar and batched prediction.
 //! * [`knn`] — z-scored features, kd-tree accelerated, mean aggregation.
 //! * [`gam`] — penalized cubic B-spline additive model fitted by P-IRLS
 //!   with the Gamma family and log link (the paper's `mgcv` call).
@@ -27,9 +30,11 @@
 pub mod bspline;
 pub mod cv;
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod gam;
 pub mod gbt;
+pub mod hist;
 pub mod kdtree;
 pub mod knn;
 pub mod linalg;

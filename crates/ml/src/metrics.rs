@@ -39,6 +39,28 @@ pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
     }
 }
 
+/// Mean unit Tweedie deviance with variance power `p ∈ (1, 2)` — the
+/// loss the boosted models optimize, so the right yardstick for
+/// comparing GBT training configurations. Truth and predictions must be
+/// strictly positive.
+pub fn tweedie_deviance(truth: &[f64], pred: &[f64], p: f64) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(p > 1.0 && p < 2.0, "variance power must lie in (1, 2)");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let dev: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(&y, &mu)| {
+            assert!(y > 0.0 && mu > 0.0, "Tweedie deviance needs positive values");
+            2.0 * (y.powf(2.0 - p) / ((1.0 - p) * (2.0 - p)) - y * mu.powf(1.0 - p) / (1.0 - p)
+                + mu.powf(2.0 - p) / (2.0 - p))
+        })
+        .sum();
+    dev / truth.len() as f64
+}
+
 /// Coefficient of determination R².
 pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
     assert_eq!(truth.len(), pred.len());
@@ -89,5 +111,17 @@ mod tests {
         assert_eq!(mae(&[], &[]), 0.0);
         assert_eq!(rmse(&[], &[]), 0.0);
         assert_eq!(r2(&[], &[]), 0.0);
+        assert_eq!(tweedie_deviance(&[], &[], 1.5), 0.0);
+    }
+
+    #[test]
+    fn tweedie_deviance_is_zero_at_truth_and_grows_off_it() {
+        let t = [1.0, 5.0, 20.0];
+        assert!(tweedie_deviance(&t, &t, 1.5).abs() < 1e-12);
+        let off = [2.0, 4.0, 30.0];
+        assert!(tweedie_deviance(&t, &off, 1.5) > 0.0);
+        // Deviance increases as predictions drift further away.
+        let far = [4.0, 2.0, 60.0];
+        assert!(tweedie_deviance(&t, &far, 1.5) > tweedie_deviance(&t, &off, 1.5));
     }
 }

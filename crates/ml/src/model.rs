@@ -112,6 +112,21 @@ impl Model {
             Model::Linear(m) => m.predict(x),
         }
     }
+
+    /// Predict responses for a row-major block of feature vectors
+    /// (`xs.len()` must be a multiple of `nfeat`).
+    ///
+    /// Boosted ensembles use their flattened-tree batch kernel; the
+    /// other learners fall back to per-row scalar prediction, so the
+    /// result always agrees elementwise with [`Model::predict`].
+    pub fn predict_batch(&self, xs: &[f64], nfeat: usize) -> Vec<f64> {
+        assert!(nfeat > 0, "nfeat must be positive");
+        assert_eq!(xs.len() % nfeat, 0, "row-major shape mismatch");
+        match self {
+            Model::Xgb(m) => m.predict_batch(xs, nfeat),
+            _ => xs.chunks_exact(nfeat).map(|row| self.predict(row)).collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -29,21 +29,21 @@ impl Default for TreeParams {
     }
 }
 
-const LEAF: u32 = u32::MAX;
+pub(crate) const LEAF: u32 = u32::MAX;
 
 #[derive(Clone, Debug)]
-struct Node {
-    feat: u32,
-    thresh: f64,
-    left: u32,
-    right: u32,
-    value: f64,
+pub(crate) struct Node {
+    pub(crate) feat: u32,
+    pub(crate) thresh: f64,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
+    pub(crate) value: f64,
 }
 
 /// A fitted regression tree over gradient statistics.
 #[derive(Clone, Debug)]
 pub struct GradTree {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
 }
 
 /// Presorted feature columns, shareable across the trees of one booster
@@ -248,11 +248,17 @@ impl GradTree {
 
     /// Predict the leaf value for one feature vector.
     pub fn predict(&self, x: &[f64]) -> f64 {
+        self.nodes[self.leaf_of(x) as usize].value
+    }
+
+    /// Id of the leaf a feature vector falls into. Boosting uses this
+    /// to apply per-leaf update factors without a second traversal.
+    pub fn leaf_of(&self, x: &[f64]) -> u32 {
         let mut nid = 0usize;
         loop {
             let n = &self.nodes[nid];
             if n.left == LEAF {
-                return n.value;
+                return nid as u32;
             }
             nid = if x[n.feat as usize] <= n.thresh { n.left as usize } else { n.right as usize };
         }
@@ -261,6 +267,11 @@ impl GradTree {
     /// Number of nodes (diagnostics).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Value stored at a node (for leaves: the fitted leaf weight).
+    pub fn value_of(&self, nid: u32) -> f64 {
+        self.nodes[nid as usize].value
     }
 }
 

@@ -1,0 +1,160 @@
+//! Offline shim for `rand` (0.10-flavoured subset).
+//!
+//! Provides `rngs::StdRng`, [`SeedableRng`], and [`RngExt`] with
+//! `random_range` over integer ranges — the surface used by the
+//! random-forest learner. `StdRng` here is xoshiro256++ seeded through
+//! SplitMix64: fast, well-distributed, and deterministic per seed
+//! (sequences differ from upstream `rand`, which is fine — all in-repo
+//! uses treat the stream as an arbitrary fixed-seed source).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core RNG interface: 64 random bits per call.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types usable as the argument of [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value in the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from an integer range (`lo..hi` or `lo..=hi`).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range in random_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next_u64() as $t);
+                }
+                lo + (bounded(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range!(usize, u64, u32, i64, i32);
+
+/// Debiased bounded draw in `[0, span)` (Lemire-style rejection).
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete RNGs.
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the shim's stand-in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, per the xoshiro paper.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000usize), b.random_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_their_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+            let v = rng.random_range(0..=3usize);
+            assert!(v <= 3);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

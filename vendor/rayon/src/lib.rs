@@ -1,0 +1,343 @@
+//! Offline shim for `rayon` — the indexed-parallel-iterator subset this
+//! repository uses, with genuine parallelism.
+//!
+//! The model: every parallel iterator is an *indexed source* (`len` +
+//! `get(i)`); adaptors (`map`, `enumerate`) compose over it; a terminal
+//! operation (`collect`, `for_each`, `sum`) splits the index space into
+//! one contiguous chunk per worker and evaluates chunks on scoped
+//! `std::thread`s. There is no work-stealing pool — chunks are static —
+//! which is a fine trade for the coarse-grained units in this repo
+//! (model fits, grid cells, batched predictions). Small inputs run
+//! inline to avoid spawn overhead.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads (`available_parallelism`, cached).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Run two closures, the first on a spawned scoped thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon::join worker panicked"), rb)
+    })
+}
+
+/// Minimum per-call work below which terminals run sequentially.
+const SEQ_CUTOFF: usize = 2;
+
+/// An indexed parallel source: `get(i)` for `i < len()`, callable from
+/// any thread.
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type produced.
+    type Item: Send;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce element `i`.
+    fn get(&self, i: usize) -> Self::Item;
+
+    /// Transform every element.
+    fn map<F, U>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair every element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Evaluate all elements in parallel into a collection.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Evaluate `f` on every element in parallel, discarding results.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_chunks(&self, |start, end| {
+            for i in start..end {
+                f(self.get(i));
+            }
+        });
+    }
+
+    /// Parallel sum.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = drive_collect_parts(&self, |start, end| {
+            (start..end).map(|i| self.get(i)).sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+}
+
+/// `map` adaptor.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, U> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> U + Sync,
+    U: Send,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn get(&self, i: usize) -> U {
+        (self.f)(self.base.get(i))
+    }
+}
+
+/// `enumerate` adaptor.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn get(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.get(i))
+    }
+}
+
+/// Split `0..it.len()` into one chunk per worker and run `body` on each.
+fn drive_chunks<I, B>(it: &I, body: B)
+where
+    I: ParallelIterator,
+    B: Fn(usize, usize) + Sync,
+{
+    let n = it.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n < SEQ_CUTOFF {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        for t in 1..workers {
+            let body = &body;
+            let (start, end) = (t * chunk, ((t + 1) * chunk).min(n));
+            if start < end {
+                s.spawn(move || body(start, end));
+            }
+        }
+        body(0, chunk.min(n));
+    });
+}
+
+/// Like [`drive_chunks`] but each chunk returns a value; parts come back
+/// in chunk order.
+fn drive_collect_parts<I, B, R>(it: &I, body: B) -> Vec<R>
+where
+    I: ParallelIterator,
+    B: Fn(usize, usize) -> R + Sync,
+    R: Send,
+{
+    let n = it.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n < SEQ_CUTOFF {
+        return vec![body(0, n)];
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 1..workers {
+            let body = &body;
+            let (start, end) = (t * chunk, ((t + 1) * chunk).min(n));
+            if start < end {
+                handles.push(s.spawn(move || body(start, end)));
+            }
+        }
+        let first = body(0, chunk.min(n));
+        let mut out = vec![first];
+        for h in handles {
+            out.push(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+/// Collections buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build from the fully evaluated source.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Vec<T> {
+        let parts = drive_collect_parts(&it, |start, end| {
+            (start..end).map(|i| it.get(i)).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(it.len());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+/// Conversion into an owned parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangePar {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        RangePar { start: self.start, len: self.end.saturating_sub(self.start) }
+    }
+}
+
+/// Parallel iterator borrowing a slice.
+pub struct SlicePar<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.items[i]
+    }
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { items: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_enumerate_collect_matches_sequential() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let par: Vec<(usize, u64)> = xs.par_iter().map(|&x| x * 2).enumerate().collect();
+        for (i, (j, v)) in par.iter().enumerate() {
+            assert_eq!(i, *j);
+            assert_eq!(*v, xs[i] * 2);
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert_eq!(squares[31], 961);
+    }
+
+    #[test]
+    fn sum_and_for_each() {
+        let total: u64 = (0..1000usize).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(total, 499_500);
+        let flags: Vec<std::sync::atomic::AtomicBool> =
+            (0..64).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+        (0..64usize).into_par_iter().for_each(|i| {
+            flags[i].store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(std::sync::atomic::Ordering::Relaxed)));
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<i32> = Vec::new();
+        let out: Vec<i32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let out2: Vec<usize> = (5..5).into_par_iter().collect();
+        assert!(out2.is_empty());
+    }
+}

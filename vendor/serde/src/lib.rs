@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (as blanket-implemented
+//! marker traits) and re-exports the no-op derive macros, so existing
+//! `#[derive(Serialize, Deserialize)]` annotations compile unchanged.
+//! No actual serialization happens — nothing in this repository
+//! serializes through serde yet.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
