@@ -1,9 +1,9 @@
-//! PR 1 acceptance benchmark: exact-vs-histogram GBT training and
-//! scalar-vs-batched selector inference, written as machine-readable
-//! JSON.
+//! PR 1/2 acceptance benchmark: exact-vs-histogram GBT training,
+//! scalar-vs-batched selector inference, and (PR 2) the cost of the
+//! observability layer, written as machine-readable JSON.
 //!
 //! Run with `cargo run --release -p mpcp-bench --bin perf_report`.
-//! Emits `BENCH_PR1.json` in the current directory (pass a path as the
+//! Emits `BENCH_PR2.json` in the current directory (pass a path as the
 //! first argument to write elsewhere) and prints a summary table.
 //!
 //! Acceptance gates checked here:
@@ -11,6 +11,13 @@
 //!   than the exact kernel at equal-or-better held-out Tweedie deviance;
 //! * `Selector::select_batch` is ≥ 2× the throughput of calling
 //!   `Selector::select` in a loop.
+//!
+//! The PR 2 `tracing_overhead` section measures the same training and
+//! batched-selection workloads with tracing enabled (spans, counters,
+//! per-round deviance scoring, drain) against the disabled path, and —
+//! when a committed `BENCH_PR1.json` from the same machine is present —
+//! compares the disabled-path timings against the pre-instrumentation
+//! baseline (the "within 2%" regression check).
 
 use std::time::Instant;
 
@@ -45,8 +52,8 @@ fn time_pair<A, B>(
         std::hint::black_box(b());
         tb.push(t0.elapsed().as_secs_f64());
     }
-    ta.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    tb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    ta.sort_by(|x, y| x.total_cmp(y));
+    tb.sort_by(|x, y| x.total_cmp(y));
     (ta, tb)
 }
 
@@ -70,8 +77,33 @@ fn holdout_deviance(model: &GbtModel, test: &Dataset) -> f64 {
     tweedie_deviance(test.targets(), &preds, TWEEDIE_P)
 }
 
+/// One timed workload with tracing flipped on around it; the drain and
+/// metrics reset are inside the timed region because they are part of
+/// the cost of *using* the tracing layer.
+fn timed_traced<T>(mut f: impl FnMut() -> T) -> impl FnMut() -> T {
+    move || {
+        mpcp_obs::set_enabled(true);
+        let out = f();
+        mpcp_obs::set_enabled(false);
+        std::hint::black_box(mpcp_obs::drain().len());
+        mpcp_obs::metrics::reset();
+        out
+    }
+}
+
+/// Baseline timings from a committed BENCH_PR1.json, if present and
+/// parseable: `(hist_secs, select_batch_secs)`.
+fn pr1_baseline(path: &str) -> Option<(f64, f64)> {
+    let doc = mpcp_obs::json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    let hist = doc.get("training")?.get("hist_secs")?.as_f64()?;
+    let batch = doc.get("selection")?.get("select_batch_secs")?.as_f64()?;
+    Some((hist, batch))
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR1.json".into());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR2.json".into());
+    let prov = mpcp_obs::provenance::Provenance::capture("perf_report", None);
+    println!("{}", prov.header());
 
     // --- Training: 200 rounds on the bench grid dataset. ---
     let data = training_dataset(100); // 6000 rows, 4 features
@@ -119,9 +151,50 @@ fn main() {
         assert_eq!(selector.select(inst), batch[i], "batch/scalar disagreement at {i}");
     }
 
+    // --- PR 2: tracing overhead, disabled-path vs enabled-path. ---
+    println!("measuring tracing overhead (enabled vs disabled paths)...");
+    let (fit_off_times, fit_on_times) = time_pair(
+        9,
+        || GbtModel::fit(&train, &params(TreeMethod::Hist)),
+        timed_traced(|| GbtModel::fit(&train, &params(TreeMethod::Hist))),
+    );
+    let (fit_off, fit_on) = (fit_off_times[4], fit_on_times[4]);
+    let (sel_off_times, sel_on_times) = time_pair(
+        25,
+        || selector.select_batch(&block),
+        timed_traced(|| selector.select_batch(&block)),
+    );
+    let (sel_off, sel_on) = (sel_off_times[0], sel_on_times[0]);
+    let fit_overhead_pct = (fit_on / fit_off - 1.0) * 100.0;
+    let sel_overhead_pct = (sel_on / sel_off - 1.0) * 100.0;
+
+    // Regression check against the committed pre-instrumentation
+    // baseline (meaningful only when BENCH_PR1.json came from this
+    // machine; absent baseline passes vacuously).
+    let pr1 = pr1_baseline("BENCH_PR1.json");
+    let (pr1_json, disabled_within_2pct) = match pr1 {
+        Some((pr1_hist, pr1_batch)) => {
+            let train_ratio = hist_secs / pr1_hist;
+            let select_ratio = batch_secs / pr1_batch;
+            (
+                format!(
+                    r#"{{
+      "pr1_hist_secs": {pr1_hist:.6},
+      "pr1_select_batch_secs": {pr1_batch:.6e},
+      "train_ratio": {train_ratio:.3},
+      "select_ratio": {select_ratio:.3}
+    }}"#
+                ),
+                train_ratio <= 1.02 && select_ratio <= 1.02,
+            )
+        }
+        None => ("null".to_string(), true),
+    };
+
     let json = format!(
         r#"{{
-  "pr": 1,
+  "pr": 2,
+  "provenance": {prov_json},
   "training": {{
     "dataset": "bench grid (training_dataset(100))",
     "rows_train": {rows_train},
@@ -146,13 +219,24 @@ fn main() {
     "batch_instances_per_sec": {batch_per_sec:.0},
     "throughput_ratio": {select_speedup:.2}
   }},
+  "tracing_overhead": {{
+    "train_hist_secs_disabled": {fit_off:.6},
+    "train_hist_secs_enabled": {fit_on:.6},
+    "train_overhead_pct": {fit_overhead_pct:.2},
+    "select_batch_secs_disabled": {sel_off:.6e},
+    "select_batch_secs_enabled": {sel_on:.6e},
+    "select_overhead_pct": {sel_overhead_pct:.2},
+    "vs_pr1_baseline": {pr1_json}
+  }},
   "gates": {{
     "training_speedup_ge_3x": {gate_train},
     "hist_deviance_le_exact": {gate_dev},
-    "batch_select_ge_2x": {gate_batch}
+    "batch_select_ge_2x": {gate_batch},
+    "disabled_path_within_2pct_of_pr1": {disabled_within_2pct}
   }}
 }}
 "#,
+        prov_json = prov.to_json(),
         rows_train = train.len(),
         rows_holdout = test.len(),
         single_us = loop_secs / block.len() as f64 * 1e6,
@@ -163,7 +247,7 @@ fn main() {
         gate_dev = hist_dev <= exact_dev * (1.0 + 1e-9) + 1e-12,
         gate_batch = select_speedup >= 2.0,
     );
-    std::fs::write(&out_path, &json).expect("write BENCH_PR1.json");
+    std::fs::write(&out_path, &json).expect("write perf report JSON");
 
     println!();
     println!("| metric                        | exact/loop | hist/batch | ratio |");
@@ -178,6 +262,10 @@ fn main() {
         "| select 512 instances (s)      | {loop_secs:>10.3e} | {batch_secs:>10.3e} | {select_speedup:>4.1}x |"
     );
     println!();
+    println!(
+        "tracing overhead: fit {fit_overhead_pct:+.1}% ({fit_off:.3}s -> {fit_on:.3}s), \
+         select_batch {sel_overhead_pct:+.1}% ({sel_off:.2e}s -> {sel_on:.2e}s)"
+    );
     println!("wrote {out_path}");
     let ok = train_speedup >= 3.0
         && hist_dev <= exact_dev * (1.0 + 1e-9) + 1e-12

@@ -275,6 +275,10 @@ impl DatasetSpec {
     pub fn generate(&self, library: &MpiLibrary, bench: &BenchConfig) -> DatasetResult {
         let noise = NoiseModel::default();
         let configs = library.configs(self.coll);
+        let mut grid_span = mpcp_obs::span("bench.grid")
+            .attr("dataset", self.id)
+            .attr("configs", configs.len());
+        let wall = mpcp_obs::maybe_now();
         // Parallelize over (nodes, ppn): each worker owns one topology.
         let mut grid: Vec<(u32, u32)> = Vec::new();
         for &n in &self.nodes {
@@ -285,6 +289,10 @@ impl DatasetSpec {
         let cells: Vec<(Vec<Record>, SimTime)> = grid
             .par_iter()
             .map(|&(n, ppn)| {
+                let _cell_span = mpcp_obs::span("measure")
+                    .attr("nodes", n)
+                    .attr("ppn", ppn)
+                    .attr("cells", configs.len() * self.msizes.len());
                 let topo = Topology::new(n, ppn);
                 let sim = Simulator::new(&self.machine.model, &topo);
                 let mut records = Vec::with_capacity(configs.len() * self.msizes.len());
@@ -322,6 +330,15 @@ impl DatasetSpec {
         for (r, c) in cells {
             records.extend(r);
             total_bench += c;
+        }
+        grid_span.set_attr("records", records.len());
+        grid_span.set_attr("sim_bench_secs", total_bench.as_secs_f64());
+        if let Some(t0) = wall {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                // Grid throughput: measured cells per wall-clock second.
+                mpcp_obs::gauge_set!("bench.cells_per_sec", records.len() as f64 / secs);
+            }
         }
         DatasetResult { id: self.id, records, total_bench }
     }

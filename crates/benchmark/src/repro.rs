@@ -98,12 +98,18 @@ pub fn summarize(
         obs.push(o);
     }
     let mut sorted = obs.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: a NaN observation (impossible noise, corrupt input)
+    // must order deterministically instead of panicking mid-benchmark.
+    sorted.sort_by(f64::total_cmp);
     let median = if sorted.len() % 2 == 1 {
         sorted[sorted.len() / 2]
     } else {
         0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
     };
+    mpcp_obs::counter_add!("bench.cells", 1);
+    mpcp_obs::counter_add!("bench.reps", obs.len() as u64);
+    mpcp_obs::counter_add!("bench.consumed_ns", consumed.picos() / 1000);
+    mpcp_obs::hist_record!("bench.cell.reps", obs.len() as u64);
     Measurement {
         base,
         median_secs: median,

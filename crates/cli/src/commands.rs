@@ -239,6 +239,79 @@ pub fn tune(args: &Args) -> Result<String, String> {
     }
 }
 
+/// Render one parsed metrics-JSONL document as a summary line.
+fn metric_line(doc: &mpcp_obs::json::JsonValue) -> Option<String> {
+    if let Some(p) = doc.get("provenance") {
+        let git = p.get("git_sha").and_then(|v| v.as_str()).unwrap_or("?");
+        let config = p.get("config").and_then(|v| v.as_str()).unwrap_or("?");
+        return Some(format!("-- run git={git} config={config:?}"));
+    }
+    let name = doc.get("metric")?.as_str()?.to_string();
+    let kind = doc.get("type")?.as_str()?;
+    Some(match kind {
+        "histogram" => format!(
+            "{name:<28} count={:<8} mean={:<12.1} p50={:<10} p95={:<10} p99={}",
+            doc.get("count")?.as_f64()?,
+            doc.get("mean")?.as_f64()?,
+            doc.get("p50")?.as_f64()?,
+            doc.get("p95")?.as_f64()?,
+            doc.get("p99")?.as_f64()?,
+        ),
+        _ => format!("{name:<28} {kind:<9} {}", doc.get("value")?.as_f64()?),
+    })
+}
+
+/// `mpcp report [--trace <file>] [--metrics <file>] [--require <spans>]`
+///
+/// Validates (strict JSON parse) and summarizes the files produced by
+/// `--trace-out` / `--metrics-out`. `--require` takes a comma-separated
+/// list of span names that must appear in the trace — the CI smoke test
+/// uses it to assert the pipeline was actually instrumented.
+pub fn report(args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    let mut any = false;
+    if let Some(path) = args.get("trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let docs = if text.trim_start().starts_with('[') {
+            vec![mpcp_obs::json::parse(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?]
+        } else {
+            mpcp_obs::json::parse_jsonl(&text).map_err(|e| format!("{path}: bad JSONL: {e}"))?
+        };
+        out.push_str(&format!("== trace {path} ==\n"));
+        out.push_str(&mpcp_obs::export::summarize_trace_value(&docs));
+        if let Some(req) = args.get("require") {
+            let names = mpcp_obs::export::trace_span_names(&docs);
+            for want in req.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                if !names.contains(want) {
+                    return Err(format!(
+                        "required span {want:?} missing from {path} (present: {})",
+                        names.into_iter().collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+            out.push_str(&format!("required spans present: {req}\n"));
+        }
+        any = true;
+    }
+    if let Some(path) = args.get("metrics") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let docs =
+            mpcp_obs::json::parse_jsonl(&text).map_err(|e| format!("{path}: bad JSONL: {e}"))?;
+        out.push_str(&format!("== metrics {path} ==\n"));
+        for doc in &docs {
+            if let Some(line) = metric_line(doc) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        any = true;
+    }
+    if !any {
+        return Err("report needs --trace <file> and/or --metrics <file>".into());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +379,57 @@ mod tests {
         .unwrap();
         assert!(out.contains("written to"), "{out}");
         assert!(tunef.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_pipeline_writes_trace_metrics_and_reports() {
+        let dir = std::env::temp_dir().join("mpcp_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.jsonl");
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&metrics).ok();
+        let out = run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3", "--ppn",
+            "1,2", "--msizes", "16,4K", "--out", csv.to_str().unwrap(), "--trace-out",
+            trace.to_str().unwrap(), "--metrics-out", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace ("), "{out}");
+        assert!(out.contains("metrics appended"), "{out}");
+        let out = run_args(&[
+            "select", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner",
+            "xgboost", "--nodes", "3", "--ppn", "2", "--msize", "4K", "--trace-out",
+            trace.to_str().unwrap(), "--metrics-out", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("predicted best"), "{out}");
+        // The merged trace must hold the full pipeline: simulate +
+        // measure from the bench run, fit + select from the select run.
+        let report = run_args(&[
+            "report", "--trace", trace.to_str().unwrap(), "--metrics",
+            metrics.to_str().unwrap(), "--require", "simulate,measure,fit,select",
+        ])
+        .unwrap();
+        assert!(report.contains("required spans present"), "{report}");
+        assert!(report.contains("bench.cells"), "{report}");
+        // Both files are strict JSON / JSONL.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let doc = mpcp_obs::json::parse(&text).unwrap();
+        assert!(doc.as_arr().unwrap().len() > 4);
+        let mtext = std::fs::read_to_string(&metrics).unwrap();
+        let docs = mpcp_obs::json::parse_jsonl(&mtext).unwrap();
+        // Two provenance-stamped blocks: one per traced command.
+        let prov = docs.iter().filter(|d| d.get("provenance").is_some()).count();
+        assert_eq!(prov, 2);
+        // A missing required span is an error, not a silent pass.
+        let err = run_args(&[
+            "report", "--trace", trace.to_str().unwrap(), "--require", "no_such_span",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no_such_span"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

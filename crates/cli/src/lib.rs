@@ -13,7 +13,12 @@
 //!                --train-nodes 2,4,8 --nodes 6 --ppn 16 --msize 64K
 //! mpcp tune      --data bcast.csv --coll bcast --learner gam \
 //!                --train-nodes 2,4,8 --nodes 6 --ppn 16 --out bcast.tune
+//! mpcp report    --trace trace.json --metrics metrics.jsonl \
+//!                --require simulate,measure,fit,select
 //! ```
+//!
+//! Any command additionally accepts `--trace-out <file>` /
+//! `--metrics-out <file>` to capture spans and metrics (see `mpcp-obs`).
 //!
 //! The library exposes the command implementations so they are testable;
 //! `src/main.rs` is a thin wrapper.
@@ -47,19 +52,82 @@ COMMANDS:
   tune        emit a tuning file for one allocation (10-15 msize queries)
               --data <file> --coll <c> --train-nodes <list>
               --nodes <n> --ppn <N> --out <file> [--learner ...]
+  report      summarize trace/metrics files written by --trace-out /
+              --metrics-out
+              [--trace <file>] [--metrics <file>] [--require <spans>]
+
+OBSERVABILITY (any command):
+  --trace-out <file>    record spans; .json => Chrome trace-event format
+                        (appends to an existing trace so a bench+select
+                        pipeline shares one timeline), .jsonl => events
+  --metrics-out <file>  append a provenance-stamped metrics block (JSONL)
 
 Sizes accept K/M/G suffixes (binary); lists are comma-separated.";
 
+/// Reconstruct a canonical `mpcp ...` config string for provenance.
+fn config_line(args: &Args) -> String {
+    let mut s = format!("mpcp {}", args.command);
+    for k in args.keys() {
+        if let Some(v) = args.get(k) {
+            s.push_str(&format!(" --{k} {v}"));
+        }
+    }
+    s
+}
+
 /// Dispatch a parsed command line; returns the text to print.
+///
+/// `--trace-out` / `--metrics-out` on any command switch the
+/// observability layer on for the duration of the command and write the
+/// collected spans/metrics on the way out.
 pub fn run(args: Args) -> Result<String, String> {
-    match args.command.as_str() {
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    let traced = trace_out.is_some() || metrics_out.is_some();
+    if traced {
+        mpcp_obs::set_enabled(true);
+    }
+    let result = match args.command.as_str() {
         "machines" => commands::machines(),
         "algorithms" => commands::algorithms(&args),
         "simulate" => commands::simulate(&args),
         "bench" => commands::bench(&args),
         "select" => commands::select(&args),
         "tune" => commands::tune(&args),
+        "report" => commands::report(&args),
         "" | "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    if !traced {
+        return result;
     }
+    mpcp_obs::set_enabled(false);
+    let seed = args.get("seed").and_then(|s| s.parse::<u64>().ok());
+    let prov = mpcp_obs::provenance::Provenance::capture(&config_line(&args), seed);
+    let events = mpcp_obs::drain();
+    let snap = mpcp_obs::metrics::snapshot();
+    mpcp_obs::metrics::reset();
+    let mut notes = String::new();
+    if let Some(path) = &trace_out {
+        let p = std::path::Path::new(path);
+        let io = if path.ends_with(".jsonl") {
+            std::fs::write(p, mpcp_obs::export::events_jsonl(&events, Some(&prov)))
+        } else {
+            mpcp_obs::export::write_chrome_trace(p, &events, Some(&prov))
+        };
+        io.map_err(|e| format!("writing trace {path}: {e}"))?;
+        notes.push_str(&format!("trace ({} events) written to {path}\n", events.len()));
+    }
+    if let Some(path) = &metrics_out {
+        use std::io::Write as _;
+        let block = mpcp_obs::export::metrics_jsonl(&snap, Some(&prov));
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(block.as_bytes()))
+            .map_err(|e| format!("writing metrics {path}: {e}"))?;
+        notes.push_str(&format!("metrics appended to {path}\n"));
+    }
+    result.map(|out| format!("{out}{notes}"))
 }

@@ -236,7 +236,7 @@ fn nearest_log(grid: &[u64], x: u64) -> u64 {
         .min_by(|&&a, &&b| {
             let da = ((a.max(1) as f64).ln() - lx).abs();
             let db = ((b.max(1) as f64).ln() - lx).abs();
-            da.partial_cmp(&db).unwrap()
+            da.total_cmp(&db)
         })
         .expect("empty tuning grid")
 }

@@ -63,7 +63,7 @@ impl RuntimeTable {
             .get(&(inst.nodes, inst.ppn, inst.msize))?
             .iter()
             .filter(|(_, _, excluded)| !excluded)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(u, t, _)| (*u, *t))
     }
 }

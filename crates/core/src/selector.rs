@@ -45,6 +45,10 @@ impl Selector {
     /// in the paper; training is parallel across configurations.
     pub fn train(learner: &Learner, records: &[Record], configs: &[AlgorithmConfig]) -> Selector {
         assert!(!records.is_empty(), "no training records");
+        let mut span = mpcp_obs::span("selector.train")
+            .attr("learner", learner.name())
+            .attr("records", records.len())
+            .attr("configs", configs.len());
         let mut per_uid: Vec<Dataset> =
             (0..configs.len()).map(|_| Dataset::new(NUM_FEATURES)).collect();
         for r in records {
@@ -63,10 +67,16 @@ impl Selector {
                 if configs[uid].excluded || data.is_empty() {
                     None
                 } else {
-                    Some(learner.fit(data))
+                    let t = mpcp_obs::maybe_now();
+                    let m = learner.fit(data);
+                    mpcp_obs::record_elapsed("selector.model_fit_ns", t);
+                    Some(m)
                 }
             })
             .collect();
+        let trained = models.iter().filter(|m| m.is_some()).count();
+        mpcp_obs::counter_add!("selector.models_trained", trained as u64);
+        span.set_attr("models", trained);
         Selector { learner_name: learner.name(), models }
     }
 
@@ -89,10 +99,33 @@ impl Selector {
     /// The paper's selection rule: argmin of predicted runtime.
     /// Returns `(uid, predicted_microseconds)`.
     pub fn select(&self, instance: &Instance) -> (u32, f64) {
-        self.predict_all(instance)
-            .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("selector has no trained models")
+        let _span = mpcp_obs::span("select")
+            .attr("instances", 1u64)
+            .attr("models", self.model_count());
+        let t = mpcp_obs::maybe_now();
+        let all = self.predict_all(instance);
+        let sel = all
+            .iter()
+            .copied()
+            // total_cmp: a NaN prediction (degenerate model) must order
+            // deterministically instead of panicking mid-selection.
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("selector has no trained models");
+        if mpcp_obs::enabled() {
+            mpcp_obs::counter_add!("selector.queries", 1);
+            mpcp_obs::counter_add!("selector.models_evaluated", all.len() as u64);
+            let second = all
+                .iter()
+                .filter(|&&(u, _)| u != sel.0)
+                .map(|&(_, p)| p)
+                .fold(f64::INFINITY, f64::min);
+            if second.is_finite() && sel.1 > 0.0 {
+                let ppm = ((second - sel.1) / sel.1 * 1e6).max(0.0);
+                mpcp_obs::hist_record!("selector.margin_ppm", ppm as u64);
+            }
+        }
+        mpcp_obs::record_elapsed("selector.select_ns", t);
+        sel
     }
 
     /// Batched selection: the argmin rule of [`Selector::select`]
@@ -105,6 +138,10 @@ impl Selector {
     /// [`Selector::select`] in a loop (ties broken toward the lower
     /// uid, which is also the order `predict_all` yields).
     pub fn select_batch(&self, instances: &[Instance]) -> Vec<(u32, f64)> {
+        let mut span = mpcp_obs::span("select")
+            .attr("instances", instances.len())
+            .attr("models", self.model_count());
+        let t = mpcp_obs::maybe_now();
         let mut xs = Vec::with_capacity(instances.len() * NUM_FEATURES);
         for inst in instances {
             xs.extend_from_slice(&inst.features());
@@ -130,6 +167,31 @@ impl Selector {
             instances.is_empty() || best[0].0 != u32::MAX,
             "selector has no trained models"
         );
+        if mpcp_obs::enabled() {
+            let models = self.model_count();
+            mpcp_obs::counter_add!("selector.queries", instances.len() as u64);
+            mpcp_obs::counter_add!(
+                "selector.models_evaluated",
+                (models * instances.len()) as u64
+            );
+            // Predicted-vs-chosen margin: how far the runner-up sits
+            // above the chosen configuration, in parts per million.
+            for (i, &(uid, pred)) in best.iter().enumerate() {
+                let mut second = f64::INFINITY;
+                for (u, preds) in per_model.iter().enumerate() {
+                    let Some(preds) = preds else { continue };
+                    if u as u32 != uid && preds[i] < second {
+                        second = preds[i];
+                    }
+                }
+                if second.is_finite() && pred > 0.0 {
+                    let ppm = ((second - pred) / pred * 1e6).max(0.0);
+                    mpcp_obs::hist_record!("selector.margin_ppm", ppm as u64);
+                }
+            }
+            span.set_attr("queries", instances.len());
+        }
+        mpcp_obs::record_elapsed("selector.select_ns", t);
         best
     }
 

@@ -75,7 +75,7 @@ impl FeatSelector {
             .iter()
             .enumerate()
             .filter_map(|(u, mo)| mo.as_ref().map(|mo| (u as u32, mo.predict(&x))))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap()
             .0
     }
@@ -160,7 +160,7 @@ fn ratio_strategy_speedup(
             .iter()
             .enumerate()
             .filter_map(|(u, m)| m.as_ref().map(|m| (u as u32, m.predict(&x))))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap()
             .0;
         let inst = Instance::new(Collective::Bcast, r.msize, r.nodes, r.ppn);
@@ -239,6 +239,7 @@ fn classification_strategy_speedup(
 }
 
 fn main() {
+    mpcp_experiments::print_provenance("ablation", None);
     let spec = spec();
     let library = spec.library(None);
     eprintln!("[ablation] generating {} cells ...", spec.sample_count(&library));

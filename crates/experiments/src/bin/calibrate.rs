@@ -9,6 +9,7 @@ use mpcp_core::{evaluate, mean_speedup, splits, Instance, Selector};
 use mpcp_ml::Learner;
 
 fn main() {
+    mpcp_experiments::print_provenance("calibrate", None);
     let t0 = std::time::Instant::now();
     let mut spec = DatasetSpec::d1();
     spec.nodes = vec![4, 8, 13, 16, 24, 27, 32];

@@ -11,6 +11,7 @@ use mpcp_ml::Learner;
 use mpcp_simnet::Machine;
 
 fn main() {
+    mpcp_experiments::print_provenance("extended_collectives", None);
     let fast = mpcp_experiments::fast_mode();
     let nodes: Vec<u32> =
         if fast { vec![2, 3, 4, 6] } else { vec![4, 7, 8, 13, 16, 19, 20, 24] };

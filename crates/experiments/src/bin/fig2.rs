@@ -13,6 +13,7 @@ use mpcp_experiments::{fast_mode, render_table, write_result_csv};
 use mpcp_simnet::{Machine, Simulator, Topology};
 
 fn main() {
+    mpcp_experiments::print_provenance("fig2", None);
     let machine = Machine::hydra();
     let topo = if fast_mode() { Topology::new(8, 8) } else { Topology::new(32, 32) };
     let sim = Simulator::new(&machine.model, &topo);

@@ -13,6 +13,7 @@ use mpcp_experiments::{load_dataset, render_table, write_result_csv};
 use mpcp_ml::Learner;
 
 fn main() {
+    mpcp_experiments::print_provenance("fig5", None);
     let prepared = load_dataset("d1");
     let spec = &prepared.spec;
     let configs = prepared.library.configs(spec.coll);

@@ -6,6 +6,7 @@ use mpcp_experiments::{load_dataset, print_comparison};
 use mpcp_ml::Learner;
 
 fn main() {
+    mpcp_experiments::print_provenance("fig6", None);
     let prepared = load_dataset("d5");
     let ppn: Vec<u32> = [1u32, 16, 32]
         .into_iter()

@@ -6,6 +6,7 @@ use mpcp_experiments::{load_dataset, print_comparison};
 use mpcp_ml::Learner;
 
 fn main() {
+    mpcp_experiments::print_provenance("fig7", None);
     let prepared = load_dataset("d4");
     let ppn: Vec<u32> = [1u32, 8, 16]
         .into_iter()

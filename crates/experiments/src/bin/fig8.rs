@@ -5,6 +5,7 @@ use mpcp_experiments::{load_dataset, print_comparison};
 use mpcp_ml::Learner;
 
 fn main() {
+    mpcp_experiments::print_provenance("fig8", None);
     let prepared = load_dataset("d8");
     let ppn: Vec<u32> = [1u32, 24, 48]
         .into_iter()

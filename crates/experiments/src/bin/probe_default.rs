@@ -5,6 +5,7 @@ use mpcp_collectives::{registry, AlgKind};
 use mpcp_simnet::{Machine, Simulator, Topology};
 
 fn main() {
+    mpcp_experiments::print_provenance("probe_default", None);
     let machine = Machine::hydra();
     let configs = registry::open_mpi_bcast();
     for &(n, ppn) in &[(27u32, 32u32), (27, 16), (27, 1), (13, 16), (35, 4)] {

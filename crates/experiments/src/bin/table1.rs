@@ -4,6 +4,7 @@ use mpcp_experiments::{render_table, write_result_csv};
 use mpcp_simnet::Machine;
 
 fn main() {
+    mpcp_experiments::print_provenance("table1", None);
     let rows: Vec<Vec<String>> = Machine::all()
         .into_iter()
         .map(|m| {

@@ -7,6 +7,7 @@ use mpcp_collectives::registry;
 use mpcp_experiments::{render_table, write_result_csv};
 
 fn main() {
+    mpcp_experiments::print_provenance("table2", None);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for spec in DatasetSpec::all() {

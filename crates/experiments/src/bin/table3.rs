@@ -4,6 +4,7 @@ use mpcp_core::splits;
 use mpcp_experiments::{render_table, write_result_csv};
 
 fn main() {
+    mpcp_experiments::print_provenance("table3", None);
     let fmt = |v: &[u32]| {
         v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
     };

@@ -11,6 +11,7 @@ use mpcp_experiments::{load_dataset, render_table, write_result_csv};
 use mpcp_ml::Learner;
 
 fn main() {
+    mpcp_experiments::print_provenance("table4", None);
     let ids: Vec<String> = std::env::var("MPCP_DATASETS")
         .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
         .unwrap_or_else(|_| DatasetSpec::all().iter().map(|d| d.id.to_string()).collect());

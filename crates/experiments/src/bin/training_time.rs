@@ -7,6 +7,7 @@ use mpcp_benchmark::{BenchConfig, DatasetSpec};
 use mpcp_experiments::{fast_mode, fmt_duration, render_table, shrink_spec, write_result_csv};
 
 fn main() {
+    mpcp_experiments::print_provenance("training_time", None);
     let ids: Vec<String> = std::env::var("MPCP_DATASETS")
         .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
         .unwrap_or_else(|_| vec!["d8".to_string()]);

@@ -30,6 +30,19 @@ use mpcp_collectives::MpiLibrary;
 use mpcp_core::{evaluate, splits, InstanceEval, Selector};
 use mpcp_ml::Learner;
 
+/// Stamp the provenance header every experiment binary prints first:
+/// git SHA (+dirty), the binary/config it ran as, optional seed, and
+/// wall time — so any `results/` artifact can be traced to the exact
+/// tree that produced it.
+pub fn print_provenance(config: &str, seed: Option<u64>) {
+    let config = if std::env::var("MPCP_FAST").is_ok() {
+        format!("{config} MPCP_FAST=1")
+    } else {
+        config.to_string()
+    };
+    println!("{}", mpcp_obs::provenance::Provenance::capture(&config, seed).header());
+}
+
 /// Where experiment outputs land (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("MPCP_RESULTS_DIR").unwrap_or_else(|_| "results".into());

@@ -23,7 +23,7 @@ impl BsplineBasis {
     /// distinct values) — the GAM then drops its smooth term.
     pub fn from_quantiles(values: &[f64], interior: usize) -> Option<BsplineBasis> {
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         sorted.dedup();
         if sorted.len() < 2 {
             return None;

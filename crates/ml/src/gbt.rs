@@ -142,9 +142,64 @@ pub struct GbtModel {
     flat: FlatTrees,
 }
 
+/// Mean deviance of predictions (response scale) under an objective —
+/// the per-round convergence trace exported when tracing is enabled.
+fn mean_deviance(obj: Objective, y: &[f64], pred: &[f64]) -> f64 {
+    if y.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = match obj {
+        Objective::SquaredError => {
+            y.iter().zip(pred).map(|(&yv, &m)| (yv - m) * (yv - m)).sum()
+        }
+        Objective::Gamma => y
+            .iter()
+            .zip(pred)
+            .map(|(&yv, &m)| {
+                let (yv, m) = (yv.max(1e-300), m.max(1e-300));
+                2.0 * ((yv - m) / m - (yv / m).ln())
+            })
+            .sum(),
+        // p = 1.5 (the default): all three powers are square roots,
+        // ~an order of magnitude cheaper than powf per row.
+        Objective::Tweedie { p: 1.5 } => y
+            .iter()
+            .zip(pred)
+            .map(|(&yv, &m)| {
+                let (yv, m) = (yv.max(0.0), m.max(1e-300));
+                let sm = m.sqrt();
+                2.0 * (-4.0 * yv.sqrt() + 2.0 * yv / sm + 2.0 * sm)
+            })
+            .sum(),
+        Objective::Tweedie { p } => y
+            .iter()
+            .zip(pred)
+            .map(|(&yv, &m)| {
+                let (yv, m) = (yv.max(0.0), m.max(1e-300));
+                2.0 * (yv.powf(2.0 - p) / ((1.0 - p) * (2.0 - p))
+                    - yv * m.powf(1.0 - p) / (1.0 - p)
+                    + m.powf(2.0 - p) / (2.0 - p))
+            })
+            .sum(),
+    };
+    s / y.len() as f64
+}
+
 impl GbtModel {
     /// Fit with Newton boosting.
     pub fn fit(data: &Dataset, params: &GbtParams) -> GbtModel {
+        GbtModel::fit_with_valid(data, params, None)
+    }
+
+    /// [`GbtModel::fit`] with an optional held-out set. The valid set
+    /// never influences training; when tracing is enabled its per-round
+    /// deviance is scored alongside the train deviance and exported as
+    /// `gbt.round` events (a convergence trace for `mpcp report`).
+    pub fn fit_with_valid(
+        data: &Dataset,
+        params: &GbtParams,
+        valid: Option<&Dataset>,
+    ) -> GbtModel {
         assert!(!data.is_empty(), "cannot fit GBT on an empty dataset");
         if !matches!(params.objective, Objective::SquaredError) {
             assert!(
@@ -162,6 +217,18 @@ impl GbtModel {
             gamma: params.gamma,
         };
         let base = params.objective.base_score(y);
+        let traced = mpcp_obs::enabled();
+        let mut span = mpcp_obs::span("fit")
+            .attr("rows", n)
+            .attr("nfeat", data.nfeat())
+            .attr("rounds", params.rounds)
+            .attr(
+                "method",
+                match params.tree_method {
+                    TreeMethod::Hist => "hist",
+                    TreeMethod::Exact => "exact",
+                },
+            );
 
         // μ-cache fast path: Gamma and the default Tweedie power express
         // their gradients directly through μ = exp(score) (a divide or a
@@ -180,12 +247,29 @@ impl GbtModel {
         let mut factor: Vec<f64> = Vec::new();
         let mut trees = Vec::with_capacity(params.rounds);
         // Bin (or presort) once; every round reuses the preprocessing.
-        let binned = matches!(params.tree_method, TreeMethod::Hist)
-            .then(|| BinnedDataset::from_dataset(data, params.max_bins));
+        let binned = matches!(params.tree_method, TreeMethod::Hist).then(|| {
+            let _bin_span = mpcp_obs::span("gbt.binning").attr("rows", n);
+            let t = mpcp_obs::maybe_now();
+            let b = BinnedDataset::from_dataset(data, params.max_bins);
+            mpcp_obs::record_elapsed("gbt.binning_ns", t);
+            b
+        });
         let sorted =
             matches!(params.tree_method, TreeMethod::Exact).then(|| SortedColumns::new(data));
 
-        for _round in 0..params.rounds {
+        // Held-out response cache, maintained incrementally per round —
+        // scored only when tracing is on (purely observational).
+        let mut vmu: Vec<f64> = Vec::new();
+        let mut vscore: Vec<f64> = Vec::new();
+        if let Some(v) = valid.filter(|_| traced) {
+            if mu_fast {
+                vmu = vec![base.exp(); v.len()];
+            } else {
+                vscore = vec![base; v.len()];
+            }
+        }
+
+        for round in 0..params.rounds {
             match params.objective {
                 Objective::Gamma if mu_fast => {
                     for i in 0..n {
@@ -239,8 +323,47 @@ impl GbtModel {
                     score[i] += params.eta * tree.nodes[leaf[i] as usize].value;
                 }
             }
+            if traced {
+                let train_dev = if mu_fast {
+                    mean_deviance(params.objective, y, &mu)
+                } else {
+                    let preds: Vec<f64> =
+                        score.iter().map(|&s| params.objective.response(s)).collect();
+                    mean_deviance(params.objective, y, &preds)
+                };
+                let mut ev = mpcp_obs::event("gbt.round")
+                    .attr("round", round)
+                    .attr("train_deviance", train_dev);
+                if let Some(v) = valid {
+                    if mu_fast {
+                        for (j, vm) in vmu.iter_mut().enumerate() {
+                            let l = tree.leaf_of(v.row(j)) as usize;
+                            *vm *= factor[l];
+                        }
+                        ev = ev.attr(
+                            "valid_deviance",
+                            mean_deviance(params.objective, v.targets(), &vmu),
+                        );
+                    } else {
+                        for (j, vs) in vscore.iter_mut().enumerate() {
+                            let l = tree.leaf_of(v.row(j)) as usize;
+                            *vs += params.eta * tree.nodes[l].value;
+                        }
+                        let vpreds: Vec<f64> = vscore
+                            .iter()
+                            .map(|&s| params.objective.response(s))
+                            .collect();
+                        ev = ev.attr(
+                            "valid_deviance",
+                            mean_deviance(params.objective, v.targets(), &vpreds),
+                        );
+                    }
+                }
+                ev.emit();
+            }
             trees.push(tree);
         }
+        span.set_attr("trees", trees.len());
         let flat = FlatTrees::from_trees(trees.iter(), params.eta);
         GbtModel { base, objective: params.objective, flat }
     }
@@ -294,6 +417,70 @@ mod tests {
             }
         }
         d
+    }
+
+    #[test]
+    fn tweedie_deviance_fast_path_matches_general_formula() {
+        let y = [0.5, 1.0, 3.7, 10.0, 250.0];
+        let m = [0.6, 1.2, 3.0, 9.0, 260.0];
+        let fast = mean_deviance(Objective::Tweedie { p: 1.5 }, &y, &m);
+        let p = 1.5;
+        let general = y
+            .iter()
+            .zip(&m)
+            .map(|(&yv, &mv)| {
+                2.0 * (yv.powf(2.0 - p) / ((1.0 - p) * (2.0 - p))
+                    - yv * mv.powf(1.0 - p) / (1.0 - p)
+                    + mv.powf(2.0 - p) / (2.0 - p))
+            })
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!((fast - general).abs() < 1e-12 * general.abs().max(1.0), "{fast} vs {general}");
+    }
+
+    #[test]
+    fn fit_with_valid_emits_per_round_deviance_trace() {
+        let d = synthetic_runtime_data();
+        let (mut train, mut valid) = (Dataset::new(3), Dataset::new(3));
+        for i in 0..d.len() {
+            let dst = if i % 4 == 0 { &mut valid } else { &mut train };
+            dst.push(d.row(i), d.targets()[i]);
+        }
+        mpcp_obs::set_enabled(true);
+        // Concurrent tests on other threads may also record while the
+        // global switch is on; a sentinel pins down this thread's tid so
+        // the assertions below only see this fit's events.
+        mpcp_obs::event("gbt.test.sentinel").emit();
+        let params = GbtParams { rounds: 12, ..Default::default() };
+        GbtModel::fit_with_valid(&train, &params, Some(&valid));
+        mpcp_obs::set_enabled(false);
+        let mut events = mpcp_obs::drain();
+        mpcp_obs::metrics::reset();
+        let tid = events
+            .iter()
+            .find(|e| e.name == "gbt.test.sentinel")
+            .expect("sentinel missing")
+            .tid;
+        events.retain(|e| e.tid == tid);
+        let rounds: Vec<_> = events.iter().filter(|e| e.name == "gbt.round").collect();
+        assert_eq!(rounds.len(), 12);
+        let dev_of = |e: &mpcp_obs::TraceEvent, key: &str| {
+            e.attrs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| match v {
+                    mpcp_obs::AttrValue::F64(x) => Some(*x),
+                    _ => None,
+                })
+                .expect("deviance attr")
+        };
+        // Training deviance must fall monotonically-ish: last < first.
+        let first = dev_of(rounds[0], "train_deviance");
+        let last = dev_of(rounds[11], "train_deviance");
+        assert!(last < first, "train deviance did not improve: {first} -> {last}");
+        assert!(dev_of(rounds[11], "valid_deviance") < dev_of(rounds[0], "valid_deviance"));
+        assert!(events.iter().any(|e| e.name == "fit"), "fit span missing");
+        assert!(events.iter().any(|e| e.name == "gbt.binning"), "binning span missing");
     }
 
     #[test]

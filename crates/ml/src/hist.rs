@@ -123,7 +123,7 @@ impl BinnedDataset {
 fn bin_feature(data: &Dataset, f: usize, max_bins: usize) -> (Vec<u8>, Vec<f64>) {
     let n = data.len();
     let mut sorted: Vec<f64> = (0..n).map(|i| data.at(i, f)).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     // Distinct values with multiplicities.
     let mut uniques: Vec<(f64, usize)> = Vec::new();
     for &v in &sorted {
@@ -308,20 +308,31 @@ pub fn fit_hist(
 
     // One dispatch on the weight case; every histogram build below goes
     // through this closure with a branch-free row loader.
-    let build = |rows: &[u32], hist: &mut [f64], counts: &mut [u32]| match &packed {
-        None => {
-            build_histogram(binned, rows, |i| (g[i], h[i]), features, &offs, &coffs, hist, counts)
+    let build = |rows: &[u32], hist: &mut [f64], counts: &mut [u32]| {
+        let t = mpcp_obs::maybe_now();
+        match &packed {
+            None => build_histogram(
+                binned,
+                rows,
+                |i| (g[i], h[i]),
+                features,
+                &offs,
+                &coffs,
+                hist,
+                counts,
+            ),
+            Some(gh) => build_histogram(
+                binned,
+                rows,
+                |i| (gh[2 * i], gh[2 * i + 1]),
+                features,
+                &offs,
+                &coffs,
+                hist,
+                counts,
+            ),
         }
-        Some(gh) => build_histogram(
-            binned,
-            rows,
-            |i| (gh[2 * i], gh[2 * i + 1]),
-            features,
-            &offs,
-            &coffs,
-            hist,
-            counts,
-        ),
+        mpcp_obs::record_elapsed("gbt.hist.build_ns", t);
     };
 
     let (mut root_hist, mut root_counts) = pool
@@ -385,7 +396,9 @@ pub fn fit_hist(
         }
         let mut next: Vec<Active> = Vec::new();
         for a in std::mem::take(&mut level) {
+            let t = mpcp_obs::maybe_now();
             let best = best_split(&a.hist, &a.counts, a.totals, binned, &layout, features, params);
+            mpcp_obs::record_elapsed("gbt.hist.split_ns", t);
             let Some(b) = best else {
                 settle(&a, rows, &mut row_leaf);
                 pool.push((a.hist, a.counts));

@@ -82,7 +82,7 @@ impl KdTree {
         }
         let mid = start + n / 2;
         points[start..end].select_nth_unstable_by(mid - start, |a, b| {
-            a.x[best_dim].partial_cmp(&b.x[best_dim]).unwrap()
+            a.x[best_dim].total_cmp(&b.x[best_dim])
         });
         let value = points[mid].x[best_dim];
         let left = Box::new(Self::split(points, start, mid, depth + 1, dims));
@@ -160,7 +160,7 @@ mod tests {
                 )
             })
             .collect();
-        d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        d.sort_by(|a, b| a.0.total_cmp(&b.0));
         d.truncate(k);
         d
     }

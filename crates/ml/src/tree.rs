@@ -61,9 +61,7 @@ impl SortedColumns {
             .map(|f| {
                 let mut idx: Vec<u32> = (0..n as u32).collect();
                 idx.sort_by(|&a, &b| {
-                    data.at(a as usize, f)
-                        .partial_cmp(&data.at(b as usize, f))
-                        .unwrap()
+                    data.at(a as usize, f).total_cmp(&data.at(b as usize, f))
                 });
                 idx
             })

@@ -56,7 +56,7 @@ proptest! {
             .iter()
             .map(|(x, _)| (x[0] - q.0).powi(2) + (x[1] - q.1).powi(2))
             .collect();
-        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.sort_by(|a, b| a.total_cmp(b));
         for (i, (d2, _)) in got.iter().enumerate() {
             prop_assert!((d2 - brute[i]).abs() < 1e-9);
         }

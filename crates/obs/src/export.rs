@@ -1,0 +1,464 @@
+//! Exporters: JSONL event streams, Chrome trace-event files, and
+//! human-readable summary tables.
+//!
+//! The Chrome format is the `chrome://tracing` / Perfetto "JSON array"
+//! flavor: complete (`ph: "X"`) events for spans and instant
+//! (`ph: "i"`) events, timestamps in microseconds. Open the file at
+//! `chrome://tracing` or <https://ui.perfetto.dev> for a flame-style
+//! timeline of a run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::{self, JsonValue};
+use crate::metrics::MetricsSnapshot;
+use crate::provenance::Provenance;
+use crate::span::{EventKind, TraceEvent};
+
+/// JSON-escape a string (with surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn attrs_json(attrs: &[(&'static str, crate::AttrValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(k), v.to_json());
+    }
+    out.push('}');
+    out
+}
+
+/// One JSON object per line; a provenance line first when given.
+pub fn events_jsonl(events: &[TraceEvent], provenance: Option<&Provenance>) -> String {
+    let mut out = String::new();
+    if let Some(p) = provenance {
+        let _ = writeln!(out, "{{\"provenance\":{}}}", p.to_json());
+    }
+    for e in events {
+        let kind = match e.kind {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+        };
+        let _ = writeln!(
+            out,
+            "{{\"name\":{},\"kind\":\"{kind}\",\"ts_ns\":{},\"dur_ns\":{},\"tid\":{},\"id\":{},\"parent\":{},\"attrs\":{}}}",
+            json_string(e.name),
+            e.ts_ns,
+            e.dur_ns,
+            e.tid,
+            e.id,
+            e.parent,
+            attrs_json(&e.attrs),
+        );
+    }
+    out
+}
+
+fn chrome_event_json(e: &TraceEvent) -> String {
+    let ts_us = e.ts_ns as f64 / 1e3;
+    let mut args = attrs_json(&e.attrs);
+    if e.id != 0 {
+        args = format!(
+            "{{\"span_id\":{},\"parent\":{}{}",
+            e.id,
+            e.parent,
+            if e.attrs.is_empty() { "}".into() } else { format!(",{}", &args[1..]) }
+        );
+    }
+    match e.kind {
+        EventKind::Span => format!(
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{args}}}",
+            json_string(e.name),
+            e.dur_ns as f64 / 1e3,
+            e.tid,
+        ),
+        EventKind::Instant => format!(
+            "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{},\"args\":{args}}}",
+            json_string(e.name),
+            e.tid,
+        ),
+    }
+}
+
+/// Render events as a Chrome trace-event JSON array. A provenance
+/// stamp, when given, becomes a metadata (`ph: "M"`) record.
+pub fn chrome_trace(events: &[TraceEvent], provenance: Option<&Provenance>) -> String {
+    let mut rows: Vec<String> = Vec::with_capacity(events.len() + 1);
+    if let Some(p) = provenance {
+        rows.push(format!(
+            "{{\"name\":\"mpcp_provenance\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{}}}",
+            p.to_json()
+        ));
+    }
+    rows.extend(events.iter().map(chrome_event_json));
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Write a Chrome trace to `path`. If the file already holds a JSON
+/// array (e.g. from an earlier pipeline stage run with the same
+/// `--trace-out`), the new events are appended to it, so a multi-command
+/// pipeline accumulates one coherent timeline.
+pub fn write_chrome_trace(
+    path: &Path,
+    events: &[TraceEvent],
+    provenance: Option<&Provenance>,
+) -> std::io::Result<()> {
+    let fresh = chrome_trace(events, provenance);
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) if json::parse(&existing).map(|v| v.as_arr().is_some()).unwrap_or(false) => {
+            let old_body = existing.trim().trim_start_matches('[').trim_end_matches(']').trim();
+            let new_body = fresh.trim().trim_start_matches('[').trim_end_matches(']').trim();
+            match (old_body.is_empty(), new_body.is_empty()) {
+                (true, _) => format!("[\n{new_body}\n]\n"),
+                (_, true) => format!("[\n{old_body}\n]\n"),
+                _ => format!("[\n{old_body},\n{new_body}\n]\n"),
+            }
+        }
+        _ => fresh,
+    };
+    std::fs::write(path, merged)
+}
+
+/// Metrics as JSONL: a provenance line, counters, gauges, then
+/// histograms with their quantile summaries and nonzero buckets.
+pub fn metrics_jsonl(snap: &MetricsSnapshot, provenance: Option<&Provenance>) -> String {
+    let mut out = String::new();
+    if let Some(p) = provenance {
+        let _ = writeln!(out, "{{\"provenance\":{}}}", p.to_json());
+    }
+    for (name, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":{},\"type\":\"counter\",\"value\":{v}}}",
+            json_string(name)
+        );
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":{},\"type\":\"gauge\",\"value\":{v}}}",
+            json_string(name)
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| format!("[{},{c}]", crate::metrics::bucket_lo(b)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"metric\":{},\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"buckets\":[{}]}}",
+            json_string(name),
+            h.count(),
+            h.sum,
+            h.mean(),
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.95).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.max_bound(),
+            buckets.join(","),
+        );
+    }
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Aggregate spans by name into a summary table: count, total, mean,
+/// max wall time (self time is not separated; nesting shows in the
+/// Chrome view).
+pub fn span_summary(events: &[TraceEvent]) -> String {
+    struct Agg {
+        count: u64,
+        total_ns: u64,
+        max_ns: u64,
+    }
+    let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
+    let mut instants: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Span => {
+                let a = by_name.entry(e.name).or_insert(Agg { count: 0, total_ns: 0, max_ns: 0 });
+                a.count += 1;
+                a.total_ns += e.dur_ns;
+                a.max_ns = a.max_ns.max(e.dur_ns);
+            }
+            EventKind::Instant => *instants.entry(e.name).or_insert(0) += 1,
+        }
+    }
+    let mut out = String::new();
+    if !by_name.is_empty() {
+        out.push_str("span                         count      total       mean        max\n");
+        for (name, a) in &by_name {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>5}  {:>9}  {:>9}  {:>9}",
+                name,
+                a.count,
+                fmt_ns(a.total_ns as f64),
+                fmt_ns(a.total_ns as f64 / a.count as f64),
+                fmt_ns(a.max_ns as f64),
+            );
+        }
+    }
+    if !instants.is_empty() {
+        out.push_str("event                        count\n");
+        for (name, c) in &instants {
+            let _ = writeln!(out, "{name:<28} {c:>5}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    }
+    out
+}
+
+/// Metrics summary table: counters, gauges, and histogram quantiles.
+pub fn metrics_summary(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counter                                   value\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name:<40} {v:>7}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauge                                     value\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name:<40} {v:>7.3}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str(
+            "histogram                              count       mean        p50        p95        p99        max\n",
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+                name,
+                h.count(),
+                fmt_ns(h.mean()),
+                fmt_ns(h.quantile(0.50).unwrap_or(0) as f64),
+                fmt_ns(h.quantile(0.95).unwrap_or(0) as f64),
+                fmt_ns(h.quantile(0.99).unwrap_or(0) as f64),
+                fmt_ns(h.max_bound() as f64),
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Expand documents into individual event objects: a Chrome trace is
+/// one JSON array holding all events, a JSONL file is one object per
+/// line — callers of the summarizers shouldn't care which they parsed.
+fn flatten_docs(docs: &[JsonValue]) -> Vec<&JsonValue> {
+    let mut out = Vec::new();
+    for d in docs {
+        match d.as_arr() {
+            Some(items) => out.extend(items),
+            None => out.push(d),
+        }
+    }
+    out
+}
+
+/// Summarize a parsed trace file (Chrome array or events JSONL) by
+/// span name; used by `mpcp report`.
+pub fn summarize_trace_value(docs: &[JsonValue]) -> String {
+    struct Agg {
+        count: u64,
+        total_us: f64,
+        max_us: f64,
+    }
+    let mut spans: BTreeMap<String, Agg> = BTreeMap::new();
+    let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+    for d in flatten_docs(docs) {
+        let Some(name) = d.get("name").and_then(|n| n.as_str()) else { continue };
+        // Chrome flavor: ph "X"/"i", ts/dur in us. JSONL flavor:
+        // kind "span"/"instant", ts_ns/dur_ns.
+        let ph = d.get("ph").and_then(|p| p.as_str());
+        let kind = d.get("kind").and_then(|k| k.as_str());
+        let dur_us = d
+            .get("dur")
+            .and_then(|v| v.as_f64())
+            .or_else(|| d.get("dur_ns").and_then(|v| v.as_f64()).map(|ns| ns / 1e3));
+        match (ph, kind) {
+            (Some("X"), _) | (_, Some("span")) => {
+                let a = spans
+                    .entry(name.to_string())
+                    .or_insert(Agg { count: 0, total_us: 0.0, max_us: 0.0 });
+                a.count += 1;
+                let d = dur_us.unwrap_or(0.0);
+                a.total_us += d;
+                a.max_us = a.max_us.max(d);
+            }
+            (Some("i"), _) | (_, Some("instant")) => {
+                *instants.entry(name.to_string()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    if !spans.is_empty() {
+        out.push_str("span                         count      total       mean        max\n");
+        for (name, a) in &spans {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>5}  {:>9}  {:>9}  {:>9}",
+                name,
+                a.count,
+                fmt_ns(a.total_us * 1e3),
+                fmt_ns(a.total_us * 1e3 / a.count as f64),
+                fmt_ns(a.max_us * 1e3),
+            );
+        }
+    }
+    if !instants.is_empty() {
+        out.push_str("event                        count\n");
+        for (name, c) in &instants {
+            let _ = writeln!(out, "{name:<28} {c:>5}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no spans in trace)\n");
+    }
+    out
+}
+
+/// Span names present in a parsed trace (Chrome or JSONL flavor).
+pub fn trace_span_names(docs: &[JsonValue]) -> std::collections::BTreeSet<String> {
+    flatten_docs(docs)
+        .into_iter()
+        .filter(|d| {
+            d.get("ph").and_then(|p| p.as_str()) == Some("X")
+                || d.get("kind").and_then(|k| k.as_str()) == Some("span")
+        })
+        .filter_map(|d| d.get("name").and_then(|n| n.as_str()).map(str::to_string))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::EventKind;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                name: "fit",
+                kind: EventKind::Span,
+                ts_ns: 1_000,
+                dur_ns: 2_500_000,
+                tid: 1,
+                id: 3,
+                parent: 0,
+                attrs: vec![("rounds", crate::AttrValue::U64(200))],
+            },
+            TraceEvent {
+                name: "round",
+                kind: EventKind::Instant,
+                ts_ns: 2_000,
+                dur_ns: 0,
+                tid: 1,
+                id: 0,
+                parent: 3,
+                attrs: vec![("deviance", crate::AttrValue::F64(0.25))],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let s = chrome_trace(&sample_events(), Some(&Provenance::capture("test", Some(7))));
+        let v = crate::json::parse(&s).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].get("ph").and_then(|p| p.as_str()), Some("M"));
+        assert_eq!(arr[1].get("name").and_then(|n| n.as_str()), Some("fit"));
+        assert_eq!(arr[1].get("ph").and_then(|p| p.as_str()), Some("X"));
+        let names = trace_span_names(arr);
+        assert!(names.contains("fit") && !names.contains("round"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parser() {
+        let s = events_jsonl(&sample_events(), None);
+        let docs = crate::json::parse_jsonl(&s).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("kind").and_then(|k| k.as_str()), Some("span"));
+        assert_eq!(
+            docs[0].get("attrs").unwrap().get("rounds").and_then(|v| v.as_f64()),
+            Some(200.0)
+        );
+    }
+
+    #[test]
+    fn chrome_merge_appends() {
+        let dir = std::env::temp_dir().join("mpcp_obs_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        std::fs::remove_file(&path).ok();
+        write_chrome_trace(&path, &sample_events(), None).unwrap();
+        write_chrome_trace(&path, &sample_events(), None).unwrap();
+        let merged = std::fs::read_to_string(&path).unwrap();
+        let v = crate::json::parse(&merged).unwrap();
+        assert_eq!(v.as_arr().unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summaries_render() {
+        let s = span_summary(&sample_events());
+        assert!(s.contains("fit") && s.contains("round"), "{s}");
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(("events".into(), 12));
+        let t = metrics_summary(&snap);
+        assert!(t.contains("events"), "{t}");
+        let j = metrics_jsonl(&snap, None);
+        assert!(crate::json::parse_jsonl(&j).is_ok());
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,381 @@
+//! A process-global registry of named counters, gauges, and
+//! log-bucketed histograms.
+//!
+//! Recording is lock-free (atomic adds); the registry lock is taken
+//! only on first lookup of a name and when snapshotting. Hot call
+//! sites should hold the returned `Arc` (or go through the
+//! [`crate::counter_add!`] / [`crate::hist_record!`] macros, which
+//! cache the handle in a local `static` and check the enabled flag
+//! first, making the disabled path a single atomic load).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: values 0..15 exact, then 4 sub-buckets
+/// per power of two up to `u64::MAX`.
+pub const NBUCKETS: usize = 256;
+
+/// Bucket index for a value: monotone in `v`, exact below 16,
+/// ≤ 25% relative bucket width above.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // ≥ 4
+        let sub = ((v >> (exp - 2)) & 3) as usize;
+        16 + (exp - 4) * 4 + sub
+    }
+}
+
+/// Smallest value mapping to bucket `b`.
+#[inline]
+pub fn bucket_lo(b: usize) -> u64 {
+    if b < 16 {
+        b as u64
+    } else {
+        let exp = 4 + (b - 16) / 4;
+        let sub = ((b - 16) % 4) as u64;
+        (4 + sub) << (exp - 2)
+    }
+}
+
+/// Largest value mapping to bucket `b`.
+#[inline]
+pub fn bucket_hi(b: usize) -> u64 {
+    if b < 16 {
+        b as u64
+    } else if b + 1 < NBUCKETS {
+        bucket_lo(b + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds or
+/// sizes). Recording is an atomic add on one bucket; threads share one
+/// instance, so per-thread recordings merge implicitly, and snapshots
+/// of separate histograms merge exactly ([`HistSnapshot::merge`]).
+pub struct Histogram {
+    buckets: [AtomicU64; NBUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [const { AtomicU64::new(0) }; NBUCKETS], sum: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copy out an immutable snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; NBUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
+    }
+}
+
+/// An immutable histogram snapshot: bucket counts plus the exact sum
+/// of recorded values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Count per bucket (see [`bucket_of`]).
+    pub buckets: [u64; NBUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot { buckets: [0; NBUCKETS], sum: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Merge another snapshot into this one. Equivalent to having
+    /// recorded the concatenation of both sample streams.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        // Wrapping, like the atomic `record` sum itself.
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Quantile estimate `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the q-th sample, so the estimate is within one bucket
+    /// (≤ 25% relative) of the true sample quantile. Returns `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // Rank of the order statistic `ceil(q·n)`, clamped to [1, n] —
+        // matches "smallest x with CDF(x) ≥ q".
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_hi(b));
+            }
+        }
+        unreachable!("rank ≤ total count")
+    }
+
+    /// Largest nonempty bucket's upper bound (0 when empty).
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_hi)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The counter named `name` (created on first use).
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    Arc::clone(registry().counters.lock().unwrap().entry(name).or_default())
+}
+
+/// The gauge named `name` (created on first use).
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    Arc::clone(registry().gauges.lock().unwrap().entry(name).or_default())
+}
+
+/// The histogram named `name` (created on first use).
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    Arc::clone(registry().histograms.lock().unwrap().entry(name).or_default())
+}
+
+/// Add to a named counter iff recording is enabled, caching the handle
+/// at the call site (disabled path: one atomic load).
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $n:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::metrics::Counter>> =
+                std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::metrics::counter($name)).add($n);
+        }
+    }};
+}
+
+/// Set a named gauge iff recording is enabled (handle cached).
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:literal, $v:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::metrics::Gauge>> =
+                std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::metrics::gauge($name)).set($v);
+        }
+    }};
+}
+
+/// Record into a named histogram iff recording is enabled (handle
+/// cached).
+#[macro_export]
+macro_rules! hist_record {
+    ($name:literal, $v:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::metrics::Histogram>> =
+                std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::metrics::histogram($name)).record($v);
+        }
+    }};
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → snapshot.
+    pub histograms: Vec<(String, HistSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Snapshot every registered metric (sorted by name).
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    MetricsSnapshot {
+        counters: r
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect(),
+        gauges: r
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect(),
+        histograms: r
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect(),
+    }
+}
+
+/// Remove every registered metric (tests and between-run isolation).
+pub fn reset() {
+    let r = registry();
+    r.counters.lock().unwrap().clear();
+    r.gauges.lock().unwrap().clear();
+    r.histograms.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for b in 0..NBUCKETS {
+            assert!(bucket_lo(b) <= bucket_hi(b), "bucket {b}");
+            assert_eq!(bucket_of(bucket_lo(b)), b);
+            assert_eq!(bucket_of(bucket_hi(b)), b);
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_mean() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum, 5050);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        let p50 = s.quantile(0.5).unwrap();
+        // True median 50: estimate within the 25% bucket width.
+        assert!((38..=63).contains(&p50), "p50 {p50}");
+        assert!(s.quantile(1.0).unwrap() >= 100);
+        assert_eq!(Histogram::default().snapshot().quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let all = Histogram::default();
+        for v in [0u64, 3, 17, 200, 1 << 40, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 17, 999_999] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let c1 = counter("test.metric.reuse");
+        let c2 = counter("test.metric.reuse");
+        c1.add(2);
+        c2.add(3);
+        assert_eq!(c1.get(), 5);
+        gauge("test.gauge.reuse").set(1.5);
+        assert_eq!(gauge("test.gauge.reuse").get(), 1.5);
+        let snap = snapshot();
+        assert!(snap.counters.iter().any(|(n, v)| n == "test.metric.reuse" && *v == 5));
+    }
+}

@@ -1,0 +1,103 @@
+//! Run provenance: enough metadata stamped into every benchmark and
+//! experiment output to reproduce it — git SHA, the configuration the
+//! run was invoked with, the seed, and wall-clock time.
+
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::export::json_string;
+
+/// A provenance stamp for one run.
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    /// Git commit of the working tree (`MPCP_GIT_SHA` env override,
+    /// else `git rev-parse`; "unknown" outside a repository).
+    pub git_sha: String,
+    /// Whether the working tree had uncommitted changes.
+    pub git_dirty: bool,
+    /// Free-form configuration description (command line, spec id...).
+    pub config: String,
+    /// RNG seed, when the run had one.
+    pub seed: Option<u64>,
+    /// Wall-clock start, seconds since the Unix epoch.
+    pub unix_time: u64,
+}
+
+fn git_output(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    out.status.success().then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+fn git_state() -> &'static (String, bool) {
+    static STATE: OnceLock<(String, bool)> = OnceLock::new();
+    STATE.get_or_init(|| {
+        if let Ok(sha) = std::env::var("MPCP_GIT_SHA") {
+            return (sha, false);
+        }
+        let sha = git_output(&["rev-parse", "--short=12", "HEAD"])
+            .unwrap_or_else(|| "unknown".to_string());
+        let dirty = git_output(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+        (sha, dirty)
+    })
+}
+
+impl Provenance {
+    /// Capture provenance for a run described by `config`.
+    pub fn capture(config: &str, seed: Option<u64>) -> Provenance {
+        let (git_sha, git_dirty) = git_state().clone();
+        Provenance {
+            git_sha,
+            git_dirty,
+            config: config.to_string(),
+            seed,
+            unix_time: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    /// JSON object form (embedded in trace and metrics files).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"git_sha\":{},\"git_dirty\":{},\"config\":{},\"seed\":{},\"unix_time\":{}}}",
+            json_string(&self.git_sha),
+            self.git_dirty,
+            json_string(&self.config),
+            self.seed.map_or("null".to_string(), |s| s.to_string()),
+            self.unix_time,
+        )
+    }
+
+    /// One-line human-readable header, safe to prepend to text output
+    /// (e.g. `# provenance git=abc123 config="table3" seed=7 t=...`).
+    pub fn header(&self) -> String {
+        format!(
+            "# provenance git={}{} config={:?}{} unix_time={}",
+            self.git_sha,
+            if self.git_dirty { "+dirty" } else { "" },
+            self.config,
+            self.seed.map_or(String::new(), |s| format!(" seed={s}")),
+            self.unix_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_renders_json_and_header() {
+        let p = Provenance::capture("unit-test", Some(42));
+        let v = crate::json::parse(&p.to_json()).unwrap();
+        assert_eq!(v.get("config").and_then(|c| c.as_str()), Some("unit-test"));
+        assert_eq!(v.get("seed").and_then(|s| s.as_f64()), Some(42.0));
+        assert!(!v.get("git_sha").unwrap().as_str().unwrap().is_empty());
+        assert!(p.header().starts_with("# provenance git="));
+        let none = Provenance::capture("x", None);
+        assert!(none.header().contains("config=\"x\""));
+        assert_eq!(crate::json::parse(&none.to_json()).unwrap().get("seed"),
+            Some(&crate::json::JsonValue::Null));
+    }
+}

@@ -1,0 +1,378 @@
+//! Span and event recording: RAII guards, thread-local buffers, and a
+//! global drain.
+//!
+//! Each thread records into its own `Arc<Mutex<Vec<TraceEvent>>>`
+//! buffer (uncontended except while draining), registered globally on
+//! first use so [`drain`] can collect from every thread that ever
+//! recorded — including short-lived worker-pool threads that have
+//! since exited.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// An attribute value attached to a span or event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl AttrValue {
+    /// Render as a JSON value fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::I64(v) => v.to_string(),
+            AttrValue::F64(v) if v.is_finite() => {
+                // Shortest round-trip float; JSON has no NaN/Inf.
+                format!("{v}")
+            }
+            AttrValue::F64(v) => format!("\"{v}\""),
+            AttrValue::Str(s) => crate::export::json_string(s),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// What a [`TraceEvent`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span with a duration.
+    Span,
+    /// A point-in-time event.
+    Instant,
+}
+
+/// One recorded span or event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span/event name (static: probe sites name themselves).
+    pub name: &'static str,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start time, nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Recording thread (dense ids assigned in first-use order).
+    pub tid: u64,
+    /// Unique id of this span (0 for instants).
+    pub id: u64,
+    /// Id of the enclosing span, 0 if top-level.
+    pub parent: u64,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+type Buffer = Arc<Mutex<Vec<TraceEvent>>>;
+
+fn buffer_registry() -> &'static Mutex<Vec<Buffer>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Buffer>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+pub(crate) fn init_epoch() {
+    EPOCH.get_or_init(Instant::now);
+}
+
+fn since_epoch(t: Instant) -> u64 {
+    let e = *EPOCH.get_or_init(Instant::now);
+    t.saturating_duration_since(e).as_nanos() as u64
+}
+
+struct Local {
+    buf: Buffer,
+    stack: Vec<u64>,
+    tid: u64,
+}
+
+impl Local {
+    fn new() -> Local {
+        let buf: Buffer = Arc::new(Mutex::new(Vec::new()));
+        buffer_registry().lock().unwrap().push(Arc::clone(&buf));
+        Local { buf, stack: Vec::new(), tid: NEXT_TID.fetch_add(1, Ordering::Relaxed) }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::new());
+}
+
+/// Collect every recorded event from every thread, oldest first, and
+/// clear the buffers. Buffers of exited threads are drained too, then
+/// dropped.
+pub fn drain() -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    let mut registry = buffer_registry().lock().unwrap();
+    registry.retain(|buf| {
+        out.append(&mut buf.lock().unwrap());
+        // Keep only buffers some live thread still holds.
+        Arc::strong_count(buf) > 1
+    });
+    drop(registry);
+    out.sort_by_key(|e| (e.ts_ns, e.id));
+    out
+}
+
+/// Id of the innermost open span on this thread (0 if none).
+pub fn current_span_id() -> u64 {
+    LOCAL.with(|l| l.borrow().stack.last().copied().unwrap_or(0))
+}
+
+/// Open a span. Returns a no-op guard when recording is disabled; the
+/// span is recorded (with its duration and attributes) when the guard
+/// drops.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let parent = l.stack.last().copied().unwrap_or(0);
+        l.stack.push(id);
+        parent
+    });
+    SpanGuard(Some(ActiveSpan { name, id, parent, start: Instant::now(), attrs: Vec::new() }))
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start: Instant,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// RAII guard for an open span; records on drop.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Attach an attribute (builder style, at open time).
+    pub fn attr(mut self, key: &'static str, value: impl Into<AttrValue>) -> SpanGuard {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Attach an attribute to an already-open span (e.g. a result
+    /// computed inside the span).
+    pub fn set_attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(s) = self.0.as_mut() {
+            s.attrs.push((key, value.into()));
+        }
+    }
+
+    /// This span's id (0 when recording was disabled at open).
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(s) = self.0.take() else { return };
+        let end = Instant::now();
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            // Pop this span; defensive against out-of-order guard drops.
+            if let Some(pos) = l.stack.iter().rposition(|&id| id == s.id) {
+                l.stack.remove(pos);
+            }
+            let ev = TraceEvent {
+                name: s.name,
+                kind: EventKind::Span,
+                ts_ns: since_epoch(s.start),
+                dur_ns: end.saturating_duration_since(s.start).as_nanos() as u64,
+                tid: l.tid,
+                id: s.id,
+                parent: s.parent,
+                attrs: s.attrs,
+            };
+            l.buf.lock().unwrap().push(ev);
+        });
+    }
+}
+
+/// Build a point-in-time event; call [`EventBuilder::emit`] (or let it
+/// drop) to record it under the current span.
+pub fn event(name: &'static str) -> EventBuilder {
+    if !crate::enabled() {
+        return EventBuilder(None);
+    }
+    EventBuilder(Some(PendingEvent { name, at: Instant::now(), attrs: Vec::new() }))
+}
+
+struct PendingEvent {
+    name: &'static str,
+    at: Instant,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Builder for an instant event; records on `emit` or drop.
+pub struct EventBuilder(Option<PendingEvent>);
+
+impl EventBuilder {
+    /// Attach an attribute.
+    pub fn attr(mut self, key: &'static str, value: impl Into<AttrValue>) -> EventBuilder {
+        if let Some(e) = self.0.as_mut() {
+            e.attrs.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Record the event now.
+    pub fn emit(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        let Some(e) = self.0.take() else { return };
+        LOCAL.with(|l| {
+            let l = l.borrow_mut();
+            let ev = TraceEvent {
+                name: e.name,
+                kind: EventKind::Instant,
+                ts_ns: since_epoch(e.at),
+                dur_ns: 0,
+                tid: l.tid,
+                id: 0,
+                parent: l.stack.last().copied().unwrap_or(0),
+                attrs: e.attrs,
+            };
+            l.buf.lock().unwrap().push(ev);
+        });
+    }
+}
+
+impl Drop for EventBuilder {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Serialize tests that toggle the global enabled flag.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_parent_link() {
+        let _lock = test_lock();
+        crate::set_enabled(true);
+        drain();
+        let outer_id;
+        {
+            let outer = span("outer").attr("k", 7u64);
+            outer_id = outer.id();
+            assert_eq!(current_span_id(), outer_id);
+            {
+                let _inner = span("inner");
+                event("tick").attr("x", 1.5).emit();
+            }
+        }
+        crate::set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 3);
+        let tick = events.iter().find(|e| e.name == "tick").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(tick.kind, EventKind::Instant);
+        assert_eq!(tick.parent, inner.id);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.id, outer_id);
+        assert_eq!(outer.parent, 0);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert_eq!(outer.attrs, vec![("k", AttrValue::U64(7))]);
+    }
+
+    #[test]
+    fn drain_collects_across_threads() {
+        let _lock = test_lock();
+        crate::set_enabled(true);
+        drain();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _g = span("worker").attr("i", i as u64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        crate::set_enabled(false);
+        let events = drain();
+        assert_eq!(events.iter().filter(|e| e.name == "worker").count(), 4);
+        let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4);
+        // A second drain is empty (buffers cleared, dead threads dropped).
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn set_attr_after_open() {
+        let _lock = test_lock();
+        crate::set_enabled(true);
+        drain();
+        {
+            let mut g = span("run");
+            g.set_attr("result", 42u64);
+        }
+        crate::set_enabled(false);
+        let events = drain();
+        assert_eq!(events[0].attrs, vec![("result", AttrValue::U64(42))]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the metrics core: log-bucketing is monotone and
+//! bounds every value, merging equals concatenation, and quantile
+//! estimates bracket the true sample quantile within one bucket.
+
+use mpcp_obs::metrics::{bucket_hi, bucket_lo, bucket_of, HistSnapshot, Histogram, NBUCKETS};
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every value lands in a bucket whose [lo, hi] range contains it.
+    #[test]
+    fn bucket_bounds_contain_value(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < NBUCKETS);
+        prop_assert!(bucket_lo(b) <= v, "lo {} > v {v}", bucket_lo(b));
+        prop_assert!(v <= bucket_hi(b), "v {v} > hi {}", bucket_hi(b));
+    }
+
+    /// Bucketing is monotone: a ≤ b implies bucket(a) ≤ bucket(b).
+    #[test]
+    fn bucketing_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_of(lo) <= bucket_of(hi));
+    }
+
+    /// Merging two histograms equals recording the concatenated stream.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        xs in prop::collection::vec(any::<u64>(), 0..200),
+        ys in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut merged = record_all(&xs);
+        merged.merge(&record_all(&ys));
+        let mut both = xs.clone();
+        both.extend_from_slice(&ys);
+        // Wrapping: the atomic sum wraps on overflow exactly like the
+        // wrapping sum of the concatenated stream.
+        let concat = record_all(&both);
+        prop_assert_eq!(merged.buckets, concat.buckets);
+        prop_assert_eq!(
+            merged.sum,
+            xs.iter().chain(&ys).fold(0u64, |acc, &v| acc.wrapping_add(v))
+        );
+        prop_assert_eq!(merged.count(), both.len() as u64);
+    }
+
+    /// The quantile estimate lies in the same bucket as the true sample
+    /// quantile — i.e. within one bucket (≤ 25% relative error above
+    /// the exact range).
+    #[test]
+    fn quantile_brackets_true_quantile(
+        mut xs in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        q_millis in 0u64..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let snap = record_all(&xs);
+        let est = snap.quantile(q).unwrap();
+        xs.sort_unstable();
+        // True order statistic at rank ceil(q·n), clamped to [1, n].
+        let n = xs.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let true_q = xs[rank - 1];
+        let tb = bucket_of(true_q);
+        prop_assert!(
+            bucket_lo(tb) <= est && est <= bucket_hi(tb),
+            "estimate {est} outside bucket [{}, {}] of true quantile {true_q}",
+            bucket_lo(tb), bucket_hi(tb)
+        );
+    }
+
+    /// Histogram mean is exact (modulo f64 rounding of the true mean).
+    #[test]
+    fn mean_is_exact(xs in prop::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let snap = record_all(&xs);
+        let true_mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+        prop_assert!((snap.mean() - true_mean).abs() < 1e-6 * true_mean.max(1.0));
+    }
+}

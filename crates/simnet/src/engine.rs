@@ -88,8 +88,27 @@ impl<'m> Simulator<'m> {
             prog.validate(r as Rank, p)
                 .map_err(|reason| SimError::InvalidProgram { rank: r as Rank, reason })?;
         }
+        let mut span = mpcp_obs::span("simulate")
+            .attr("nodes", self.topo.nodes())
+            .attr("ranks", p);
+        let wall = mpcp_obs::maybe_now();
         let mut exec = Exec::new(self.model, &self.topo, programs, starts);
-        exec.run()
+        let result = exec.run();
+        if let Ok(r) = &result {
+            mpcp_obs::counter_add!("simnet.runs", 1);
+            mpcp_obs::counter_add!("simnet.events", r.events);
+            mpcp_obs::counter_add!("simnet.messages", r.messages);
+            mpcp_obs::counter_add!("simnet.bytes_inter", r.bytes_inter);
+            mpcp_obs::counter_add!("simnet.bytes_intra", r.bytes_intra);
+            mpcp_obs::hist_record!("simnet.run.events", r.events);
+            span.set_attr("events", r.events);
+            span.set_attr("messages", r.messages);
+            span.set_attr("bytes_inter", r.bytes_inter);
+            span.set_attr("bytes_intra", r.bytes_intra);
+            span.set_attr("sim_us", r.makespan().as_micros_f64());
+        }
+        mpcp_obs::record_elapsed("simnet.run.wall_ns", wall);
+        result
     }
 }
 
