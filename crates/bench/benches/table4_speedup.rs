@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
     for learner in [Learner::knn(), Learner::gam()] {
         g.bench_function(BenchmarkId::from_parameter(learner.name()), |b| {
             b.iter(|| {
-                let sel = Selector::train(&learner, &train, lib.configs(spec.coll));
+                let sel = Selector::train(&learner, &train, lib.configs(spec.coll)).unwrap();
                 mean_speedup(&evaluate(&sel, &test, &lib, spec.coll))
             })
         });

@@ -39,7 +39,7 @@ pub fn bench_records(
 /// Train a selector on the shared dataset with the given learner.
 pub fn trained_selector(learner: &Learner) -> Selector {
     let (spec, lib, records) = bench_records();
-    Selector::train(learner, &records, lib.configs(spec.coll))
+    Selector::train(learner, &records, lib.configs(spec.coll)).expect("training failed")
 }
 
 /// A runtime-surface regression dataset for learner-training benches.

@@ -15,9 +15,10 @@ use mpcp_collectives::{Collective, MpiLibrary};
 use mpcp_collectives::decision::TuningGrid;
 use mpcp_simnet::{Machine, SimTime, Simulator, Topology};
 
+use crate::fault::{measure_cell, CellOutcome, FaultPlan, FaultSummary, RetryPolicy};
 use crate::noise::{cell_stream, NoiseModel};
 use crate::record::{read_csv, write_csv, Record};
-use crate::repro::{summarize, BenchConfig};
+use crate::repro::BenchConfig;
 
 /// Which simulated MPI library a dataset uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -273,6 +274,25 @@ impl DatasetSpec {
     /// Every cell simulates the collective once (deterministic) and runs
     /// the ReproMPI repetition loop around it with cell-seeded noise.
     pub fn generate(&self, library: &MpiLibrary, bench: &BenchConfig) -> DatasetResult {
+        self.generate_with_faults(library, bench, None, &RetryPolicy::default())
+    }
+
+    /// Benchmark the grid under a fault plan: cells may fail, time out,
+    /// or be blacked out, and failed attempts are retried per `retry`.
+    ///
+    /// Passing `None` (or a no-op plan) produces records **bit-identical**
+    /// to [`DatasetSpec::generate`] — fault fates draw from a stream
+    /// independent of the measurement noise. Cells lost to faults are
+    /// simply absent from `records`; the accounting lives in
+    /// [`DatasetResult::faults`]. Simulation errors are likewise counted
+    /// per cell instead of aborting the whole grid.
+    pub fn generate_with_faults(
+        &self,
+        library: &MpiLibrary,
+        bench: &BenchConfig,
+        plan: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+    ) -> DatasetResult {
         let noise = NoiseModel::default();
         let configs = library.configs(self.coll);
         let mut grid_span = mpcp_obs::span("bench.grid")
@@ -286,7 +306,7 @@ impl DatasetSpec {
                 grid.push((n, ppn));
             }
         }
-        let cells: Vec<(Vec<Record>, SimTime)> = grid
+        let cells: Vec<(Vec<Record>, SimTime, FaultSummary)> = grid
             .par_iter()
             .map(|&(n, ppn)| {
                 let _cell_span = mpcp_obs::span("measure")
@@ -297,41 +317,67 @@ impl DatasetSpec {
                 let sim = Simulator::new(&self.machine.model, &topo);
                 let mut records = Vec::with_capacity(configs.len() * self.msizes.len());
                 let mut consumed = SimTime::ZERO;
+                let mut faults = FaultSummary::default();
                 for (uid, cfg) in configs.iter().enumerate() {
                     for &m in &self.msizes {
                         let progs = cfg.build(&topo, m);
-                        let base = sim
-                            .run(&progs)
-                            .unwrap_or_else(|e| {
-                                panic!("{} {} n={n} ppn={ppn} m={m}: {e}", self.id, cfg.label())
-                            })
-                            .makespan();
+                        let base = match sim.run(&progs) {
+                            Ok(run) => run.makespan(),
+                            Err(e) => {
+                                // A broken cell must not abort the grid:
+                                // count it and move on.
+                                mpcp_obs::counter_add!("bench.sim_errors", 1);
+                                eprintln!(
+                                    "warning: {} {} n={n} ppn={ppn} m={m}: {e}",
+                                    self.id,
+                                    cfg.label()
+                                );
+                                faults.sim_errors += 1;
+                                continue;
+                            }
+                        };
                         let mut stream = cell_stream(self.seed, uid as u32, n, ppn, m);
-                        let meas = summarize(base, bench, &noise, &mut stream);
-                        consumed += meas.consumed;
-                        records.push(Record {
-                            nodes: n,
-                            ppn,
-                            msize: m,
-                            uid: uid as u32,
-                            alg_id: cfg.alg_id,
-                            excluded: cfg.excluded,
-                            runtime: meas.median_secs,
-                            base: meas.base.as_secs_f64(),
-                            reps: meas.reps,
-                        });
+                        let result = measure_cell(
+                            base,
+                            bench,
+                            &noise,
+                            &mut stream,
+                            plan,
+                            retry,
+                            (uid as u32, n, ppn, m),
+                        );
+                        faults.absorb(&result);
+                        consumed += result.consumed;
+                        if let CellOutcome::Ok(meas) = result.outcome {
+                            records.push(Record {
+                                nodes: n,
+                                ppn,
+                                msize: m,
+                                uid: uid as u32,
+                                alg_id: cfg.alg_id,
+                                excluded: cfg.excluded,
+                                runtime: meas.median_secs,
+                                base: meas.base.as_secs_f64(),
+                                reps: meas.reps,
+                            });
+                        }
                     }
                 }
-                (records, consumed)
+                (records, consumed, faults)
             })
             .collect();
         let mut records = Vec::new();
         let mut total_bench = SimTime::ZERO;
-        for (r, c) in cells {
+        let mut faults = FaultSummary::default();
+        for (r, c, f) in cells {
             records.extend(r);
             total_bench += c;
+            faults.merge(&f);
         }
+        mpcp_obs::counter_add!("bench.cells_failed", faults.cells_failed as u64);
         grid_span.set_attr("records", records.len());
+        grid_span.set_attr("cells_failed", faults.cells_failed);
+        grid_span.set_attr("cells_timed_out", faults.cells_timed_out);
         grid_span.set_attr("sim_bench_secs", total_bench.as_secs_f64());
         if let Some(t0) = wall {
             let secs = t0.elapsed().as_secs_f64();
@@ -340,7 +386,7 @@ impl DatasetSpec {
                 mpcp_obs::gauge_set!("bench.cells_per_sec", records.len() as f64 / secs);
             }
         }
-        DatasetResult { id: self.id, records, total_bench }
+        DatasetResult { id: self.id, records, total_bench, faults }
     }
 
     /// Generate, caching the records as CSV under `cache_dir` (the
@@ -355,7 +401,8 @@ impl DatasetSpec {
         let path = cache_dir.join(format!("{}.csv", self.id));
         if let Ok(records) = read_csv(&path) {
             if records.len() == self.sample_count(library) {
-                return DatasetResult { id: self.id, records, total_bench: SimTime::ZERO };
+                let faults = FaultSummary { cells_ok: records.len(), ..FaultSummary::default() };
+                return DatasetResult { id: self.id, records, total_bench: SimTime::ZERO, faults };
             }
         }
         let result = self.generate(library, bench);
@@ -371,11 +418,13 @@ impl DatasetSpec {
 pub struct DatasetResult {
     /// Dataset id.
     pub id: &'static str,
-    /// All measured cells.
+    /// All measured cells (cells lost to faults are absent).
     pub records: Vec<Record>,
     /// Total simulated benchmarking time across the grid (zero when
     /// loaded from cache).
     pub total_bench: SimTime,
+    /// Fault accounting for the campaign (all-ok without a fault plan).
+    pub faults: FaultSummary,
 }
 
 impl DatasetResult {
@@ -455,6 +504,93 @@ mod tests {
         assert_eq!(a.records, b.records);
         assert_eq!(b.total_bench, SimTime::ZERO); // loaded from cache
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noop_fault_plan_is_bit_identical() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let clean = spec.generate(&lib, &BenchConfig::quick());
+        let plan = FaultPlan::none();
+        let faulty = spec.generate_with_faults(
+            &lib,
+            &BenchConfig::quick(),
+            Some(&plan),
+            &RetryPolicy::default(),
+        );
+        assert_eq!(clean.records, faulty.records);
+        assert_eq!(faulty.faults.cells_failed, 0);
+        assert_eq!(faulty.faults.cells_ok, faulty.records.len());
+    }
+
+    #[test]
+    fn fault_plan_yields_a_partial_grid() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let plan = FaultPlan::uniform(0.3, 42);
+        let r = spec.generate_with_faults(
+            &lib,
+            &BenchConfig::quick(),
+            Some(&plan),
+            &crate::fault::RetryPolicy::no_retries(),
+        );
+        let total = spec.sample_count(&lib);
+        assert_eq!(r.faults.total(), total);
+        assert_eq!(r.records.len(), r.faults.cells_ok);
+        assert!(r.records.len() < total, "some cells must fail at 30%");
+        assert!(r.records.len() > total / 3, "most cells must survive");
+        // Deterministic: same plan, same partial grid.
+        let again = spec.generate_with_faults(
+            &lib,
+            &BenchConfig::quick(),
+            Some(&plan),
+            &crate::fault::RetryPolicy::no_retries(),
+        );
+        assert_eq!(r.records, again.records);
+        assert_eq!(r.faults, again.faults);
+    }
+
+    #[test]
+    fn retries_recover_cells_lost_to_transient_failures() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let plan = FaultPlan::uniform(0.3, 42);
+        let bare = spec.generate_with_faults(
+            &lib,
+            &BenchConfig::quick(),
+            Some(&plan),
+            &crate::fault::RetryPolicy::no_retries(),
+        );
+        let retried = spec.generate_with_faults(
+            &lib,
+            &BenchConfig::quick(),
+            Some(&plan),
+            &RetryPolicy::default(),
+        );
+        assert!(
+            retried.records.len() > bare.records.len(),
+            "retries must recover transient failures ({} vs {})",
+            retried.records.len(),
+            bare.records.len()
+        );
+        assert!(retried.faults.retries > 0);
+    }
+
+    #[test]
+    fn blackout_removes_a_whole_node_count() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let plan = FaultPlan { blackout_nodes: vec![3], ..FaultPlan::none() };
+        let r = spec.generate_with_faults(
+            &lib,
+            &BenchConfig::quick(),
+            Some(&plan),
+            &RetryPolicy::default(),
+        );
+        assert!(r.records.iter().all(|rec| rec.nodes != 3));
+        assert!(r.records.iter().any(|rec| rec.nodes == 2));
+        let per_node = spec.sample_count(&lib) / spec.nodes.len();
+        assert_eq!(r.faults.cells_failed, per_node);
     }
 
     #[test]

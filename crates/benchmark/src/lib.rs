@@ -18,13 +18,20 @@
 //!
 //! [`datasets`] defines the paper's eight datasets (Table II) with the
 //! train/test node splits of Table III.
+//!
+//! [`fault`] adds deterministic fault injection: a seeded [`FaultPlan`]
+//! makes cells fail, time out, or black out whole node counts, with
+//! bounded budget-charged retries — producing the partial grids the
+//! selection layer must degrade gracefully on.
 
 pub mod datasets;
+pub mod fault;
 pub mod noise;
 pub mod record;
 pub mod repro;
 
 pub use datasets::{DatasetResult, DatasetSpec, LibKind};
+pub use fault::{CellFate, CellOutcome, CellResult, FaultPlan, FaultSummary, RetryPolicy};
 pub use noise::NoiseModel;
 pub use record::Record;
 pub use repro::{BenchConfig, Measurement};

@@ -77,8 +77,30 @@ pub fn measure(
     Ok(summarize(base, config, noise, stream))
 }
 
+/// Median of an already-sorted, non-empty slice: middle element for odd
+/// counts, arithmetic mean of the two middle elements for even counts.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    debug_assert!(!sorted.is_empty(), "median of zero observations");
+    if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    }
+}
+
 /// The repetition loop around a known base time (exposed separately so
 /// dataset generation can reuse one simulation per cell).
+///
+/// # Invariant: at least one observation
+///
+/// The loop **always records at least one observation**, even for
+/// degenerate configurations — `max_reps == 0` is clamped to 1, and a
+/// budget smaller than a single repetition (`budget < sync_per_rep`, or
+/// even `budget == 0`) still admits the first observation because the
+/// budget check only applies from the second repetition on. Every
+/// [`Measurement`] therefore has `reps >= 1` and finite summary
+/// statistics; `consumed` may exceed `budget` only by that single
+/// guaranteed observation.
 pub fn summarize(
     base: SimTime,
     config: &BenchConfig,
@@ -101,11 +123,7 @@ pub fn summarize(
     // total_cmp: a NaN observation (impossible noise, corrupt input)
     // must order deterministically instead of panicking mid-benchmark.
     sorted.sort_by(f64::total_cmp);
-    let median = if sorted.len() % 2 == 1 {
-        sorted[sorted.len() / 2]
-    } else {
-        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
-    };
+    let median = median_of_sorted(&sorted);
     mpcp_obs::counter_add!("bench.cells", 1);
     mpcp_obs::counter_add!("bench.reps", obs.len() as u64);
     mpcp_obs::counter_add!("bench.consumed_ns", consumed.picos() / 1000);
@@ -196,6 +214,62 @@ mod tests {
         .unwrap();
         assert!(m.base.as_secs_f64() > 0.0);
         assert!(m.reps >= 1);
+    }
+
+    #[test]
+    fn zero_max_reps_still_yields_one_observation() {
+        // Degenerate config guard: max_reps == 0 is clamped to 1.
+        let config = BenchConfig { max_reps: 0, ..BenchConfig::quick() };
+        let mut stream = SplitMix64::new(6);
+        let m = summarize(SimTime::from_micros_f64(10.0), &config, &NoiseModel::default(), &mut stream);
+        assert_eq!(m.reps, 1);
+        assert!(m.median_secs.is_finite() && m.median_secs > 0.0);
+    }
+
+    #[test]
+    fn budget_below_sync_overhead_still_yields_one_observation() {
+        // budget < sync_per_rep: the first observation is always taken;
+        // consumed may exceed the budget by exactly that one rep.
+        let config = BenchConfig {
+            max_reps: 500,
+            budget: SimTime(1), // 1 ps
+            sync_per_rep: SimTime::from_micros_f64(5.0),
+        };
+        let mut stream = SplitMix64::new(7);
+        let m = summarize(SimTime::from_micros_f64(10.0), &config, &NoiseModel::default(), &mut stream);
+        assert_eq!(m.reps, 1);
+        assert!(m.consumed > config.budget);
+        assert!(m.median_secs.is_finite());
+
+        let zero = BenchConfig { budget: SimTime::ZERO, ..config };
+        let mut stream = SplitMix64::new(8);
+        let m = summarize(SimTime::from_micros_f64(10.0), &zero, &NoiseModel::default(), &mut stream);
+        assert_eq!(m.reps, 1);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd_counts() {
+        // Odd: middle element. Even: mean of the two middle elements.
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 5.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 4.0, 10.0]), 3.0);
+        assert_eq!(median_of_sorted(&[7.0]), 7.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn even_rep_medians_match_by_construction() {
+        // An even-rep run's median must equal the mean of the two middle
+        // sorted observations (regression check on the median math).
+        let config = BenchConfig { max_reps: 4, ..BenchConfig::quick() };
+        let noise = NoiseModel::default();
+        let base = SimTime::from_micros_f64(10.0);
+        let mut s1 = SplitMix64::new(12);
+        let m = summarize(base, &config, &noise, &mut s1);
+        assert_eq!(m.reps, 4);
+        let mut s2 = SplitMix64::new(12);
+        let mut obs: Vec<f64> = (0..4).map(|_| noise.observe(base.as_secs_f64(), &mut s2)).collect();
+        obs.sort_by(f64::total_cmp);
+        assert_eq!(m.median_secs, 0.5 * (obs[1] + obs[2]));
     }
 
     #[test]

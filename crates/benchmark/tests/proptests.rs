@@ -3,10 +3,11 @@
 
 use proptest::prelude::*;
 
+use mpcp_benchmark::fault::measure_cell;
 use mpcp_benchmark::noise::{cell_stream, SplitMix64};
 use mpcp_benchmark::record::Record;
 use mpcp_benchmark::repro::{summarize, BenchConfig};
-use mpcp_benchmark::NoiseModel;
+use mpcp_benchmark::{CellOutcome, FaultPlan, NoiseModel, RetryPolicy};
 use mpcp_simnet::SimTime;
 
 proptest! {
@@ -86,6 +87,93 @@ proptest! {
         let r = Record { nodes, ppn, msize, uid, alg_id, excluded, runtime, base, reps };
         let back = Record::from_csv(&r.to_csv()).unwrap();
         prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn retry_accounting_never_exceeds_cell_budget(
+        base_us in 0.1f64..1e5,
+        budget_ms in 0.1f64..100.0,
+        fail in 0.0f64..0.9,
+        timeout in 0.0f64..0.09,
+        max_retries in 0u32..8,
+        backoff_us in 0.0f64..10_000.0,
+        seed in any::<u64>(),
+        cell in (0u32..100, 1u32..50, 1u32..50, 1u64..1_000_000),
+    ) {
+        // The fault-injection invariant: retry backoff is charged
+        // against the cell budget and can never exceed it, and the
+        // cell's total consumed time only exceeds the budget via the
+        // one guaranteed observation of the ReproMPI loop.
+        let config = BenchConfig {
+            max_reps: 50,
+            budget: SimTime::from_secs_f64(budget_ms * 1e-3),
+            sync_per_rep: SimTime::from_micros_f64(5.0),
+        };
+        let plan = FaultPlan {
+            fail_prob: fail * (1.0 - timeout),
+            timeout_prob: timeout,
+            seed,
+            ..FaultPlan::none()
+        };
+        let retry = RetryPolicy {
+            max_retries,
+            backoff: SimTime::from_micros_f64(backoff_us),
+        };
+        let mut stream = cell_stream(seed, cell.0, cell.1, cell.2, cell.3);
+        let r = measure_cell(
+            SimTime::from_micros_f64(base_us),
+            &config,
+            &NoiseModel::default(),
+            &mut stream,
+            Some(&plan),
+            &retry,
+            cell,
+        );
+        prop_assert!(r.retry_overhead <= config.budget,
+            "retry overhead {:?} exceeds budget {:?}", r.retry_overhead, config.budget);
+        prop_assert!(r.attempts >= 1 && r.attempts <= max_retries + 1);
+        match r.outcome {
+            CellOutcome::Ok(m) => {
+                prop_assert!(m.reps >= 1);
+                prop_assert!(m.consumed == r.consumed);
+                // Over budget only when the guaranteed first observation
+                // alone is over (one measured rep).
+                prop_assert!(r.consumed <= config.budget || m.reps == 1,
+                    "consumed {:?} over budget {:?} with {} reps",
+                    r.consumed, config.budget, m.reps);
+            }
+            CellOutcome::Failed => prop_assert!(r.consumed <= config.budget),
+            CellOutcome::TimedOut => prop_assert!(r.consumed == config.budget),
+        }
+    }
+
+    #[test]
+    fn fault_fates_are_independent_of_noise_draws(
+        base_us in 0.1f64..1e3,
+        seed in any::<u64>(),
+        cell in (0u32..100, 1u32..50, 1u32..50, 1u64..1_000_000),
+    ) {
+        // A no-op plan consumes zero noise-stream draws beyond what the
+        // plain loop uses: records stay bit-identical.
+        let config = BenchConfig::quick();
+        let noise = NoiseModel::default();
+        let mut s1 = cell_stream(seed, cell.0, cell.1, cell.2, cell.3);
+        let plain = summarize(SimTime::from_micros_f64(base_us), &config, &noise, &mut s1);
+        let mut s2 = cell_stream(seed, cell.0, cell.1, cell.2, cell.3);
+        let plan = FaultPlan::none();
+        let r = measure_cell(
+            SimTime::from_micros_f64(base_us),
+            &config,
+            &noise,
+            &mut s2,
+            Some(&plan),
+            &RetryPolicy::default(),
+            cell,
+        );
+        let CellOutcome::Ok(m) = r.outcome else { panic!("no-op plan must measure") };
+        prop_assert_eq!(m.median_secs.to_bits(), plain.median_secs.to_bits());
+        prop_assert_eq!(m.reps, plain.reps);
+        prop_assert_eq!(s1.next_u64(), s2.next_u64());
     }
 
     #[test]

@@ -3,12 +3,12 @@
 use std::path::Path;
 
 use mpcp_benchmark::record::{read_csv, write_csv};
-use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
+use mpcp_benchmark::{BenchConfig, DatasetSpec, FaultPlan, LibKind, RetryPolicy};
 use mpcp_collectives::{Collective, MpiLibrary};
 use mpcp_core::tuning_file::{default_query_sizes, TuningFile};
-use mpcp_core::{Instance, RuntimeTable, Selector};
+use mpcp_core::{Instance, RuntimeTable, Selector, TrainOptions, TrainReport};
 use mpcp_ml::Learner;
-use mpcp_simnet::{Machine, Simulator, Topology};
+use mpcp_simnet::{Machine, SimTime, Simulator, Topology};
 
 use crate::args::{parse_size, parse_size_list, parse_u32_list, Args};
 
@@ -134,6 +134,23 @@ pub fn bench(args: &Args) -> Result<String, String> {
     let msizes = parse_size_list(args.require("msizes")?)?;
     let out_path = args.require("out")?;
     let seed: u64 = args.get_or("seed", "1").parse().map_err(|_| "bad --seed".to_string())?;
+    let plan = match args.get("fault-plan") {
+        Some(s) => Some(FaultPlan::parse(s).map_err(|e| format!("--fault-plan: {e}"))?),
+        None => None,
+    };
+    let retries: u32 = args
+        .get_or("retries", "2")
+        .parse()
+        .map_err(|_| "bad --retries (want a small integer)".to_string())?;
+    let backoff_ms: f64 = args
+        .get_or("retry-backoff-ms", "0.1")
+        .parse()
+        .map_err(|_| "bad --retry-backoff-ms (want milliseconds)".to_string())?;
+    if !backoff_ms.is_finite() || backoff_ms < 0.0 {
+        return Err(format!("--retry-backoff-ms {backoff_ms} must be non-negative"));
+    }
+    let retry =
+        RetryPolicy { max_retries: retries, backoff: SimTime::from_secs_f64(backoff_ms * 1e-3) };
     let lib_kind = match args.get_or("lib", "openmpi") {
         "intelmpi" | "intel" => LibKind::IntelMpi,
         _ => LibKind::OpenMpi,
@@ -151,26 +168,39 @@ pub fn bench(args: &Args) -> Result<String, String> {
     let library = spec.library(None);
     let bench = BenchConfig::paper_default(&machine.name);
     let t0 = std::time::Instant::now();
-    let data = spec.generate(&library, &bench);
+    let data = spec.generate_with_faults(&library, &bench, plan.as_ref(), &retry);
+    if data.records.is_empty() {
+        return Err(format!(
+            "no cells survived the benchmark run ({}); relax the fault plan",
+            data.faults.summary()
+        ));
+    }
     write_csv(Path::new(out_path), &data.records).map_err(|e| e.to_string())?;
-    Ok(format!(
-        "benchmarked {} cells ({} configurations) in {:.1}s\nsimulated benchmarking time: {:.1} min (bound {:.1} min)\nwrote {}\n",
+    let mut out = format!(
+        "benchmarked {} cells ({} configurations) in {:.1}s\nsimulated benchmarking time: {:.1} min (bound {:.1} min)\n",
         data.records.len(),
         library.configs(coll).len(),
         t0.elapsed().as_secs_f64(),
         data.total_bench.as_secs_f64() / 60.0,
         data.budget_bound(&bench).as_secs_f64() / 60.0,
-        out_path
-    ))
+    );
+    if plan.is_some() || data.faults.total() != data.faults.cells_ok {
+        out.push_str(&format!("fault injection: {}\n", data.faults.summary()));
+    }
+    out.push_str(&format!("wrote {out_path}\n"));
+    Ok(out)
 }
 
-fn load_and_train(args: &Args) -> Result<(Selector, MpiLibrary, Collective, Vec<mpcp_benchmark::Record>), String> {
+type Trained = (Selector, TrainReport, MpiLibrary, Collective, Vec<mpcp_benchmark::Record>);
+
+fn load_and_train(args: &Args) -> Result<Trained, String> {
     let coll = parse_coll(args.require("coll")?)?;
     let machine = parse_machine(args.get_or("machine", "hydra"))?;
     let lib = library(args, &machine, coll)?;
-    let data = read_csv(Path::new(args.require("data")?)).map_err(|e| e.to_string())?;
+    let path = args.require("data")?;
+    let data = read_csv(Path::new(path)).map_err(|e| e.to_string())?;
     if data.is_empty() {
-        return Err("dataset is empty".into());
+        return Err(format!("dataset {path} is empty"));
     }
     let train = match args.get("train-nodes") {
         Some(s) => {
@@ -182,26 +212,54 @@ fn load_and_train(args: &Args) -> Result<(Selector, MpiLibrary, Collective, Vec<
     if train.is_empty() {
         return Err("no training records after --train-nodes filter".into());
     }
+    let min_samples: usize = args
+        .get_or("min-samples", "1")
+        .parse()
+        .map_err(|_| "bad --min-samples (want a positive integer)".to_string())?;
     let learner = parse_learner(args.get_or("learner", "gam"))?;
-    let selector = Selector::train(&learner, &train, lib.configs(coll));
-    Ok((selector, lib, coll, data))
+    let (selector, report) = Selector::train_with_report(
+        &learner,
+        &train,
+        lib.configs(coll),
+        &TrainOptions { min_samples },
+    )
+    .map_err(|e| format!("training on {path} failed: {e}"))?;
+    Ok((selector, report, lib, coll, data))
+}
+
+/// Coverage note shown by `select`/`tune` when training was partial.
+fn coverage_note(report: &TrainReport) -> String {
+    if report.degraded() == 0 && report.records_out_of_range == 0 {
+        return String::new();
+    }
+    format!("training coverage: {}\n", report.summary())
 }
 
 /// `mpcp select ...`
 pub fn select(args: &Args) -> Result<String, String> {
-    let (selector, lib, coll, data) = load_and_train(args)?;
+    let (selector, report, lib, coll, data) = load_and_train(args)?;
     let nodes: u32 = args.require("nodes")?.parse().map_err(|_| "bad --nodes".to_string())?;
     let ppn: u32 = args.require("ppn")?.parse().map_err(|_| "bad --ppn".to_string())?;
     let msize = parse_size(args.require("msize")?)?;
     let inst = Instance::new(coll, msize, nodes, ppn);
-    let (uid, pred) = selector.select(&inst);
+    let selection = selector.select_with_fallback(&inst, &lib);
+    let uid = selection.uid;
     let configs = lib.configs(coll);
     let default_uid = lib.default_choice(coll, msize, &Topology::new(nodes, ppn));
-    let mut out = format!(
-        "instance: {inst}\npredicted best: uid {uid} = {} (~{pred:.1} us predicted)\nlibrary default: uid {default_uid} = {}\n",
-        configs[uid as usize].label(),
-        configs[default_uid].label()
-    );
+    let mut out = format!("instance: {inst}\n");
+    out.push_str(&coverage_note(&report));
+    match selection.predicted_us {
+        Some(pred) => out.push_str(&format!(
+            "predicted best: uid {uid} = {} (~{pred:.1} us predicted)\n",
+            configs[uid as usize].label()
+        )),
+        None => out.push_str(&format!(
+            "DEGRADED selection: no trained model covers this instance; \
+             falling back to library decision logic: uid {uid} = {}\n",
+            configs[uid as usize].label()
+        )),
+    }
+    out.push_str(&format!("library default: uid {default_uid} = {}\n", configs[default_uid].label()));
     // If the instance was benchmarked, show the ground truth too.
     let table = RuntimeTable::new(&data);
     if let Some((best_uid, best)) = table.best(&inst) {
@@ -219,7 +277,7 @@ pub fn select(args: &Args) -> Result<String, String> {
 
 /// `mpcp tune ...`
 pub fn tune(args: &Args) -> Result<String, String> {
-    let (selector, lib, coll, _) = load_and_train(args)?;
+    let (selector, report, lib, coll, _) = load_and_train(args)?;
     let nodes: u32 = args.require("nodes")?.parse().map_err(|_| "bad --nodes".to_string())?;
     let ppn: u32 = args.require("ppn")?.parse().map_err(|_| "bad --ppn".to_string())?;
     let tf = TuningFile::generate(
@@ -230,7 +288,7 @@ pub fn tune(args: &Args) -> Result<String, String> {
         ppn,
         &default_query_sizes(),
     );
-    let rendered = tf.render();
+    let rendered = format!("{}{}", coverage_note(&report), tf.render());
     if let Some(path) = args.get("out") {
         tf.write(Path::new(path)).map_err(|e| e.to_string())?;
         Ok(format!("{rendered}\nwritten to {path}\n"))
@@ -304,7 +362,44 @@ pub fn report(args: &Args) -> Result<String, String> {
                 out.push('\n');
             }
         }
+        if let Some(req) = args.get("require-metric") {
+            // `name` asserts presence; `name>=N` additionally asserts the
+            // (summed) value — the CI fault smoke uses this to prove the
+            // retry/failure counters actually moved.
+            for want in req.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let (name, min) = match want.split_once(">=") {
+                    Some((n, v)) => {
+                        let min: f64 = v.trim().parse().map_err(|_| {
+                            format!("--require-metric: bad threshold in {want:?}")
+                        })?;
+                        (n.trim(), Some(min))
+                    }
+                    None => (want, None),
+                };
+                let total: f64 = docs
+                    .iter()
+                    .filter(|d| d.get("metric").and_then(|v| v.as_str()) == Some(name))
+                    .filter_map(|d| d.get("value").and_then(|v| v.as_f64()))
+                    .sum();
+                let present = docs
+                    .iter()
+                    .any(|d| d.get("metric").and_then(|v| v.as_str()) == Some(name));
+                if !present {
+                    return Err(format!("required metric {name:?} missing from {path}"));
+                }
+                if let Some(min) = min {
+                    if total < min {
+                        return Err(format!(
+                            "required metric {name:?} is {total}, below the required {min}"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!("required metrics present: {req}\n"));
+        }
         any = true;
+    } else if args.get("require-metric").is_some() {
+        return Err("--require-metric needs --metrics <file>".into());
     }
     if !any {
         return Err("report needs --trace <file> and/or --metrics <file>".into());
@@ -320,6 +415,11 @@ mod tests {
     fn run_args(v: &[&str]) -> Result<String, String> {
         crate::run(Args::parse(v.iter().map(|s| s.to_string())).unwrap())
     }
+
+    /// Tests that pass `--trace-out`/`--metrics-out` toggle the global
+    /// observability layer; serialize them so they don't drain each
+    /// other's spans.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn machines_lists_all_three() {
@@ -384,6 +484,7 @@ mod tests {
 
     #[test]
     fn traced_pipeline_writes_trace_metrics_and_reports() {
+        let _obs = OBS_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("mpcp_cli_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         let csv = dir.join("d.csv");
@@ -430,6 +531,124 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("no_such_span"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_bench_to_select_pipeline_degrades_gracefully() {
+        let _obs = OBS_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("mpcp_cli_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("f.csv");
+        let metrics = dir.join("m.jsonl");
+        std::fs::remove_file(&metrics).ok();
+        // 30% failures + a node blackout: the bench must still succeed
+        // and report coverage.
+        let out = run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3,4", "--ppn",
+            "1,2", "--msizes", "16,4K", "--out", csv.to_str().unwrap(), "--fault-plan",
+            "fail=0.3,blackout=4,seed=9", "--retries", "1", "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("fault injection:"), "{out}");
+        assert!(out.contains("failed"), "{out}");
+        // The partial dataset still trains and answers queries; the
+        // blacked-out node count forces fallback-free selection for a
+        // measured instance.
+        let out = run_args(&[
+            "select", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner", "knn",
+            "--nodes", "3", "--ppn", "2", "--msize", "4K",
+        ])
+        .unwrap();
+        assert!(out.contains("predicted best") || out.contains("DEGRADED"), "{out}");
+        // The failure counters are asserted through `report`.
+        let report = run_args(&[
+            "report", "--metrics", metrics.to_str().unwrap(), "--require-metric",
+            "bench.cells_failed>=1,bench.attempt_failures>=1",
+        ])
+        .unwrap();
+        assert!(report.contains("required metrics present"), "{report}");
+        // Absent metric or unmet threshold is a hard error.
+        let err = run_args(&[
+            "report", "--metrics", metrics.to_str().unwrap(), "--require-metric", "no.such",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no.such"), "{err}");
+        let err = run_args(&[
+            "report", "--metrics", metrics.to_str().unwrap(), "--require-metric",
+            "bench.cells_failed>=1000000",
+        ])
+        .unwrap_err();
+        assert!(err.contains("below the required"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn impossible_fault_plan_is_a_readable_error() {
+        let dir = std::env::temp_dir().join("mpcp_cli_fault_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("f.csv");
+        // Blacking out every node count leaves nothing to write.
+        let err = run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3", "--ppn", "1",
+            "--msizes", "16", "--out", csv.to_str().unwrap(), "--fault-plan", "blackout=2+3",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no cells survived"), "{err}");
+        assert!(!csv.exists());
+        // Malformed plans fail fast with the offending key.
+        let err = run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2", "--ppn", "1",
+            "--msizes", "16", "--out", csv.to_str().unwrap(), "--fault-plan", "fail=2.0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("fail"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_probability_fault_plan_matches_clean_run() {
+        let dir = std::env::temp_dir().join("mpcp_cli_fault_noop_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.csv");
+        let faulty = dir.join("noop.csv");
+        let base = [
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3", "--ppn", "1",
+            "--msizes", "16,4K",
+        ];
+        let mut a = base.to_vec();
+        a.extend(["--out", clean.to_str().unwrap()]);
+        run_args(&a).unwrap();
+        let mut b = base.to_vec();
+        b.extend(["--out", faulty.to_str().unwrap(), "--fault-plan", "fail=0.0,seed=123"]);
+        run_args(&b).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&clean).unwrap(),
+            std::fs::read_to_string(&faulty).unwrap(),
+            "a zero-probability fault plan must be bit-identical to no plan"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn min_samples_threshold_is_accepted() {
+        let dir = std::env::temp_dir().join("mpcp_cli_minsamples_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3", "--ppn", "1",
+            "--msizes", "16,4K", "--out", csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        // An absurd threshold excludes every config: typed error, not a
+        // panic.
+        let err = run_args(&[
+            "select", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner", "knn",
+            "--nodes", "3", "--ppn", "1", "--msize", "4K", "--min-samples", "100000",
+        ])
+        .unwrap_err();
+        assert!(err.contains("training"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

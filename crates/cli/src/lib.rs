@@ -45,16 +45,32 @@ COMMANDS:
   bench       benchmark a grid and write a dataset CSV
               --machine <name> --coll <c> --nodes <list> --ppn <list>
               --msizes <sizes> --out <file> [--lib openmpi] [--seed <u64>]
+              [--fault-plan <plan>] [--retries <n>] [--retry-backoff-ms <ms>]
   select      train on a dataset CSV and predict the best algorithm
               --data <file> --coll <c> --train-nodes <list>
               --nodes <n> --ppn <N> --msize <size> [--learner knn|gam|xgboost]
-              [--machine <name>] [--lib openmpi]
+              [--machine <name>] [--lib openmpi] [--min-samples <n>]
   tune        emit a tuning file for one allocation (10-15 msize queries)
               --data <file> --coll <c> --train-nodes <list>
               --nodes <n> --ppn <N> --out <file> [--learner ...]
+              [--min-samples <n>]
   report      summarize trace/metrics files written by --trace-out /
               --metrics-out
               [--trace <file>] [--metrics <file>] [--require <spans>]
+              [--require-metric <name[>=N],...>]
+
+FAULT INJECTION (bench):
+  --fault-plan \"fail=0.3,timeout=0.05,outlier=0.02x8,blackout=13+19,seed=7\"
+                        deterministic per-cell failures/timeouts/outliers
+                        and whole-node-count blackouts; lost cells are
+                        absent from the CSV and reported as coverage
+  --retries <n>         extra attempts for failed cells (default 2);
+                        backoff is charged against each cell's budget
+  --retry-backoff-ms <ms>  base backoff, doubled per retry (default 0.1)
+  select/tune degrade gracefully on partial datasets: configurations
+  without enough samples fall back to the library decision logic and
+  selections are marked DEGRADED. --min-samples <n> sets the per-config
+  training threshold (default 1).
 
 OBSERVABILITY (any command):
   --trace-out <file>    record spans; .json => Chrome trace-event format

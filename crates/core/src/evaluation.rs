@@ -85,6 +85,10 @@ pub struct InstanceEval {
     pub predicted_uid: u32,
     /// Its measured runtime.
     pub predicted: f64,
+    /// `true` when the selector had no finite model prediction for this
+    /// instance and fell back to the library default (the
+    /// `DegradedSelection` marker surfaced per instance).
+    pub degraded: bool,
 }
 
 impl InstanceEval {
@@ -106,37 +110,94 @@ impl InstanceEval {
     }
 }
 
+/// An evaluation over a (possibly partial) test grid: the scored
+/// instances plus honest coverage accounting for everything skipped.
+#[derive(Clone, Debug, Default)]
+pub struct EvalReport {
+    /// Instances scored under all three strategies.
+    pub evals: Vec<InstanceEval>,
+    /// Distinct instances present in the test records.
+    pub instances: usize,
+    /// Instances with no selectable measurement at all (every selectable
+    /// configuration's cell failed).
+    pub skipped_no_best: usize,
+    /// Instances whose library-default choice has no measurement.
+    pub skipped_missing_default: usize,
+    /// Instances whose predicted choice has no measurement.
+    pub skipped_missing_predicted: usize,
+    /// Scored instances whose selection was a degraded fallback.
+    pub degraded_selections: usize,
+}
+
+impl EvalReport {
+    /// Fraction of test instances actually scored.
+    pub fn coverage(&self) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        self.evals.len() as f64 / self.instances as f64
+    }
+}
+
 /// Score a selector on every instance of a (test) record set.
+///
+/// Equivalent to [`evaluate_report`] but discards the coverage
+/// accounting; on a complete grid nothing is ever skipped and the two
+/// agree exactly.
 pub fn evaluate(
     selector: &Selector,
     test_records: &[Record],
     library: &MpiLibrary,
     coll: Collective,
 ) -> Vec<InstanceEval> {
+    evaluate_report(selector, test_records, library, coll).evals
+}
+
+/// Total evaluation over partial grids: instances whose default or
+/// predicted configuration was never measured are *counted and skipped*
+/// instead of panicking, and degraded (fallback) selections are marked
+/// per instance and tallied.
+pub fn evaluate_report(
+    selector: &Selector,
+    test_records: &[Record],
+    library: &MpiLibrary,
+    coll: Collective,
+) -> EvalReport {
     let table = RuntimeTable::new(test_records);
-    let mut evals = Vec::new();
-    for inst in table.instances(coll) {
-        let Some((best_uid, best)) = table.best(&inst) else { continue };
+    let mut report = EvalReport::default();
+    let instances = table.instances(coll);
+    report.instances = instances.len();
+    for inst in instances {
+        let Some((best_uid, best)) = table.best(&inst) else {
+            report.skipped_no_best += 1;
+            continue;
+        };
         let topo = Topology::new(inst.nodes, inst.ppn);
         let default_uid = library.default_choice(coll, inst.msize, &topo) as u32;
-        let default = table
-            .runtime(&inst, default_uid)
-            .expect("default choice missing from the benchmark grid");
-        let (predicted_uid, _) = selector.select(&inst);
-        let predicted = table
-            .runtime(&inst, predicted_uid)
-            .expect("predicted choice missing from the benchmark grid");
-        evals.push(InstanceEval {
+        let Some(default) = table.runtime(&inst, default_uid) else {
+            report.skipped_missing_default += 1;
+            continue;
+        };
+        let selection = selector.select_with_fallback(&inst, library);
+        let Some(predicted) = table.runtime(&inst, selection.uid) else {
+            report.skipped_missing_predicted += 1;
+            continue;
+        };
+        if selection.degraded {
+            report.degraded_selections += 1;
+        }
+        report.evals.push(InstanceEval {
             instance: inst,
             best_uid,
             best,
             default_uid,
             default,
-            predicted_uid,
+            predicted_uid: selection.uid,
             predicted,
+            degraded: selection.degraded,
         });
     }
-    evals
+    report
 }
 
 /// Mean per-instance speed-up over the default (Table IV entry).
@@ -161,7 +222,7 @@ mod tests {
         // Train on nodes {2, 4}, test on node 3 (unseen).
         let train = splits::filter_records(&data.records, &[2, 4]);
         let test = splits::filter_records(&data.records, &[3]);
-        let selector = Selector::train(&learner, &train, lib.configs(spec.coll));
+        let selector = Selector::train(&learner, &train, lib.configs(spec.coll)).unwrap();
         let evals = evaluate(&selector, &test, &lib, spec.coll);
         let expected_instances = spec.ppn.len() * spec.msizes.len();
         (evals, expected_instances)

@@ -23,7 +23,7 @@
 //!     &Learner::gam(),
 //!     &train,
 //!     library.configs(spec.coll),
-//! );
+//! ).expect("no configuration could be trained");
 //! let inst = mpcp_core::Instance::new(spec.coll, 65536, 27, 16);
 //! let (uid, predicted_us) = selector.select(&inst);
 //! println!("predicted best: {uid} (~{predicted_us:.1} us)");
@@ -33,6 +33,13 @@
 //! time of the predicted algorithm (looked up in the measured dataset)
 //! against the empirical best (exhaustive search) and the library's
 //! hard-coded default — yielding Fig. 4–8 and Table IV.
+//!
+//! Partial grids (fault-injected benchmark runs) degrade gracefully:
+//! [`Selector::train_with_report`] returns per-configuration
+//! [`ConfigCoverage`], [`Selector::select_with_fallback`] falls back to
+//! the library's decision logic when no trained model can answer, and
+//! [`evaluation::evaluate_report`] skips-and-counts instances whose
+//! choices were never measured instead of panicking.
 
 pub mod evaluation;
 pub mod instance;
@@ -40,6 +47,10 @@ pub mod selector;
 pub mod splits;
 pub mod tuning_file;
 
-pub use evaluation::{evaluate, mean_speedup, InstanceEval, RuntimeTable};
+pub use evaluation::{
+    evaluate, evaluate_report, mean_speedup, EvalReport, InstanceEval, RuntimeTable,
+};
 pub use instance::Instance;
-pub use selector::Selector;
+pub use selector::{
+    ConfigCoverage, Selection, Selector, SelectorError, TrainOptions, TrainReport,
+};

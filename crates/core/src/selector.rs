@@ -4,10 +4,24 @@
 //! evaluates every model on the instance's feature vector and returns
 //! the configuration with the smallest predicted running time. Excluded
 //! (benchmark-only) configurations are never trained or selected.
+//!
+//! Training is **total over partial grids**: benchmark campaigns lose
+//! cells to timeouts and node failures, so records may cover only a
+//! subset of configurations, carry uids from a newer algorithm registry,
+//! or leave a configuration with too few samples to fit. All of that
+//! degrades into per-configuration coverage reported by [`TrainReport`]
+//! instead of panicking; only a dataset that yields *zero* models is a
+//! hard [`SelectorError`]. Queries degrade too: when no trained model
+//! covers an instance (or every prediction is non-finite),
+//! [`Selector::select_with_fallback`] falls back to the library's
+//! hard-coded decision logic and marks the result as degraded.
+
+use std::fmt;
 
 use mpcp_benchmark::Record;
-use mpcp_collectives::AlgorithmConfig;
-use mpcp_ml::{Dataset, Learner, Model};
+use mpcp_collectives::{AlgorithmConfig, MpiLibrary};
+use mpcp_ml::{Dataset, FitError, Learner, Model};
+use mpcp_simnet::Topology;
 use rayon::prelude::*;
 
 use crate::instance::{Instance, NUM_FEATURES};
@@ -29,6 +43,157 @@ fn features_of(r: &Record) -> [f64; NUM_FEATURES] {
     ]
 }
 
+/// Why a selector could not be trained at all.
+///
+/// Partial coverage is *not* an error — it degrades into the
+/// [`TrainReport`]. These variants mean there is nothing to select with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectorError {
+    /// The record set is empty (e.g. every benchmark cell failed).
+    NoRecords,
+    /// Records exist but no configuration yielded a model: every uid was
+    /// excluded, out of range, under the sample threshold, or failed to
+    /// fit.
+    NoTrainedModels {
+        /// Configurations in the registry.
+        configs: usize,
+        /// Records that mapped to an in-range, non-excluded uid.
+        usable_records: usize,
+    },
+}
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectorError::NoRecords => {
+                write!(f, "no training records (did every benchmark cell fail?)")
+            }
+            SelectorError::NoTrainedModels { configs, usable_records } => write!(
+                f,
+                "no configuration could be trained ({configs} configs, {usable_records} usable \
+                 records) — lower --min-samples or benchmark more cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+/// Training knobs for partial grids.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainOptions {
+    /// Minimum records a configuration needs before a model is fitted;
+    /// configurations below the threshold fall back to the library
+    /// default at query time. The default of 1 reproduces the paper's
+    /// complete-grid behavior exactly.
+    pub min_samples: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions { min_samples: 1 }
+    }
+}
+
+/// Why a configuration has no trained model (or that it has one).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigCoverage {
+    /// A model was fitted on this many records.
+    Trained {
+        /// Training records for this uid.
+        samples: usize,
+    },
+    /// Benchmark-only configuration; never trained or selected.
+    Excluded,
+    /// No record carried this uid (cell failures, older benchmark file).
+    NoData,
+    /// Fewer samples than [`TrainOptions::min_samples`].
+    BelowThreshold {
+        /// Records available.
+        samples: usize,
+        /// Threshold in force.
+        needed: usize,
+    },
+    /// The learner rejected the configuration's dataset.
+    FitFailed {
+        /// Records available.
+        samples: usize,
+        /// The learner's reason.
+        error: FitError,
+    },
+}
+
+/// Per-configuration training coverage — how complete the selector is.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Records that trained some configuration.
+    pub records_used: usize,
+    /// Records whose uid was outside the registry (newer benchmark file
+    /// than the library build); skipped, never fatal.
+    pub records_out_of_range: usize,
+    /// Coverage per configuration uid.
+    pub coverage: Vec<ConfigCoverage>,
+}
+
+impl TrainReport {
+    /// Configurations with a trained model.
+    pub fn trained(&self) -> usize {
+        self.coverage
+            .iter()
+            .filter(|c| matches!(c, ConfigCoverage::Trained { .. }))
+            .count()
+    }
+
+    /// Selectable configurations that have **no** model and will fall
+    /// back to the library default (excluded configs don't count).
+    pub fn degraded(&self) -> usize {
+        self.coverage
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c,
+                    ConfigCoverage::NoData
+                        | ConfigCoverage::BelowThreshold { .. }
+                        | ConfigCoverage::FitFailed { .. }
+                )
+            })
+            .count()
+    }
+
+    /// One-line human summary ("7/9 configs trained, 2 degraded, ...").
+    pub fn summary(&self) -> String {
+        let selectable = self
+            .coverage
+            .iter()
+            .filter(|c| !matches!(c, ConfigCoverage::Excluded))
+            .count();
+        let mut s = format!("{}/{} selectable configs trained", self.trained(), selectable);
+        if self.degraded() > 0 {
+            s.push_str(&format!(", {} without a model", self.degraded()));
+        }
+        if self.records_out_of_range > 0 {
+            s.push_str(&format!(
+                ", {} record(s) with out-of-range uids skipped",
+                self.records_out_of_range
+            ));
+        }
+        s
+    }
+}
+
+/// One answered query, with its degradation marker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Selection {
+    /// Chosen configuration uid.
+    pub uid: u32,
+    /// Predicted runtime in microseconds; `None` on the fallback path.
+    pub predicted_us: Option<f64>,
+    /// `true` when the decision came from the library's hard-coded
+    /// decision logic because no trained model produced a finite
+    /// prediction (the `DegradedSelection` marker).
+    pub degraded: bool,
+}
+
 /// A trained algorithm selector for one collective on one machine/library.
 pub struct Selector {
     learner_name: &'static str,
@@ -42,42 +207,112 @@ impl Selector {
     /// benchmark records.
     ///
     /// Models are trained on the *measured* (noisy median) runtimes, as
-    /// in the paper; training is parallel across configurations.
-    pub fn train(learner: &Learner, records: &[Record], configs: &[AlgorithmConfig]) -> Selector {
-        assert!(!records.is_empty(), "no training records");
+    /// in the paper; training is parallel across configurations. Partial
+    /// grids degrade (see [`Selector::train_with_report`]); an empty
+    /// record set or one yielding zero models is a [`SelectorError`].
+    pub fn train(
+        learner: &Learner,
+        records: &[Record],
+        configs: &[AlgorithmConfig],
+    ) -> Result<Selector, SelectorError> {
+        Self::train_with_report(learner, records, configs, &TrainOptions::default())
+            .map(|(s, _)| s)
+    }
+
+    /// [`Selector::train`] plus per-configuration coverage reporting and
+    /// a minimum-sample threshold.
+    ///
+    /// Records with uids outside `configs` (a benchmark file written
+    /// against a newer registry) are counted and skipped, never fatal.
+    /// Configurations whose dataset the learner rejects are reported as
+    /// [`ConfigCoverage::FitFailed`] and left without a model.
+    pub fn train_with_report(
+        learner: &Learner,
+        records: &[Record],
+        configs: &[AlgorithmConfig],
+        opts: &TrainOptions,
+    ) -> Result<(Selector, TrainReport), SelectorError> {
+        if records.is_empty() {
+            return Err(SelectorError::NoRecords);
+        }
         let mut span = mpcp_obs::span("selector.train")
             .attr("learner", learner.name())
             .attr("records", records.len())
             .attr("configs", configs.len());
         let mut per_uid: Vec<Dataset> =
             (0..configs.len()).map(|_| Dataset::new(NUM_FEATURES)).collect();
+        let mut records_out_of_range = 0usize;
+        let mut records_used = 0usize;
         for r in records {
             let uid = r.uid as usize;
-            assert!(uid < configs.len(), "record uid {uid} out of range");
+            if uid >= configs.len() {
+                records_out_of_range += 1;
+                continue;
+            }
             if configs[uid].excluded {
                 continue;
             }
             let target = (r.runtime * SECS_TO_TARGET).max(MIN_TARGET_US);
             per_uid[uid].push(&features_of(r), target);
+            records_used += 1;
         }
-        let models: Vec<Option<Model>> = per_uid
+        let min_samples = opts.min_samples.max(1);
+        let fitted: Vec<(Option<Model>, ConfigCoverage)> = per_uid
             .par_iter()
             .enumerate()
             .map(|(uid, data)| {
-                if configs[uid].excluded || data.is_empty() {
-                    None
-                } else {
-                    let t = mpcp_obs::maybe_now();
-                    let m = learner.fit(data);
-                    mpcp_obs::record_elapsed("selector.model_fit_ns", t);
-                    Some(m)
+                if configs[uid].excluded {
+                    return (None, ConfigCoverage::Excluded);
+                }
+                if data.is_empty() {
+                    return (None, ConfigCoverage::NoData);
+                }
+                if data.len() < min_samples {
+                    return (
+                        None,
+                        ConfigCoverage::BelowThreshold { samples: data.len(), needed: min_samples },
+                    );
+                }
+                let t = mpcp_obs::maybe_now();
+                let fit = learner.try_fit(data);
+                mpcp_obs::record_elapsed("selector.model_fit_ns", t);
+                match fit {
+                    Ok(m) => (Some(m), ConfigCoverage::Trained { samples: data.len() }),
+                    Err(e) => (None, ConfigCoverage::FitFailed { samples: data.len(), error: e }),
                 }
             })
             .collect();
+        let mut models = Vec::with_capacity(fitted.len());
+        let mut coverage = Vec::with_capacity(fitted.len());
+        for (m, c) in fitted {
+            models.push(m);
+            coverage.push(c);
+        }
         let trained = models.iter().filter(|m| m.is_some()).count();
+        if trained == 0 {
+            return Err(SelectorError::NoTrainedModels {
+                configs: configs.len(),
+                usable_records: records_used,
+            });
+        }
         mpcp_obs::counter_add!("selector.models_trained", trained as u64);
+        mpcp_obs::counter_add!(
+            "selector.configs_degraded",
+            coverage
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c,
+                        ConfigCoverage::NoData
+                            | ConfigCoverage::BelowThreshold { .. }
+                            | ConfigCoverage::FitFailed { .. }
+                    )
+                })
+                .count() as u64
+        );
         span.set_attr("models", trained);
-        Selector { learner_name: learner.name(), models }
+        let report = TrainReport { records_used, records_out_of_range, coverage };
+        Ok((Selector { learner_name: learner.name(), models }, report))
     }
 
     /// Predicted running time (microseconds) of configuration `uid` on
@@ -124,6 +359,40 @@ impl Selector {
                 mpcp_obs::hist_record!("selector.margin_ppm", ppm as u64);
             }
         }
+        mpcp_obs::record_elapsed("selector.select_ns", t);
+        sel
+    }
+
+    /// [`Selector::select`] that never panics: `None` when no trained
+    /// model produces a finite prediction for the instance.
+    pub fn try_select(&self, instance: &Instance) -> Option<(u32, f64)> {
+        self.predict_all(instance)
+            .into_iter()
+            .filter(|(_, p)| p.is_finite())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Total selection over partial training coverage: the model argmin
+    /// when any trained model yields a finite prediction, otherwise the
+    /// library's hard-coded decision logic — marked as a degraded
+    /// selection so callers can report coverage honestly.
+    ///
+    /// On a selector trained from a complete grid this returns exactly
+    /// what [`Selector::select`] returns, never degraded.
+    pub fn select_with_fallback(&self, instance: &Instance, library: &MpiLibrary) -> Selection {
+        let _span = mpcp_obs::span("select")
+            .attr("instances", 1u64)
+            .attr("models", self.model_count());
+        let t = mpcp_obs::maybe_now();
+        let sel = if let Some((uid, pred)) = self.try_select(instance) {
+            mpcp_obs::counter_add!("selector.queries", 1);
+            Selection { uid, predicted_us: Some(pred), degraded: false }
+        } else {
+            let topo = Topology::new(instance.nodes, instance.ppn);
+            let uid = library.default_choice(instance.coll, instance.msize, &topo) as u32;
+            mpcp_obs::counter_add!("selector.degraded_selections", 1);
+            Selection { uid, predicted_us: None, degraded: true }
+        };
         mpcp_obs::record_elapsed("selector.select_ns", t);
         sel
     }
@@ -216,7 +485,8 @@ mod tests {
         let spec = DatasetSpec::tiny_for_tests();
         let lib = spec.library(None);
         let data = spec.generate(&lib, &BenchConfig::quick());
-        let selector = Selector::train(&learner, &data.records, lib.configs(spec.coll));
+        let selector =
+            Selector::train(&learner, &data.records, lib.configs(spec.coll)).unwrap();
         (selector, spec, data.records)
     }
 
@@ -278,7 +548,8 @@ mod tests {
         spec.coll = Collective::Bcast;
         let lib = spec.library(None);
         let data = spec.generate(&lib, &BenchConfig::quick());
-        let selector = Selector::train(&Learner::knn(), &data.records, lib.configs(spec.coll));
+        let selector =
+            Selector::train(&Learner::knn(), &data.records, lib.configs(spec.coll)).unwrap();
         let configs = lib.configs(spec.coll);
         for m in [1u64, 1024, 1 << 20] {
             let inst = Instance::new(Collective::Bcast, m, 3, 2);
@@ -294,5 +565,113 @@ mod tests {
         let all = selector.predict_all(&inst);
         assert_eq!(all.len(), selector.model_count());
         assert!(all.iter().all(|(_, p)| p.is_finite() && *p > 0.0));
+    }
+
+    #[test]
+    fn empty_records_are_a_typed_error() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let err = Selector::train(&Learner::knn(), &[], lib.configs(spec.coll)).map(|_| ()).unwrap_err();
+        assert_eq!(err, SelectorError::NoRecords);
+        assert!(format!("{err}").contains("no training records"));
+    }
+
+    #[test]
+    fn out_of_range_uids_are_skipped_not_fatal() {
+        // A benchmark file written against a newer registry: uids past
+        // the end of `configs` must degrade, not abort.
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let configs = lib.configs(spec.coll);
+        let mut records = spec.generate(&lib, &BenchConfig::quick()).records;
+        let total = records.len();
+        let alien = Record { uid: configs.len() as u32 + 3, ..records[0] };
+        records.push(alien);
+        let (selector, report) = Selector::train_with_report(
+            &Learner::knn(),
+            &records,
+            configs,
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.records_out_of_range, 1);
+        assert_eq!(report.records_used, total);
+        assert_eq!(selector.model_count(), report.trained());
+        assert!(report.summary().contains("out-of-range"));
+    }
+
+    #[test]
+    fn min_samples_threshold_degrades_thin_configs() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let configs = lib.configs(spec.coll);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        // Keep only two records for uid 0, all records otherwise.
+        let mut kept0 = 0;
+        let records: Vec<Record> = data
+            .records
+            .iter()
+            .filter(|r| {
+                if r.uid != 0 {
+                    return true;
+                }
+                kept0 += 1;
+                kept0 <= 2
+            })
+            .copied()
+            .collect();
+        let opts = TrainOptions { min_samples: 3 };
+        let (selector, report) =
+            Selector::train_with_report(&Learner::knn(), &records, configs, &opts).unwrap();
+        assert_eq!(
+            report.coverage[0],
+            ConfigCoverage::BelowThreshold { samples: 2, needed: 3 }
+        );
+        assert!(selector.predict_uid(0, &Instance::new(spec.coll, 16, 2, 1)).is_none());
+        assert_eq!(report.degraded(), 1);
+    }
+
+    #[test]
+    fn fallback_kicks_in_only_without_models() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        let selector =
+            Selector::train(&Learner::knn(), &data.records, lib.configs(spec.coll)).unwrap();
+        let inst = Instance::new(spec.coll, 1024, 3, 2);
+        // Full coverage: fallback result is exactly select()'s result.
+        let sel = selector.select_with_fallback(&inst, &lib);
+        let (uid, pred) = selector.select(&inst);
+        assert_eq!(sel, Selection { uid, predicted_us: Some(pred), degraded: false });
+
+        // Records for a single uid only: the selector trains, and the
+        // fallback never fires because that one model covers queries.
+        let only: Vec<Record> = data.records.iter().filter(|r| r.uid == 1).copied().collect();
+        let (thin, report) = Selector::train_with_report(
+            &Learner::knn(),
+            &only,
+            lib.configs(spec.coll),
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.trained(), 1);
+        let sel = thin.select_with_fallback(&inst, &lib);
+        assert!(!sel.degraded);
+        assert_eq!(sel.uid, 1);
+    }
+
+    #[test]
+    fn all_records_out_of_range_is_no_trained_models() {
+        let spec = DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let configs = lib.configs(spec.coll);
+        let data = spec.generate(&lib, &BenchConfig::quick());
+        let records: Vec<Record> = data
+            .records
+            .iter()
+            .map(|r| Record { uid: r.uid + configs.len() as u32, ..*r })
+            .collect();
+        let err = Selector::train(&Learner::knn(), &records, configs).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SelectorError::NoTrainedModels { usable_records: 0, .. }));
     }
 }

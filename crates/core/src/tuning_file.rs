@@ -120,7 +120,7 @@ mod tests {
         let lib = spec.library(None);
         let data = spec.generate(&lib, &BenchConfig::quick());
         let train = splits::filter_records(&data.records, &[2, 4]);
-        let selector = Selector::train(&Learner::knn(), &train, lib.configs(spec.coll));
+        let selector = Selector::train(&Learner::knn(), &train, lib.configs(spec.coll)).unwrap();
         let tf = TuningFile::generate(
             &selector,
             lib.configs(spec.coll),

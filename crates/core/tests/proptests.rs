@@ -60,7 +60,7 @@ proptest! {
     ) {
         let records = synth_records(n_uids);
         let cfgs = configs(n_uids);
-        let selector = Selector::train(&Learner::knn(), &records, &cfgs);
+        let selector = Selector::train(&Learner::knn(), &records, &cfgs).unwrap();
         let inst = Instance::new(Collective::Bcast, msize, nodes, ppn);
         let (uid, pred) = selector.select(&inst);
         for (u, p) in selector.predict_all(&inst) {
@@ -79,7 +79,7 @@ proptest! {
         let records = synth_records(n_uids);
         let cfgs = configs(n_uids);
         let learner = [Learner::knn(), Learner::gam(), Learner::xgboost()][learner_idx];
-        let selector = Selector::train(&learner, &records, &cfgs);
+        let selector = Selector::train(&learner, &records, &cfgs).unwrap();
         let instances: Vec<Instance> = queries
             .iter()
             .map(|&(m, nodes, ppn)| Instance::new(Collective::Bcast, m, nodes, ppn))
@@ -117,7 +117,7 @@ proptest! {
         // best <= predicted and best <= default always.
         let records = synth_records(n_uids);
         let cfgs = configs(n_uids);
-        let selector = Selector::train(&Learner::knn(), &records, &cfgs);
+        let selector = Selector::train(&Learner::knn(), &records, &cfgs).unwrap();
         // An ad-hoc library is overkill here; reuse evaluate() through
         // the real library only in integration tests. Here check the
         // ordering against the table directly.

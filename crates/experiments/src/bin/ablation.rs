@@ -263,7 +263,7 @@ fn main() {
     };
 
     // 1. Target transform.
-    let sel = Selector::train(&Learner::xgboost(), &train, configs);
+    let sel = Selector::train(&Learner::xgboost(), &train, configs).expect("training failed");
     add("target", "absolute runtime (paper)", mean_speedup(&evaluate(&sel, &test, &library, spec.coll)));
     add(
         "target",
@@ -280,7 +280,7 @@ fn main() {
     for learner in
         [Learner::knn(), Learner::gam(), Learner::xgboost(), Learner::forest(), Learner::linear()]
     {
-        let sel = Selector::train(&learner, &train, configs);
+        let sel = Selector::train(&learner, &train, configs).expect("training failed");
         add("learner", learner.name(), mean_speedup(&evaluate(&sel, &test, &library, spec.coll)));
     }
 

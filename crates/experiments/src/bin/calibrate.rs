@@ -29,7 +29,7 @@ fn main() {
 
     for learner in [Learner::knn(), Learner::gam(), Learner::xgboost()] {
         let t1 = std::time::Instant::now();
-        let selector = Selector::train(&learner, &train, library.configs(spec.coll));
+        let selector = Selector::train(&learner, &train, library.configs(spec.coll)).expect("training failed");
         let fit_t = t1.elapsed().as_secs_f64();
         let evals = evaluate(&selector, &test, &library, spec.coll);
         let s = mean_speedup(&evals);

@@ -52,7 +52,7 @@ fn main() {
         let train_rec = splits::filter_records(&data.records, &train);
         let test_rec = splits::filter_records(&data.records, &test);
         for (name, learner) in Learner::paper_learners() {
-            let selector = Selector::train(&learner, &train_rec, library.configs(coll));
+            let selector = Selector::train(&learner, &train_rec, library.configs(coll)).expect("training failed");
             let evals = evaluate(&selector, &test_rec, &library, coll);
             let speedup = mean_speedup(&evals);
             let norm: f64 =

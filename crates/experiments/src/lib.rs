@@ -134,6 +134,7 @@ impl Prepared {
     /// Train a selector on this dataset.
     pub fn train_selector(&self, learner: &Learner, small: bool) -> Selector {
         Selector::train(learner, &self.train_records(small), self.library.configs(self.spec.coll))
+            .expect("selector training failed: no configuration could be trained")
     }
 
     /// Train + evaluate one learner; returns per-instance evaluations on

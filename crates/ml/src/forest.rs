@@ -7,6 +7,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::error::{validate, FitError};
 use crate::tree::{GradTree, SortedColumns, TreeParams};
 
 /// Forest hyper-parameters.
@@ -38,8 +39,15 @@ pub struct ForestModel {
 
 impl ForestModel {
     /// Fit `trees` bootstrap-sampled least-squares trees.
+    ///
+    /// Panics on degenerate datasets; see [`ForestModel::try_fit`].
     pub fn fit(data: &Dataset, params: &ForestParams) -> ForestModel {
-        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        Self::try_fit(data, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible fit: empty or non-finite data is a [`FitError`].
+    pub fn try_fit(data: &Dataset, params: &ForestParams) -> Result<ForestModel, FitError> {
+        validate("RandomForest", data, false)?;
         let n = data.len();
         let d = data.nfeat();
         let sorted = SortedColumns::new(data);
@@ -75,7 +83,7 @@ impl ForestModel {
                 GradTree::fit(data, &sorted, &g, &h, &tree_params, &feats, Some(&weight))
             })
             .collect();
-        ForestModel { trees }
+        Ok(ForestModel { trees })
     }
 
     /// Mean prediction over all trees.

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::bspline::BsplineBasis;
 use crate::dataset::Dataset;
+use crate::error::{validate, FitError};
 use crate::linalg::{solve_spd_with_jitter, Mat};
 
 /// Exponential family + link. The paper uses Gamma with a log link for
@@ -63,14 +64,20 @@ pub struct GamModel {
 
 impl GamModel {
     /// Fit by (penalized) IRLS.
+    ///
+    /// Panics on degenerate datasets; see [`GamModel::try_fit`] for the
+    /// fallible variant used on partial benchmark grids.
     pub fn fit(data: &Dataset, params: &GamParams) -> GamModel {
-        assert!(!data.is_empty(), "cannot fit GAM on an empty dataset");
-        if params.family == Family::GammaLog {
-            assert!(
-                data.targets().iter().all(|&y| y > 0.0),
-                "Gamma family needs strictly positive targets"
-            );
-        }
+        Self::try_fit(data, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible fit: empty/non-finite data and (for the Gamma family)
+    /// non-positive targets are [`FitError`]s, not panics. Features with
+    /// too few distinct values for a spline basis are dropped, so a
+    /// handful of rows degrades toward an intercept-only model instead
+    /// of failing.
+    pub fn try_fit(data: &Dataset, params: &GamParams) -> Result<GamModel, FitError> {
+        validate("GAM", data, params.family == Family::GammaLog)?;
         let n = data.len();
         let d = data.nfeat();
 
@@ -174,7 +181,7 @@ impl GamModel {
                 (beta, iterations)
             }
         };
-        GamModel { family: params.family, bases, col_means, beta, iterations }
+        Ok(GamModel { family: params.family, bases, col_means, beta, iterations })
     }
 
     /// Predict the response for one feature vector.

@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::error::{validate, FitError};
 use crate::flat::FlatTrees;
 use crate::hist::{fit_hist, BinnedDataset};
 use crate::tree::{GradTree, SortedColumns, TreeParams};
@@ -189,6 +190,17 @@ impl GbtModel {
     /// Fit with Newton boosting.
     pub fn fit(data: &Dataset, params: &GbtParams) -> GbtModel {
         GbtModel::fit_with_valid(data, params, None)
+    }
+
+    /// Fallible fit: empty/non-finite data and (for Gamma/Tweedie)
+    /// non-positive targets are [`FitError`]s, not panics.
+    pub fn try_fit(data: &Dataset, params: &GbtParams) -> Result<GbtModel, FitError> {
+        validate(
+            "XGBoost",
+            data,
+            !matches!(params.objective, Objective::SquaredError),
+        )?;
+        Ok(GbtModel::fit_with_valid(data, params, None))
     }
 
     /// [`GbtModel::fit`] with an optional held-out set. The valid set

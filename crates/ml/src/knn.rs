@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::error::{validate, FitError};
 use crate::kdtree::KdTree;
 use crate::scaling::StandardScaler;
 
@@ -34,8 +35,18 @@ pub struct KnnModel {
 
 impl KnnModel {
     /// Store (scaled) training points in a k-d tree.
+    ///
+    /// Panics on degenerate datasets; see [`KnnModel::try_fit`] for the
+    /// fallible variant used on partial benchmark grids.
     pub fn fit(data: &Dataset, params: &KnnParams) -> KnnModel {
-        assert!(!data.is_empty(), "cannot fit KNN on an empty dataset");
+        Self::try_fit(data, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible fit: an empty or non-finite dataset is a [`FitError`],
+    /// not a panic. Fewer rows than K is fine — queries then average
+    /// over all available rows.
+    pub fn try_fit(data: &Dataset, params: &KnnParams) -> Result<KnnModel, FitError> {
+        validate("KNN", data, false)?;
         let scaler = params.scale.then(|| StandardScaler::fit(data));
         let rows: Vec<(Vec<f64>, f64)> = data
             .iter()
@@ -47,7 +58,7 @@ impl KnnModel {
                 (x, y)
             })
             .collect();
-        KnnModel { k: params.k.max(1), scaler, tree: KdTree::build(rows) }
+        Ok(KnnModel { k: params.k.max(1), scaler, tree: KdTree::build(rows) })
     }
 
     /// Mean target of the K nearest training points.

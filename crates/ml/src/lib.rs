@@ -30,6 +30,7 @@
 pub mod bspline;
 pub mod cv;
 pub mod dataset;
+pub mod error;
 pub mod flat;
 pub mod forest;
 pub mod gam;
@@ -45,4 +46,5 @@ pub mod scaling;
 pub mod tree;
 
 pub use dataset::Dataset;
+pub use error::FitError;
 pub use model::{Learner, Model};

@@ -5,6 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::error::{validate, FitError};
 use crate::linalg::{solve_spd_with_jitter, Mat};
 
 /// Linear model parameters.
@@ -32,8 +33,16 @@ pub struct LinearModel {
 
 impl LinearModel {
     /// Ordinary (ridge) least squares with an intercept.
+    ///
+    /// Panics on degenerate datasets; see [`LinearModel::try_fit`].
     pub fn fit(data: &Dataset, params: &LinearParams) -> LinearModel {
-        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        Self::try_fit(data, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible fit: empty/non-finite data and (for the log-target
+    /// variant) non-positive targets are [`FitError`]s.
+    pub fn try_fit(data: &Dataset, params: &LinearParams) -> Result<LinearModel, FitError> {
+        validate("Linear", data, params.log_target)?;
         let n = data.len();
         let d = data.nfeat();
         let mut x = Mat::zeros(n, d + 1);
@@ -46,10 +55,6 @@ impl LinearModel {
             }
         }
         let y: Vec<f64> = if params.log_target {
-            assert!(
-                data.targets().iter().all(|&v| v > 0.0),
-                "log-target linear model needs positive targets"
-            );
             data.targets().iter().map(|v| v.ln()).collect()
         } else {
             data.targets().to_vec()
@@ -58,7 +63,7 @@ impl LinearModel {
         a.add_diag(params.ridge.max(0.0));
         let b = x.tmul_weighted(&y, None);
         let beta = solve_spd_with_jitter(&a, &b, 1e-12);
-        LinearModel { beta, log_target: params.log_target }
+        Ok(LinearModel { beta, log_target: params.log_target })
     }
 
     /// Predict the response.

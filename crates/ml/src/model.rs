@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::error::FitError;
 use crate::forest::{ForestModel, ForestParams};
 use crate::gam::{GamModel, GamParams};
 use crate::gbt::{GbtModel, GbtParams};
@@ -74,15 +75,23 @@ impl Learner {
         }
     }
 
-    /// Fit on a dataset.
+    /// Fit on a dataset. Panics on degenerate inputs (empty dataset,
+    /// non-finite values, non-positive targets for positive-target
+    /// objectives); use [`Learner::try_fit`] on partial grids.
     pub fn fit(&self, data: &Dataset) -> Model {
-        match self {
-            Learner::Knn(p) => Model::Knn(KnnModel::fit(data, p)),
-            Learner::Gam(p) => Model::Gam(GamModel::fit(data, p)),
-            Learner::Xgb(p) => Model::Xgb(GbtModel::fit(data, p)),
-            Learner::Forest(p) => Model::Forest(ForestModel::fit(data, p)),
-            Learner::Linear(p) => Model::Linear(LinearModel::fit(data, p)),
-        }
+        self.try_fit(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible fit: degenerate inputs are a typed [`FitError`] the
+    /// selection layer maps to "no model for this configuration".
+    pub fn try_fit(&self, data: &Dataset) -> Result<Model, FitError> {
+        Ok(match self {
+            Learner::Knn(p) => Model::Knn(KnnModel::try_fit(data, p)?),
+            Learner::Gam(p) => Model::Gam(GamModel::try_fit(data, p)?),
+            Learner::Xgb(p) => Model::Xgb(GbtModel::try_fit(data, p)?),
+            Learner::Forest(p) => Model::Forest(ForestModel::try_fit(data, p)?),
+            Learner::Linear(p) => Model::Linear(LinearModel::try_fit(data, p)?),
+        })
     }
 }
 

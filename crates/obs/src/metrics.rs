@@ -2,11 +2,13 @@
 //! log-bucketed histograms.
 //!
 //! Recording is lock-free (atomic adds); the registry lock is taken
-//! only on first lookup of a name and when snapshotting. Hot call
-//! sites should hold the returned `Arc` (or go through the
-//! [`crate::counter_add!`] / [`crate::hist_record!`] macros, which
-//! cache the handle in a local `static` and check the enabled flag
-//! first, making the disabled path a single atomic load).
+//! only on name lookup and when snapshotting. Hot call sites inside a
+//! single run may hold the returned `Arc`, but handles must not be
+//! cached across [`reset`] — a reset detaches them from the registry
+//! and later recordings would vanish from [`snapshot`]. The
+//! [`crate::counter_add!`] / [`crate::hist_record!`] macros therefore
+//! look the handle up per call (still behind the enabled flag, so the
+//! disabled path is a single atomic load).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -224,40 +226,41 @@ pub fn histogram(name: &'static str) -> Arc<Histogram> {
     Arc::clone(registry().histograms.lock().unwrap().entry(name).or_default())
 }
 
-/// Add to a named counter iff recording is enabled, caching the handle
-/// at the call site (disabled path: one atomic load).
+/// Add to a named counter iff recording is enabled (disabled path: one
+/// atomic load).
+///
+/// The handle is looked up in the registry on every enabled call, NOT
+/// cached at the call site: [`reset`] detaches previously-registered
+/// metrics, and a cached `Arc` would keep feeding a metric that no
+/// longer appears in any [`snapshot`] — silently losing counters from
+/// the second traced run in a process onward.
 #[macro_export]
 macro_rules! counter_add {
     ($name:literal, $n:expr) => {{
         if $crate::enabled() {
-            static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::metrics::Counter>> =
-                std::sync::OnceLock::new();
-            HANDLE.get_or_init(|| $crate::metrics::counter($name)).add($n);
+            $crate::metrics::counter($name).add($n);
         }
     }};
 }
 
-/// Set a named gauge iff recording is enabled (handle cached).
+/// Set a named gauge iff recording is enabled (see [`counter_add!`] for
+/// why the handle is not cached).
 #[macro_export]
 macro_rules! gauge_set {
     ($name:literal, $v:expr) => {{
         if $crate::enabled() {
-            static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::metrics::Gauge>> =
-                std::sync::OnceLock::new();
-            HANDLE.get_or_init(|| $crate::metrics::gauge($name)).set($v);
+            $crate::metrics::gauge($name).set($v);
         }
     }};
 }
 
-/// Record into a named histogram iff recording is enabled (handle
-/// cached).
+/// Record into a named histogram iff recording is enabled (see
+/// [`counter_add!`] for why the handle is not cached).
 #[macro_export]
 macro_rules! hist_record {
     ($name:literal, $v:expr) => {{
         if $crate::enabled() {
-            static HANDLE: std::sync::OnceLock<std::sync::Arc<$crate::metrics::Histogram>> =
-                std::sync::OnceLock::new();
-            HANDLE.get_or_init(|| $crate::metrics::histogram($name)).record($v);
+            $crate::metrics::histogram($name).record($v);
         }
     }};
 }

@@ -32,7 +32,8 @@ fn main() {
     let data = spec.generate(&library, &BenchConfig::quick());
 
     let train = splits::filter_records(&data.records, &spec.nodes);
-    let selector = Selector::train(&Learner::xgboost(), &train, library.configs(spec.coll));
+    let selector = Selector::train(&Learner::xgboost(), &train, library.configs(spec.coll))
+        .expect("selector training failed: no configuration could be trained");
 
     // Online phase: SLURM hands us 12 nodes x 16 ppn (never benchmarked).
     let (nodes, ppn) = (12u32, 16u32);

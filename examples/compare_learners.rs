@@ -60,7 +60,8 @@ fn main() {
         Learner::linear(),
     ] {
         let err = cv_mape(&probe, &learner, 5);
-        let selector = Selector::train(&learner, &train, library.configs(spec.coll));
+        let selector = Selector::train(&learner, &train, library.configs(spec.coll))
+            .expect("selector training failed: no configuration could be trained");
         let evals = evaluate(&selector, &test, &library, spec.coll);
         let speedup = mean_speedup(&evals);
         let norm: f64 =

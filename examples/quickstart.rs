@@ -56,7 +56,8 @@ fn main() {
 
     // Train on nodes {2, 4, 8}; node 6 stays unseen.
     let train = splits::filter_records(&data.records, &[2, 4, 8]);
-    let selector = Selector::train(&Learner::gam(), &train, library.configs(spec.coll));
+    let selector = Selector::train(&Learner::gam(), &train, library.configs(spec.coll))
+        .expect("selector training failed: no configuration could be trained");
 
     // --- 3. Query for an unseen allocation. ------------------------------
     let configs = library.configs(spec.coll);

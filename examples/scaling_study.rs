@@ -33,7 +33,8 @@ fn main() {
     let data = spec.generate(&library, &BenchConfig::quick());
 
     let train = splits::filter_records(&data.records, &train_nodes);
-    let selector = Selector::train(&Learner::gam(), &train, library.configs(spec.coll));
+    let selector = Selector::train(&Learner::gam(), &train, library.configs(spec.coll))
+        .expect("selector training failed: no configuration could be trained");
     let table = RuntimeTable::new(&data.records);
     let configs = library.configs(spec.coll);
 

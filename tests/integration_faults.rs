@@ -1,0 +1,142 @@
+//! Fault-injected end-to-end pipeline: benchmark a grid under a
+//! deterministic fault plan (so it comes out partial), train all three
+//! paper learners on the surviving records, and verify that selection
+//! degrades gracefully instead of panicking — with the coverage
+//! accounting exact at every stage.
+
+use std::collections::HashMap;
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec, FaultPlan, RetryPolicy};
+use mpcp_core::{evaluate_report, splits, Selector, TrainOptions};
+use mpcp_ml::Learner;
+
+/// Per-instance worst measured runtime among selectable configurations:
+/// the bar any sane selection strategy must clear.
+fn worst_per_instance(records: &[mpcp_benchmark::Record]) -> HashMap<(u32, u32, u64), f64> {
+    let mut worst: HashMap<(u32, u32, u64), f64> = HashMap::new();
+    for r in records.iter().filter(|r| !r.excluded) {
+        let w = worst.entry((r.nodes, r.ppn, r.msize)).or_insert(r.runtime);
+        *w = w.max(r.runtime);
+    }
+    worst
+}
+
+#[test]
+fn pipeline_degrades_gracefully_at_ten_and_thirty_percent_faults() {
+    let spec = DatasetSpec::tiny_for_tests();
+    let library = spec.library(None);
+    let bench = BenchConfig::quick();
+    let full = spec.sample_count(&library);
+
+    for fail_rate in [0.10, 0.30] {
+        let plan = FaultPlan::uniform(fail_rate, 0xFA_0715);
+        // No retries: every failed attempt is a lost cell, so the
+        // fault-summary arithmetic below is exact by construction.
+        let retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        let data = spec.generate_with_faults(&library, &bench, Some(&plan), &retry);
+
+        // Coverage accounting is exact: every grid cell is attempted
+        // once and lands in exactly one bucket.
+        assert_eq!(data.faults.total(), full, "rate {fail_rate}");
+        assert_eq!(data.faults.cells_ok, data.records.len(), "rate {fail_rate}");
+        assert_eq!(
+            data.faults.cells_ok + data.faults.cells_failed + data.faults.cells_timed_out
+                + data.faults.sim_errors,
+            full,
+        );
+        assert_eq!(data.faults.retries, 0);
+        // The grid really is partial (P(no cell fails) is negligible at
+        // these rates and grid sizes), but most of it survived.
+        assert!(data.faults.cells_failed > 0, "rate {fail_rate}: nothing failed");
+        assert!(
+            data.faults.coverage() > 1.0 - fail_rate - 0.15,
+            "rate {fail_rate}: coverage {} implausibly low",
+            data.faults.coverage()
+        );
+
+        let train = splits::filter_records(&data.records, &[2, 4]);
+        let test = splits::filter_records(&data.records, &[3]);
+        assert!(!train.is_empty() && !test.is_empty(), "rate {fail_rate}");
+        let worst = worst_per_instance(&test);
+
+        for (name, learner) in Learner::paper_learners() {
+            let (selector, trained) = Selector::train_with_report(
+                &learner,
+                &train,
+                library.configs(spec.coll),
+                &TrainOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{name} at {fail_rate}: {e}"));
+
+            let report = evaluate_report(&selector, &test, &library, spec.coll);
+            // Every distinct test instance is accounted for: scored or
+            // skipped, never silently dropped.
+            assert_eq!(
+                report.evals.len()
+                    + report.skipped_no_best
+                    + report.skipped_missing_default
+                    + report.skipped_missing_predicted,
+                report.instances,
+                "{name} at {fail_rate}"
+            );
+            assert!(!report.evals.is_empty(), "{name} at {fail_rate}: nothing scored");
+            assert_eq!(
+                report.degraded_selections,
+                report.evals.iter().filter(|e| e.degraded).count(),
+                "{name} at {fail_rate}"
+            );
+            // Fallback selections happen only when some configuration
+            // has no trained model.
+            if trained.degraded() == 0 {
+                assert_eq!(report.degraded_selections, 0, "{name} at {fail_rate}");
+            }
+            for e in &report.evals {
+                // Selection (trained or fallback) beats the worst
+                // measured configuration; exhaustive best bounds it.
+                let key = (e.instance.nodes, e.instance.ppn, e.instance.msize);
+                let w = worst[&key];
+                assert!(
+                    e.predicted <= w + 1e-15,
+                    "{name} at {fail_rate}: picked {} vs worst {w} on {key:?}",
+                    e.predicted
+                );
+                assert!(e.best <= e.predicted + 1e-15, "{name} at {fail_rate}: {e:?}");
+                assert!(e.speedup().is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_injected_runs_are_seed_deterministic() {
+    let spec = DatasetSpec::tiny_for_tests();
+    let library = spec.library(None);
+    let bench = BenchConfig::quick();
+    let plan = FaultPlan { fail_prob: 0.25, timeout_prob: 0.05, seed: 42, ..FaultPlan::none() };
+    let run = || spec.generate_with_faults(&library, &bench, Some(&plan), &RetryPolicy::default());
+    let (a, b) = (run(), run());
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.faults.cells_ok, b.faults.cells_ok);
+    assert_eq!(a.faults.cells_failed, b.faults.cells_failed);
+    assert_eq!(a.faults.cells_timed_out, b.faults.cells_timed_out);
+    assert_eq!(a.faults.retries, b.faults.retries);
+    assert_eq!(a.faults.retry_time, b.faults.retry_time);
+}
+
+#[test]
+fn retries_strictly_improve_coverage_under_heavy_faults() {
+    let spec = DatasetSpec::tiny_for_tests();
+    let library = spec.library(None);
+    let bench = BenchConfig::quick();
+    let plan = FaultPlan::uniform(0.30, 7);
+    let none = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+    let some = RetryPolicy { max_retries: 3, ..RetryPolicy::default() };
+    let flaky = spec.generate_with_faults(&library, &bench, Some(&plan), &none);
+    let healed = spec.generate_with_faults(&library, &bench, Some(&plan), &some);
+    assert!(healed.faults.retries > 0);
+    assert!(
+        healed.faults.cells_ok > flaky.faults.cells_ok,
+        "retries did not recover any of the {} lost cells",
+        flaky.faults.cells_failed
+    );
+}

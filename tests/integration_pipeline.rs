@@ -18,7 +18,7 @@ fn full_pipeline_runs_for_all_paper_learners() {
     assert!(!train.is_empty() && !test.is_empty());
 
     for (name, learner) in Learner::paper_learners() {
-        let selector = Selector::train(&learner, &train, library.configs(spec.coll));
+        let selector = Selector::train(&learner, &train, library.configs(spec.coll)).unwrap();
         let evals = evaluate(&selector, &test, &library, spec.coll);
         assert!(!evals.is_empty(), "{name}: no evaluations");
         for e in &evals {
@@ -40,7 +40,7 @@ fn selector_generalizes_across_node_counts() {
     let spec = DatasetSpec::tiny_for_tests();
     let library = spec.library(None);
     let data = spec.generate(&library, &BenchConfig::quick());
-    let selector = Selector::train(&Learner::knn(), &data.records, library.configs(spec.coll));
+    let selector = Selector::train(&Learner::knn(), &data.records, library.configs(spec.coll)).unwrap();
     for m in [16u64, 4 << 10, 256 << 10] {
         let inst = Instance::new(spec.coll, m, 3, 2);
         let (uid, pred) = selector.select(&inst);
@@ -62,11 +62,11 @@ fn small_and_large_training_sets_give_similar_quality() {
     let small = splits::filter_records(&data.records, &[2]);
 
     let s_full = {
-        let sel = Selector::train(&Learner::knn(), &full, library.configs(spec.coll));
+        let sel = Selector::train(&Learner::knn(), &full, library.configs(spec.coll)).unwrap();
         mean_speedup(&evaluate(&sel, &test, &library, spec.coll))
     };
     let s_small = {
-        let sel = Selector::train(&Learner::knn(), &small, library.configs(spec.coll));
+        let sel = Selector::train(&Learner::knn(), &small, library.configs(spec.coll)).unwrap();
         mean_speedup(&evaluate(&sel, &test, &library, spec.coll))
     };
     assert!(s_full.is_finite() && s_small.is_finite());
