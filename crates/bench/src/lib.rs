@@ -7,6 +7,8 @@
 //! the paper's offline/online discussion in Section II — the prediction
 //! latency of a trained selector.
 
+#![forbid(unsafe_code)]
+
 use mpcp_benchmark::{BenchConfig, DatasetSpec, LibKind};
 use mpcp_collectives::Collective;
 use mpcp_core::Selector;

@@ -319,6 +319,9 @@ impl DatasetSpec {
                 let mut consumed = SimTime::ZERO;
                 let mut faults = FaultSummary::default();
                 for (uid, cfg) in configs.iter().enumerate() {
+                    // Serialized uids are u32; a registry too large to
+                    // index is corrupt and must not truncate silently.
+                    let uid = u32::try_from(uid).expect("config count exceeds u32 uid range");
                     for &m in &self.msizes {
                         let progs = cfg.build(&topo, m);
                         let base = match sim.run(&progs) {
@@ -336,7 +339,7 @@ impl DatasetSpec {
                                 continue;
                             }
                         };
-                        let mut stream = cell_stream(self.seed, uid as u32, n, ppn, m);
+                        let mut stream = cell_stream(self.seed, uid, n, ppn, m);
                         let result = measure_cell(
                             base,
                             bench,
@@ -344,7 +347,7 @@ impl DatasetSpec {
                             &mut stream,
                             plan,
                             retry,
-                            (uid as u32, n, ppn, m),
+                            (uid, n, ppn, m),
                         );
                         faults.absorb(&result);
                         consumed += result.consumed;
@@ -353,7 +356,7 @@ impl DatasetSpec {
                                 nodes: n,
                                 ppn,
                                 msize: m,
-                                uid: uid as u32,
+                                uid,
                                 alg_id: cfg.alg_id,
                                 excluded: cfg.excluded,
                                 runtime: meas.median_secs,

@@ -24,6 +24,8 @@
 //! bounded budget-charged retries — producing the partial grids the
 //! selection layer must degrade gracefully on.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod fault;
 pub mod noise;

@@ -45,7 +45,7 @@ impl Record {
             self.msize,
             self.uid,
             self.alg_id,
-            self.excluded as u8,
+            u8::from(self.excluded),
             self.runtime,
             self.base,
             self.reps

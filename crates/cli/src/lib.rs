@@ -23,6 +23,8 @@
 //! The library exposes the command implementations so they are testable;
 //! `src/main.rs` is a thin wrapper.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;
 

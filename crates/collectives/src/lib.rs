@@ -24,6 +24,8 @@
 //! `mpitune`-style exhaustive grid search — and [`verify`] provides
 //! volume/structure invariants used by the test suite.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod coll;
 pub mod decision;

@@ -41,6 +41,8 @@
 //! [`evaluation::evaluate_report`] skips-and-counts instances whose
 //! choices were never measured instead of panicking.
 
+#![forbid(unsafe_code)]
+
 pub mod evaluation;
 pub mod instance;
 pub mod selector;

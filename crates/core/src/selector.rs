@@ -34,6 +34,14 @@ const SECS_TO_TARGET: f64 = 1e6;
 /// the positive-target objectives valid.
 const MIN_TARGET_US: f64 = 1e-3;
 
+/// Model-table index → serialized uid. The table is as long as the
+/// algorithm registry (a few dozen configurations), so the cast can
+/// never truncate; this helper is the one place that invariant lives.
+fn uid32(uid: usize) -> u32 {
+    debug_assert!(u32::try_from(uid).is_ok(), "config index {uid} overflows u32");
+    uid as u32
+}
+
 fn features_of(r: &Record) -> [f64; NUM_FEATURES] {
     [
         ((r.msize + 1) as f64).log2(),
@@ -327,7 +335,7 @@ impl Selector {
         self.models
             .iter()
             .enumerate()
-            .filter_map(|(uid, m)| m.as_ref().map(|m| (uid as u32, m.predict(&x))))
+            .filter_map(|(uid, m)| m.as_ref().map(|m| (uid32(uid), m.predict(&x))))
             .collect()
     }
 
@@ -389,7 +397,7 @@ impl Selector {
             Selection { uid, predicted_us: Some(pred), degraded: false }
         } else {
             let topo = Topology::new(instance.nodes, instance.ppn);
-            let uid = library.default_choice(instance.coll, instance.msize, &topo) as u32;
+            let uid = uid32(library.default_choice(instance.coll, instance.msize, &topo));
             mpcp_obs::counter_add!("selector.degraded_selections", 1);
             Selection { uid, predicted_us: None, degraded: true }
         };
@@ -428,7 +436,7 @@ impl Selector {
                 // of equally minimal elements — so exact-tie behavior
                 // matches the scalar `select` path.
                 if p <= b.1 {
-                    *b = (uid as u32, p);
+                    *b = (uid32(uid), p);
                 }
             }
         }
@@ -449,7 +457,7 @@ impl Selector {
                 let mut second = f64::INFINITY;
                 for (u, preds) in per_model.iter().enumerate() {
                     let Some(preds) = preds else { continue };
-                    if u as u32 != uid && preds[i] < second {
+                    if uid32(u) != uid && preds[i] < second {
                         second = preds[i];
                     }
                 }

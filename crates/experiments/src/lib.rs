@@ -23,6 +23,8 @@
 //! caching, selector training for the three learners, per-instance
 //! comparison rows, and plain-text table rendering.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 
 use mpcp_benchmark::{BenchConfig, DatasetResult, DatasetSpec, Record};

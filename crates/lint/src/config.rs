@@ -1,0 +1,344 @@
+//! `lint.toml`: rule scopes and the allowlist of intentional
+//! exceptions.
+//!
+//! The parser supports the TOML subset the config actually uses —
+//! comments, `[section]` / `[section.sub]` headers, `[[allow]]`
+//! array-of-tables, and `key = "string"` / `key = ["a", "b"]` pairs —
+//! with real errors (line numbers) on anything outside that subset.
+//! Keeping the parser in-tree avoids an external dependency and makes
+//! the accepted grammar an explicit, testable contract.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One intentional exception: a finding of `rule` in `path` (optionally
+/// narrowed to lines containing `contains`) is reported as *allowed*
+/// and does not fail the lint. `reason` is mandatory — an allowlist
+/// entry without a justification is a config error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub contains: Option<String>,
+    pub reason: String,
+}
+
+/// Per-rule scope override: path substrings to include / exclude.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleScope {
+    pub include: Option<Vec<String>>,
+    pub exclude: Option<Vec<String>>,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Path substrings excluded from every rule (fixture trees, etc.).
+    pub global_exclude: Vec<String>,
+    /// Per-rule scope overrides, keyed by rule name.
+    pub rule_scopes: BTreeMap<String, RuleScope>,
+    /// Intentional exceptions.
+    pub allow: Vec<AllowEntry>,
+}
+
+/// A config parse/validation error with a 1-based line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError { line, message: message.into() }
+}
+
+/// Where a `key = value` pair should land.
+enum Section {
+    Global,
+    Rule(String),
+    Allow,
+    /// Before any header: keys here are an error.
+    Preamble,
+}
+
+impl Config {
+    /// Parse a `lint.toml` document.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = Section::Preamble;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                let header = header.trim();
+                if header != "allow" {
+                    return Err(err(lineno, format!("unknown array-of-tables [[{header}]]")));
+                }
+                cfg.allow.push(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    contains: None,
+                    reason: String::new(),
+                });
+                section = Section::Allow;
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let header = header.trim();
+                section = if header == "global" {
+                    Section::Global
+                } else if let Some(rule) = header.strip_prefix("rule.") {
+                    Section::Rule(rule.to_string())
+                } else {
+                    return Err(err(lineno, format!("unknown section [{header}]")));
+                };
+                continue;
+            }
+            let (key, value) = parse_kv(line, lineno)?;
+            match &section {
+                Section::Global => match (key.as_str(), value) {
+                    ("exclude", Value::Array(v)) => cfg.global_exclude = v,
+                    (k, _) => {
+                        return Err(err(lineno, format!("unknown [global] key `{k}`")));
+                    }
+                },
+                Section::Rule(rule) => {
+                    let scope = cfg.rule_scopes.entry(rule.clone()).or_default();
+                    match (key.as_str(), value) {
+                        ("include", Value::Array(v)) => scope.include = Some(v),
+                        ("exclude", Value::Array(v)) => scope.exclude = Some(v),
+                        (k, _) => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown [rule.{rule}] key `{k}` (expected include/exclude arrays)"),
+                            ));
+                        }
+                    }
+                }
+                Section::Allow => {
+                    let entry = cfg
+                        .allow
+                        .last_mut()
+                        .ok_or_else(|| err(lineno, "key outside any [[allow]] table"))?;
+                    match (key.as_str(), value) {
+                        ("rule", Value::Str(s)) => entry.rule = s,
+                        ("path", Value::Str(s)) => entry.path = s,
+                        ("contains", Value::Str(s)) => entry.contains = Some(s),
+                        ("reason", Value::Str(s)) => entry.reason = s,
+                        (k, _) => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown [[allow]] key `{k}` (expected rule/path/contains/reason strings)"),
+                            ));
+                        }
+                    }
+                }
+                Section::Preamble => {
+                    return Err(err(lineno, "key before any section header"));
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Reject allowlist entries that are missing required fields —
+    /// above all a `reason`: undocumented exceptions are what this tool
+    /// exists to prevent.
+    fn validate(&self) -> Result<(), ConfigError> {
+        for (i, a) in self.allow.iter().enumerate() {
+            let ctx = |field: &str| {
+                format!("[[allow]] entry {} ({}:{}) is missing `{field}`", i + 1, a.rule, a.path)
+            };
+            if a.rule.is_empty() {
+                return Err(err(0, ctx("rule")));
+            }
+            if a.path.is_empty() {
+                return Err(err(0, ctx("path")));
+            }
+            if a.reason.trim().is_empty() {
+                return Err(err(0, ctx("reason")));
+            }
+        }
+        Ok(())
+    }
+}
+
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_kv(line: &str, lineno: u32) -> Result<(String, Value), ConfigError> {
+    let (key, rest) = line
+        .split_once('=')
+        .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+    let key = key.trim().to_string();
+    let rest = rest.trim();
+    if rest.starts_with('[') {
+        let inner = rest
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| err(lineno, "unterminated array (arrays must be single-line)"))?;
+        let mut items = Vec::new();
+        for part in split_top_level_commas(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_string(part, lineno)?);
+        }
+        return Ok((key, Value::Array(items)));
+    }
+    Ok((key, Value::Str(parse_string(rest, lineno)?)))
+}
+
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let b = s.as_bytes();
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_string(s: &str, lineno: u32) -> Result<String, ConfigError> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(lineno, format!("expected a quoted string, got `{s}`")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    return Err(err(lineno, format!("unsupported escape `\\{other}`")));
+                }
+                None => return Err(err(lineno, "dangling backslash")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Render a ready-to-paste `[[allow]]` stanza for a finding (used by
+/// `--fix-allowlist`).
+pub fn allow_stanza(rule: &str, path: &str, contains: &str) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "[[allow]]\nrule = \"{}\"\npath = \"{}\"\ncontains = \"{}\"\nreason = \"TODO: one-line justification\"\n",
+        esc(rule),
+        esc(path),
+        esc(contains),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_document() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[global]
+exclude = ["crates/lint/tests/fixtures/"]  # trailing comment
+
+[rule.no-panic-paths]
+include = ["crates/cli/", "crates/core/"]
+exclude = ["crates/core/src/gen.rs"]
+
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/core/src/splits.rs"
+contains = "panic!(\"no Table III split"
+reason = "caller contract: machine names are validated upstream"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.global_exclude, vec!["crates/lint/tests/fixtures/"]);
+        let scope = &cfg.rule_scopes["no-panic-paths"];
+        assert_eq!(scope.include.as_deref().unwrap().len(), 2);
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].contains.as_deref(), Some("panic!(\"no Table III split"));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let doc = "[[allow]]\nrule = \"r\"\npath = \"p\"\n";
+        let e = Config::parse(doc).unwrap_err();
+        assert!(e.message.contains("missing `reason`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_error() {
+        assert!(Config::parse("[wat]\n").is_err());
+        assert!(Config::parse("[global]\nfoo = \"x\"\n").is_err());
+        assert!(Config::parse("orphan = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = "[[allow]]\nrule = \"r\"\npath = \"p\"\ncontains = \"a # b\"\nreason = \"ok\"\n";
+        let cfg = Config::parse(doc).unwrap();
+        assert_eq!(cfg.allow[0].contains.as_deref(), Some("a # b"));
+    }
+
+    #[test]
+    fn stanza_round_trips_through_parser() {
+        let stanza = allow_stanza("no-lossy-cast", "crates/x.rs", "uid as u32");
+        let cfg = Config::parse(&stanza.replace("TODO: one-line justification", "bounded"))
+            .unwrap();
+        assert_eq!(cfg.allow[0].rule, "no-lossy-cast");
+        assert_eq!(cfg.allow[0].contains.as_deref(), Some("uid as u32"));
+    }
+}

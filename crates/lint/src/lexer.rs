@@ -1,0 +1,482 @@
+//! A token-level lexer for Rust source.
+//!
+//! `mpcp-lint` rules reason about *tokens*, not raw text, so a
+//! `partial_cmp` inside a doc comment, a string literal, or a nested
+//! block comment is never a finding — the failure mode that makes
+//! grep-based lints untrustworthy. The lexer is deliberately lossy
+//! about things the rules never look at (it does not distinguish
+//! keywords from identifiers, or classify every multi-character
+//! operator), but it is exact about the hard part: where comments,
+//! strings, character literals, and lifetimes begin and end.
+//!
+//! Guarantees (property-tested in `tests/lexer_props.rs`):
+//!
+//! * lexing never panics, on any input;
+//! * token spans are in bounds, non-empty, strictly ascending, and
+//!   non-overlapping;
+//! * every non-whitespace byte of the input is covered by exactly one
+//!   token (whitespace is the only gap material).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `partial_cmp`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// String-like literal: `"..."`, `r#"..."#`, `b"..."`, `br"..."`,
+    /// and byte-char literals (`b'q'`), which no rule distinguishes.
+    Str,
+    /// Numeric literal; `float` is true for literals with a fractional
+    /// part, a decimal exponent, or an `f32`/`f64` suffix.
+    Num { float: bool },
+    /// `// ...` comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// Punctuation. A small set of two-character operators (`::`,
+    /// `==`, `!=`, `<=`, `>=`, `->`, `=>`, `..`, `&&`, `||`) lex as a
+    /// single token; everything else is one byte.
+    Punct,
+}
+
+/// One token: kind plus byte span into the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// A lexed file: tokens plus a line table for diagnostics.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// Byte offset of the start of each line (line 1 starts at 0).
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// 1-based (line, column) of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        let start = if line == 0 { 0 } else { self.line_starts[line - 1] };
+        (line as u32, (offset - start) as u32 + 1)
+    }
+
+    /// The full text of the 1-based line containing `offset`.
+    pub fn line_text<'s>(&self, src: &'s str, offset: usize) -> &'s str {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        let start = if line == 0 { 0 } else { self.line_starts[line - 1] };
+        let end = self.line_starts.get(line).copied().unwrap_or(src.len());
+        src.get(start..end).unwrap_or("").trim_end_matches(['\n', '\r'])
+    }
+
+    /// Byte offset where the given 1-based line starts.
+    pub fn line_start(&self, line: u32) -> usize {
+        self.line_starts.get(line.saturating_sub(1) as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lex a source file. Total: always terminates, never panics, and
+/// produces a token stream even for malformed input (an unterminated
+/// string or comment simply runs to end of file).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut line_starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' && i + 1 < n {
+            line_starts.push(i + 1);
+        }
+    }
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        // Whitespace is the only gap material between tokens.
+        if c == b' ' || c == b'\t' || c == b'\r' || c == b'\n' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind = if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            TokKind::LineComment
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::BlockComment
+        } else if let Some(end) = try_string_like(b, i) {
+            i = end;
+            TokKind::Str
+        } else if c == b'\'' {
+            let (end, kind) = lex_quote(b, i);
+            i = end;
+            kind
+        } else if c.is_ascii_digit() {
+            let (end, float) = lex_number(b, i);
+            i = end;
+            TokKind::Num { float }
+        } else if is_ident_start(c) {
+            i += 1;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else {
+            const TWO: &[&[u8; 2]] = &[
+                b"::", b"==", b"!=", b"<=", b">=", b"->", b"=>", b"..", b"&&", b"||",
+            ];
+            let pair = b.get(i..i + 2);
+            if pair.is_some_and(|p| TWO.iter().any(|t| &t[..] == p)) {
+                i += 2;
+            } else {
+                i += 1;
+                // Keep multi-byte UTF-8 punctuation-position chars whole
+                // so spans stay on char boundaries.
+                while i < n && (0x80..0xC0).contains(&b[i]) {
+                    i += 1;
+                }
+            }
+            TokKind::Punct
+        };
+        debug_assert!(i > start);
+        toks.push(Tok { kind, start, end: i });
+    }
+    Lexed { toks, line_starts }
+}
+
+/// If a string-like literal (`"`, `r"`, `r#"`, `b"`, `br#"`, ...)
+/// starts at `i`, return its end offset.
+fn try_string_like(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let c = b[i];
+    if c == b'"' {
+        return Some(scan_escaped_string(b, i + 1, b'"'));
+    }
+    // Raw / byte-string prefixes. Longest first so `br#"` wins over a
+    // `b` identifier. Note the prefix must be immediately followed by
+    // the quote syntax, otherwise it is an ordinary identifier.
+    if c == b'b' || c == b'r' {
+        let mut j = i;
+        let mut raw = false;
+        if b[j] == b'b' {
+            j += 1;
+        }
+        if j < n && b[j] == b'r' {
+            raw = true;
+            j += 1;
+        }
+        if raw {
+            let hash_start = j;
+            while j < n && b[j] == b'#' {
+                j += 1;
+            }
+            let hashes = j - hash_start;
+            if j < n && b[j] == b'"' {
+                return Some(scan_raw_string(b, j + 1, hashes));
+            }
+            return None;
+        }
+        // `b"..."` (byte string) and `b'x'` (byte char handled by the
+        // quote lexer via a 1-byte lookahead in `lex`? No: handle here).
+        if i + 1 < n && b[i] == b'b' && b[i + 1] == b'"' {
+            return Some(scan_escaped_string(b, i + 2, b'"'));
+        }
+        if i + 1 < n && b[i] == b'b' && b[i + 1] == b'\'' {
+            let (end, _) = lex_quote(b, i + 1);
+            return Some(end);
+        }
+    }
+    None
+}
+
+/// Scan an escaped string body starting just after the opening quote;
+/// returns the offset just past the closing quote (or EOF).
+fn scan_escaped_string(b: &[u8], mut i: usize, quote: u8) -> usize {
+    let n = b.len();
+    while i < n {
+        if b[i] == b'\\' {
+            i = (i + 2).min(n);
+        } else if b[i] == quote {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    n
+}
+
+/// Scan a raw string body; closes on `"` followed by `hashes` `#`s.
+fn scan_raw_string(b: &[u8], mut i: usize, hashes: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut k = 0;
+            while k < hashes && j < n && b[j] == b'#' {
+                j += 1;
+                k += 1;
+            }
+            if k == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime) starting at a `'`.
+fn lex_quote(b: &[u8], i: usize) -> (usize, TokKind) {
+    let n = b.len();
+    debug_assert_eq!(b[i], b'\'');
+    let Some(&next) = b.get(i + 1) else {
+        return (n, TokKind::Punct);
+    };
+    if next == b'\\' {
+        // Escaped char literal: `'\n'`, `'\u{1F600}'`, ...
+        return (scan_escaped_string(b, i + 1, b'\''), TokKind::Char);
+    }
+    if is_ident_start(next) {
+        // Could be `'a'` (char) or `'a` / `'static` (lifetime): scan
+        // the identifier, then look for a closing quote.
+        let mut j = i + 1;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        if j < n && b[j] == b'\'' {
+            return (j + 1, TokKind::Char);
+        }
+        return (j, TokKind::Lifetime);
+    }
+    if next == b'\'' {
+        // `''`: not valid Rust; treat as an empty char literal so the
+        // lexer keeps making progress.
+        return (i + 2, TokKind::Char);
+    }
+    // `'1'`, `'+'`, or a multi-byte UTF-8 char literal.
+    let mut j = i + 1 + 1;
+    while j < n && (0x80..0xC0).contains(&b[j]) {
+        j += 1;
+    }
+    if j < n && b[j] == b'\'' {
+        return (j + 1, TokKind::Char);
+    }
+    // A stray quote (e.g. inside macro_rules!): lex as punctuation.
+    (i + 1, TokKind::Punct)
+}
+
+/// Lex a numeric literal starting at a digit. Returns (end, is_float).
+fn lex_number(b: &[u8], i: usize) -> (usize, bool) {
+    let n = b.len();
+    let mut j = i;
+    let radix_prefix = b[i] == b'0'
+        && matches!(b.get(i + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if radix_prefix {
+        j += 2;
+        while j < n && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j.max(i + 1), false);
+    }
+    let mut float = false;
+    while j < n && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part: a `.` not followed by another `.` (range) or an
+    // identifier (method call / field access).
+    if j < n && b[j] == b'.' {
+        let after = b.get(j + 1).copied();
+        let is_range = after == Some(b'.');
+        let is_method = after.is_some_and(is_ident_start);
+        if !is_range && !is_method {
+            float = true;
+            j += 1;
+            while j < n && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < n && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < n && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < n && b[k].is_ascii_digit() {
+            float = true;
+            j = k;
+            while j < n && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, ...).
+    let suffix_start = j;
+    while j < n && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    let suffix = &b[suffix_start..j];
+    if suffix == b"f32" || suffix == b"f64" {
+        float = true;
+    }
+    (j, float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        let lexed = lex(src);
+        lexed.toks.iter().map(|t| (t.kind, &src[t.start..t.end])).collect()
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::BlockComment, "/* outer /* inner */ still comment */"),
+                (TokKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_markers() {
+        let toks = kinds(r##"let s = r#"has // and /* inside "quotes" "#;"##);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, r##"r#"has // and /* inside "quotes" "#"##);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, s)| *s).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, s)| *s).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert_eq!(chars, vec!["'a'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let nl = '\n'; let q = '\''; let u = '\u{1F600}';");
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, s)| *s).collect();
+        assert_eq!(chars, vec![r"'\n'", r"'\''", r"'\u{1F600}'"]);
+    }
+
+    #[test]
+    fn unsafe_inside_string_is_not_an_ident() {
+        let toks = kinds(r#"let msg = "unsafe code here"; // unsafe too"#);
+        let idents = toks
+            .iter()
+            .filter(|(k, s)| *k == TokKind::Ident && *s == "unsafe")
+            .count();
+        assert_eq!(idents, 0, "string/comment contents must not produce idents");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"bytes // x"; let c = b'q'; let r = br#"raw"#;"##);
+        let strs = toks.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 3, "{toks:?}");
+    }
+
+    #[test]
+    fn float_detection() {
+        let cases = [
+            ("1.5", true),
+            ("1.", true),
+            ("1e9", true),
+            ("2.5e-3", true),
+            ("3f64", true),
+            ("7f32", true),
+            ("42", false),
+            ("42u32", false),
+            ("0xFF", false),
+            ("0b1010", false),
+        ];
+        for (src, want) in cases {
+            let lexed = lex(src);
+            assert_eq!(lexed.toks.len(), 1, "{src}");
+            assert_eq!(
+                lexed.toks[0].kind,
+                TokKind::Num { float: want },
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_and_method_dots_are_not_fractions() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokKind::Num { float: false }, "0"));
+        assert_eq!(toks[1], (TokKind::Punct, ".."));
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Num { float: false }, "1"));
+    }
+
+    #[test]
+    fn two_char_operators_lex_whole() {
+        let toks = kinds("a == b != c :: d -> e => f .. g");
+        let puncts: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, s)| *s).collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>", ".."]);
+    }
+
+    #[test]
+    fn line_col_mapping() {
+        let src = "ab\ncd\n  ef\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.line_col(0), (1, 1));
+        assert_eq!(lexed.line_col(3), (2, 1));
+        assert_eq!(lexed.line_col(8), (3, 3));
+        assert_eq!(lexed.line_text(src, 8), "  ef");
+    }
+
+    #[test]
+    fn unterminated_inputs_terminate() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'", "b\"", "0x"] {
+            let lexed = lex(src);
+            assert!(lexed.toks.iter().all(|t| t.end <= src.len()), "{src:?}");
+        }
+    }
+}

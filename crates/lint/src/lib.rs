@@ -1,0 +1,307 @@
+//! # mpcp-lint — repo-aware static analysis for the mpcp workspace
+//!
+//! The bench → train → select pipeline is only trustworthy if it is
+//! bit-deterministic and NaN-sound end to end (the paper's
+//! no-per-machine-tuning claim rests on it). Earlier PRs established
+//! those invariants by hand — a `total_cmp` sweep, an unwrap audit, a
+//! salted-RNG discipline. This crate *enforces* them: a token-level
+//! Rust lexer (no false positives from grep hitting comments or string
+//! literals) feeds a small registry of rules, each scoped to the paths
+//! where its invariant matters and overridable only through a
+//! checked-in [`config::Config`] (`lint.toml`) whose every exception
+//! carries a written justification.
+//!
+//! Rule catalog (see `rules` for the implementations):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-float-partial-order` | float orderings go through `total_cmp` |
+//! | `no-panic-paths` | cli/core/ml library code returns errors, never panics |
+//! | `safety-comment-required` | `unsafe` stays in `ml`, always justified |
+//! | `no-wallclock-in-deterministic` | determinism-critical crates never read clocks |
+//! | `no-lossy-cast` | serialization paths never truncate silently |
+//!
+//! Run it with `cargo run -p mpcp-lint -- check`; the whole workspace
+//! lexes and checks in well under a second.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use config::{AllowEntry, Config};
+use lexer::{lex, Lexed, Tok, TokKind};
+
+/// A source file prepared for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (the form paths take
+    /// in `lint.toml` and diagnostics).
+    pub rel_path: String,
+    /// Crate name (`ml` for `crates/ml/...`), when under `crates/`.
+    pub crate_name: Option<String>,
+    pub text: String,
+    pub lexed: Lexed,
+    /// Byte ranges of `#[cfg(test)]` / `#[test]` items (plus the whole
+    /// file for `tests/`, `benches/`, `examples/` trees): rules that
+    /// police *production* code skip findings inside these.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Prepare a file from its path and contents.
+    pub fn new(rel_path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let rel_path = rel_path.into().replace('\\', "/");
+        let text = text.into();
+        let lexed = lex(&text);
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .map(str::to_string);
+        let whole_file_is_test = ["/tests/", "/benches/", "/examples/"]
+            .iter()
+            .any(|d| rel_path.contains(d))
+            || rel_path.starts_with("tests/")
+            || rel_path.starts_with("examples/");
+        let test_spans = if whole_file_is_test {
+            vec![(0, text.len())]
+        } else {
+            find_test_spans(&text, &lexed)
+        };
+        SourceFile { rel_path, crate_name, text, lexed, test_spans }
+    }
+
+    /// Token text.
+    pub fn tok_text(&self, t: &Tok) -> &str {
+        self.text.get(t.start..t.end).unwrap_or("")
+    }
+
+    /// Is this byte offset inside test-only code?
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| (s..e).contains(&offset))
+    }
+}
+
+/// Locate `#[cfg(test)]`- and `#[test]`-attributed items: the span runs
+/// from the attribute to the matching `}` of the item's block (brace
+/// balancing is exact because strings and comments are single tokens,
+/// so a `{` inside either can never unbalance the count).
+fn find_test_spans(text: &str, lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.toks;
+    // Rule checks only care about code; comments are invisible here.
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let txt = |ci: usize| text.get(toks[code[ci]].start..toks[code[ci]].end).unwrap_or("");
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut k = 0;
+    while k < code.len() {
+        let Some(after_attr) = match_test_attr(&code, k, &txt) else {
+            k += 1;
+            continue;
+        };
+        let attr_start = toks[code[k]].start;
+        // Find the item's opening `{`, then its matching `}`. An item
+        // with no block before the next `;` (e.g. `#[cfg(test)] use x;`)
+        // spans to that `;`.
+        let mut j = after_attr;
+        let mut end_off = toks.last().map(|t| t.end).unwrap_or(text.len());
+        let mut resume = code.len();
+        while j < code.len() {
+            match txt(j) {
+                ";" => {
+                    end_off = toks[code[j]].end;
+                    resume = j + 1;
+                    break;
+                }
+                "{" => {
+                    let mut depth = 1usize;
+                    let mut m = j + 1;
+                    while m < code.len() && depth > 0 {
+                        match txt(m) {
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    end_off = if m > 0 && m <= code.len() {
+                        toks[code[m - 1]].end
+                    } else {
+                        text.len()
+                    };
+                    resume = m;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        spans.push((attr_start, end_off));
+        k = resume.max(k + 1);
+    }
+    spans
+}
+
+/// Does the code-token window starting at `k` spell `#[cfg(test)]` or
+/// `#[test]`? Returns the code index just past the closing `]`.
+fn match_test_attr<'t>(
+    code: &[usize],
+    k: usize,
+    txt: &impl Fn(usize) -> &'t str,
+) -> Option<usize> {
+    if txt(k) != "#" || k + 1 >= code.len() || txt(k + 1) != "[" {
+        return None;
+    }
+    // `#[test]`
+    if k + 3 < code.len() && txt(k + 2) == "test" && txt(k + 3) == "]" {
+        return Some(k + 4);
+    }
+    // `#[cfg(test)]`
+    if k + 6 < code.len()
+        && txt(k + 2) == "cfg"
+        && txt(k + 3) == "("
+        && txt(k + 4) == "test"
+        && txt(k + 5) == ")"
+        && txt(k + 6) == "]"
+    {
+        return Some(k + 7);
+    }
+    None
+}
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    /// The full source line, for diff-style output and `contains`
+    /// matching in the allowlist.
+    pub line_text: String,
+    pub message: String,
+    /// `Some(reason)` when an allowlist entry covers this finding.
+    pub allowed: Option<String>,
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub files_checked: usize,
+    /// Indices into `Config::allow` that never matched a finding —
+    /// stale exceptions worth deleting.
+    pub unused_allows: Vec<AllowEntry>,
+}
+
+impl LintReport {
+    /// Findings not covered by the allowlist (these fail the build).
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+
+    /// Count of non-allowed findings.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+}
+
+/// Lint prepared files against the config. Pure — no filesystem access
+/// — so fixture tests drive it directly.
+pub fn lint_files(files: &[SourceFile], cfg: &Config) -> LintReport {
+    let mut findings = Vec::new();
+    let registry = rules::all_rules();
+    for file in files {
+        if cfg.global_exclude.iter().any(|p| file.rel_path.contains(p.as_str())) {
+            continue;
+        }
+        for rule in &registry {
+            if !rules::in_scope(rule.as_ref(), file, cfg) {
+                continue;
+            }
+            rule.check(file, &mut findings);
+        }
+    }
+    for rule in &registry {
+        rule.check_workspace(files, cfg, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    // Match findings against the allowlist.
+    let mut used = vec![false; cfg.allow.len()];
+    for f in &mut findings {
+        for (i, a) in cfg.allow.iter().enumerate() {
+            let rule_ok = a.rule == f.rule;
+            let path_ok = f.path == a.path
+                || (a.path.ends_with('/') && f.path.starts_with(a.path.as_str()));
+            let contains_ok =
+                a.contains.as_deref().is_none_or(|c| f.line_text.contains(c));
+            if rule_ok && path_ok && contains_ok {
+                f.allowed = Some(a.reason.clone());
+                used[i] = true;
+                break;
+            }
+        }
+    }
+    let unused_allows = cfg
+        .allow
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(a, _)| a.clone())
+        .collect();
+    LintReport { findings, files_checked: files.len(), unused_allows }
+}
+
+/// Collect every `.rs` file under `<root>/crates` (the workspace's own
+/// code — `vendor/` shims and `target/` are out of scope), plus any
+/// top-level `tests/` and `examples/` trees.
+pub fn collect_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&p)?;
+        files.push(SourceFile::new(rel, text));
+    }
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root` with the given config.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let files = collect_workspace(root)?;
+    Ok(lint_files(&files, cfg))
+}

@@ -1,0 +1,152 @@
+//! `mpcp-lint` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! cargo run -p mpcp-lint -- check                 # lint the workspace
+//! cargo run -p mpcp-lint -- check --json out.json # + machine-readable report
+//! cargo run -p mpcp-lint -- check --fix-allowlist # emit lint.toml stanzas
+//! cargo run -p mpcp-lint -- rules                 # print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mpcp_lint::{config::Config, report, rules};
+
+struct CheckOpts {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    fix_allowlist: bool,
+    fix_rule: Option<String>,
+    fix_path: Option<String>,
+    show_allowed: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mpcp-lint check [--root DIR] [--config FILE] [--json FILE] \
+         [--show-allowed] [--fix-allowlist [--rule NAME] [--path SUBSTR]]\n       \
+         mpcp-lint rules"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for r in rules::all_rules() {
+                println!("{:32} {}", r.name(), r.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn parse_check_opts(args: &[String]) -> Option<CheckOpts> {
+    let mut opts = CheckOpts {
+        root: find_workspace_root(),
+        config: None,
+        json: None,
+        fix_allowlist: false,
+        fix_rule: None,
+        fix_path: None,
+        show_allowed: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => opts.root = PathBuf::from(it.next()?),
+            "--config" => opts.config = Some(PathBuf::from(it.next()?)),
+            "--json" => opts.json = Some(PathBuf::from(it.next()?)),
+            "--fix-allowlist" => opts.fix_allowlist = true,
+            "--rule" => opts.fix_rule = Some(it.next()?.clone()),
+            "--path" => opts.fix_path = Some(it.next()?.clone()),
+            "--show-allowed" => opts.show_allowed = true,
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let Some(opts) = parse_check_opts(args) else {
+        return usage();
+    };
+    let config_path = opts.config.clone().unwrap_or_else(|| opts.root.join("lint.toml"));
+    let cfg = if config_path.exists() {
+        let text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Config::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+    let started = std::time::Instant::now();
+    let lint_report = match mpcp_lint::lint_workspace(&opts.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(json_path) = &opts.json {
+        let json = report::render_json(&lint_report);
+        if let Err(e) = std::fs::write(json_path, json) {
+            eprintln!("error: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.fix_allowlist {
+        print!(
+            "{}",
+            report::render_fix_allowlist(
+                &lint_report,
+                opts.fix_rule.as_deref(),
+                opts.fix_path.as_deref(),
+            )
+        );
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", report::render_human(&lint_report, opts.show_allowed));
+    println!("analyzed in {:?}", started.elapsed());
+    if lint_report.violation_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: walk up from CWD to the first directory holding
+/// a `Cargo.toml` with a `[workspace]` table (falls back to CWD).
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

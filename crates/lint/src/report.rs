@@ -1,0 +1,202 @@
+//! Human (diff-style) and machine-readable (JSON) rendering of a
+//! [`LintReport`], plus the `--fix-allowlist` stanza emitter.
+
+use std::fmt::Write as _;
+
+use crate::config::allow_stanza;
+use crate::{Finding, LintReport};
+
+/// Render one finding the way rustc renders diagnostics, so editors
+/// and CI annotations pick the location up.
+pub fn render_finding(f: &Finding) -> String {
+    let mut out = String::new();
+    let gutter = f.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    match &f.allowed {
+        None => {
+            let _ = writeln!(out, "error[{}]: {}", f.rule, f.message);
+        }
+        Some(reason) => {
+            let _ = writeln!(out, "allowed[{}]: {} (reason: {reason})", f.rule, f.message);
+        }
+    }
+    let _ = writeln!(out, "{pad}--> {}:{}:{}", f.path, f.line, f.col);
+    let _ = writeln!(out, "{pad} |");
+    let _ = writeln!(out, "{gutter} | {}", f.line_text);
+    let caret_col = f.col.saturating_sub(1) as usize;
+    let _ = writeln!(out, "{pad} | {}^", " ".repeat(caret_col));
+    out
+}
+
+/// Render the whole report for a terminal.
+pub fn render_human(report: &LintReport, show_allowed: bool) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        if f.allowed.is_none() || show_allowed {
+            out.push_str(&render_finding(f));
+            out.push('\n');
+        }
+    }
+    for a in &report.unused_allows {
+        let _ = writeln!(
+            out,
+            "warning[unused-allow]: lint.toml entry ({} @ {}{}) matched nothing — delete it?",
+            a.rule,
+            a.path,
+            a.contains.as_deref().map(|c| format!(", contains \"{c}\"")).unwrap_or_default(),
+        );
+    }
+    let allowed = report.findings.len() - report.violation_count();
+    let _ = writeln!(
+        out,
+        "{} file(s) checked: {} violation(s), {} allowed exception(s)",
+        report.files_checked,
+        report.violation_count(),
+        allowed,
+    );
+    out
+}
+
+/// Minimal JSON string escaping (mirrors `mpcp-obs`'s exporter rules).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report as a machine-readable JSON document (uploaded as a
+/// CI artifact; schema version 1).
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\", \"snippet\": \"{}\", \"allowed\": {}",
+            esc(f.rule),
+            esc(&f.path),
+            f.line,
+            f.col,
+            esc(&f.message),
+            esc(f.line_text.trim()),
+            f.allowed.is_some(),
+        );
+        if let Some(reason) = &f.allowed {
+            let _ = write!(out, ", \"reason\": \"{}\"", esc(reason));
+        }
+        out.push_str(if i + 1 < report.findings.len() { "},\n" } else { "}\n" });
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"summary\": {{\"files_checked\": {}, \"violations\": {}, \
+         \"allowed\": {}, \"unused_allows\": {}}}\n}}\n",
+        report.files_checked,
+        report.violation_count(),
+        report.findings.len() - report.violation_count(),
+        report.unused_allows.len(),
+    );
+    out
+}
+
+/// Emit ready-to-paste `[[allow]]` stanzas for the (non-allowed)
+/// findings, optionally filtered by rule and/or path substring.
+pub fn render_fix_allowlist(
+    report: &LintReport,
+    rule: Option<&str>,
+    path: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<(String, String, String)> = Vec::new();
+    for f in report.violations() {
+        if rule.is_some_and(|r| r != f.rule) {
+            continue;
+        }
+        if path.is_some_and(|p| !f.path.contains(p)) {
+            continue;
+        }
+        // `contains` keys on the trimmed source line: stable across
+        // reformatting and line-number drift.
+        let key = (f.rule.to_string(), f.path.clone(), f.line_text.trim().to_string());
+        if seen.contains(&key) {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "# {}:{}:{} — {}",
+            f.path, f.line, f.col, f.message
+        );
+        out.push_str(&allow_stanza(f.rule, &f.path, f.line_text.trim()));
+        out.push('\n');
+        seen.push(key);
+    }
+    if out.is_empty() {
+        out.push_str("# no unallowed findings — nothing to triage\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    fn sample(allowed: Option<&str>) -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                rule: "no-panic-paths",
+                path: "crates/x/src/a.rs".into(),
+                line: 7,
+                col: 13,
+                line_text: "    let v = x.unwrap();".into(),
+                message: "unwrap panics".into(),
+                allowed: allowed.map(String::from),
+            }],
+            files_checked: 1,
+            unused_allows: vec![],
+        }
+    }
+
+    #[test]
+    fn human_output_carries_location_and_caret() {
+        let text = render_human(&sample(None), false);
+        assert!(text.contains("error[no-panic-paths]"), "{text}");
+        assert!(text.contains("--> crates/x/src/a.rs:7:13"), "{text}");
+        assert!(text.contains("1 violation(s)"), "{text}");
+    }
+
+    #[test]
+    fn allowed_findings_do_not_count_as_violations() {
+        let text = render_human(&sample(Some("bounded by registry")), false);
+        assert!(text.contains("0 violation(s), 1 allowed"), "{text}");
+    }
+
+    #[test]
+    fn json_is_parseable_by_obs_parser_shape() {
+        // Hand-check the JSON skeleton: balanced braces and quoted keys.
+        let json = render_json(&sample(None));
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"violations\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fix_allowlist_emits_a_stanza_per_unique_finding() {
+        let text = render_fix_allowlist(&sample(None), None, None);
+        assert!(text.contains("[[allow]]"), "{text}");
+        assert!(text.contains("contains = \"let v = x.unwrap();\""), "{text}");
+        let filtered = render_fix_allowlist(&sample(None), Some("other-rule"), None);
+        assert!(filtered.contains("nothing to triage"), "{filtered}");
+    }
+}

@@ -1,0 +1,497 @@
+//! The rule registry.
+//!
+//! Every rule works on the token stream of a [`SourceFile`] — never on
+//! raw text — and confines itself to the paths where its invariant
+//! matters. Scopes are *substring* matches on the workspace-relative
+//! path; the defaults below are overridable per rule in `lint.toml`
+//! (`[rule.<name>] include/exclude`), and individual findings are
+//! silenced only by a justified `[[allow]]` entry.
+//!
+//! Adding a rule: implement [`LintRule`], register it in
+//! [`all_rules`], add a fixture pair under
+//! `crates/lint/tests/fixtures/<rule>/`, and document it in
+//! DESIGN.md §11.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::{Finding, SourceFile};
+
+/// A single static-analysis rule.
+pub trait LintRule {
+    /// Stable kebab-case name (the key used in `lint.toml`).
+    fn name(&self) -> &'static str;
+    /// One-line description for `mpcp-lint rules`.
+    fn summary(&self) -> &'static str;
+    /// Default path-substring scope; empty means "every file".
+    fn default_include(&self) -> &'static [&'static str] {
+        &[]
+    }
+    /// Default path-substring exclusions.
+    fn default_exclude(&self) -> &'static [&'static str] {
+        &[]
+    }
+    /// Per-file check.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+    /// Whole-workspace check (crate-level attribute requirements).
+    fn check_workspace(&self, _files: &[SourceFile], _cfg: &Config, _out: &mut Vec<Finding>) {}
+}
+
+/// Is `file` in scope for `rule`, honoring `lint.toml` overrides?
+pub fn in_scope(rule: &dyn LintRule, file: &SourceFile, cfg: &Config) -> bool {
+    let scope = cfg.rule_scopes.get(rule.name());
+    let include: Vec<&str> = match scope.and_then(|s| s.include.as_ref()) {
+        Some(v) => v.iter().map(String::as_str).collect(),
+        None => rule.default_include().to_vec(),
+    };
+    let exclude: Vec<&str> = match scope.and_then(|s| s.exclude.as_ref()) {
+        Some(v) => v.iter().map(String::as_str).collect(),
+        None => rule.default_exclude().to_vec(),
+    };
+    let included =
+        include.is_empty() || include.iter().any(|p| file.rel_path.contains(p));
+    included && !exclude.iter().any(|p| file.rel_path.contains(p))
+}
+
+/// All shipped rules, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn LintRule>> {
+    vec![
+        Box::new(NoFloatPartialOrder),
+        Box::new(NoPanicPaths),
+        Box::new(SafetyCommentRequired),
+        Box::new(NoWallclockInDeterministic),
+        Box::new(NoLossyCast),
+    ]
+}
+
+/// Build a finding at a byte offset.
+fn finding(
+    rule: &'static str,
+    file: &SourceFile,
+    offset: usize,
+    message: String,
+) -> Finding {
+    let (line, col) = file.lexed.line_col(offset);
+    Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        col,
+        line_text: file.lexed.line_text(&file.text, offset).to_string(),
+        message,
+        allowed: None,
+    }
+}
+
+/// Indices of non-comment tokens, in order.
+fn code_indices(file: &SourceFile) -> Vec<usize> {
+    (0..file.lexed.toks.len())
+        .filter(|&i| {
+            !matches!(
+                file.lexed.toks[i].kind,
+                TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: no-float-partial-order
+// ---------------------------------------------------------------------
+
+/// Float orderings must use `total_cmp`: `partial_cmp` on a NaN returns
+/// `None` and a raw `<` in a comparator breaks totality, which turns a
+/// degenerate model prediction into a panic (or, worse, an
+/// order-dependent selection) instead of a deterministic ordering.
+pub struct NoFloatPartialOrder;
+
+const COMPARATOR_METHODS: &[&str] =
+    &["sort_by", "sort_unstable_by", "min_by", "max_by", "binary_search_by"];
+const ORDERING_OPS: &[&str] = &["<", ">", "<=", ">=", "==", "!="];
+
+impl LintRule for NoFloatPartialOrder {
+    fn name(&self) -> &'static str {
+        "no-float-partial-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "float orderings must use total_cmp, not partial_cmp or raw comparison operators"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let code = code_indices(file);
+        let toks = &file.lexed.toks;
+        let txt = |ci: usize| file.tok_text(&toks[code[ci]]);
+        for k in 0..code.len() {
+            let t = &toks[code[k]];
+            if file.in_test_code(t.start) {
+                continue;
+            }
+            // `.partial_cmp(` / `T::partial_cmp` in call position.
+            if t.kind == TokKind::Ident
+                && txt(k) == "partial_cmp"
+                && k > 0
+                && matches!(txt(k - 1), "." | "::")
+            {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    "partial_cmp yields None on NaN; use f64::total_cmp for a total, \
+                     deterministic order"
+                        .to_string(),
+                ));
+            }
+            // Raw ordering operators inside a comparator closure:
+            // `xs.sort_by(|a, b| a < b ...)` compiles but is not a
+            // total order. Scan the balanced argument list.
+            if t.kind == TokKind::Ident
+                && COMPARATOR_METHODS.contains(&txt(k))
+                && k > 0
+                && txt(k - 1) == "."
+                && k + 1 < code.len()
+                && txt(k + 1) == "("
+            {
+                let mut depth = 1usize;
+                let mut m = k + 2;
+                while m < code.len() && depth > 0 {
+                    match txt(m) {
+                        "(" => depth += 1,
+                        ")" => depth -= 1,
+                        op if depth > 0 && ORDERING_OPS.contains(&op) => {
+                            out.push(finding(
+                                self.name(),
+                                file,
+                                toks[code[m]].start,
+                                format!(
+                                    "raw `{op}` inside a `{}` comparator is not a total \
+                                     order on floats; use total_cmp",
+                                    txt(k)
+                                ),
+                            ));
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: no-panic-paths
+// ---------------------------------------------------------------------
+
+/// Library code in `cli`, `core`, and `ml` must return typed errors:
+/// a panic in the selection path takes down the whole serving process,
+/// and PR 3's graceful-degradation guarantees only hold if nothing
+/// underneath them panics first. (Supersedes the PR 3 grep lint, which
+/// could neither see `expect` nor tell code from comments.)
+pub struct NoPanicPaths;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl LintRule for NoPanicPaths {
+    fn name(&self) -> &'static str {
+        "no-panic-paths"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic! in non-test cli/core/ml code"
+    }
+
+    fn default_include(&self) -> &'static [&'static str] {
+        &["crates/cli/src/", "crates/core/src/", "crates/ml/src/"]
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let code = code_indices(file);
+        let toks = &file.lexed.toks;
+        let txt = |ci: usize| file.tok_text(&toks[code[ci]]);
+        for k in 0..code.len() {
+            let t = &toks[code[k]];
+            if t.kind != TokKind::Ident || file.in_test_code(t.start) {
+                continue;
+            }
+            let name = txt(k);
+            if (name == "unwrap" || name == "expect") && k > 0 && txt(k - 1) == "." {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    format!(
+                        ".{name}() panics on the error path; propagate a typed error \
+                         (FitError / SelectorError) instead"
+                    ),
+                ));
+            }
+            if PANIC_MACROS.contains(&name) && k + 1 < code.len() && txt(k + 1) == "!" {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    format!("{name}! in library code aborts the serving process; return an error"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: safety-comment-required
+// ---------------------------------------------------------------------
+
+/// `unsafe` is confined to the one crate with a measured need for it
+/// (`ml`'s bounds-check-elided inference kernel), and every occurrence
+/// must carry an adjacent `// SAFETY:` comment stating the invariant
+/// that makes it sound. Crates with no unsafe must say so with
+/// `#![forbid(unsafe_code)]` so a stray block is a compile error, not a
+/// review hazard.
+pub struct SafetyCommentRequired;
+
+/// Crates permitted to contain `unsafe` (must carry
+/// `#![deny(unsafe_op_in_unsafe_fn)]`).
+const UNSAFE_CRATES: &[&str] = &["ml"];
+
+impl LintRule for SafetyCommentRequired {
+    fn name(&self) -> &'static str {
+        "safety-comment-required"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unsafe only in allowlisted crates, always under a // SAFETY: comment"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.toks;
+        for t in toks {
+            if t.kind != TokKind::Ident || file.tok_text(t) != "unsafe" {
+                continue;
+            }
+            let crate_ok = file
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| UNSAFE_CRATES.contains(&c));
+            if !crate_ok {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    "unsafe outside the allowlisted unsafe crates (ml); keep this crate \
+                     #![forbid(unsafe_code)]"
+                        .to_string(),
+                ));
+                continue;
+            }
+            if !has_adjacent_safety_comment(file, t.start) {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    "unsafe without a // SAFETY: comment on the preceding line(s) stating \
+                     why it is sound"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    /// Crate-level attribute requirements: `#![forbid(unsafe_code)]`
+    /// everywhere unsafe is banned, `#![deny(unsafe_op_in_unsafe_fn)]`
+    /// where it is not.
+    fn check_workspace(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
+        for file in files {
+            if cfg.global_exclude.iter().any(|p| file.rel_path.contains(p.as_str())) {
+                continue;
+            }
+            let Some(crate_name) = file.crate_name.as_deref() else { continue };
+            if file.rel_path != format!("crates/{crate_name}/src/lib.rs") {
+                continue;
+            }
+            if UNSAFE_CRATES.contains(&crate_name) {
+                if !has_inner_attr(file, "deny", "unsafe_op_in_unsafe_fn") {
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        0,
+                        "unsafe-allowlisted crate must declare #![deny(unsafe_op_in_unsafe_fn)]"
+                            .to_string(),
+                    ));
+                }
+            } else if !has_inner_attr(file, "forbid", "unsafe_code") {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    0,
+                    "crate has no unsafe and must declare #![forbid(unsafe_code)]".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Scan upward from the line above `offset` through contiguous `//`
+/// comment lines, looking for `SAFETY:`.
+fn has_adjacent_safety_comment(file: &SourceFile, offset: usize) -> bool {
+    let (line, _) = file.lexed.line_col(offset);
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let start = file.lexed.line_start(l);
+        let text = file.lexed.line_text(&file.text, start);
+        let trimmed = text.trim_start();
+        if !trimmed.starts_with("//") {
+            return false;
+        }
+        if trimmed.contains("SAFETY:") {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// Does the file carry the inner attribute `#![<level>(<lint>)]`?
+fn has_inner_attr(file: &SourceFile, level: &str, lint: &str) -> bool {
+    let toks = &file.lexed.toks;
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let txt = |ci: usize| file.tok_text(&toks[code[ci]]);
+    (0..code.len().saturating_sub(6)).any(|k| {
+        txt(k) == "#"
+            && txt(k + 1) == "!"
+            && txt(k + 2) == "["
+            && txt(k + 3) == level
+            && txt(k + 4) == "("
+            && txt(k + 5) == lint
+            && txt(k + 6) == ")"
+    })
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: no-wallclock-in-deterministic
+// ---------------------------------------------------------------------
+
+/// `benchmark`, `simnet`, `ml`, and `core` must be bit-deterministic:
+/// given the same seed, the same records, models, and selections come
+/// out — the paper's reproducibility claim and the fault-injection
+/// harness's byte-identity guarantee both depend on it. Wall-clock
+/// reads and thread-count-dependent control flow are how that breaks.
+/// (Timing belongs in `mpcp-obs`, whose spans are no-ops unless tracing
+/// is explicitly enabled.)
+pub struct NoWallclockInDeterministic;
+
+const WALLCLOCK_IDENTS: &[&str] = &["Instant", "SystemTime"];
+const THREAD_COUNT_IDENTS: &[&str] = &["current_num_threads", "available_parallelism"];
+
+impl LintRule for NoWallclockInDeterministic {
+    fn name(&self) -> &'static str {
+        "no-wallclock-in-deterministic"
+    }
+
+    fn summary(&self) -> &'static str {
+        "determinism-critical crates never read clocks or depend on thread counts"
+    }
+
+    fn default_include(&self) -> &'static [&'static str] {
+        &[
+            "crates/benchmark/src/",
+            "crates/simnet/src/",
+            "crates/ml/src/",
+            "crates/core/src/",
+        ]
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.toks;
+        for t in toks {
+            if t.kind != TokKind::Ident || file.in_test_code(t.start) {
+                continue;
+            }
+            let name = file.tok_text(t);
+            if WALLCLOCK_IDENTS.contains(&name) {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    format!(
+                        "{name} is wall-clock state in a determinism-critical crate; \
+                         route timing through mpcp-obs (no-op unless tracing is on)"
+                    ),
+                ));
+            }
+            if THREAD_COUNT_IDENTS.contains(&name) {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    format!(
+                        "{name} makes behavior depend on the host's parallelism; results \
+                         must be identical at any thread count"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: no-lossy-cast
+// ---------------------------------------------------------------------
+
+/// Serialization paths (dataset records, CSV round-trips, selector uid
+/// tables) must not truncate silently: an `as u32` that wraps corrupts
+/// the dataset instead of erroring. Use `From`/`TryFrom` and propagate.
+pub struct NoLossyCast;
+
+/// Narrowing `as` targets. 64-bit targets and `usize` are not flagged:
+/// on every supported platform they only widen the types these paths
+/// use.
+const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+impl LintRule for NoLossyCast {
+    fn name(&self) -> &'static str {
+        "no-lossy-cast"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no truncating `as` casts in record/dataset/selector serialization paths"
+    }
+
+    fn default_include(&self) -> &'static [&'static str] {
+        &[
+            "crates/benchmark/src/record.rs",
+            "crates/benchmark/src/datasets.rs",
+            "crates/ml/src/dataset.rs",
+            "crates/core/src/selector.rs",
+            "crates/core/src/instance.rs",
+            "crates/core/src/tuning_file.rs",
+        ]
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let code = code_indices(file);
+        let toks = &file.lexed.toks;
+        let txt = |ci: usize| file.tok_text(&toks[code[ci]]);
+        for k in 0..code.len().saturating_sub(1) {
+            let t = &toks[code[k]];
+            if t.kind != TokKind::Ident || txt(k) != "as" || file.in_test_code(t.start) {
+                continue;
+            }
+            let target = txt(k + 1);
+            if toks[code[k + 1]].kind == TokKind::Ident
+                && NARROWING_TARGETS.contains(&target)
+            {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    t.start,
+                    format!(
+                        "`as {target}` can truncate silently in a serialization path; \
+                         use {target}::try_from (or From) and handle the error"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Fixture-driven integration tests: every rule fires on its seeded
+//! `bad.rs` fixture (with correct positions) and stays silent on the
+//! `good.rs` fixture full of token-level traps (comments, strings, test
+//! code). The final tests run the real binary end to end and prove the
+//! current workspace lints clean with the checked-in `lint.toml`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use mpcp_lint::config::Config;
+use mpcp_lint::{lint_files, lint_workspace, Finding, SourceFile};
+
+fn fixture_text(rule: &str, which: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(format!("{which}.rs"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Lint a single fixture as if it lived at `rel_path`, with defaults.
+fn lint_fixture(rel_path: &str, text: &str) -> Vec<Finding> {
+    let files = vec![SourceFile::new(rel_path, text)];
+    lint_files(&files, &Config::default()).findings
+}
+
+fn of_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+// -------------------------------------------------------------------
+// no-float-partial-order
+// -------------------------------------------------------------------
+
+#[test]
+fn float_partial_order_fires_on_bad_fixture() {
+    let text = fixture_text("no-float-partial-order", "bad");
+    let findings = lint_fixture("crates/core/src/bad.rs", &text);
+    let hits = of_rule(&findings, "no-float-partial-order");
+    // `.partial_cmp(`, raw `<` in a sort_by comparator, `::partial_cmp`.
+    assert_eq!(hits.len(), 3, "findings: {hits:?}");
+    assert!(hits.iter().any(|f| f.line == 3), "method-call form at line 3");
+    assert!(hits.iter().any(|f| f.line == 8), "raw operator at line 8");
+    assert!(hits.iter().any(|f| f.line == 12), "path form at line 12");
+    for f in &hits {
+        assert!(f.col >= 1 && !f.line_text.is_empty());
+    }
+}
+
+#[test]
+fn float_partial_order_silent_on_good_fixture() {
+    let text = fixture_text("no-float-partial-order", "good");
+    let findings = lint_fixture("crates/core/src/good.rs", &text);
+    // No rule at all may fire: `partial_cmp` in comments/strings, a
+    // PartialOrd *impl*, and `<` inside a raw string are all clean.
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+// -------------------------------------------------------------------
+// no-panic-paths
+// -------------------------------------------------------------------
+
+#[test]
+fn panic_paths_fires_on_bad_fixture() {
+    let text = fixture_text("no-panic-paths", "bad");
+    let findings = lint_fixture("crates/ml/src/bad.rs", &text);
+    let hits = of_rule(&findings, "no-panic-paths");
+    // .unwrap(), .expect(), panic!, todo!, unimplemented!, unreachable!.
+    assert_eq!(hits.len(), 6, "findings: {hits:?}");
+    assert!(hits.iter().any(|f| f.line == 3 && f.message.contains("unwrap")));
+    assert!(hits.iter().any(|f| f.line == 7 && f.message.contains("expect")));
+    assert!(hits.iter().any(|f| f.message.contains("panic!")));
+}
+
+#[test]
+fn panic_paths_silent_on_good_fixture() {
+    let text = fixture_text("no-panic-paths", "good");
+    let findings = lint_fixture("crates/ml/src/good.rs", &text);
+    // unwrap_or* idents, strings, comments, and #[cfg(test)] code.
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn panic_paths_out_of_scope_crates_are_ignored() {
+    let text = fixture_text("no-panic-paths", "bad");
+    // simnet is not a panic-policed crate; the rule must not fire.
+    let findings = lint_fixture("crates/simnet/src/bad.rs", &text);
+    assert!(of_rule(&findings, "no-panic-paths").is_empty());
+}
+
+// -------------------------------------------------------------------
+// safety-comment-required
+// -------------------------------------------------------------------
+
+#[test]
+fn safety_comment_fires_on_bad_fixture() {
+    let text = fixture_text("safety-comment-required", "bad");
+    let findings = lint_fixture("crates/ml/src/bad.rs", &text);
+    let hits = of_rule(&findings, "safety-comment-required");
+    assert_eq!(hits.len(), 1, "findings: {hits:?}");
+    assert!(hits[0].message.contains("SAFETY:"));
+    assert_eq!(hits[0].line, 7, "the unsafe block, not the decoy string");
+}
+
+#[test]
+fn safety_comment_silent_on_good_fixture() {
+    let text = fixture_text("safety-comment-required", "good");
+    let findings = lint_fixture("crates/ml/src/good.rs", &text);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn unsafe_outside_allowlisted_crate_is_flagged() {
+    // Even a justified unsafe block is a violation outside `ml`.
+    let text = fixture_text("safety-comment-required", "good");
+    let findings = lint_fixture("crates/core/src/good.rs", &text);
+    let hits = of_rule(&findings, "safety-comment-required");
+    assert_eq!(hits.len(), 1, "findings: {hits:?}");
+    assert!(hits[0].message.contains("outside"));
+}
+
+// -------------------------------------------------------------------
+// no-wallclock-in-deterministic
+// -------------------------------------------------------------------
+
+#[test]
+fn wallclock_fires_on_bad_fixture() {
+    let text = fixture_text("no-wallclock-in-deterministic", "bad");
+    let findings = lint_fixture("crates/simnet/src/bad.rs", &text);
+    let hits = of_rule(&findings, "no-wallclock-in-deterministic");
+    // Instant ×2, SystemTime ×2 (use + call sites), available_parallelism.
+    assert_eq!(hits.len(), 5, "findings: {hits:?}");
+    assert!(hits.iter().any(|f| f.line == 6 && f.message.contains("Instant")));
+    assert!(hits.iter().any(|f| f.message.contains("available_parallelism")));
+}
+
+#[test]
+fn wallclock_silent_on_good_fixture() {
+    let text = fixture_text("no-wallclock-in-deterministic", "good");
+    let findings = lint_fixture("crates/simnet/src/good.rs", &text);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn wallclock_out_of_scope_crates_are_ignored() {
+    let text = fixture_text("no-wallclock-in-deterministic", "bad");
+    // obs is the one place timing is allowed to live.
+    let findings = lint_fixture("crates/obs/src/bad.rs", &text);
+    assert!(of_rule(&findings, "no-wallclock-in-deterministic").is_empty());
+}
+
+// -------------------------------------------------------------------
+// no-lossy-cast
+// -------------------------------------------------------------------
+
+#[test]
+fn lossy_cast_fires_on_bad_fixture() {
+    let text = fixture_text("no-lossy-cast", "bad");
+    let findings = lint_fixture("crates/core/src/selector.rs", &text);
+    let hits = of_rule(&findings, "no-lossy-cast");
+    // uid as u32, msize as u32, weight as f32, reps as u8.
+    assert_eq!(hits.len(), 4, "findings: {hits:?}");
+    assert!(hits.iter().filter(|f| f.line == 3).count() == 3);
+    assert!(hits.iter().any(|f| f.line == 7 && f.message.contains("u8")));
+}
+
+#[test]
+fn lossy_cast_silent_on_good_fixture() {
+    let text = fixture_text("no-lossy-cast", "good");
+    let findings = lint_fixture("crates/core/src/selector.rs", &text);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn lossy_cast_out_of_scope_files_are_ignored() {
+    let text = fixture_text("no-lossy-cast", "bad");
+    // Non-serialization files may cast (clippy still watches them).
+    let findings = lint_fixture("crates/ml/src/gbt.rs", &text);
+    assert!(of_rule(&findings, "no-lossy-cast").is_empty());
+}
+
+// -------------------------------------------------------------------
+// Allowlist semantics
+// -------------------------------------------------------------------
+
+#[test]
+fn allowlist_downgrades_matching_findings_and_reports_stale_entries() {
+    let toml = r#"
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/ml/src/bad.rs"
+contains = "x.unwrap()"
+reason = "fixture: exercised by the allowlist test"
+
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/ml/src/never_exists.rs"
+reason = "stale entry that must surface as unused"
+"#;
+    let cfg = Config::parse(toml).expect("valid config");
+    let text = fixture_text("no-panic-paths", "bad");
+    let files = vec![SourceFile::new("crates/ml/src/bad.rs", text)];
+    let rep = lint_files(&files, &cfg);
+    let allowed: Vec<_> = rep.findings.iter().filter(|f| f.allowed.is_some()).collect();
+    assert_eq!(allowed.len(), 1);
+    assert!(allowed[0].line_text.contains("x.unwrap()"));
+    assert_eq!(rep.violation_count(), rep.findings.len() - 1);
+    assert_eq!(rep.unused_allows.len(), 1);
+    assert_eq!(rep.unused_allows[0].path, "crates/ml/src/never_exists.rs");
+}
+
+// -------------------------------------------------------------------
+// Whole-workspace checks
+// -------------------------------------------------------------------
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+/// Acceptance criterion: zero false positives on the current tree. A
+/// new finding here is either a real regression to fix or a new
+/// justified `[[allow]]` entry in lint.toml — never a reason to loosen
+/// a rule.
+#[test]
+fn current_workspace_lints_clean_with_checked_in_config() {
+    let root = workspace_root();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml");
+    let cfg = Config::parse(&toml).expect("lint.toml parses");
+    let rep = lint_workspace(&root, &cfg).expect("workspace walk");
+    let violations: Vec<_> = rep.violations().collect();
+    assert!(violations.is_empty(), "workspace violations: {violations:#?}");
+    assert!(
+        rep.unused_allows.is_empty(),
+        "stale lint.toml entries: {:#?}",
+        rep.unused_allows
+    );
+    assert!(rep.files_checked > 50, "workspace walk looks truncated");
+}
+
+// -------------------------------------------------------------------
+// Binary end to end (covers the --fix-allowlist bugfix satellite)
+// -------------------------------------------------------------------
+
+fn seed_temp_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("mpcp-lint-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("crates/core/src")).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        root.join("crates/core/src/picker.rs"),
+        "pub fn pick(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .unwrap();
+    root
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mpcp-lint"))
+        .arg("check")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn mpcp-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn binary_fails_with_file_line_diagnostics_on_seeded_violation() {
+    let root = seed_temp_workspace("diag");
+    let (code, stdout, stderr) = run_lint(&root, &[]);
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("crates/core/src/picker.rs:2:7"),
+        "diagnostic must carry file:line:col, got:\n{stdout}"
+    );
+    assert!(stdout.contains("x.unwrap()"), "diagnostic shows the source line");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn binary_writes_json_report() {
+    let root = seed_temp_workspace("json");
+    let json_path = root.join("lint-report.json");
+    let (code, _, _) = run_lint(&root, &["--json", json_path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    assert!(json.contains("\"rule\": \"no-panic-paths\""));
+    assert!(json.contains("\"path\": \"crates/core/src/picker.rs\""));
+    assert!(json.contains("\"violations\": 1"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fix_allowlist_stanza_round_trips_to_clean_exit() {
+    let root = seed_temp_workspace("fix");
+    // 1. `--fix-allowlist` emits a ready-to-paste stanza for the finding.
+    let (code, stanza, _) = run_lint(&root, &["--fix-allowlist"]);
+    assert_eq!(code, 0, "--fix-allowlist itself must not fail the build");
+    assert!(stanza.contains("[[allow]]"), "stanza:\n{stanza}");
+    assert!(stanza.contains("rule = \"no-panic-paths\""));
+    assert!(stanza.contains("path = \"crates/core/src/picker.rs\""));
+    assert!(stanza.contains("reason = \"TODO:"), "stanza prompts for a justification");
+    // 2. Paste it into lint.toml (filling in the reason) and re-check.
+    let filled = stanza.replace("TODO: one-line justification", "e2e: accepted for the test");
+    std::fs::write(root.join("lint.toml"), filled).unwrap();
+    let (code, stdout, stderr) = run_lint(&root, &[]);
+    assert_eq!(code, 0, "allowlisted finding must pass\nstdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("0 violation(s)"), "stdout: {stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn allow_entry_without_reason_is_a_config_error() {
+    let root = seed_temp_workspace("noreason");
+    std::fs::write(
+        root.join("lint.toml"),
+        "[[allow]]\nrule = \"no-panic-paths\"\npath = \"crates/core/src/picker.rs\"\n",
+    )
+    .unwrap();
+    let (code, _, stderr) = run_lint(&root, &[]);
+    assert_eq!(code, 2, "missing reason is a config error, not a lint pass");
+    assert!(stderr.contains("reason"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&root);
+}

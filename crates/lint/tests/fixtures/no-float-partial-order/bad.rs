@@ -1,0 +1,13 @@
+// Seeded violations for no-float-partial-order.
+pub fn sort_times(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs
+}
+
+pub fn raw_operator_comparator(mut xs: Vec<(u32, f64)>) {
+    xs.sort_by(|a, b| if a.1 < b.1 { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater });
+}
+
+pub fn path_form(xs: &mut [f64]) {
+    xs.sort_by(f64::partial_cmp_is_not_real_but_this_line_uses(f64::partial_cmp));
+}

@@ -1,0 +1,32 @@
+// Clean fixture: total_cmp everywhere, plus the token-level traps that
+// defeat grep — `partial_cmp` in comments, strings, and a trait impl.
+use std::cmp::Ordering;
+
+/// Docs may say partial_cmp freely.
+pub fn sort_times(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(f64::total_cmp);
+    let _msg = "calling partial_cmp here would be a bug";
+    /* block comment: a.partial_cmp(b) /* nested: x == 1.5 */ still fine */
+    xs
+}
+
+pub struct Key(pub u64);
+
+impl PartialOrd for Key {
+    // Defining partial_cmp (prev token `fn`) is not a call site.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.cmp(&other.0))
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+pub fn comparator_without_raw_ops(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let raw = r#"inside a raw string: xs.sort_by(|a, b| a < b) // not code"#;
+    let _ = raw;
+}

@@ -1,0 +1,8 @@
+// Seeded violations: narrowing `as` casts in a serialization path.
+pub fn pack(uid: usize, msize: u64, weight: f64) -> (u32, u32, f32) {
+    (uid as u32, msize as u32, weight as f32)
+}
+
+pub fn tiny(reps: u64) -> u8 {
+    reps as u8
+}

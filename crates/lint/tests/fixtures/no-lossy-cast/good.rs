@@ -1,0 +1,18 @@
+// Clean fixture: widening casts and checked conversions only.
+pub fn pack(uid: usize, nodes: u32, flag: bool) -> Result<(u32, u64, u8), String> {
+    // "uid as u32" in a comment or string is not a cast.
+    let _doc = "never write `x as u32` in serialization paths";
+    let uid = u32::try_from(uid).map_err(|_| "uid overflows u32".to_string())?;
+    let wide = nodes as u64; // widening: fine
+    let frac = nodes as f64; // f64 holds every u32: fine
+    let _ = frac;
+    Ok((uid, wide, u8::from(flag)))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast() {
+        assert_eq!(300u64 as u8, 44); // deliberate wrap, test-only
+    }
+}

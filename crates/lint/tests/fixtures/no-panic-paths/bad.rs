@@ -1,0 +1,17 @@
+// Seeded violations for no-panic-paths: one of each flavor.
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Result<u32, String>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn macro_sites(kind: u8) -> u32 {
+    match kind {
+        0 => panic!("kind zero"),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => unreachable!("guarded above"),
+    }
+}

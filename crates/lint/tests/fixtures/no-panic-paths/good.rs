@@ -1,0 +1,26 @@
+// Clean fixture: typed errors in production code; unwrap stays legal in
+// tests, comments, and strings — and `unwrap_or*` is not `unwrap`.
+pub fn propagates(x: Option<u32>) -> Result<u32, String> {
+    // Calling .unwrap() here would panic; don't.
+    x.ok_or_else(|| "missing".to_string())
+}
+
+pub fn defaults(x: Option<u32>) -> u32 {
+    let msg = "error: .unwrap() found (this is just a string)";
+    let _ = msg;
+    x.unwrap_or_default().max(x.unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, String> = Ok(4);
+        assert_eq!(r.expect("fine in tests"), 4);
+        if false {
+            panic!("also fine in tests");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Seeded violations: wall-clock reads and thread-count dependence in a
+// determinism-critical crate.
+use std::time::{Instant, SystemTime};
+
+pub fn timed_work() -> u64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    t0.elapsed().as_nanos() as u64 + threads as u64
+}

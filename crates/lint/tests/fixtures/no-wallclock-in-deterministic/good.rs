@@ -1,0 +1,17 @@
+// Clean fixture: simulated time and seeded streams only; `Instant` in
+// comments/strings does not count, and tests may time themselves.
+pub fn simulated(step_ns: u64, steps: u64) -> u64 {
+    // Instant::now() would break determinism here; obs spans handle
+    // timing behind the tracing switch instead.
+    let _doc = "SystemTime is only a word in this string";
+    step_ns * steps
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_clocks() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

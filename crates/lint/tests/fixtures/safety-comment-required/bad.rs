@@ -1,0 +1,8 @@
+// Seeded violation: unsafe with no adjacent SAFETY comment (lexed as if
+// it lived in crates/ml/). The string and comment mentions below must
+// NOT count as the justification.
+pub fn read_first(xs: &[u64]) -> u64 {
+    let _note = "SAFETY: strings do not justify anything";
+    // This comment is adjacent but lacks the magic word.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,13 @@
+// Clean fixture: every unsafe carries an adjacent SAFETY comment, and
+// `unsafe` inside strings/comments is not an occurrence at all.
+pub fn read_first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds, and the
+    // comment may span several lines before the block.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn not_code() -> &'static str {
+    // the word unsafe in a comment is fine
+    "unsafe in a string is fine too"
+}

@@ -1,0 +1,97 @@
+//! Property tests for the lexer's total-function guarantees (see the
+//! module docs in `lexer.rs`): on arbitrary input, lexing never panics,
+//! token spans tile the source exactly (in bounds, non-empty, strictly
+//! ascending, non-overlapping, with whitespace as the only gap
+//! material), and the line table round-trips every token offset.
+//!
+//! Two generators: uniform ASCII soup (anything goes, including control
+//! bytes and unterminated quotes), and a fragment mix biased toward the
+//! constructs the lexer has to get right — raw strings, nested block
+//! comments, lifetimes vs char literals.
+
+use mpcp_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Uniform ASCII, control characters included.
+fn ascii_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..127, 0..400)
+        .prop_map(|v| v.into_iter().map(|c| c as u8 as char).collect())
+}
+
+/// Concatenations of the lexer's hard cases, glued in random order so
+/// quotes and comment openers collide in unplanned ways.
+fn fragment_mix() -> impl Strategy<Value = String> {
+    let frag = prop::sample::select(vec![
+        "fn ", "unsafe ", "'a", "'a'", "'\\n'", "\"", "\"str\"", "r\"raw\"", "r#\"#\"#",
+        "r##\"x\"##", "b\"bytes\"", "br#\"b\"#", "b'q'", "/*", "*/", "/* /* nested */ */",
+        "//", "// line\n", "/// doc\n", "1.5", "1e9", "0x_ff", "1_000u64", "..", "::", "=>",
+        "->", "<=", "&&", "\\", "\n", "\t", "{", "}", "(", ")", "#![forbid(unsafe_code)]\n",
+        ".partial_cmp(", "\u{7f}",
+    ]);
+    prop::collection::vec(frag, 0..40).prop_map(|v| v.concat())
+}
+
+/// The span/tiling invariants, asserted for any input string.
+fn check_invariants(src: &str) -> Result<(), TestCaseError> {
+    let lexed = lex(src);
+    let n = src.len();
+    let mut covered = vec![false; n];
+    let mut prev_end = 0usize;
+    for t in &lexed.toks {
+        prop_assert!(t.start < t.end, "empty span {t:?}");
+        prop_assert!(t.end <= n, "span {t:?} out of bounds (len {n})");
+        prop_assert!(t.start >= prev_end, "overlapping/retrograde span {t:?}");
+        for c in covered.iter_mut().take(t.end).skip(t.start) {
+            *c = true;
+        }
+        prev_end = t.end;
+
+        // Line-table round trip: (line, col) is 1-based, the line's
+        // start is at or before the offset, and col measures exactly
+        // the distance from that start.
+        let (line, col) = lexed.line_col(t.start);
+        prop_assert!(line >= 1 && (line as usize) <= lexed.num_lines());
+        prop_assert!(col >= 1);
+        let ls = lexed.line_start(line);
+        prop_assert!(ls <= t.start);
+        prop_assert_eq!(ls + col as usize - 1, t.start);
+        // The reported line text must actually contain the offset.
+        let text = lexed.line_text(src, t.start);
+        prop_assert!(t.start - ls <= text.len() + 1, "offset past its own line text");
+    }
+    // Whitespace is the only gap material: every uncovered byte is one
+    // of the four characters the lexer skips.
+    for (i, c) in covered.iter().enumerate() {
+        if !*c {
+            let byte = src.as_bytes()[i];
+            prop_assert!(
+                matches!(byte, b' ' | b'\t' | b'\r' | b'\n'),
+                "byte {byte:#x} at offset {i} neither tokenized nor whitespace"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexing_ascii_soup_never_panics_and_tiles_the_input(src in ascii_soup()) {
+        check_invariants(&src)?;
+    }
+
+    #[test]
+    fn lexing_fragment_mixes_never_panics_and_tiles_the_input(src in fragment_mix()) {
+        check_invariants(&src)?;
+    }
+}
+
+#[test]
+fn empty_and_whitespace_only_inputs_lex_to_zero_tokens() {
+    for src in ["", " ", "\n\n\n", "\t \r\n"] {
+        let lexed = lex(src);
+        assert!(lexed.toks.is_empty(), "{src:?}");
+        assert!(lexed.num_lines() >= 1);
+    }
+}

@@ -28,8 +28,8 @@ impl BsplineBasis {
         if sorted.len() < 2 {
             return None;
         }
-        let lo = sorted[0];
-        let hi = *sorted.last().unwrap();
+        let lo = *sorted.first()?;
+        let hi = *sorted.last()?;
         // Interior knots at equally spaced quantiles of the distinct
         // values, deduplicated and kept strictly inside (lo, hi).
         let mut inner = Vec::new();

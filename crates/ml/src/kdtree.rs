@@ -119,7 +119,7 @@ impl KdTree {
                         .zip(q)
                         .map(|(a, b)| (a - b) * (a - b))
                         .sum();
-                    if best.len() < k || d2 < best.last().unwrap().0 {
+                    if best.len() < k || best.last().is_some_and(|&(d, _)| d2 < d) {
                         Self::consider(best, k, d2, p.y);
                     }
                 }
@@ -128,7 +128,7 @@ impl KdTree {
                 let diff = q[*dim] - value;
                 let (near, far) = if diff <= 0.0 { (left, right) } else { (right, left) };
                 self.search(near, q, k, best);
-                if best.len() < k || diff * diff < best.last().unwrap().0 {
+                if best.len() < k || best.last().is_some_and(|&(d, _)| diff * diff < d) {
                     self.search(far, q, k, best);
                 }
             }

@@ -27,6 +27,8 @@
 //! deliberately run with fixed default hyper-parameters (the paper's
 //! "no tuning" protocol).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bspline;
 pub mod cv;
 pub mod dataset;

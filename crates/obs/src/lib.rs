@@ -32,6 +32,8 @@
 //! mpcp_obs::set_enabled(false);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod export;
 pub mod json;
 pub mod metrics;

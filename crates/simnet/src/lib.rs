@@ -38,6 +38,8 @@
 //! assert!(result.makespan().as_secs_f64() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod error;
 pub mod machine;

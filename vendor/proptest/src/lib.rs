@@ -63,6 +63,17 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Case count after the `PROPTEST_CASES` environment override (used by
+/// the Miri CI job to scale interpreted runs down without forking the
+/// test code). Unset, empty, or unparsable values fall back to the
+/// test's own configuration.
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
 /// Deterministic per-test, per-case RNG.
 pub fn case_rng(test_name: &str, case: u32) -> TestRng {
     // FNV-1a over the test name, mixed with the case index.
@@ -517,7 +528,8 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            for case in 0..config.cases {
+            let cases = $crate::effective_cases(config.cases);
+            for case in 0..cases {
                 let mut rng = $crate::case_rng(stringify!($name), case);
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                 let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
@@ -527,7 +539,7 @@ macro_rules! __proptest_fns {
                 if let ::std::result::Result::Err(e) = outcome {
                     panic!(
                         "proptest {} failed at case {}/{} (deterministic seed: name+case): {}",
-                        stringify!($name), case, config.cases, e
+                        stringify!($name), case, cases, e
                     );
                 }
             }
