@@ -6,7 +6,7 @@ use mpcp_benchmark::record::{read_csv, write_csv};
 use mpcp_benchmark::{BenchConfig, DatasetSpec, FaultPlan, LibKind, RetryPolicy};
 use mpcp_collectives::{Collective, MpiLibrary};
 use mpcp_core::tuning_file::{default_query_sizes, TuningFile};
-use mpcp_core::{Instance, RuntimeTable, Selector, TrainOptions, TrainReport};
+use mpcp_core::{ArtifactMeta, Instance, RuntimeTable, Selector, TrainOptions, TrainReport};
 use mpcp_ml::Learner;
 use mpcp_simnet::{Machine, SimTime, Simulator, Topology};
 
@@ -235,8 +235,136 @@ fn coverage_note(report: &TrainReport) -> String {
     format!("training coverage: {}\n", report.summary())
 }
 
+/// `mpcp train --data <csv> --coll <c> --save-model <path> [...]`
+///
+/// Offline half of the serving split: fit a selector from a dataset
+/// CSV and persist it (models + coverage + provenance manifest) as a
+/// binary artifact that `select --model` / `serve-bench` load without
+/// retraining.
+pub fn train(args: &Args) -> Result<String, String> {
+    let out_path = args.require("save-model")?;
+    let (selector, report, lib, coll, _data) = load_and_train(args)?;
+    let machine = parse_machine(args.get_or("machine", "hydra"))?;
+    let seed = match args.get("seed") {
+        Some(s) => Some(s.parse::<u64>().map_err(|_| "bad --seed".to_string())?),
+        None => None,
+    };
+    let min_samples: usize = args
+        .get_or("min-samples", "1")
+        .parse()
+        .map_err(|_| "bad --min-samples (want a positive integer)".to_string())?;
+    let meta = ArtifactMeta::capture(
+        coll,
+        &format!("{} {}", lib.name, lib.version),
+        &machine.name,
+        seed,
+        &TrainOptions { min_samples },
+    );
+    selector
+        .save(Path::new(out_path), &report, &meta)
+        .map_err(|e| format!("saving model: {e}"))?;
+    let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    let mut out = format!(
+        "trained {} selector for {} ({} models)\n",
+        selector.learner_name(),
+        coll.mpi_name(),
+        selector.model_count()
+    );
+    out.push_str(&coverage_note(&report));
+    out.push_str(&format!(
+        "saved model artifact to {out_path} ({bytes} bytes, git {})\n",
+        meta.git_sha
+    ));
+    Ok(out)
+}
+
+/// Rebuild the library a saved artifact was trained against from its
+/// manifest, for config labels and the degraded-fallback path.
+fn library_of_meta(meta: &ArtifactMeta) -> Result<MpiLibrary, String> {
+    if meta.library.to_ascii_lowercase().contains("intel") {
+        let machine = parse_machine(&meta.machine)?;
+        Ok(MpiLibrary::intel_mpi_2019_for(
+            &machine,
+            mpcp_collectives::decision::TuningGrid::vendor_default(
+                machine.max_nodes,
+                machine.max_ppn,
+            ),
+            &[meta.collective],
+        ))
+    } else {
+        Ok(MpiLibrary::open_mpi_4_0_2())
+    }
+}
+
+/// `mpcp select --model <artifact> ...`: answer from a saved artifact,
+/// skipping dataset loading and training entirely.
+fn select_from_model(args: &Args) -> Result<String, String> {
+    let path = args.require("model")?;
+    let artifact =
+        Selector::load(Path::new(path)).map_err(|e| format!("loading model: {e}"))?;
+    let coll = artifact.meta.collective;
+    if let Some(c) = args.get("coll") {
+        let want = parse_coll(c)?;
+        if want != coll {
+            return Err(format!(
+                "--coll {} but {path} was trained for {}",
+                want.mpi_name(),
+                coll.mpi_name()
+            ));
+        }
+    }
+    let lib = library_of_meta(&artifact.meta)?;
+    let nodes: u32 = args.require("nodes")?.parse().map_err(|_| "bad --nodes".to_string())?;
+    let ppn: u32 = args.require("ppn")?.parse().map_err(|_| "bad --ppn".to_string())?;
+    let msize = parse_size(args.require("msize")?)?;
+    let inst = Instance::new(coll, msize, nodes, ppn);
+    let selection = artifact.selector.select_with_fallback(&inst, &lib);
+    let configs = lib.configs(coll);
+    let default_uid = lib.default_choice(coll, msize, &Topology::new(nodes, ppn));
+    let mut out = format!(
+        "model: {path} ({} on {} / {}, git {})\ninstance: {inst}\n",
+        artifact.selector.learner_name(),
+        artifact.meta.machine,
+        artifact.meta.library,
+        artifact.meta.git_sha
+    );
+    out.push_str(&coverage_note(&artifact.report));
+    match selection.predicted_us {
+        Some(pred) => out.push_str(&format!(
+            "predicted best: uid {} = {} (~{pred:.1} us predicted)\n",
+            selection.uid,
+            configs[selection.uid as usize].label()
+        )),
+        None => out.push_str(&format!(
+            "DEGRADED selection: no trained model covers this instance; \
+             falling back to library decision logic: uid {} = {}\n",
+            selection.uid,
+            configs[selection.uid as usize].label()
+        )),
+    }
+    out.push_str(&format!(
+        "library default: uid {default_uid} = {}\n",
+        configs[default_uid].label()
+    ));
+    if let Some(data_path) = args.get("data") {
+        let data = read_csv(Path::new(data_path)).map_err(|e| e.to_string())?;
+        let table = RuntimeTable::new(&data);
+        if let Some((best_uid, best)) = table.best(&inst) {
+            out.push_str(&format!(
+                "measured best: uid {best_uid} = {} ({:.1} us)\n",
+                configs[best_uid as usize].label(),
+                best * 1e6
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// `mpcp select ...`
 pub fn select(args: &Args) -> Result<String, String> {
+    if args.get("model").is_some() {
+        return select_from_model(args);
+    }
     let (selector, report, lib, coll, data) = load_and_train(args)?;
     let nodes: u32 = args.require("nodes")?.parse().map_err(|_| "bad --nodes".to_string())?;
     let ppn: u32 = args.require("ppn")?.parse().map_err(|_| "bad --ppn".to_string())?;
@@ -295,6 +423,233 @@ pub fn tune(args: &Args) -> Result<String, String> {
     } else {
         Ok(rendered)
     }
+}
+
+/// The fixed query-cell grid `serve-bench` cycles over: a cross
+/// product of message sizes, node counts, and ppn clipped to the
+/// machine the artifact was trained on.
+fn bench_cells(coll: Collective, max_nodes: u32, max_ppn: u32) -> Vec<Instance> {
+    let msizes = [16u64, 256, 4 << 10, 64 << 10, 1 << 20];
+    let mut nodes = Vec::new();
+    let mut n = 2u32;
+    while n <= max_nodes.min(32) {
+        nodes.push(n);
+        n *= 2;
+    }
+    if nodes.is_empty() {
+        nodes.push(max_nodes.max(1));
+    }
+    let ppns: Vec<u32> = [1u32, 2, 8, 16].into_iter().filter(|p| *p <= max_ppn.max(1)).collect();
+    let mut cells = Vec::new();
+    for &m in &msizes {
+        for &nd in &nodes {
+            for &p in &ppns {
+                cells.push(Instance::new(coll, m, nd, p));
+            }
+        }
+    }
+    cells
+}
+
+/// Closed-loop load phase: `threads` threads issue `requests` queries
+/// round-robin over `cells`, each thread starting at a different
+/// offset. Returns `(wall_seconds, sorted per-request latencies in ns)`.
+fn drive_phase<F>(
+    threads: usize,
+    requests: usize,
+    cells: &[Instance],
+    query: F,
+) -> Result<(f64, Vec<u64>), String>
+where
+    F: Fn(&Instance) -> Result<mpcp_core::Selection, mpcp_serve::ServeError> + Sync,
+{
+    let per = requests.div_ceil(threads);
+    let t0 = std::time::Instant::now();
+    let mut lats: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let query = &query;
+                s.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut lat = Vec::with_capacity(per);
+                    for i in 0..per {
+                        let inst = &cells[(t * 7919 + i) % cells.len()];
+                        let q0 = std::time::Instant::now();
+                        query(inst).map_err(|e| format!("serve query failed: {e}"))?;
+                        let ns = q0.elapsed().as_nanos();
+                        lat.push(u64::try_from(ns).unwrap_or(u64::MAX));
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(per * threads);
+        for h in handles {
+            let lat = h.join().map_err(|_| "bench thread panicked".to_string())??;
+            all.extend(lat);
+        }
+        Ok::<Vec<u64>, String>(all)
+    })?;
+    let wall = t0.elapsed().as_secs_f64();
+    lats.sort_unstable();
+    Ok((wall, lats))
+}
+
+/// Percentile (0..=100) of a sorted latency vector.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() * p / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// `mpcp serve-bench --model <artifact> [--threads 8] [--requests N]
+/// [--cache CAP] [--min-speedup X] [--out BENCH_PR5.json]`
+///
+/// Drives N-thread closed-loop load against a [`PredictionService`]
+/// three ways — uncached (every query evaluates all models), cached
+/// (per-shard LRU), and through the [`BatchServer`] queue — after
+/// asserting all paths return identical selections per grid cell.
+///
+/// [`PredictionService`]: mpcp_serve::PredictionService
+/// [`BatchServer`]: mpcp_serve::BatchServer
+pub fn serve_bench(args: &Args) -> Result<String, String> {
+    use mpcp_serve::{BatchConfig, BatchServer, PredictionService};
+
+    let path = args.require("model")?;
+    let threads: usize = args
+        .get_or("threads", "8")
+        .parse()
+        .map_err(|_| "bad --threads".to_string())?;
+    let threads = threads.max(1);
+    let requests: usize = args
+        .get_or("requests", "20000")
+        .parse()
+        .map_err(|_| "bad --requests".to_string())?;
+    let cache: usize = args.get_or("cache", "4096").parse().map_err(|_| "bad --cache".to_string())?;
+    let min_speedup: f64 = args
+        .get_or("min-speedup", "0")
+        .parse()
+        .map_err(|_| "bad --min-speedup".to_string())?;
+
+    let artifact =
+        Selector::load(Path::new(path)).map_err(|e| format!("loading model: {e}"))?;
+    let learner = artifact.selector.learner_name();
+    let coverage = artifact.report.summary();
+    let meta = artifact.meta.clone();
+    let svc = std::sync::Arc::new(PredictionService::new(cache));
+    let key = svc.insert_artifact(artifact);
+    let (max_nodes, max_ppn) = match parse_machine(&meta.machine) {
+        Ok(m) => (m.max_nodes, m.max_ppn),
+        Err(_) => (8, 16), // foreign machine name: a conservative grid
+    };
+    let cells = bench_cells(meta.collective, max_nodes, max_ppn);
+
+    // Equal-results gate before any timing: per cell, the cached,
+    // uncached, and batch paths must agree bit-for-bit.
+    let batch = BatchServer::start(
+        std::sync::Arc::clone(&svc),
+        BatchConfig { workers: threads.min(4), max_batch: 64 },
+    );
+    for inst in &cells {
+        let uncached = svc.select_uncached(&key, inst).map_err(|e| e.to_string())?;
+        let cached = svc.select(&key, inst).map_err(|e| e.to_string())?;
+        let batched = batch.query(key.clone(), *inst).map_err(|e| e.to_string())?;
+        for (name, got) in [("cached", cached), ("batched", batched)] {
+            if got.uid != uncached.uid
+                || got.predicted_us.map(f64::to_bits)
+                    != uncached.predicted_us.map(f64::to_bits)
+            {
+                return Err(format!(
+                    "{name} path diverged from uncached on {inst}: \
+                     {got:?} vs {uncached:?}"
+                ));
+            }
+        }
+    }
+
+    // Phase 1: uncached — every query runs the full model argmin.
+    let (wall_unc, lat_unc) = drive_phase(threads, requests, &cells, |i| {
+        svc.select_uncached(&key, i)
+    })?;
+    // Phase 2: cached — the warm LRU answers from the grid cell key.
+    let (wall_c, lat_c) = drive_phase(threads, requests, &cells, |i| svc.select(&key, i))?;
+    // Phase 3: the batch queue (submit + wait per request).
+    let (wall_b, lat_b) =
+        drive_phase(threads, requests, &cells, |i| batch.query(key.clone(), *i))?;
+    batch.shutdown();
+
+    let stats = svc.stats();
+    let qps = |wall: f64| if wall > 0.0 { requests as f64 / wall } else { 0.0 };
+    let (qps_unc, qps_c, qps_b) = (qps(wall_unc), qps(wall_c), qps(wall_b));
+    let speedup = if qps_unc > 0.0 { qps_c / qps_unc } else { 0.0 };
+
+    let prov = mpcp_obs::provenance::Provenance::capture("mpcp serve-bench", meta.seed);
+    let json = format!(
+        r#"{{
+  "pr": 5,
+  "provenance": {},
+  "config": {{
+    "model": {},
+    "learner": {},
+    "collective": {},
+    "machine": {},
+    "library": {},
+    "coverage": {},
+    "threads": {threads},
+    "requests_per_phase": {requests},
+    "cache_capacity": {cache},
+    "distinct_cells": {}
+  }},
+  "uncached": {{ "qps": {qps_unc:.0}, "p50_ns": {}, "p99_ns": {} }},
+  "cached": {{ "qps": {qps_c:.0}, "p50_ns": {}, "p99_ns": {}, "hits": {}, "misses": {}, "hit_ratio": {:.4} }},
+  "batched": {{ "qps": {qps_b:.0}, "p50_ns": {}, "p99_ns": {} }},
+  "speedup_cached_vs_uncached": {speedup:.2},
+  "equal_results": true
+}}
+"#,
+        prov.to_json(),
+        mpcp_obs::export::json_string(path),
+        mpcp_obs::export::json_string(learner),
+        mpcp_obs::export::json_string(meta.collective.mpi_name()),
+        mpcp_obs::export::json_string(&meta.machine),
+        mpcp_obs::export::json_string(&meta.library),
+        mpcp_obs::export::json_string(&coverage),
+        cells.len(),
+        percentile(&lat_unc, 50),
+        percentile(&lat_unc, 99),
+        percentile(&lat_c, 50),
+        percentile(&lat_c, 99),
+        stats.hits(),
+        stats.misses(),
+        stats.hit_ratio(),
+        percentile(&lat_b, 50),
+        percentile(&lat_b, 99),
+    );
+    let mut out = format!(
+        "serve-bench: {} on {} cells, {threads} threads x {requests} requests/phase\n\
+         uncached: {qps_unc:>10.0} qps  (p99 {:>8} ns)\n\
+         cached:   {qps_c:>10.0} qps  (p99 {:>8} ns, hit ratio {:.3})\n\
+         batched:  {qps_b:>10.0} qps  (p99 {:>8} ns)\n\
+         cached/uncached speedup: {speedup:.1}x\n",
+        key,
+        cells.len(),
+        percentile(&lat_unc, 99),
+        percentile(&lat_c, 99),
+        stats.hit_ratio(),
+        percentile(&lat_b, 99),
+    );
+    if let Some(out_path) = args.get("out") {
+        std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+        out.push_str(&format!("wrote {out_path}\n"));
+    }
+    if min_speedup > 0.0 && speedup < min_speedup {
+        return Err(format!(
+            "serve-bench gate failed: cached/uncached speedup {speedup:.2}x \
+             is below the required {min_speedup}x\n{out}"
+        ));
+    }
+    Ok(out)
 }
 
 /// Render one parsed metrics-JSONL document as a summary line.
@@ -649,6 +1004,113 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("training"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_save_select_model_serve_bench_roundtrip() {
+        let _obs = OBS_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("mpcp_cli_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let model = dir.join("m.mpcp");
+        let bench_json = dir.join("b.json");
+        let metrics = dir.join("m.jsonl");
+        std::fs::remove_file(&metrics).ok();
+        run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3,4", "--ppn",
+            "1,2", "--msizes", "16,4K", "--out", csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_args(&[
+            "train", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner", "knn",
+            "--save-model", model.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("saved model artifact"), "{out}");
+        assert!(model.exists());
+        // Answer from the artifact, no retraining; --data adds ground truth.
+        let out = run_args(&[
+            "select", "--model", model.to_str().unwrap(), "--nodes", "3", "--ppn", "2",
+            "--msize", "4K", "--data", csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("predicted best"), "{out}");
+        assert!(out.contains("measured best"), "{out}");
+        // The trained-from-CSV path and the loaded-artifact path agree.
+        let fresh = run_args(&[
+            "select", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner", "knn",
+            "--nodes", "3", "--ppn", "2", "--msize", "4K",
+        ])
+        .unwrap();
+        let line = |s: &str| {
+            s.lines().find(|l| l.starts_with("predicted best")).map(str::to_string)
+        };
+        assert_eq!(line(&out), line(&fresh), "artifact diverged from retraining");
+        // A collective mismatch is a readable error.
+        let err = run_args(&[
+            "select", "--model", model.to_str().unwrap(), "--coll", "bcast", "--nodes", "3",
+            "--ppn", "2", "--msize", "4K",
+        ])
+        .unwrap_err();
+        assert!(err.contains("trained for"), "{err}");
+        // serve-bench over the artifact: equal results, JSON out, and
+        // the cache-hit counters flowing into --metrics-out.
+        let out = run_args(&[
+            "serve-bench", "--model", model.to_str().unwrap(), "--threads", "2", "--requests",
+            "400", "--out", bench_json.to_str().unwrap(), "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("cached/uncached speedup"), "{out}");
+        let doc = mpcp_obs::json::parse(&std::fs::read_to_string(&bench_json).unwrap()).unwrap();
+        assert_eq!(doc.get("pr").and_then(|v| v.as_f64()), Some(5.0));
+        assert!(doc.get("provenance").and_then(|p| p.get("git_sha")).is_some());
+        assert!(doc.get("cached").and_then(|c| c.get("qps")).and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let report = run_args(&[
+            "report", "--metrics", metrics.to_str().unwrap(), "--require-metric",
+            "serve.cache_hits>=1",
+        ])
+        .unwrap();
+        assert!(report.contains("required metrics present"), "{report}");
+        // An absurd speedup gate fails loudly, not silently.
+        let err = run_args(&[
+            "serve-bench", "--model", model.to_str().unwrap(), "--threads", "2", "--requests",
+            "200", "--min-speedup", "1000000",
+        ])
+        .unwrap_err();
+        assert!(err.contains("gate failed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_model_artifact_is_a_typed_cli_error() {
+        let dir = std::env::temp_dir().join("mpcp_cli_corrupt_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let model = dir.join("m.mpcp");
+        run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3", "--ppn", "1",
+            "--msizes", "16,4K", "--out", csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_args(&[
+            "train", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner",
+            "linear", "--save-model", model.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Truncate the artifact: select --model must fail with the
+        // codec's typed reason, and serve-bench likewise.
+        let bytes = std::fs::read(&model).unwrap();
+        std::fs::write(&model, &bytes[..bytes.len() / 2]).unwrap();
+        let err = run_args(&[
+            "select", "--model", model.to_str().unwrap(), "--nodes", "2", "--ppn", "1",
+            "--msize", "16",
+        ])
+        .unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        let err = run_args(&["serve-bench", "--model", model.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

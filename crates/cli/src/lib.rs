@@ -48,14 +48,26 @@ COMMANDS:
               --machine <name> --coll <c> --nodes <list> --ppn <list>
               --msizes <sizes> --out <file> [--lib openmpi] [--seed <u64>]
               [--fault-plan <plan>] [--retries <n>] [--retry-backoff-ms <ms>]
+  train       train on a dataset CSV and save the selector as a binary
+              model artifact (models + coverage + provenance manifest)
+              --data <file> --coll <c> --save-model <file>
+              [--learner knn|gam|xgboost|forest|linear] [--machine <name>]
+              [--lib openmpi] [--train-nodes <list>] [--min-samples <n>]
+              [--seed <u64>]
   select      train on a dataset CSV and predict the best algorithm
               --data <file> --coll <c> --train-nodes <list>
               --nodes <n> --ppn <N> --msize <size> [--learner knn|gam|xgboost]
               [--machine <name>] [--lib openmpi] [--min-samples <n>]
+              with --model <file>: answer from a saved artifact instead
+              (no --data/--learner needed; --data adds the measured best)
   tune        emit a tuning file for one allocation (10-15 msize queries)
               --data <file> --coll <c> --train-nodes <list>
               --nodes <n> --ppn <N> --out <file> [--learner ...]
               [--min-samples <n>]
+  serve-bench  load a model artifact into the concurrent PredictionService
+              and measure cached vs uncached vs batched query throughput
+              --model <file> [--threads 8] [--requests 20000]
+              [--cache 4096] [--min-speedup <x>] [--out BENCH_PR5.json]
   report      summarize trace/metrics files written by --trace-out /
               --metrics-out
               [--trace <file>] [--metrics <file>] [--require <spans>]
@@ -110,7 +122,9 @@ pub fn run(args: Args) -> Result<String, String> {
         "algorithms" => commands::algorithms(&args),
         "simulate" => commands::simulate(&args),
         "bench" => commands::bench(&args),
+        "train" => commands::train(&args),
         "select" => commands::select(&args),
+        "serve-bench" => commands::serve_bench(&args),
         "tune" => commands::tune(&args),
         "report" => commands::report(&args),
         "" | "help" | "--help" => Ok(USAGE.to_string()),

@@ -1,0 +1,368 @@
+//! Selector persistence: save a trained [`Selector`] — per-config
+//! models, [`TrainReport`] coverage, and a provenance manifest — as one
+//! versioned, checksummed binary artifact, and load it back without
+//! retraining.
+//!
+//! The on-disk frame and codec live in [`mpcp_ml::persist`] (see
+//! DESIGN §12 for the layout diagram); this module adds the
+//! selector-level payload:
+//!
+//! ```text
+//! manifest (ArtifactMeta) · learner name · TrainReport · model table
+//! ```
+//!
+//! The manifest leads the payload so tooling can describe an artifact
+//! after decoding only its prefix. Loading never panics: I/O problems
+//! and every corruption class (truncation, checksum mismatch, unknown
+//! version) surface as a typed [`ArtifactError`]. A loaded selector
+//! reproduces the saved one's [`crate::Selection`]s bit-identically —
+//! the round-trip test suite holds this over the full evaluation grid
+//! for all five learners.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mpcp_collectives::Collective;
+use mpcp_ml::model::learner_name_static;
+use mpcp_ml::persist::{
+    decode_framed, encode_framed, ByteReader, ByteWriter, CodecError, Persist, KIND_SELECTOR,
+};
+use mpcp_ml::{FitError, Model};
+use mpcp_obs::provenance::Provenance;
+
+use crate::selector::{ConfigCoverage, Selector, TrainOptions, TrainReport};
+
+/// Why an artifact could not be saved or loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file could not be read or written.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Operating-system error text.
+        error: String,
+    },
+    /// The bytes were read but do not decode (truncated, corrupt,
+    /// wrong kind, or written by an unknown format version).
+    Codec {
+        /// Path involved.
+        path: PathBuf,
+        /// The codec's typed reason.
+        error: CodecError,
+    },
+}
+
+impl ArtifactError {
+    /// The codec failure, when this is a decode error.
+    pub fn codec(&self) -> Option<&CodecError> {
+        match self {
+            ArtifactError::Codec { error, .. } => Some(error),
+            ArtifactError::Io { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            ArtifactError::Codec { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// The artifact manifest: what was trained, where, and from what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactMeta {
+    /// Collective the selector answers queries for.
+    pub collective: Collective,
+    /// MPI library name/version the models were trained against
+    /// (e.g. "Open MPI 4.0.2").
+    pub library: String,
+    /// Machine name of the benchmark grid (e.g. "Hydra").
+    pub machine: String,
+    /// Git commit of the tree that trained the models.
+    pub git_sha: String,
+    /// Benchmark RNG seed, when the run had one.
+    pub seed: Option<u64>,
+    /// The [`TrainOptions::min_samples`] threshold in force.
+    pub min_samples: u64,
+    /// Training wall-clock time, seconds since the Unix epoch.
+    pub created_unix: u64,
+}
+
+impl ArtifactMeta {
+    /// Build a manifest for a training run, capturing git provenance and
+    /// wall-clock time via [`Provenance::capture`].
+    pub fn capture(
+        collective: Collective,
+        library: &str,
+        machine: &str,
+        seed: Option<u64>,
+        opts: &TrainOptions,
+    ) -> ArtifactMeta {
+        let p = Provenance::capture(&format!("selector {library} {machine}"), seed);
+        ArtifactMeta {
+            collective,
+            library: library.to_string(),
+            machine: machine.to_string(),
+            git_sha: p.git_sha,
+            seed,
+            min_samples: opts.min_samples as u64,
+            created_unix: p.unix_time,
+        }
+    }
+}
+
+impl Persist for ArtifactMeta {
+    fn encode(&self, w: &mut ByteWriter) {
+        // The collective is stored as its index in `Collective::ALL`
+        // (a stable, registry-ordered list).
+        let idx = Collective::ALL
+            .iter()
+            .position(|c| *c == self.collective)
+            .unwrap_or(usize::MAX);
+        w.put_len(idx);
+        w.put_str(&self.library);
+        w.put_str(&self.machine);
+        w.put_str(&self.git_sha);
+        match self.seed {
+            None => w.put_u8(0),
+            Some(s) => {
+                w.put_u8(1);
+                w.put_u64(s);
+            }
+        }
+        w.put_u64(self.min_samples);
+        w.put_u64(self.created_unix);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<ArtifactMeta, CodecError> {
+        let idx = r.get_len(0)?;
+        let collective = Collective::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| CodecError::invalid(format!("collective index {idx}")))?;
+        let library = r.get_string()?;
+        let machine = r.get_string()?;
+        let git_sha = r.get_string()?;
+        let seed = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u64()?),
+            b => return Err(CodecError::invalid(format!("seed tag {b}"))),
+        };
+        let min_samples = r.get_u64()?;
+        let created_unix = r.get_u64()?;
+        Ok(ArtifactMeta { collective, library, machine, git_sha, seed, min_samples, created_unix })
+    }
+}
+
+impl Persist for ConfigCoverage {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            ConfigCoverage::Trained { samples } => {
+                w.put_u8(0);
+                w.put_len(*samples);
+            }
+            ConfigCoverage::Excluded => w.put_u8(1),
+            ConfigCoverage::NoData => w.put_u8(2),
+            ConfigCoverage::BelowThreshold { samples, needed } => {
+                w.put_u8(3);
+                w.put_len(*samples);
+                w.put_len(*needed);
+            }
+            ConfigCoverage::FitFailed { samples, error } => {
+                w.put_u8(4);
+                w.put_len(*samples);
+                error.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<ConfigCoverage, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => ConfigCoverage::Trained { samples: r.get_len(0)? },
+            1 => ConfigCoverage::Excluded,
+            2 => ConfigCoverage::NoData,
+            3 => {
+                let samples = r.get_len(0)?;
+                let needed = r.get_len(0)?;
+                ConfigCoverage::BelowThreshold { samples, needed }
+            }
+            4 => {
+                let samples = r.get_len(0)?;
+                let error = FitError::decode(r)?;
+                ConfigCoverage::FitFailed { samples, error }
+            }
+            b => return Err(CodecError::invalid(format!("coverage tag {b}"))),
+        })
+    }
+}
+
+impl Persist for TrainReport {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.records_used);
+        w.put_len(self.records_out_of_range);
+        mpcp_ml::persist::put_seq(w, &self.coverage);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<TrainReport, CodecError> {
+        let records_used = r.get_len(0)?;
+        let records_out_of_range = r.get_len(0)?;
+        let coverage = mpcp_ml::persist::get_seq(r)?;
+        Ok(TrainReport { records_used, records_out_of_range, coverage })
+    }
+}
+
+/// A loaded artifact: the selector plus everything saved alongside it.
+#[derive(Debug)]
+pub struct SelectorArtifact {
+    /// The reconstructed selector.
+    pub selector: Selector,
+    /// Per-configuration coverage of the original training run.
+    pub report: TrainReport,
+    /// The provenance manifest.
+    pub meta: ArtifactMeta,
+}
+
+impl SelectorArtifact {
+    /// Decode an artifact from raw bytes (the file-free half of
+    /// [`Selector::load`], usable on in-memory buffers and in tests).
+    pub fn from_bytes(bytes: &[u8]) -> Result<SelectorArtifact, CodecError> {
+        decode_framed(KIND_SELECTOR, bytes)
+    }
+}
+
+impl Persist for SelectorArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        encode_selector_payload(&self.selector, &self.report, &self.meta, w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<SelectorArtifact, CodecError> {
+        let meta = ArtifactMeta::decode(r)?;
+        let name = r.get_string()?;
+        let learner_name = learner_name_static(&name)
+            .ok_or_else(|| CodecError::invalid(format!("unknown learner name {name:?}")))?;
+        let report = TrainReport::decode(r)?;
+        let nmodels = r.get_len(0)?;
+        let mut models: Vec<Option<Model>> = Vec::with_capacity(nmodels.min(r.remaining() + 1));
+        for _ in 0..nmodels {
+            models.push(mpcp_ml::persist::get_opt(r)?);
+        }
+        // The selector and its report must describe the same registry,
+        // and `select` requires at least one trained model.
+        if models.len() != report.coverage.len() {
+            return Err(CodecError::invalid(format!(
+                "artifact has {} model slot(s) but coverage for {}",
+                models.len(),
+                report.coverage.len()
+            )));
+        }
+        if !models.iter().any(Option::is_some) {
+            return Err(CodecError::invalid("artifact contains no trained models"));
+        }
+        for (uid, (m, c)) in models.iter().zip(&report.coverage).enumerate() {
+            let covered = matches!(c, ConfigCoverage::Trained { .. });
+            if m.is_some() != covered {
+                return Err(CodecError::invalid(format!(
+                    "model slot {uid} disagrees with its coverage entry"
+                )));
+            }
+        }
+        Ok(SelectorArtifact {
+            selector: Selector::from_parts(learner_name, models),
+            report,
+            meta,
+        })
+    }
+}
+
+fn encode_selector_payload(
+    selector: &Selector,
+    report: &TrainReport,
+    meta: &ArtifactMeta,
+    w: &mut ByteWriter,
+) {
+    meta.encode(w);
+    w.put_str(selector.learner_name());
+    report.encode(w);
+    let models = selector.models();
+    w.put_len(models.len());
+    for m in models {
+        mpcp_ml::persist::put_opt(w, m);
+    }
+}
+
+/// Borrowing encoder mirroring [`SelectorArtifact`]'s `Persist` impl,
+/// so `save` does not need to take the selector by value.
+struct BorrowedArtifact<'a> {
+    selector: &'a Selector,
+    report: &'a TrainReport,
+    meta: &'a ArtifactMeta,
+}
+
+impl Persist for BorrowedArtifact<'_> {
+    fn encode(&self, w: &mut ByteWriter) {
+        encode_selector_payload(self.selector, self.report, self.meta, w);
+    }
+
+    fn decode(_r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Err(CodecError::invalid("borrowed artifacts are encode-only"))
+    }
+}
+
+impl Selector {
+    /// Serialize this selector (with its coverage report and manifest)
+    /// to the framed artifact byte format.
+    pub fn to_artifact_bytes(&self, report: &TrainReport, meta: &ArtifactMeta) -> Vec<u8> {
+        encode_framed(KIND_SELECTOR, &BorrowedArtifact { selector: self, report, meta })
+    }
+
+    /// Save this selector as a model artifact at `path`, creating parent
+    /// directories as needed.
+    pub fn save(
+        &self,
+        path: &Path,
+        report: &TrainReport,
+        meta: &ArtifactMeta,
+    ) -> Result<(), ArtifactError> {
+        let bytes = self.to_artifact_bytes(report, meta);
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).map_err(|e| ArtifactError::Io {
+                path: path.to_path_buf(),
+                error: e.to_string(),
+            })?;
+        }
+        fs::write(path, &bytes).map_err(|e| ArtifactError::Io {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        })?;
+        mpcp_obs::counter_add!("artifact.saves", 1);
+        mpcp_obs::event("artifact.save").attr("bytes", bytes.len()).emit();
+        Ok(())
+    }
+
+    /// Load a selector artifact from `path`.
+    ///
+    /// Never panics: missing files are [`ArtifactError::Io`]; truncated,
+    /// corrupted, or unknown-version bytes are [`ArtifactError::Codec`]
+    /// with the codec's typed reason inside.
+    pub fn load(path: &Path) -> Result<SelectorArtifact, ArtifactError> {
+        let bytes = fs::read(path).map_err(|e| ArtifactError::Io {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        })?;
+        let artifact = SelectorArtifact::from_bytes(&bytes).map_err(|error| {
+            ArtifactError::Codec { path: path.to_path_buf(), error }
+        })?;
+        mpcp_obs::counter_add!("artifact.loads", 1);
+        Ok(artifact)
+    }
+}

@@ -43,12 +43,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod evaluation;
 pub mod instance;
 pub mod selector;
 pub mod splits;
 pub mod tuning_file;
 
+pub use artifact::{ArtifactError, ArtifactMeta, SelectorArtifact};
 pub use evaluation::{
     evaluate, evaluate_report, mean_speedup, EvalReport, InstanceEval, RuntimeTable,
 };

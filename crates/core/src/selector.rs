@@ -203,6 +203,7 @@ pub struct Selection {
 }
 
 /// A trained algorithm selector for one collective on one machine/library.
+#[derive(Debug)]
 pub struct Selector {
     learner_name: &'static str,
     /// One model per configuration uid; `None` for excluded uids (or
@@ -475,6 +476,18 @@ impl Selector {
     /// Name of the underlying learner ("KNN", "GAM", "XGBoost", ...).
     pub fn learner_name(&self) -> &'static str {
         self.learner_name
+    }
+
+    /// The full model table, `None` for untrained uids (persistence).
+    pub(crate) fn models(&self) -> &[Option<Model>] {
+        &self.models
+    }
+
+    /// Reassemble a selector from decoded parts (persistence). The
+    /// artifact decoder validates the table against its coverage report
+    /// before calling this.
+    pub(crate) fn from_parts(learner_name: &'static str, models: Vec<Option<Model>>) -> Selector {
+        Selector { learner_name, models }
     }
 
     /// Number of trained (selectable) models.

@@ -1,0 +1,231 @@
+//! Whole-`Selector` persistence round-trip: for every learner, a
+//! trained selector saved to disk and loaded back must reproduce the
+//! in-memory selector's `Selection`s **bit-identically** (uid,
+//! predicted microseconds via `f64::to_bits`, degraded flag) across
+//! the full evaluation grid — plus typed-error checks on corrupted
+//! artifact files.
+
+use std::path::PathBuf;
+
+use mpcp_benchmark::{BenchConfig, DatasetSpec};
+use mpcp_core::{ArtifactError, ArtifactMeta, Instance, Selector, TrainOptions};
+use mpcp_ml::persist::{CodecError, FORMAT_VERSION};
+use mpcp_ml::Learner;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpcp_artifact_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn all_learners() -> Vec<Learner> {
+    vec![
+        Learner::knn(),
+        Learner::gam(),
+        Learner::xgboost(),
+        Learner::forest(),
+        Learner::linear(),
+    ]
+}
+
+/// The full evaluation grid for the tiny spec: every benchmarked cell
+/// plus unseen interpolation/extrapolation points.
+fn evaluation_grid(spec: &DatasetSpec) -> Vec<Instance> {
+    let mut grid = Vec::new();
+    for &m in &spec.msizes {
+        for &n in &spec.nodes {
+            for &p in &spec.ppn {
+                grid.push(Instance::new(spec.coll, m, n, p));
+            }
+        }
+    }
+    // Off-lattice probes: sizes and node counts never benchmarked.
+    for i in 0..20u64 {
+        grid.push(Instance::new(spec.coll, 3 * (i + 1) * 100, 2 + (i % 7) as u32, 1 + (i % 3) as u32));
+    }
+    grid
+}
+
+#[test]
+fn selector_round_trips_bit_identically_for_every_learner() {
+    let spec = DatasetSpec::tiny_for_tests();
+    let lib = spec.library(None);
+    let data = spec.generate(&lib, &BenchConfig::quick());
+    let grid = evaluation_grid(&spec);
+    for learner in all_learners() {
+        let (selector, report) = Selector::train_with_report(
+            &learner,
+            &data.records,
+            lib.configs(spec.coll),
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        let meta = ArtifactMeta::capture(
+            spec.coll,
+            &format!("{} {}", lib.name, lib.version),
+            &spec.machine.name,
+            Some(spec.seed),
+            &TrainOptions::default(),
+        );
+        let path = tmp_path(&format!("{}.mpcp", learner.name()));
+        selector.save(&path, &report, &meta).unwrap();
+        let loaded = Selector::load(&path).unwrap();
+
+        // Manifest and coverage survive verbatim.
+        assert_eq!(loaded.meta, meta, "{}", learner.name());
+        assert_eq!(loaded.report.records_used, report.records_used);
+        assert_eq!(loaded.report.records_out_of_range, report.records_out_of_range);
+        assert_eq!(loaded.report.coverage, report.coverage, "{}", learner.name());
+        assert_eq!(loaded.selector.learner_name(), selector.learner_name());
+        assert_eq!(loaded.selector.model_count(), selector.model_count());
+
+        // Selections are bit-identical over the whole grid.
+        for inst in &grid {
+            let a = selector.select_with_fallback(inst, &lib);
+            let b = loaded.selector.select_with_fallback(inst, &lib);
+            assert_eq!(a.uid, b.uid, "{}: uid drifted on {inst}", learner.name());
+            assert_eq!(a.degraded, b.degraded, "{}: {inst}", learner.name());
+            assert_eq!(
+                a.predicted_us.map(f64::to_bits),
+                b.predicted_us.map(f64::to_bits),
+                "{}: predicted time drifted on {inst}",
+                learner.name()
+            );
+        }
+        // And through the batched kernel.
+        let a = selector.select_batch(&grid);
+        let b = loaded.selector.select_batch(&grid);
+        for (i, ((ua, pa), (ub, pb))) in a.iter().zip(&b).enumerate() {
+            assert_eq!(ua, ub, "{}: batch uid row {i}", learner.name());
+            assert_eq!(pa.to_bits(), pb.to_bits(), "{}: batch pred row {i}", learner.name());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn partial_coverage_selector_round_trips() {
+    // A fault-shaped dataset (only one uid trained) must round-trip
+    // with its degraded coverage intact.
+    let spec = DatasetSpec::tiny_for_tests();
+    let lib = spec.library(None);
+    let data = spec.generate(&lib, &BenchConfig::quick());
+    let only: Vec<_> = data.records.iter().filter(|r| r.uid == 1).copied().collect();
+    let (selector, report) = Selector::train_with_report(
+        &Learner::knn(),
+        &only,
+        lib.configs(spec.coll),
+        &TrainOptions::default(),
+    )
+    .unwrap();
+    assert!(report.degraded() > 0);
+    let meta = ArtifactMeta::capture(spec.coll, "Open MPI 4.0.2", "Hydra", None, &TrainOptions::default());
+    let path = tmp_path("partial.mpcp");
+    selector.save(&path, &report, &meta).unwrap();
+    let loaded = Selector::load(&path).unwrap();
+    assert_eq!(loaded.report.coverage, report.coverage);
+    assert_eq!(loaded.selector.model_count(), 1);
+    let inst = Instance::new(spec.coll, 1024, 3, 2);
+    let a = selector.select_with_fallback(&inst, &lib);
+    let b = loaded.selector.select_with_fallback(&inst, &lib);
+    assert_eq!(a.uid, b.uid);
+    assert_eq!(a.predicted_us.map(f64::to_bits), b.predicted_us.map(f64::to_bits));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Save one artifact and return its bytes plus path for corruption.
+fn saved_artifact() -> (PathBuf, Vec<u8>) {
+    let spec = DatasetSpec::tiny_for_tests();
+    let lib = spec.library(None);
+    let data = spec.generate(&lib, &BenchConfig::quick());
+    let (selector, report) = Selector::train_with_report(
+        &Learner::linear(),
+        &data.records,
+        lib.configs(spec.coll),
+        &TrainOptions::default(),
+    )
+    .unwrap();
+    let meta = ArtifactMeta::capture(spec.coll, "Open MPI 4.0.2", "Hydra", None, &TrainOptions::default());
+    let path = tmp_path("corrupt_target.mpcp");
+    selector.save(&path, &report, &meta).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes)
+}
+
+#[test]
+fn corrupted_artifact_files_load_as_typed_errors() {
+    let (path, bytes) = saved_artifact();
+
+    // Truncation at a spread of boundaries (every byte is covered by
+    // the ml-level proptests; here we prove the file path surfaces it).
+    for cut in [0, 3, 8, 16, 24, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = Selector::load(&path).unwrap_err();
+        match err {
+            ArtifactError::Codec { ref error, .. } => assert!(
+                matches!(
+                    error,
+                    CodecError::Truncated { .. }
+                        | CodecError::BadMagic
+                        | CodecError::Invalid { .. }
+                ),
+                "cut {cut}: {error:?}"
+            ),
+            other => panic!("cut {cut}: expected codec error, got {other:?}"),
+        }
+    }
+
+    // Version bump → UnknownVersion with both versions reported.
+    let mut v = bytes.clone();
+    v[4..8].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    std::fs::write(&path, &v).unwrap();
+    let err = Selector::load(&path).unwrap_err();
+    assert!(
+        matches!(
+            err.codec(),
+            Some(CodecError::UnknownVersion { found, supported })
+                if *found == FORMAT_VERSION + 7 && *supported == FORMAT_VERSION
+        ),
+        "{err:?}"
+    );
+
+    // Payload flip → ChecksumMismatch.
+    let mut c = bytes.clone();
+    let last = c.len() - 1;
+    c[last] ^= 0x40;
+    std::fs::write(&path, &c).unwrap();
+    let err = Selector::load(&path).unwrap_err();
+    assert!(matches!(err.codec(), Some(CodecError::ChecksumMismatch { .. })), "{err:?}");
+
+    // Magic smash → BadMagic.
+    let mut m = bytes.clone();
+    m[0] = b'X';
+    std::fs::write(&path, &m).unwrap();
+    let err = Selector::load(&path).unwrap_err();
+    assert!(matches!(err.codec(), Some(CodecError::BadMagic)), "{err:?}");
+
+    // Missing file → Io, with the path in the message.
+    std::fs::remove_file(&path).unwrap();
+    let err = Selector::load(&path).unwrap_err();
+    assert!(matches!(err, ArtifactError::Io { .. }));
+    assert!(format!("{err}").contains("corrupt_target.mpcp"));
+}
+
+#[test]
+fn wrong_kind_frame_is_rejected() {
+    // A model-kind frame is not a selector artifact: loading it must
+    // be WrongKind, not a garbage decode.
+    let model = Learner::linear().fit(&{
+        let mut d = mpcp_ml::Dataset::new(4);
+        for i in 0..10 {
+            d.push(&[i as f64, 1.0, 2.0, 2.0], 1.0 + i as f64);
+        }
+        d
+    });
+    let bytes = mpcp_ml::persist::encode_framed(mpcp_ml::persist::KIND_MODEL, &model);
+    let path = tmp_path("wrong_kind.mpcp");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Selector::load(&path).unwrap_err();
+    assert!(matches!(err.codec(), Some(CodecError::WrongKind { .. })), "{err:?}");
+    std::fs::remove_file(&path).ok();
+}

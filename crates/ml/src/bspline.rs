@@ -117,6 +117,32 @@ impl BsplineBasis {
     }
 }
 
+impl crate::persist::Persist for BsplineBasis {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_f64s(&self.knots);
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<BsplineBasis, crate::persist::CodecError> {
+        let knots = r.get_f64s()?;
+        // `from_quantiles` always emits ORDER repeats of each boundary;
+        // `len()` (= knots.len() - ORDER) underflows on anything shorter.
+        if knots.len() < 2 * ORDER {
+            return Err(crate::persist::CodecError::invalid(format!(
+                "bspline basis has {} knot(s), needs at least {}",
+                knots.len(),
+                2 * ORDER
+            )));
+        }
+        let lo = r.get_f64()?;
+        let hi = r.get_f64()?;
+        Ok(BsplineBasis { knots, lo, hi })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

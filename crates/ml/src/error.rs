@@ -73,6 +73,52 @@ impl fmt::Display for FitError {
 
 impl std::error::Error for FitError {}
 
+impl crate::persist::Persist for FitError {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        match self {
+            FitError::EmptyDataset { learner } => {
+                w.put_u8(0);
+                w.put_str(learner);
+            }
+            FitError::TooFewRows { learner, rows, needed } => {
+                w.put_u8(1);
+                w.put_str(learner);
+                w.put_len(*rows);
+                w.put_len(*needed);
+            }
+            FitError::NonPositiveTarget { learner } => {
+                w.put_u8(2);
+                w.put_str(learner);
+            }
+            FitError::NonFiniteData { learner } => {
+                w.put_u8(3);
+                w.put_str(learner);
+            }
+        }
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<FitError, crate::persist::CodecError> {
+        use crate::persist::CodecError;
+        let tag = r.get_u8()?;
+        let name = r.get_string()?;
+        let learner = crate::model::learner_name_static(&name)
+            .ok_or_else(|| CodecError::invalid(format!("unknown learner name {name:?}")))?;
+        Ok(match tag {
+            0 => FitError::EmptyDataset { learner },
+            1 => {
+                let rows = r.get_len(0)?;
+                let needed = r.get_len(0)?;
+                FitError::TooFewRows { learner, rows, needed }
+            }
+            2 => FitError::NonPositiveTarget { learner },
+            3 => FitError::NonFiniteData { learner },
+            b => return Err(CodecError::invalid(format!("fit-error tag {b}"))),
+        })
+    }
+}
+
 /// Shared pre-fit validation: non-empty, finite, and (optionally)
 /// strictly positive targets.
 pub(crate) fn validate(

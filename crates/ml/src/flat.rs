@@ -222,6 +222,121 @@ impl FlatTrees {
     }
 }
 
+impl crate::persist::Persist for FlatTrees {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        // `depth` and `max_feat` are derived state — recomputed on
+        // decode rather than trusted from the wire, because the unsafe
+        // batch kernel relies on them.
+        w.put_len(self.nodes.len());
+        for n in &self.nodes {
+            w.put_f64(n.thresh);
+            w.put_u32(n.feat);
+            w.put_u32(n.left);
+        }
+        w.put_f64s(&self.value);
+        w.put_u32s(&self.roots);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<FlatTrees, crate::persist::CodecError> {
+        use crate::persist::CodecError;
+        let n = r.get_len(16)?;
+        if u32::try_from(n).is_err() {
+            return Err(CodecError::invalid(format!("{n} flat nodes exceed u32 indexing")));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let thresh = r.get_f64()?;
+            let feat = r.get_u32()?;
+            let left = r.get_u32()?;
+            nodes.push(Node { thresh, feat, left });
+        }
+        let value = r.get_f64s()?;
+        if value.len() != n {
+            return Err(CodecError::invalid(format!(
+                "flat ensemble has {n} node(s) but {} leaf value(s)",
+                value.len()
+            )));
+        }
+        let roots = r.get_u32s()?;
+        // Roots must partition [0, n) into contiguous per-tree segments.
+        if roots.is_empty() && n != 0 {
+            return Err(CodecError::invalid("flat ensemble has nodes but no roots"));
+        }
+        if let Some(&first) = roots.first() {
+            if first != 0 {
+                return Err(CodecError::invalid("first flat tree does not start at node 0"));
+            }
+        }
+        for t in 0..roots.len() {
+            let start = roots[t] as usize;
+            let end = roots.get(t + 1).map_or(n, |&e| e as usize);
+            if start >= end || end > n {
+                return Err(CodecError::invalid(format!(
+                    "flat tree {t} spans [{start}, {end}) of {n} node(s)"
+                )));
+            }
+            // Within a segment every node is either a self-loop leaf or
+            // an internal node whose children (left, left+1) lie
+            // strictly deeper in the same segment — this is exactly the
+            // acyclicity/progress invariant `from_trees` establishes and
+            // the `get_unchecked` traversal in `predict_batch_into`
+            // depends on.
+            for (i, node) in nodes.iter().enumerate().take(end).skip(start) {
+                let l = node.left as usize;
+                if l == i {
+                    // The self-loop only parks cursors when the stored
+                    // threshold compares ≥ every feature value; anything
+                    // but +∞ would let the lockstep kernel walk off the
+                    // leaf (and potentially out of bounds).
+                    if node.thresh != f64::INFINITY {
+                        return Err(CodecError::invalid(format!(
+                            "flat leaf {i} threshold is not +inf"
+                        )));
+                    }
+                    continue;
+                }
+                if l <= i || l + 1 >= end {
+                    return Err(CodecError::invalid(format!(
+                        "flat node {i} has children [{l}, {}] outside ({i}, {end})",
+                        l + 1
+                    )));
+                }
+            }
+        }
+        // Re-derive depth (per tree) and max_feat (over every node, so
+        // the kernel's one-shot feature bound covers leaves too).
+        let mut flat = FlatTrees {
+            nodes,
+            value,
+            roots,
+            depth: Vec::new(),
+            max_feat: 0,
+        };
+        for node in &flat.nodes {
+            flat.max_feat = flat.max_feat.max(node.feat);
+        }
+        let mut stack: Vec<(usize, u32)> = Vec::new();
+        for t in 0..flat.roots.len() {
+            let mut maxd = 0u32;
+            stack.clear();
+            stack.push((flat.roots[t] as usize, 0));
+            while let Some((i, d)) = stack.pop() {
+                let l = flat.nodes[i].left as usize;
+                if l == i {
+                    maxd = maxd.max(d);
+                } else {
+                    stack.push((l, d + 1));
+                    stack.push((l + 1, d + 1));
+                }
+            }
+            flat.depth.push(maxd);
+        }
+        Ok(flat)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

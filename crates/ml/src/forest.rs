@@ -102,6 +102,23 @@ impl ForestModel {
     }
 }
 
+impl crate::persist::Persist for ForestModel {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        crate::persist::put_seq(w, &self.trees);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<ForestModel, crate::persist::CodecError> {
+        let trees: Vec<GradTree> = crate::persist::get_seq(r)?;
+        if trees.is_empty() {
+            // `predict` divides by the tree count.
+            return Err(crate::persist::CodecError::invalid("forest has no trees"));
+        }
+        Ok(ForestModel { trees })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -210,6 +210,55 @@ impl GamModel {
     }
 }
 
+impl crate::persist::Persist for GamModel {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_u8(match self.family {
+            Family::GammaLog => 0,
+            Family::GaussianIdentity => 1,
+        });
+        w.put_len(self.bases.len());
+        for b in &self.bases {
+            crate::persist::put_opt(w, b);
+        }
+        w.put_f64s(&self.col_means);
+        w.put_f64s(&self.beta);
+        w.put_len(self.iterations);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<GamModel, crate::persist::CodecError> {
+        use crate::persist::CodecError;
+        let family = match r.get_u8()? {
+            0 => Family::GammaLog,
+            1 => Family::GaussianIdentity,
+            b => return Err(CodecError::invalid(format!("GAM family tag {b}"))),
+        };
+        let nbases = r.get_len(0)?;
+        let mut bases = Vec::with_capacity(nbases.min(r.remaining() + 1));
+        for _ in 0..nbases {
+            bases.push(crate::persist::get_opt::<BsplineBasis>(r)?);
+        }
+        let col_means = r.get_f64s()?;
+        let beta = r.get_f64s()?;
+        let iterations = r.get_len(0)?;
+        // `predict` indexes beta/col_means by the cumulative basis
+        // layout; the column count must match exactly.
+        let ncols = 1 + bases
+            .iter()
+            .map(|b| b.as_ref().map_or(0, BsplineBasis::len))
+            .sum::<usize>();
+        if beta.len() != ncols || col_means.len() != ncols {
+            return Err(CodecError::invalid(format!(
+                "GAM column mismatch: bases imply {ncols} column(s), beta has {}, col_means has {}",
+                beta.len(),
+                col_means.len()
+            )));
+        }
+        Ok(GamModel { family, bases, col_means, beta, iterations })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

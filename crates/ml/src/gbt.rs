@@ -412,6 +412,47 @@ impl GbtModel {
     }
 }
 
+impl crate::persist::Persist for Objective {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        match *self {
+            Objective::SquaredError => w.put_u8(0),
+            Objective::Gamma => w.put_u8(1),
+            Objective::Tweedie { p } => {
+                w.put_u8(2);
+                w.put_f64(p);
+            }
+        }
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<Objective, crate::persist::CodecError> {
+        match r.get_u8()? {
+            0 => Ok(Objective::SquaredError),
+            1 => Ok(Objective::Gamma),
+            2 => Ok(Objective::Tweedie { p: r.get_f64()? }),
+            b => Err(crate::persist::CodecError::invalid(format!("objective tag {b}"))),
+        }
+    }
+}
+
+impl crate::persist::Persist for GbtModel {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_f64(self.base);
+        self.objective.encode(w);
+        self.flat.encode(w);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<GbtModel, crate::persist::CodecError> {
+        let base = r.get_f64()?;
+        let objective = Objective::decode(r)?;
+        let flat = FlatTrees::decode(r)?;
+        Ok(GbtModel { base, objective, flat })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

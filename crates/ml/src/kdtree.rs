@@ -144,6 +144,115 @@ impl KdTree {
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
+
+    /// Feature dimensionality of the stored points.
+    pub(crate) fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistence. The post-build point order is serialized verbatim (not
+// rebuilt from raw rows): `build` breaks median ties by whatever order
+// `select_nth_unstable_by` leaves, so re-building could reorder
+// equal-distance neighbours and change k-NN means. Storing the points
+// and the node structure exactly keeps queries bit-identical.
+// ---------------------------------------------------------------------
+
+/// Balanced median splits keep the real depth near log2(n); this bound
+/// only rejects hostile hand-crafted inputs before they overflow the
+/// decode stack.
+const MAX_DECODE_DEPTH: usize = 96;
+
+fn encode_node(node: &Node, w: &mut crate::persist::ByteWriter) {
+    match node {
+        Node::Leaf { start, end } => {
+            w.put_u8(0);
+            w.put_len(*start);
+            w.put_len(*end);
+        }
+        Node::Split { dim, value, left, right } => {
+            w.put_u8(1);
+            w.put_len(*dim);
+            w.put_f64(*value);
+            encode_node(left, w);
+            encode_node(right, w);
+        }
+    }
+}
+
+fn decode_node(
+    r: &mut crate::persist::ByteReader<'_>,
+    dims: usize,
+    npoints: usize,
+    depth: usize,
+) -> Result<Node, crate::persist::CodecError> {
+    use crate::persist::CodecError;
+    if depth > MAX_DECODE_DEPTH {
+        return Err(CodecError::invalid("kd-tree nesting exceeds decode depth bound"));
+    }
+    match r.get_u8()? {
+        0 => {
+            let start = r.get_len(0)?;
+            let end = r.get_len(0)?;
+            if start > end || end > npoints {
+                return Err(CodecError::invalid(format!(
+                    "kd-tree leaf [{start}, {end}) out of range for {npoints} point(s)"
+                )));
+            }
+            Ok(Node::Leaf { start, end })
+        }
+        1 => {
+            let dim = r.get_len(0)?;
+            if dim >= dims {
+                return Err(CodecError::invalid(format!(
+                    "kd-tree split on dim {dim} of {dims}"
+                )));
+            }
+            let value = r.get_f64()?;
+            let left = Box::new(decode_node(r, dims, npoints, depth + 1)?);
+            let right = Box::new(decode_node(r, dims, npoints, depth + 1)?);
+            Ok(Node::Split { dim, value, left, right })
+        }
+        b => Err(CodecError::invalid(format!("kd-tree node tag {b}"))),
+    }
+}
+
+impl crate::persist::Persist for KdTree {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_len(self.dims);
+        w.put_len(self.points.len());
+        for p in &self.points {
+            w.put_f64s(&p.x);
+            w.put_f64(p.y);
+        }
+        encode_node(&self.root, w);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<KdTree, crate::persist::CodecError> {
+        use crate::persist::CodecError;
+        let dims = r.get_len(0)?;
+        let npoints = r.get_len(0)?;
+        if npoints == 0 {
+            return Err(CodecError::invalid("kd-tree has no points"));
+        }
+        let mut points = Vec::with_capacity(npoints.min(r.remaining() / 16 + 1));
+        for _ in 0..npoints {
+            let x = r.get_f64s()?;
+            if x.len() != dims {
+                return Err(CodecError::invalid(format!(
+                    "kd-tree point has {} dim(s), tree has {dims}",
+                    x.len()
+                )));
+            }
+            let y = r.get_f64()?;
+            points.push(Point { x, y });
+        }
+        let root = decode_node(r, dims, npoints, 0)?;
+        Ok(KdTree { points, root, dims })
+    }
 }
 
 #[cfg(test)]

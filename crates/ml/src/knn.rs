@@ -72,6 +72,35 @@ impl KnnModel {
     }
 }
 
+impl crate::persist::Persist for KnnModel {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_len(self.k);
+        crate::persist::put_opt(w, &self.scaler);
+        self.tree.encode(w);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<KnnModel, crate::persist::CodecError> {
+        let k = r.get_len(0)?;
+        if k == 0 {
+            return Err(crate::persist::CodecError::invalid("KNN k must be ≥ 1"));
+        }
+        let scaler: Option<StandardScaler> = crate::persist::get_opt(r)?;
+        let tree = KdTree::decode(r)?;
+        if let Some(s) = &scaler {
+            if s.dims() != tree.dims() {
+                return Err(crate::persist::CodecError::invalid(format!(
+                    "KNN scaler has {} dim(s), kd-tree has {}",
+                    s.dims(),
+                    tree.dims()
+                )));
+            }
+        }
+        Ok(KnnModel { k, scaler, tree })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

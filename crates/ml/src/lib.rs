@@ -25,7 +25,10 @@
 //!
 //! All learners implement the same [`Learner`] → [`Model`] flow and are
 //! deliberately run with fixed default hyper-parameters (the paper's
-//! "no tuning" protocol).
+//! "no tuning" protocol). Fitted models additionally implement
+//! [`persist::Persist`], a hand-rolled checksummed little-endian codec
+//! whose round trip is bit-identical (no serde — the workspace shim is
+//! a no-op).
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -44,9 +47,11 @@ pub mod linalg;
 pub mod linear;
 pub mod metrics;
 pub mod model;
+pub mod persist;
 pub mod scaling;
 pub mod tree;
 
 pub use dataset::Dataset;
 pub use error::FitError;
 pub use model::{Learner, Model};
+pub use persist::{CodecError, Persist};

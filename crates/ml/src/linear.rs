@@ -81,6 +81,25 @@ impl LinearModel {
     }
 }
 
+impl crate::persist::Persist for LinearModel {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_f64s(&self.beta);
+        w.put_bool(self.log_target);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<LinearModel, crate::persist::CodecError> {
+        let beta = r.get_f64s()?;
+        if beta.is_empty() {
+            // `predict` reads the intercept unconditionally.
+            return Err(crate::persist::CodecError::invalid("linear model has no coefficients"));
+        }
+        let log_target = r.get_bool()?;
+        Ok(LinearModel { beta, log_target })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -138,6 +138,60 @@ impl Model {
     }
 }
 
+/// Map a learner display name back to its `&'static str` canonical
+/// form (persistence stores names as plain strings; the in-memory types
+/// keep `&'static str`).
+pub fn learner_name_static(name: &str) -> Option<&'static str> {
+    match name {
+        "KNN" => Some("KNN"),
+        "GAM" => Some("GAM"),
+        "XGBoost" => Some("XGBoost"),
+        "RandomForest" => Some("RandomForest"),
+        "Linear" => Some("Linear"),
+        _ => None,
+    }
+}
+
+impl crate::persist::Persist for Model {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        match self {
+            Model::Knn(m) => {
+                w.put_u8(0);
+                m.encode(w);
+            }
+            Model::Gam(m) => {
+                w.put_u8(1);
+                m.encode(w);
+            }
+            Model::Xgb(m) => {
+                w.put_u8(2);
+                m.encode(w);
+            }
+            Model::Forest(m) => {
+                w.put_u8(3);
+                m.encode(w);
+            }
+            Model::Linear(m) => {
+                w.put_u8(4);
+                m.encode(w);
+            }
+        }
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<Model, crate::persist::CodecError> {
+        Ok(match r.get_u8()? {
+            0 => Model::Knn(crate::persist::Persist::decode(r)?),
+            1 => Model::Gam(crate::persist::Persist::decode(r)?),
+            2 => Model::Xgb(crate::persist::Persist::decode(r)?),
+            3 => Model::Forest(crate::persist::Persist::decode(r)?),
+            4 => Model::Linear(crate::persist::Persist::decode(r)?),
+            b => return Err(crate::persist::CodecError::invalid(format!("model tag {b}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

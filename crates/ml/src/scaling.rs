@@ -48,6 +48,11 @@ impl StandardScaler {
         StandardScaler { mean, std }
     }
 
+    /// Number of feature columns the scaler was fitted on.
+    pub(crate) fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
     /// Scale one feature vector.
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.mean.len());
@@ -64,6 +69,28 @@ impl StandardScaler {
             out.push(&self.transform(x), y);
         }
         out
+    }
+}
+
+impl crate::persist::Persist for StandardScaler {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_f64s(&self.mean);
+        w.put_f64s(&self.std);
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<StandardScaler, crate::persist::CodecError> {
+        let mean = r.get_f64s()?;
+        let std = r.get_f64s()?;
+        if std.len() != mean.len() {
+            return Err(crate::persist::CodecError::invalid(format!(
+                "scaler has {} means but {} stds",
+                mean.len(),
+                std.len()
+            )));
+        }
+        Ok(StandardScaler { mean, std })
     }
 }
 

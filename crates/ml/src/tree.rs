@@ -273,6 +273,59 @@ impl GradTree {
     }
 }
 
+impl crate::persist::Persist for GradTree {
+    fn encode(&self, w: &mut crate::persist::ByteWriter) {
+        w.put_len(self.nodes.len());
+        for n in &self.nodes {
+            w.put_u32(n.feat);
+            w.put_f64(n.thresh);
+            w.put_u32(n.left);
+            w.put_u32(n.right);
+            w.put_f64(n.value);
+        }
+    }
+
+    fn decode(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<GradTree, crate::persist::CodecError> {
+        use crate::persist::CodecError;
+        let n = r.get_len(28)?;
+        if n == 0 {
+            return Err(CodecError::invalid("tree has no nodes"));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let feat = r.get_u32()?;
+            let thresh = r.get_f64()?;
+            let left = r.get_u32()?;
+            let right = r.get_u32()?;
+            let value = r.get_f64()?;
+            nodes.push(Node { feat, thresh, left, right, value });
+        }
+        // Level-wise growth always places children after their parent;
+        // `leaf_of` terminates only under that monotonicity, so enforce
+        // it (plus range) on the way back in.
+        for (i, node) in nodes.iter().enumerate() {
+            let (l, r_) = (node.left, node.right);
+            if l == LEAF || r_ == LEAF {
+                if l != r_ {
+                    return Err(CodecError::invalid(format!(
+                        "tree node {i} has one LEAF child and one real child"
+                    )));
+                }
+                continue;
+            }
+            let (lu, ru) = (l as usize, r_ as usize);
+            if lu <= i || ru <= i || lu >= n || ru >= n {
+                return Err(CodecError::invalid(format!(
+                    "tree node {i} children ({lu}, {ru}) not strictly below it in [0, {n})"
+                )));
+            }
+        }
+        Ok(GradTree { nodes })
+    }
+}
+
 #[inline]
 fn leaf_value(g: f64, h: f64, lambda: f64) -> f64 {
     if h + lambda <= 0.0 {

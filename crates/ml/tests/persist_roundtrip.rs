@@ -1,0 +1,183 @@
+//! Differential round-trip tests for the model codec: every learner's
+//! fitted model must survive encode → decode with **bit-identical**
+//! predictions (compared through `f64::to_bits`, so `-0.0` vs `0.0` or
+//! a ULP of drift fails), and no corruption of the byte stream may
+//! cause anything but the right typed [`CodecError`].
+
+use proptest::prelude::*;
+
+use mpcp_ml::persist::{
+    decode_framed, encode_framed, CodecError, FORMAT_VERSION, KIND_MODEL,
+};
+use mpcp_ml::{Dataset, Learner, Model};
+
+/// A deterministic benchmark-shaped training set: 4 features
+/// (log2 msize, nodes, ppn, procs), runtime-like positive targets with
+/// a nonlinear crossover so trees actually split.
+fn training_data() -> Dataset {
+    let mut d = Dataset::new(4);
+    for mexp in 0..10u32 {
+        for nodes in 2..8u32 {
+            for ppn in [1u32, 2, 4] {
+                let m = (1u64 << (2 * mexp)) as f64;
+                let procs = (nodes * ppn) as f64;
+                let latency = 5.0 + 0.7 * procs;
+                let bw = m.log2().max(1.0) * (1.0 + 0.02 * procs);
+                let cross = if m > 4096.0 { 40.0 * (procs).sqrt() } else { 0.0 };
+                d.push(
+                    &[(m + 1.0).log2(), nodes as f64, ppn as f64, procs],
+                    latency + bw + cross,
+                );
+            }
+        }
+    }
+    d
+}
+
+/// Held-out query grid, deliberately off the training lattice
+/// (fractional log-sizes, unseen node counts).
+fn heldout_grid() -> Vec<[f64; 4]> {
+    let mut g = Vec::new();
+    for i in 0..40 {
+        let m = 1.5 + (i as f64) * 0.83;
+        let nodes = 2.0 + (i % 9) as f64;
+        let ppn = 1.0 + (i % 5) as f64;
+        g.push([m, nodes, ppn, nodes * ppn]);
+    }
+    g
+}
+
+fn all_learners() -> Vec<Learner> {
+    vec![
+        Learner::knn(),
+        Learner::gam(),
+        Learner::xgboost(),
+        Learner::forest(),
+        Learner::linear(),
+    ]
+}
+
+#[test]
+fn every_learner_round_trips_bit_identically() {
+    let data = training_data();
+    let grid = heldout_grid();
+    for learner in all_learners() {
+        let model = learner.fit(&data);
+        let bytes = encode_framed(KIND_MODEL, &model);
+        let loaded: Model = decode_framed(KIND_MODEL, &bytes)
+            .unwrap_or_else(|e| panic!("{}: decode failed: {e}", learner.name()));
+        for x in &grid {
+            let a = model.predict(x);
+            let b = loaded.predict(x);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: predict({x:?}) drifted: {a} vs {b}",
+                learner.name()
+            );
+        }
+        // The batched kernel goes through a different code path (flat
+        // lockstep trees for GBT); it must agree bit-for-bit too.
+        let xs: Vec<f64> = grid.iter().flatten().copied().collect();
+        let a = model.predict_batch(&xs, 4);
+        let b = loaded.predict_batch(&xs, 4);
+        for (i, (pa, pb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                pa.to_bits(),
+                pb.to_bits(),
+                "{}: predict_batch row {i} drifted",
+                learner.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn double_round_trip_is_byte_stable() {
+    // encode(decode(encode(m))) == encode(m): the format has one
+    // canonical serialization per model.
+    let data = training_data();
+    for learner in all_learners() {
+        let model = learner.fit(&data);
+        let bytes = encode_framed(KIND_MODEL, &model);
+        let loaded: Model = decode_framed(KIND_MODEL, &bytes).expect("first decode");
+        let bytes2 = encode_framed(KIND_MODEL, &loaded);
+        assert_eq!(bytes, bytes2, "{}: re-encoding changed bytes", learner.name());
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_typed_for_every_learner() {
+    let data = training_data();
+    for learner in all_learners() {
+        let model = learner.fit(&data);
+        let bytes = encode_framed(KIND_MODEL, &model);
+        for cut in 0..bytes.len() {
+            match decode_framed::<Model>(KIND_MODEL, &bytes[..cut]) {
+                Err(
+                    CodecError::Truncated { .. }
+                    | CodecError::BadMagic
+                    | CodecError::Invalid { .. },
+                ) => {}
+                Err(e) => panic!("{}: cut at {cut}: unexpected error {e:?}", learner.name()),
+                Ok(_) => panic!("{}: cut at {cut} decoded successfully", learner.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn version_bump_is_unknown_version() {
+    let model = Learner::linear().fit(&training_data());
+    let mut bytes = encode_framed(KIND_MODEL, &model);
+    // Version field: little-endian u32 at offset 4.
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match decode_framed::<Model>(KIND_MODEL, &bytes) {
+        Err(CodecError::UnknownVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnknownVersion, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random byte flips anywhere in a valid artifact: decode must
+    /// return a typed error (the checksum or a header check catches
+    /// it) and must never panic.
+    #[test]
+    fn random_byte_flips_never_panic_and_never_pass(
+        flips in prop::collection::vec((0usize..4096, 1u32..256), 1..4),
+        learner_idx in 0usize..5,
+    ) {
+        let model = all_learners()[learner_idx].fit(&training_data());
+        let mut bytes = encode_framed(KIND_MODEL, &model);
+        let mut changed = false;
+        for (pos, mask) in flips {
+            let i = pos % bytes.len();
+            bytes[i] ^= (mask & 0xff) as u8;
+            changed = true;
+        }
+        prop_assert!(changed);
+        // Double flips at one index can cancel; only assert rejection
+        // when the frame actually differs from the original.
+        let original = encode_framed(KIND_MODEL, &model);
+        if bytes != original {
+            prop_assert!(decode_framed::<Model>(KIND_MODEL, &bytes).is_err());
+        }
+    }
+
+    /// Truncating a random valid artifact at a random point is always
+    /// a typed error — across random learner choices.
+    #[test]
+    fn random_truncation_is_typed(cut_frac in 0.0f64..1.0, learner_idx in 0usize..5) {
+        let model = all_learners()[learner_idx].fit(&training_data());
+        let bytes = encode_framed(KIND_MODEL, &model);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_framed::<Model>(KIND_MODEL, &bytes[..cut]).is_err());
+        }
+    }
+}

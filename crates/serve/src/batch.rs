@@ -1,0 +1,222 @@
+//! Batched request serving: a bounded queue drained by worker threads
+//! through [`Selector::select_batch`].
+//!
+//! Individual misses pay per-model dispatch once per query; under
+//! concurrent load it is cheaper to drain whatever has queued up,
+//! group it by shard, and push each group through the selector's
+//! batched argmin kernel in one call. Results land in the same
+//! per-shard LRU cache the scalar path uses, so a batch miss warms
+//! later [`PredictionService::select`] calls and vice versa.
+//!
+//! [`Selector::select_batch`]: mpcp_core::Selector::select_batch
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mpcp_core::{Instance, Selection};
+
+use crate::{lock, PredictionService, ServeError, ShardKey};
+
+/// Worker-pool knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Worker threads draining the queue (floored at 1).
+    pub workers: usize,
+    /// Most requests a worker takes per drain (floored at 1).
+    pub max_batch: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { workers: 2, max_batch: 64 }
+    }
+}
+
+struct Job {
+    key: ShardKey,
+    instance: Instance,
+    reply: mpsc::Sender<Result<Selection, ServeError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    service: Arc<PredictionService>,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// A pending reply from [`BatchServer::submit`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Selection, ServeError>>,
+}
+
+impl Ticket {
+    /// Block until the batch worker answers. A worker that died (or a
+    /// server shut down) before replying is [`ServeError::Disconnected`].
+    pub fn wait(self) -> Result<Selection, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// A worker pool answering queued selection requests in batches.
+///
+/// Dropping the server (or calling [`BatchServer::shutdown`]) stops
+/// accepting new work, drains what is already queued, and joins the
+/// workers — no request that was accepted is silently dropped.
+pub struct BatchServer {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchServer {
+    /// Spawn `cfg.workers` threads serving queries against `service`.
+    pub fn start(service: Arc<PredictionService>, cfg: BatchConfig) -> BatchServer {
+        let inner = Arc::new(Inner {
+            service,
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+        });
+        let max_batch = cfg.max_batch.max(1);
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner, max_batch))
+            })
+            .collect();
+        BatchServer { inner, workers }
+    }
+
+    /// Enqueue one request; the returned [`Ticket`] resolves when a
+    /// worker has served the batch containing it.
+    pub fn submit(&self, key: ShardKey, instance: Instance) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = lock(&self.inner.state);
+            if st.shutdown {
+                let _ = tx.send(Err(ServeError::Disconnected));
+            } else {
+                st.jobs.push_back(Job { key, instance, reply: tx });
+                mpcp_obs::gauge_set!("serve.queue_depth", st.jobs.len() as f64);
+            }
+        }
+        self.inner.cv.notify_one();
+        Ticket { rx }
+    }
+
+    /// [`BatchServer::submit`] + [`Ticket::wait`] in one call.
+    pub fn query(&self, key: ShardKey, instance: Instance) -> Result<Selection, ServeError> {
+        self.submit(key, instance).wait()
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        lock(&self.inner.state).shutdown = true;
+        self.inner.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(inner: &Inner, max_batch: usize) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut st = lock(&inner.state);
+            loop {
+                if !st.jobs.is_empty() {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            let n = st.jobs.len().min(max_batch);
+            let drained: Vec<Job> = st.jobs.drain(..n).collect();
+            mpcp_obs::gauge_set!("serve.queue_depth", st.jobs.len() as f64);
+            drained
+        };
+        mpcp_obs::hist_record!("serve.batch_size", batch.len() as u64);
+        serve_one_batch(&inner.service, batch);
+    }
+}
+
+/// Serve a drained batch: group by shard, answer cache hits directly,
+/// and push each shard's misses through one `select_batch` call.
+fn serve_one_batch(service: &PredictionService, jobs: Vec<Job>) {
+    let mut groups: HashMap<ShardKey, Vec<Job>> = HashMap::new();
+    for j in jobs {
+        groups.entry(j.key.clone()).or_default().push(j);
+    }
+    for (key, group) in groups {
+        serve_shard_group(service, &key, group);
+    }
+}
+
+fn serve_shard_group(service: &PredictionService, key: &ShardKey, jobs: Vec<Job>) {
+    let shard = match service.shard(key) {
+        Ok(s) => s,
+        Err(e) => {
+            for j in jobs {
+                let _ = j.reply.send(Err(e.clone()));
+            }
+            return;
+        }
+    };
+    let mut misses: Vec<Job> = Vec::new();
+    for j in jobs {
+        if let Err(e) = shard.check_collective(&j.instance) {
+            let _ = j.reply.send(Err(e));
+            continue;
+        }
+        if let Some(sel) = shard.cache_lookup(&j.instance) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            mpcp_obs::counter_add!("serve.cache_hits", 1);
+            let _ = j.reply.send(Ok(sel));
+        } else {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            mpcp_obs::counter_add!("serve.cache_misses", 1);
+            misses.push(j);
+        }
+    }
+    if misses.is_empty() {
+        return;
+    }
+    let instances: Vec<Instance> = misses.iter().map(|j| j.instance).collect();
+    let t = mpcp_obs::maybe_now();
+    let best = shard.selector.select_batch(&instances);
+    mpcp_obs::record_elapsed(shard.latency_metric, t);
+    for (j, (uid, pred)) in misses.into_iter().zip(best) {
+        // `select_batch` marks an all-non-finite instance with the
+        // `u32::MAX` sentinel; surface it as the same typed error the
+        // scalar path returns.
+        if uid == u32::MAX || !pred.is_finite() {
+            let _ = j
+                .reply
+                .send(Err(ServeError::NoFinitePrediction { instance: j.instance }));
+            continue;
+        }
+        let sel = Selection { uid, predicted_us: Some(pred), degraded: false };
+        shard.cache_insert(&j.instance, sel);
+        let _ = j.reply.send(Ok(sel));
+    }
+}

@@ -1,0 +1,433 @@
+//! # mpcp-serve — concurrent in-process serving of saved selectors
+//!
+//! PR 4 made selection fast per call; this crate makes trained
+//! selectors *deployable*: load [`Selector`] artifacts saved by
+//! `mpcp train --save-model` into a [`PredictionService`], shard them
+//! by (collective, machine/library), and answer argmin queries from
+//! many threads at once. Repeated queries for the same grid cell —
+//! the common case when an MPI runtime asks about the same
+//! `(F, m, n, N)` over and over — hit a bounded per-shard LRU cache
+//! instead of re-evaluating every model.
+//!
+//! ```no_run
+//! use mpcp_core::Instance;
+//! use mpcp_collectives::Collective;
+//! use mpcp_serve::PredictionService;
+//!
+//! let svc = PredictionService::new(4096);
+//! let key = svc.load_artifact("models/bcast.mpcp".as_ref())?;
+//! let inst = Instance::new(Collective::Bcast, 65536, 27, 16);
+//! let sel = svc.select(&key, &inst)?;
+//! println!("predicted best: {} (~{:?} us)", sel.uid, sel.predicted_us);
+//! # Ok::<(), mpcp_serve::ServeError>(())
+//! ```
+//!
+//! [`batch::BatchServer`] adds a request queue drained in batches by
+//! worker threads through [`Selector::select_batch`], amortizing the
+//! per-model dispatch cost across concurrent misses.
+//!
+//! Everything degrades into typed [`ServeError`]s — corrupt artifacts,
+//! unknown shards, collective mismatches, models with no finite
+//! prediction — and the whole crate is `#![forbid(unsafe_code)]`.
+//!
+//! [`Selector`]: mpcp_core::Selector
+//! [`Selector::select_batch`]: mpcp_core::Selector::select_batch
+
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod lru;
+
+pub use batch::{BatchConfig, BatchServer, Ticket};
+pub use lru::LruCache;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use mpcp_collectives::Collective;
+use mpcp_core::{
+    ArtifactError, ArtifactMeta, Instance, Selection, Selector, SelectorArtifact, TrainReport,
+};
+
+/// Lock a mutex, recovering the data on poisoning: a panicking writer
+/// can at worst leave a *stale* cache entry or counter, never a torn
+/// one, so continuing to serve beats propagating the panic.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Why a serve request failed. Every failure is typed; the service
+/// never panics on bad inputs or bad artifacts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// No artifact is loaded under this shard key.
+    UnknownShard {
+        /// The key the request named.
+        key: ShardKey,
+    },
+    /// The instance's collective differs from the shard's.
+    CollectiveMismatch {
+        /// Collective the shard's selector was trained for.
+        shard: Collective,
+        /// Collective the query asked about.
+        instance: Collective,
+    },
+    /// No trained model produced a finite prediction for the instance.
+    NoFinitePrediction {
+        /// The offending query.
+        instance: Instance,
+    },
+    /// The artifact could not be read or decoded.
+    Artifact(ArtifactError),
+    /// The batch server shut down (or its worker died) before replying.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownShard { key } => {
+                write!(f, "no model loaded for shard {key}")
+            }
+            ServeError::CollectiveMismatch { shard, instance } => write!(
+                f,
+                "shard serves {shard} but the query is for {instance}"
+            ),
+            ServeError::NoFinitePrediction { instance } => write!(
+                f,
+                "no trained model produced a finite prediction for {instance}"
+            ),
+            ServeError::Artifact(e) => write!(f, "{e}"),
+            ServeError::Disconnected => {
+                write!(f, "batch server disconnected before replying")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> ServeError {
+        ServeError::Artifact(e)
+    }
+}
+
+/// Which selector a request is routed to: one trained artifact per
+/// (collective, machine/library) pair.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardKey {
+    /// The collective operation the shard answers for.
+    pub coll: Collective,
+    /// Machine/library scope, e.g. `"Hydra/Open MPI 4.0.2"`.
+    pub scope: String,
+}
+
+impl ShardKey {
+    /// The routing key an artifact's manifest implies.
+    pub fn of_meta(meta: &ArtifactMeta) -> ShardKey {
+        ShardKey {
+            coll: meta.collective,
+            scope: format!("{}/{}", meta.machine, meta.library),
+        }
+    }
+}
+
+impl fmt::Display for ShardKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.coll, self.scope)
+    }
+}
+
+/// Cache key: the query grid cell. The collective is fixed per shard,
+/// so `(m, n, N)` identifies the instance within it.
+type CacheKey = (u64, u32, u32);
+
+/// One loaded artifact plus its private result cache and counters.
+/// Crate-visible so the batch workers can share the cache and
+/// counters with the scalar path.
+pub(crate) struct Shard {
+    pub(crate) selector: Selector,
+    meta: ArtifactMeta,
+    report: TrainReport,
+    cache: Mutex<LruCache<CacheKey, Selection>>,
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    /// Leaked per-shard histogram name (`serve.latency_ns.<coll>`);
+    /// shards are few and live for the process, so the leak is bounded.
+    pub(crate) latency_metric: &'static str,
+}
+
+impl Shard {
+    fn new(artifact: SelectorArtifact, cache_capacity: usize) -> Shard {
+        let name: &'static str = Box::leak(
+            format!("serve.latency_ns.{}", artifact.meta.collective).into_boxed_str(),
+        );
+        Shard {
+            selector: artifact.selector,
+            meta: artifact.meta,
+            report: artifact.report,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            latency_metric: name,
+        }
+    }
+
+    pub(crate) fn check_collective(&self, instance: &Instance) -> Result<(), ServeError> {
+        if instance.coll != self.meta.collective {
+            return Err(ServeError::CollectiveMismatch {
+                shard: self.meta.collective,
+                instance: instance.coll,
+            });
+        }
+        Ok(())
+    }
+
+    /// Uncached argmin through the selector.
+    fn compute(&self, instance: &Instance) -> Result<Selection, ServeError> {
+        match self.selector.try_select(instance) {
+            Some((uid, pred)) => {
+                Ok(Selection { uid, predicted_us: Some(pred), degraded: false })
+            }
+            None => Err(ServeError::NoFinitePrediction { instance: *instance }),
+        }
+    }
+
+    fn select(&self, instance: &Instance) -> Result<Selection, ServeError> {
+        self.check_collective(instance)?;
+        let t = mpcp_obs::maybe_now();
+        let cell: CacheKey = (instance.msize, instance.nodes, instance.ppn);
+        if let Some(sel) = lock(&self.cache).get(&cell) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            mpcp_obs::counter_add!("serve.cache_hits", 1);
+            mpcp_obs::record_elapsed(self.latency_metric, t);
+            return Ok(sel);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        mpcp_obs::counter_add!("serve.cache_misses", 1);
+        // Computed outside the cache lock: two threads racing on the
+        // same cold cell both evaluate the models (identical, pure
+        // results), which is cheaper than serializing every miss.
+        let sel = self.compute(instance)?;
+        lock(&self.cache).put(cell, sel);
+        mpcp_obs::record_elapsed(self.latency_metric, t);
+        Ok(sel)
+    }
+
+    pub(crate) fn cache_insert(&self, instance: &Instance, sel: Selection) {
+        lock(&self.cache).put((instance.msize, instance.nodes, instance.ppn), sel);
+    }
+
+    pub(crate) fn cache_lookup(&self, instance: &Instance) -> Option<Selection> {
+        lock(&self.cache).get(&(instance.msize, instance.nodes, instance.ppn))
+    }
+}
+
+/// Per-shard serving counters, as observed by [`PredictionService::stats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's routing key.
+    pub key: ShardKey,
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that evaluated the models.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub cached_entries: usize,
+    /// Entries evicted since load.
+    pub evictions: u64,
+    /// Trained models in the shard's selector.
+    pub models: usize,
+}
+
+/// A snapshot of the whole service's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// One entry per loaded shard, in shard-key order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServeStats {
+    /// Total cache hits across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total cache misses across shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.misses).sum()
+    }
+
+    /// Hits over total queries, `0.0` before any traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// An in-process prediction service over loaded selector artifacts.
+///
+/// Shards are immutable once loaded (models are pure functions), so
+/// concurrent `select` calls share them behind an `RwLock` that is only
+/// write-locked during artifact loading. All query-path mutation — the
+/// LRU cache, hit/miss counters — is per-shard.
+pub struct PredictionService {
+    shards: RwLock<HashMap<ShardKey, Arc<Shard>>>,
+    cache_capacity: usize,
+}
+
+impl PredictionService {
+    /// A service whose per-shard result caches hold `cache_capacity`
+    /// grid cells each.
+    pub fn new(cache_capacity: usize) -> PredictionService {
+        PredictionService { shards: RwLock::new(HashMap::new()), cache_capacity }
+    }
+
+    /// Load a saved artifact from disk and route its manifest's
+    /// (collective, machine/library) to it. Replaces any shard already
+    /// at that key (a model refresh), returning the routing key.
+    pub fn load_artifact(&self, path: &Path) -> Result<ShardKey, ServeError> {
+        let artifact = Selector::load(path)?;
+        Ok(self.insert_artifact(artifact))
+    }
+
+    /// Register an already-decoded artifact (the file-free half of
+    /// [`PredictionService::load_artifact`]).
+    pub fn insert_artifact(&self, artifact: SelectorArtifact) -> ShardKey {
+        let key = ShardKey::of_meta(&artifact.meta);
+        let shard = Arc::new(Shard::new(artifact, self.cache_capacity));
+        self.shards
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key.clone(), shard);
+        mpcp_obs::counter_add!("serve.shards_loaded", 1);
+        key
+    }
+
+    /// Keys of all loaded shards, sorted.
+    pub fn shard_keys(&self) -> Vec<ShardKey> {
+        let mut keys: Vec<ShardKey> = self
+            .shards
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// The manifest of the artifact behind `key`.
+    pub fn meta(&self, key: &ShardKey) -> Result<ArtifactMeta, ServeError> {
+        Ok(self.shard(key)?.meta.clone())
+    }
+
+    /// The training coverage of the artifact behind `key`.
+    pub fn report(&self, key: &ShardKey) -> Result<TrainReport, ServeError> {
+        Ok(self.shard(key)?.report.clone())
+    }
+
+    pub(crate) fn shard(&self, key: &ShardKey) -> Result<Arc<Shard>, ServeError> {
+        self.shards
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownShard { key: key.clone() })
+    }
+
+    /// Answer an argmin query through the shard's LRU cache.
+    ///
+    /// Cache hits skip model evaluation entirely; misses run
+    /// [`Selector::try_select`] and populate the cache. Identical to
+    /// [`PredictionService::select_uncached`] result-wise — the cache
+    /// stores exactly what the selector computed, keyed by grid cell.
+    pub fn select(&self, key: &ShardKey, instance: &Instance) -> Result<Selection, ServeError> {
+        self.shard(key)?.select(instance)
+    }
+
+    /// Answer an argmin query evaluating every model, bypassing (and
+    /// not populating) the cache. The baseline for the cached path in
+    /// `mpcp serve-bench`.
+    pub fn select_uncached(
+        &self,
+        key: &ShardKey,
+        instance: &Instance,
+    ) -> Result<Selection, ServeError> {
+        let shard = self.shard(key)?;
+        shard.check_collective(instance)?;
+        let t = mpcp_obs::maybe_now();
+        let sel = shard.compute(instance)?;
+        mpcp_obs::record_elapsed(shard.latency_metric, t);
+        Ok(sel)
+    }
+
+    /// Snapshot all per-shard counters and publish the global hit
+    /// ratio gauge.
+    pub fn stats(&self) -> ServeStats {
+        let mut shards: Vec<ShardStats> = {
+            let map = self
+                .shards
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            map.iter()
+                .map(|(key, s)| {
+                    let cache = lock(&s.cache);
+                    ShardStats {
+                        key: key.clone(),
+                        hits: s.hits.load(Ordering::Relaxed),
+                        misses: s.misses.load(Ordering::Relaxed),
+                        cached_entries: cache.len(),
+                        evictions: cache.evictions(),
+                        models: s.selector.model_count(),
+                    }
+                })
+                .collect()
+        };
+        shards.sort_by(|a, b| a.key.cmp(&b.key));
+        let stats = ServeStats { shards };
+        mpcp_obs::gauge_set!("serve.cache_hit_ratio", stats.hit_ratio());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_shard_is_a_typed_error() {
+        let svc = PredictionService::new(16);
+        let key = ShardKey { coll: Collective::Bcast, scope: "nowhere/NoMPI".into() };
+        let inst = Instance::new(Collective::Bcast, 64, 2, 2);
+        let err = svc.select(&key, &inst).unwrap_err();
+        assert_eq!(err, ServeError::UnknownShard { key: key.clone() });
+        assert!(format!("{err}").contains("no model loaded"));
+        assert!(svc.shard_keys().is_empty());
+    }
+
+    #[test]
+    fn missing_artifact_file_is_an_io_error() {
+        let svc = PredictionService::new(16);
+        let err = svc
+            .load_artifact(Path::new("/nonexistent/path/model.mpcp"))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Artifact(ArtifactError::Io { .. })));
+    }
+
+    #[test]
+    fn stats_start_empty() {
+        let svc = PredictionService::new(16);
+        let stats = svc.stats();
+        assert_eq!(stats.hits() + stats.misses(), 0);
+        assert_eq!(stats.hit_ratio(), 0.0);
+    }
+}

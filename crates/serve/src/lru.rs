@@ -1,0 +1,255 @@
+//! A bounded LRU map on a slab of doubly-linked entries.
+//!
+//! The serving layer keys prediction results by grid cell, so the cache
+//! must be bounded (benchmark grids are finite but query streams are
+//! not) and cheap under a mutex: `get` and `put` are one hash lookup
+//! plus O(1) pointer splices, with no per-operation allocation once the
+//! slab is warm. Entries link through slab indices rather than pointers
+//! so the structure is plain safe Rust (this crate forbids `unsafe`)
+//! and runs under Miri.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel slab index: "no neighbour".
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    val: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity map evicting the least-recently-used entry.
+pub struct LruCache<K, V> {
+    index: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (floored at 1 — a
+    /// zero-capacity cache would turn every `put` into a no-op and make
+    /// hit/miss accounting lie).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        let capacity = capacity.max(1);
+        LruCache {
+            index: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.index.get(key)?;
+        self.move_to_front(i);
+        Some(self.slab[i].val.clone())
+    }
+
+    /// Insert or refresh `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn put(&mut self, key: K, val: V) {
+        if let Some(&i) = self.index.get(&key) {
+            self.slab[i].val = val;
+            self.move_to_front(i);
+            return;
+        }
+        if self.index.len() == self.capacity {
+            self.evict_tail();
+        }
+        let entry = Entry { key: key.clone(), val, prev: NIL, next: self.head };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+        self.index.insert(key, i);
+    }
+
+    /// Splice entry `i` out of the recency list and relink it at the
+    /// front.
+    fn move_to_front(&mut self, i: usize) {
+        if self.head == i {
+            return;
+        }
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        }
+        if self.tail == i {
+            self.tail = prev;
+        }
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+    }
+
+    fn evict_tail(&mut self) {
+        let t = self.tail;
+        if t == NIL {
+            return;
+        }
+        let prev = self.slab[t].prev;
+        if prev != NIL {
+            self.slab[prev].next = NIL;
+        } else {
+            self.head = NIL;
+        }
+        self.tail = prev;
+        self.index.remove(&self.slab[t].key);
+        self.free.push(t);
+        self.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_inserted_values() {
+        let mut c = LruCache::new(4);
+        assert!(c.is_empty());
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"b"), Some(2));
+        assert_eq!(c.get(&"c"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_existing_keys() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("a", 9);
+        assert_eq!(c.get(&"a"), Some(9));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // "a" is now MRU
+        c.put("c", 3); // evicts "b"
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_holds_the_latest_entry() {
+        let mut c = LruCache::new(1);
+        c.put(1u64, "x");
+        c.put(2u64, "y");
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some("y"));
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_to_one() {
+        let mut c = LruCache::new(0);
+        c.put(7u32, 7u32);
+        assert_eq!(c.get(&7), Some(7));
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..100 {
+            c.put(i, i * 2);
+        }
+        // The slab never grows past capacity: evicted slots are recycled.
+        assert!(c.slab.len() <= 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 97);
+        for i in 97..100 {
+            assert_eq!(c.get(&i), Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn recency_order_survives_interleaved_gets_and_puts() {
+        // Differential check against a naive Vec-based LRU model.
+        let mut c: LruCache<u8, u32> = LruCache::new(4);
+        let mut model: Vec<(u8, u32)> = Vec::new(); // front = MRU
+        let ops: Vec<(bool, u8)> = (0u32..500)
+            .map(|i| {
+                let r = i.wrapping_mul(2654435761) >> 16;
+                ((r & 1) == 0, (r % 11) as u8)
+            })
+            .collect();
+        for (is_put, k) in ops {
+            if is_put {
+                let v = u32::from(k) + 100;
+                c.put(k, v);
+                model.retain(|(mk, _)| *mk != k);
+                model.insert(0, (k, v));
+                model.truncate(4);
+            } else {
+                let got = c.get(&k);
+                let want = model.iter().position(|(mk, _)| *mk == k).map(|p| {
+                    let e = model.remove(p);
+                    model.insert(0, e);
+                    model[0].1
+                });
+                assert_eq!(got, want, "lookup of {k} diverged from model");
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+}

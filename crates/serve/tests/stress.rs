@@ -1,0 +1,240 @@
+//! Concurrency stress tests: the serving layer must give every thread
+//! the single-threaded answer, bit for bit, and its cache counters
+//! must account for every query — under eviction pressure (cache
+//! capacity is far below the distinct-cell count) and across both the
+//! scalar path and the batched worker queue.
+
+// The shared integration fixture: the grid is benchmarked once per
+// binary and each learner's selector is trained once, saved, and
+// reloaded through the artifact codec.
+#[path = "../../../tests/fixture.rs"]
+mod fixture;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mpcp_collectives::Collective;
+use mpcp_core::{Instance, Selection};
+use mpcp_ml::Learner;
+use mpcp_serve::{BatchConfig, BatchServer, PredictionService, ServeError, ShardKey};
+
+const THREADS: usize = 8;
+const QUERIES_PER_THREAD: usize = 10_000;
+const DISTINCT_CELLS: usize = 200;
+const CACHE_CAPACITY: usize = 64; // << DISTINCT_CELLS: forces evictions
+
+/// A selector trained on the tiny grid, already round-tripped through
+/// the artifact codec by the shared fixture.
+fn trained_artifact(learner: &Learner) -> mpcp_core::SelectorArtifact {
+    fixture::trained(learner, &[])
+}
+
+/// A deterministic pool of distinct query cells (more than the cache
+/// can hold), mixing benchmarked and off-grid instances.
+fn cells(coll: Collective) -> Vec<Instance> {
+    (0..DISTINCT_CELLS)
+        .map(|i| {
+            Instance::new(
+                coll,
+                ((i as u64) * 37 + 5) % 100_000,
+                2 + (i as u32) % 8,
+                1 + (i as u32) % 4,
+            )
+        })
+        .collect()
+}
+
+fn assert_same(a: &Selection, b: &Selection, ctx: &str) {
+    assert_eq!(a.uid, b.uid, "{ctx}: uid");
+    assert_eq!(a.degraded, b.degraded, "{ctx}: degraded");
+    assert_eq!(
+        a.predicted_us.map(f64::to_bits),
+        b.predicted_us.map(f64::to_bits),
+        "{ctx}: predicted_us bits"
+    );
+}
+
+#[test]
+fn eight_threads_match_the_single_threaded_oracle() {
+    let artifact = trained_artifact(&Learner::xgboost());
+    let coll = artifact.meta.collective;
+    let svc = Arc::new(PredictionService::new(CACHE_CAPACITY));
+    let key = svc.insert_artifact(artifact);
+    let pool = cells(coll);
+
+    // Single-threaded oracle through the uncached path (does not touch
+    // the hit/miss counters).
+    let oracle: HashMap<(u64, u32, u32), Selection> = pool
+        .iter()
+        .map(|i| ((i.msize, i.nodes, i.ppn), svc.select_uncached(&key, i).unwrap()))
+        .collect();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (svc, key, pool, oracle) = (&svc, &key, &pool, &oracle);
+            s.spawn(move || {
+                for q in 0..QUERIES_PER_THREAD {
+                    let inst = &pool[(t * 7919 + q * 31) % pool.len()];
+                    let got = svc.select(key, inst).unwrap();
+                    let want = &oracle[&(inst.msize, inst.nodes, inst.ppn)];
+                    assert_same(&got, want, &format!("thread {t} query {q} ({inst})"));
+                    // Every 5th query also re-derives the answer
+                    // uncached: the cache must never go stale.
+                    if q % 5 == 0 {
+                        let fresh = svc.select_uncached(key, inst).unwrap();
+                        assert_same(&got, &fresh, &format!("thread {t} query {q} uncached"));
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = svc.stats();
+    let total = (THREADS * QUERIES_PER_THREAD) as u64;
+    assert_eq!(
+        stats.hits() + stats.misses(),
+        total,
+        "hit/miss counters must account for every cached-path query"
+    );
+    // Eviction pressure guarantees a genuine mix of both outcomes.
+    assert!(stats.hits() > 0, "no cache hits under repeated queries");
+    assert!(
+        stats.misses() >= DISTINCT_CELLS as u64,
+        "fewer misses than distinct cells: {}",
+        stats.misses()
+    );
+    assert_eq!(stats.shards.len(), 1);
+    assert!(stats.shards[0].cached_entries <= CACHE_CAPACITY);
+    assert!(stats.shards[0].evictions > 0, "capacity below cell count must evict");
+}
+
+#[test]
+fn batch_server_matches_oracle_and_shuts_down_cleanly() {
+    let artifact = trained_artifact(&Learner::knn());
+    let coll = artifact.meta.collective;
+    let svc = Arc::new(PredictionService::new(CACHE_CAPACITY));
+    let key = svc.insert_artifact(artifact);
+    let pool = cells(coll);
+    let oracle: HashMap<(u64, u32, u32), Selection> = pool
+        .iter()
+        .map(|i| ((i.msize, i.nodes, i.ppn), svc.select_uncached(&key, i).unwrap()))
+        .collect();
+
+    let server = Arc::new(BatchServer::start(
+        Arc::clone(&svc),
+        BatchConfig { workers: 3, max_batch: 32 },
+    ));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let (server, key, pool, oracle) = (&server, &key, &pool, &oracle);
+            s.spawn(move || {
+                // Submit a window of tickets, then wait on them, so the
+                // workers actually see multi-request batches.
+                for chunk in 0..50 {
+                    let tickets: Vec<_> = (0..40)
+                        .map(|i| {
+                            let inst = pool[(t * 131 + chunk * 17 + i) % pool.len()];
+                            (inst, server.submit(key.clone(), inst))
+                        })
+                        .collect();
+                    for (inst, ticket) in tickets {
+                        let got = ticket.wait().unwrap();
+                        let want = &oracle[&(inst.msize, inst.nodes, inst.ppn)];
+                        assert_same(&got, want, &format!("batch thread {t} ({inst})"));
+                    }
+                }
+            });
+        }
+    });
+    let stats = svc.stats();
+    assert_eq!(stats.hits() + stats.misses(), 4 * 50 * 40);
+
+    // Clean shutdown: accepted-but-unserved work is drained, and new
+    // submissions after shutdown resolve to Disconnected.
+    let server = Arc::try_unwrap(server).ok().expect("all clones dropped");
+    server.shutdown();
+}
+
+#[test]
+fn drop_and_shutdown_both_stop_cleanly() {
+    let artifact = trained_artifact(&Learner::linear());
+    let coll = artifact.meta.collective;
+    let svc = Arc::new(PredictionService::new(8));
+    let key = svc.insert_artifact(artifact);
+    let inst = Instance::new(coll, 64, 2, 1);
+
+    // Implicit stop: dropping the server joins its workers.
+    let server = BatchServer::start(Arc::clone(&svc), BatchConfig::default());
+    assert!(server.query(key.clone(), inst).is_ok());
+    drop(server);
+
+    // Explicit stop: shutdown() consumes and joins.
+    let server2 = BatchServer::start(Arc::clone(&svc), BatchConfig::default());
+    assert!(server2.query(key, inst).is_ok());
+    server2.shutdown();
+
+    // A request for a shard that was never loaded resolves to a typed
+    // error through the worker, not a hang.
+    let server3 = BatchServer::start(svc, BatchConfig::default());
+    let missing = ShardKey { coll, scope: "nowhere/NoMPI".into() };
+    assert_eq!(
+        server3.query(missing.clone(), inst),
+        Err(ServeError::UnknownShard { key: missing })
+    );
+    server3.shutdown();
+}
+
+#[test]
+fn collective_mismatch_is_typed_on_both_paths() {
+    let artifact = trained_artifact(&Learner::gam());
+    let coll = artifact.meta.collective;
+    let wrong = if coll == Collective::Bcast { Collective::Barrier } else { Collective::Bcast };
+    let svc = Arc::new(PredictionService::new(8));
+    let key = svc.insert_artifact(artifact);
+    let inst = Instance::new(wrong, 64, 2, 1);
+    let want = Err(ServeError::CollectiveMismatch { shard: coll, instance: wrong });
+    assert_eq!(svc.select(&key, &inst), want);
+    assert_eq!(svc.select_uncached(&key, &inst), want);
+    let server = BatchServer::start(Arc::clone(&svc), BatchConfig::default());
+    assert_eq!(server.query(key, inst), want);
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_artifact_bytes_surface_as_typed_serve_errors() {
+    let artifact = trained_artifact(&Learner::forest());
+    let spec_meta = artifact.meta.clone();
+    let selector = artifact.selector;
+    let report = artifact.report;
+    let bytes = selector.to_artifact_bytes(&report, &spec_meta);
+
+    let dir = std::env::temp_dir().join(format!("mpcp_serve_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.mpcp");
+
+    let svc = PredictionService::new(8);
+    // Truncated, flipped, and version-bumped files: all typed Artifact
+    // errors, never a panic, and the service stays usable afterwards.
+    let half = bytes.len() / 2;
+    std::fs::write(&path, &bytes[..half]).unwrap();
+    let err = svc.load_artifact(&path).unwrap_err();
+    assert!(matches!(err, ServeError::Artifact(_)), "{err:?}");
+
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(matches!(svc.load_artifact(&path).unwrap_err(), ServeError::Artifact(_)));
+
+    let mut vbump = bytes.clone();
+    vbump[4..8].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, &vbump).unwrap();
+    assert!(matches!(svc.load_artifact(&path).unwrap_err(), ServeError::Artifact(_)));
+
+    // The intact bytes still load into the same service.
+    std::fs::write(&path, &bytes).unwrap();
+    let key = svc.load_artifact(&path).unwrap();
+    let inst = Instance::new(spec_meta.collective, 1024, 3, 2);
+    assert!(svc.select(&key, &inst).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,9 +4,11 @@
 //! degrades gracefully instead of panicking — with the coverage
 //! accounting exact at every stage.
 
+mod fixture;
+
 use std::collections::HashMap;
 
-use mpcp_benchmark::{BenchConfig, DatasetSpec, FaultPlan, RetryPolicy};
+use mpcp_benchmark::{BenchConfig, FaultPlan, RetryPolicy};
 use mpcp_core::{evaluate_report, splits, Selector, TrainOptions};
 use mpcp_ml::Learner;
 
@@ -23,17 +25,17 @@ fn worst_per_instance(records: &[mpcp_benchmark::Record]) -> HashMap<(u32, u32, 
 
 #[test]
 fn pipeline_degrades_gracefully_at_ten_and_thirty_percent_faults() {
-    let spec = DatasetSpec::tiny_for_tests();
-    let library = spec.library(None);
+    let spec = fixture::spec();
+    let library = fixture::library();
     let bench = BenchConfig::quick();
-    let full = spec.sample_count(&library);
+    let full = spec.sample_count(library);
 
     for fail_rate in [0.10, 0.30] {
         let plan = FaultPlan::uniform(fail_rate, 0xFA_0715);
         // No retries: every failed attempt is a lost cell, so the
         // fault-summary arithmetic below is exact by construction.
         let retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
-        let data = spec.generate_with_faults(&library, &bench, Some(&plan), &retry);
+        let data = spec.generate_with_faults(library, &bench, Some(&plan), &retry);
 
         // Coverage accounting is exact: every grid cell is attempted
         // once and lands in exactly one bucket.
@@ -68,7 +70,7 @@ fn pipeline_degrades_gracefully_at_ten_and_thirty_percent_faults() {
             )
             .unwrap_or_else(|e| panic!("{name} at {fail_rate}: {e}"));
 
-            let report = evaluate_report(&selector, &test, &library, spec.coll);
+            let report = evaluate_report(&selector, &test, library, spec.coll);
             // Every distinct test instance is accounted for: scored or
             // skipped, never silently dropped.
             assert_eq!(
@@ -109,11 +111,11 @@ fn pipeline_degrades_gracefully_at_ten_and_thirty_percent_faults() {
 
 #[test]
 fn fault_injected_runs_are_seed_deterministic() {
-    let spec = DatasetSpec::tiny_for_tests();
-    let library = spec.library(None);
+    let spec = fixture::spec();
+    let library = fixture::library();
     let bench = BenchConfig::quick();
     let plan = FaultPlan { fail_prob: 0.25, timeout_prob: 0.05, seed: 42, ..FaultPlan::none() };
-    let run = || spec.generate_with_faults(&library, &bench, Some(&plan), &RetryPolicy::default());
+    let run = || spec.generate_with_faults(library, &bench, Some(&plan), &RetryPolicy::default());
     let (a, b) = (run(), run());
     assert_eq!(a.records, b.records);
     assert_eq!(a.faults.cells_ok, b.faults.cells_ok);
@@ -125,14 +127,14 @@ fn fault_injected_runs_are_seed_deterministic() {
 
 #[test]
 fn retries_strictly_improve_coverage_under_heavy_faults() {
-    let spec = DatasetSpec::tiny_for_tests();
-    let library = spec.library(None);
+    let spec = fixture::spec();
+    let library = fixture::library();
     let bench = BenchConfig::quick();
     let plan = FaultPlan::uniform(0.30, 7);
     let none = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
     let some = RetryPolicy { max_retries: 3, ..RetryPolicy::default() };
-    let flaky = spec.generate_with_faults(&library, &bench, Some(&plan), &none);
-    let healed = spec.generate_with_faults(&library, &bench, Some(&plan), &some);
+    let flaky = spec.generate_with_faults(library, &bench, Some(&plan), &none);
+    let healed = spec.generate_with_faults(library, &bench, Some(&plan), &some);
     assert!(healed.faults.retries > 0);
     assert!(
         healed.faults.cells_ok > flaky.faults.cells_ok,

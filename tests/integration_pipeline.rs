@@ -1,25 +1,29 @@
 //! End-to-end pipeline integration: simulate → benchmark → train →
 //! select → evaluate, across all three paper learners, on a miniature
 //! dataset (kept small so the suite runs quickly in debug builds).
+//!
+//! The grid is benchmarked once and every selector is trained once —
+//! then saved and reloaded as a binary artifact — by the shared
+//! [`fixture`] module; each test consumes the cached artifact.
 
-use mpcp_benchmark::{BenchConfig, DatasetSpec};
-use mpcp_core::{evaluate, mean_speedup, splits, Instance, Selector};
+mod fixture;
+
+use mpcp_core::{evaluate, mean_speedup, splits, Instance};
 use mpcp_ml::Learner;
 
 #[test]
 fn full_pipeline_runs_for_all_paper_learners() {
-    let spec = DatasetSpec::tiny_for_tests();
-    let library = spec.library(None);
-    let data = spec.generate(&library, &BenchConfig::quick());
-    assert_eq!(data.records.len(), spec.sample_count(&library));
+    let spec = fixture::spec();
+    let library = fixture::library();
+    let data = fixture::dataset();
+    assert_eq!(data.records.len(), spec.sample_count(library));
 
-    let train = splits::filter_records(&data.records, &[2, 4]);
     let test = splits::filter_records(&data.records, &[3]);
-    assert!(!train.is_empty() && !test.is_empty());
+    assert!(!test.is_empty());
 
     for (name, learner) in Learner::paper_learners() {
-        let selector = Selector::train(&learner, &train, library.configs(spec.coll)).unwrap();
-        let evals = evaluate(&selector, &test, &library, spec.coll);
+        let artifact = fixture::trained(&learner, &[2, 4]);
+        let evals = evaluate(&artifact.selector, &test, library, spec.coll);
         assert!(!evals.is_empty(), "{name}: no evaluations");
         for e in &evals {
             // Exhaustive best is a lower bound for both strategies.
@@ -36,14 +40,13 @@ fn full_pipeline_runs_for_all_paper_learners() {
 
 #[test]
 fn selector_generalizes_across_node_counts() {
-    // Train including the largest/smallest nodes, query strictly inside.
-    let spec = DatasetSpec::tiny_for_tests();
-    let library = spec.library(None);
-    let data = spec.generate(&library, &BenchConfig::quick());
-    let selector = Selector::train(&Learner::knn(), &data.records, library.configs(spec.coll)).unwrap();
+    // Train on every benchmarked node count, query strictly inside.
+    let spec = fixture::spec();
+    let library = fixture::library();
+    let artifact = fixture::trained(&Learner::knn(), &[]);
     for m in [16u64, 4 << 10, 256 << 10] {
         let inst = Instance::new(spec.coll, m, 3, 2);
-        let (uid, pred) = selector.select(&inst);
+        let (uid, pred) = artifact.selector.select(&inst);
         assert!(pred > 0.0);
         assert!((uid as usize) < library.configs(spec.coll).len());
     }
@@ -53,21 +56,18 @@ fn selector_generalizes_across_node_counts() {
 fn small_and_large_training_sets_give_similar_quality() {
     // The paper's Table IV(b) point: a reduced training set is almost as
     // good as the full one.
-    let spec = DatasetSpec::tiny_for_tests();
-    let library = spec.library(None);
-    let data = spec.generate(&library, &BenchConfig::quick());
+    let spec = fixture::spec();
+    let library = fixture::library();
+    let data = fixture::dataset();
     let test = splits::filter_records(&data.records, &[3]);
 
-    let full = splits::filter_records(&data.records, &[2, 4]);
-    let small = splits::filter_records(&data.records, &[2]);
-
     let s_full = {
-        let sel = Selector::train(&Learner::knn(), &full, library.configs(spec.coll)).unwrap();
-        mean_speedup(&evaluate(&sel, &test, &library, spec.coll))
+        let sel = fixture::trained(&Learner::knn(), &[2, 4]).selector;
+        mean_speedup(&evaluate(&sel, &test, library, spec.coll))
     };
     let s_small = {
-        let sel = Selector::train(&Learner::knn(), &small, library.configs(spec.coll)).unwrap();
-        mean_speedup(&evaluate(&sel, &test, &library, spec.coll))
+        let sel = fixture::trained(&Learner::knn(), &[2]).selector;
+        mean_speedup(&evaluate(&sel, &test, library, spec.coll))
     };
     assert!(s_full.is_finite() && s_small.is_finite());
     // Within a factor 2 of each other on this miniature grid.

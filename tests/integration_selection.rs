@@ -3,13 +3,15 @@
 //! simulator, and satisfies its collective's volume invariants; the
 //! default decision logics always pick valid configurations.
 
+mod fixture;
+
 use mpcp_collectives::decision::TuningGrid;
 use mpcp_collectives::{verify, Collective, MpiLibrary};
 use mpcp_simnet::{Machine, Simulator, Topology};
 
 #[test]
 fn every_open_mpi_config_satisfies_collective_invariants() {
-    let lib = MpiLibrary::open_mpi_4_0_2();
+    let lib = fixture::library();
     let machine = Machine::hydra();
     for (nodes, ppn) in [(2u32, 2u32), (3, 2)] {
         let topo = Topology::new(nodes, ppn);
@@ -49,7 +51,7 @@ fn every_intel_config_satisfies_collective_invariants() {
 fn default_logics_cover_the_paper_grids() {
     // The Open MPI fixed rules must return a valid, runnable config for
     // every instance in the d1/d2-style grids.
-    let lib = MpiLibrary::open_mpi_4_0_2();
+    let lib = fixture::library();
     let machine = Machine::hydra();
     for coll in Collective::ALL {
         for &n in &[2u32, 4, 7, 13, 36] {
