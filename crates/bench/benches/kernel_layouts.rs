@@ -1,0 +1,152 @@
+//! AoS vs SoA vs binned-SoA inference kernels, measured in-repo.
+//!
+//! The flat-tree module stores ensembles as structure-of-arrays with an
+//! optional exact u8 bin plan; earlier revisions packed nodes into
+//! 16-byte array-of-structs records and traversed them row by row.
+//! This bench reconstructs that AoS layout (from the persist wire
+//! format, which still *is* the packed node record) and races the three
+//! kernels on the same XGBoost-style ensemble and query block, so the
+//! layout win is a measured number rather than an assertion.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpcp_bench::training_dataset;
+use mpcp_ml::flat::FlatTrees;
+use mpcp_ml::gbt::{GbtModel, GbtParams};
+use mpcp_ml::persist::{ByteReader, ByteWriter, Persist};
+
+const NFEAT: usize = 4;
+const ROWS: usize = 512;
+
+/// The pre-SoA layout: one 16-byte record per node, early-exit
+/// traversal per row. Reference implementation only — kept here so the
+/// comparison cannot silently drift out of the repo.
+struct AosNode {
+    thresh: f64,
+    feat: u32,
+    left: u32,
+}
+
+struct AosTrees {
+    nodes: Vec<AosNode>,
+    value: Vec<f64>,
+    roots: Vec<u32>,
+}
+
+impl AosTrees {
+    /// Rebuild the packed layout from the flat ensemble's wire format
+    /// (length-prefixed `(thresh, feat, left)` records, then values,
+    /// then roots — unchanged since the AoS era).
+    fn from_flat(flat: &FlatTrees) -> AosTrees {
+        let mut w = ByteWriter::new();
+        flat.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let n = r.get_len(16).expect("node count");
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(AosNode {
+                thresh: r.get_f64().expect("thresh"),
+                feat: r.get_u32().expect("feat"),
+                left: r.get_u32().expect("left"),
+            });
+        }
+        let value = r.get_f64s().expect("values");
+        let roots = r.get_u32s().expect("roots");
+        AosTrees { nodes, value, roots }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for &root in &self.roots {
+            let mut i = root as usize;
+            loop {
+                let node = &self.nodes[i];
+                let l = node.left as usize;
+                if l == i {
+                    s += self.value[i];
+                    break;
+                }
+                i = if x[node.feat as usize] <= node.thresh { l } else { l + 1 };
+            }
+        }
+        s
+    }
+
+    fn predict_batch_into(&self, xs: &[f64], nfeat: usize, out: &mut [f64]) {
+        for (row, o) in xs.chunks_exact(nfeat).zip(out.iter_mut()) {
+            *o += self.predict_one(row);
+        }
+    }
+}
+
+fn query_rows() -> Vec<f64> {
+    let mut xs = Vec::with_capacity(ROWS * NFEAT);
+    for i in 0..ROWS {
+        let m = (1u64 << (2 * (i % 11))) as f64;
+        let p = [4.0f64, 8.0, 16.0, 32.0, 64.0, 128.0][i % 6];
+        xs.extend_from_slice(&[m.ln(), p / 4.0, 4.0, p]);
+    }
+    xs
+}
+
+fn bench(c: &mut Criterion) {
+    let model = GbtModel::fit(&training_dataset(3), &GbtParams::default());
+    let flat = model.flat();
+    assert!(flat.has_bin_plan(), "hist-grown ensemble must carry a bin plan");
+    let aos = AosTrees::from_flat(flat);
+    let xs = query_rows();
+
+    // Sanity: all three layouts answer identically before we time them.
+    let mut a = vec![0.0; ROWS];
+    let mut b = vec![0.0; ROWS];
+    let mut d = vec![0.0; ROWS];
+    aos.predict_batch_into(&xs, NFEAT, &mut a);
+    flat.predict_batch_into_unbinned(&xs, NFEAT, &mut b);
+    flat.predict_batch_into(&xs, NFEAT, &mut d);
+    assert_eq!(a, b);
+    assert_eq!(b, d);
+
+    let mut g = c.benchmark_group("kernel_layouts_batch_512");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("aos", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; ROWS];
+            aos.predict_batch_into(std::hint::black_box(&xs), NFEAT, &mut out);
+            out
+        })
+    });
+    g.bench_function("soa_unbinned", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; ROWS];
+            flat.predict_batch_into_unbinned(std::hint::black_box(&xs), NFEAT, &mut out);
+            out
+        })
+    });
+    g.bench_function("soa_binned", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; ROWS];
+            flat.predict_batch_into(std::hint::black_box(&xs), NFEAT, &mut out);
+            out
+        })
+    });
+    g.finish();
+
+    // The uncached serving shape: one row at a time.
+    let row = &xs[..NFEAT];
+    let mut g = c.benchmark_group("kernel_layouts_scalar");
+    g.sample_size(50);
+    g.bench_function("aos", |bch| {
+        bch.iter(|| aos.predict_one(std::hint::black_box(row)))
+    });
+    g.bench_function("soa_unbinned", |bch| {
+        bch.iter(|| flat.predict_one_from_unbinned(std::hint::black_box(row), 0.0))
+    });
+    g.bench_function("soa_binned", |bch| {
+        bch.iter(|| flat.predict_one_from(std::hint::black_box(row), 0.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

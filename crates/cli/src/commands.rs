@@ -503,13 +503,56 @@ fn percentile(sorted: &[u64], p: usize) -> u64 {
     sorted[idx]
 }
 
+/// Raw selection-kernel instance rates, measured on the bare
+/// [`Selector`] before it moves into the service: the tiled batch
+/// argmin over a 2048-row block, and the scalar fused argmin one row
+/// at a time. These isolate the SoA tree kernels from routing, cache,
+/// and queue overhead.
+fn kernel_rates(selector: &Selector, cells: &[Instance]) -> (f64, f64) {
+    const BLOCK: usize = 2048;
+    let mut block = Vec::with_capacity(BLOCK + cells.len());
+    while block.len() < BLOCK {
+        block.extend_from_slice(cells);
+    }
+    block.truncate(BLOCK);
+    let t0 = std::time::Instant::now();
+    let mut done = 0u64;
+    loop {
+        std::hint::black_box(selector.select_batch(std::hint::black_box(&block)));
+        done += block.len() as u64;
+        if t0.elapsed().as_secs_f64() > 0.2 {
+            break;
+        }
+    }
+    let batch_ips = done as f64 / t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let mut done = 0u64;
+    loop {
+        for inst in cells {
+            std::hint::black_box(selector.select(std::hint::black_box(inst)));
+        }
+        done += cells.len() as u64;
+        if t1.elapsed().as_secs_f64() > 0.2 {
+            break;
+        }
+    }
+    let scalar_ips = done as f64 / t1.elapsed().as_secs_f64();
+    (batch_ips, scalar_ips)
+}
+
 /// `mpcp serve-bench --model <artifact> [--threads 8] [--requests N]
-/// [--cache CAP] [--min-speedup X] [--out BENCH_PR5.json]`
+/// [--cache CAP] [--min-speedup X] [--baseline BENCH_PRn.json]
+/// [--min-uncached-speedup X] [--out BENCH_PR6.json]`
 ///
 /// Drives N-thread closed-loop load against a [`PredictionService`]
 /// three ways — uncached (every query evaluates all models), cached
 /// (per-shard LRU), and through the [`BatchServer`] queue — after
-/// asserting all paths return identical selections per grid cell.
+/// asserting all paths return identical selections per grid cell. A
+/// kernel phase additionally reports raw selector instance rates
+/// (batch and scalar fused argmin) with no serving layer in the way.
+/// `--baseline` points at an earlier run's JSON; combined with
+/// `--min-uncached-speedup` it gates this run's uncached throughput
+/// against that file's `uncached.qps`.
 ///
 /// [`PredictionService`]: mpcp_serve::PredictionService
 /// [`BatchServer`]: mpcp_serve::BatchServer
@@ -531,19 +574,42 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
         .get_or("min-speedup", "0")
         .parse()
         .map_err(|_| "bad --min-speedup".to_string())?;
+    let min_uncached_speedup: f64 = args
+        .get_or("min-uncached-speedup", "0")
+        .parse()
+        .map_err(|_| "bad --min-uncached-speedup".to_string())?;
+    let baseline_qps: Option<f64> = match args.get("baseline") {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            let doc =
+                mpcp_obs::json::parse(&text).map_err(|e| format!("{p}: bad JSON: {e}"))?;
+            let qps = doc
+                .get("uncached")
+                .and_then(|u| u.get("qps"))
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{p}: no uncached.qps field"))?;
+            Some(qps)
+        }
+        None => None,
+    };
+    if min_uncached_speedup > 0.0 && baseline_qps.is_none() {
+        return Err("--min-uncached-speedup needs --baseline".to_string());
+    }
 
     let artifact =
         Selector::load(Path::new(path)).map_err(|e| format!("loading model: {e}"))?;
     let learner = artifact.selector.learner_name();
     let coverage = artifact.report.summary();
     let meta = artifact.meta.clone();
-    let svc = std::sync::Arc::new(PredictionService::new(cache));
-    let key = svc.insert_artifact(artifact);
     let (max_nodes, max_ppn) = match parse_machine(&meta.machine) {
         Ok(m) => (m.max_nodes, m.max_ppn),
         Err(_) => (8, 16), // foreign machine name: a conservative grid
     };
     let cells = bench_cells(meta.collective, max_nodes, max_ppn);
+    let (kernel_batch_ips, kernel_scalar_ips) = kernel_rates(&artifact.selector, &cells);
+    let svc = std::sync::Arc::new(PredictionService::new(cache));
+    let key = svc.insert_artifact(artifact);
 
     // Equal-results gate before any timing: per cell, the cached,
     // uncached, and batch paths must agree bit-for-bit.
@@ -584,10 +650,19 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
     let (qps_unc, qps_c, qps_b) = (qps(wall_unc), qps(wall_c), qps(wall_b));
     let speedup = if qps_unc > 0.0 { qps_c / qps_unc } else { 0.0 };
 
+    let uncached_speedup = baseline_qps.map(|b| if b > 0.0 { qps_unc / b } else { 0.0 });
+    let baseline_json = match (args.get("baseline"), baseline_qps, uncached_speedup) {
+        (Some(p), Some(b), Some(s)) => format!(
+            "\n  \"baseline\": {{ \"path\": {}, \"uncached_qps\": {b:.0}, \
+             \"uncached_speedup\": {s:.2} }},",
+            mpcp_obs::export::json_string(p)
+        ),
+        _ => String::new(),
+    };
     let prov = mpcp_obs::provenance::Provenance::capture("mpcp serve-bench", meta.seed);
     let json = format!(
         r#"{{
-  "pr": 5,
+  "pr": 6,
   "provenance": {},
   "config": {{
     "model": {},
@@ -601,9 +676,10 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
     "cache_capacity": {cache},
     "distinct_cells": {}
   }},
+  "kernel": {{ "batch_insts_per_sec": {kernel_batch_ips:.0}, "scalar_insts_per_sec": {kernel_scalar_ips:.0} }},
   "uncached": {{ "qps": {qps_unc:.0}, "p50_ns": {}, "p99_ns": {} }},
   "cached": {{ "qps": {qps_c:.0}, "p50_ns": {}, "p99_ns": {}, "hits": {}, "misses": {}, "hit_ratio": {:.4} }},
-  "batched": {{ "qps": {qps_b:.0}, "p50_ns": {}, "p99_ns": {} }},
+  "batched": {{ "qps": {qps_b:.0}, "p50_ns": {}, "p99_ns": {} }},{baseline_json}
   "speedup_cached_vs_uncached": {speedup:.2},
   "equal_results": true
 }}
@@ -628,6 +704,7 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
     );
     let mut out = format!(
         "serve-bench: {} on {} cells, {threads} threads x {requests} requests/phase\n\
+         kernel:   {kernel_batch_ips:>10.0} inst/s batch, {kernel_scalar_ips:>10.0} inst/s scalar\n\
          uncached: {qps_unc:>10.0} qps  (p99 {:>8} ns)\n\
          cached:   {qps_c:>10.0} qps  (p99 {:>8} ns, hit ratio {:.3})\n\
          batched:  {qps_b:>10.0} qps  (p99 {:>8} ns)\n\
@@ -639,6 +716,9 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
         stats.hit_ratio(),
         percentile(&lat_b, 99),
     );
+    if let Some(s) = uncached_speedup {
+        out.push_str(&format!("uncached speedup vs baseline: {s:.2}x\n"));
+    }
     if let Some(out_path) = args.get("out") {
         std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
         out.push_str(&format!("wrote {out_path}\n"));
@@ -648,6 +728,15 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
             "serve-bench gate failed: cached/uncached speedup {speedup:.2}x \
              is below the required {min_speedup}x\n{out}"
         ));
+    }
+    if min_uncached_speedup > 0.0 {
+        let s = uncached_speedup.unwrap_or(0.0);
+        if s < min_uncached_speedup {
+            return Err(format!(
+                "serve-bench gate failed: uncached throughput {qps_unc:.0} qps is \
+                 {s:.2}x the baseline, below the required {min_uncached_speedup}x\n{out}"
+            ));
+        }
     }
     Ok(out)
 }
@@ -1064,9 +1153,37 @@ mod tests {
         .unwrap();
         assert!(out.contains("cached/uncached speedup"), "{out}");
         let doc = mpcp_obs::json::parse(&std::fs::read_to_string(&bench_json).unwrap()).unwrap();
-        assert_eq!(doc.get("pr").and_then(|v| v.as_f64()), Some(5.0));
+        assert_eq!(doc.get("pr").and_then(|v| v.as_f64()), Some(6.0));
         assert!(doc.get("provenance").and_then(|p| p.get("git_sha")).is_some());
         assert!(doc.get("cached").and_then(|c| c.get("qps")).and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(
+            doc.get("kernel")
+                .and_then(|k| k.get("batch_insts_per_sec"))
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                > 0.0
+        );
+        // A second run gated against the first as a baseline: 0.5x is
+        // trivially met by a same-machine re-run; an absurd uncached
+        // gate fails loudly.
+        let out = run_args(&[
+            "serve-bench", "--model", model.to_str().unwrap(), "--threads", "2", "--requests",
+            "200", "--baseline", bench_json.to_str().unwrap(), "--min-uncached-speedup", "0.01",
+        ])
+        .unwrap();
+        assert!(out.contains("uncached speedup vs baseline"), "{out}");
+        let err = run_args(&[
+            "serve-bench", "--model", model.to_str().unwrap(), "--threads", "2", "--requests",
+            "200", "--baseline", bench_json.to_str().unwrap(), "--min-uncached-speedup",
+            "1000000",
+        ])
+        .unwrap_err();
+        assert!(err.contains("gate failed"), "{err}");
+        let err = run_args(&[
+            "serve-bench", "--model", model.to_str().unwrap(), "--min-uncached-speedup", "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("needs --baseline"), "{err}");
         let report = run_args(&[
             "report", "--metrics", metrics.to_str().unwrap(), "--require-metric",
             "serve.cache_hits>=1",

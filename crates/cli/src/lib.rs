@@ -65,9 +65,11 @@ COMMANDS:
               --nodes <n> --ppn <N> --out <file> [--learner ...]
               [--min-samples <n>]
   serve-bench  load a model artifact into the concurrent PredictionService
-              and measure cached vs uncached vs batched query throughput
+              and measure kernel inst/s plus cached vs uncached vs batched
+              query throughput
               --model <file> [--threads 8] [--requests 20000]
-              [--cache 4096] [--min-speedup <x>] [--out BENCH_PR5.json]
+              [--cache 4096] [--min-speedup <x>] [--out BENCH_PR6.json]
+              [--baseline BENCH_PRn.json] [--min-uncached-speedup <x>]
   report      summarize trace/metrics files written by --trace-out /
               --metrics-out
               [--trace <file>] [--metrics <file>] [--require <spans>]

@@ -340,6 +340,44 @@ impl Selector {
             .collect()
     }
 
+    /// One fused pass over the model table: every trained model's
+    /// prediction folds straight into `(best, runner_up)` — no
+    /// intermediate `Vec` on the uncached serving path.
+    ///
+    /// Tie and NaN semantics exactly mirror the `predict_all` +
+    /// `min_by(total_cmp)` formulation this replaces: the *last* of
+    /// equally minimal predictions wins, and with `finite_only` set
+    /// non-finite predictions are skipped entirely (the `try_select`
+    /// rule). The runner-up is the smallest prediction from any
+    /// non-chosen uid, folded NaN-insensitively like the old
+    /// `f64::min` scan — `+∞` when fewer than two finite candidates
+    /// exist.
+    fn fused_argmin(&self, x: &[f64; NUM_FEATURES], finite_only: bool) -> (Option<(u32, f64)>, f64) {
+        let mut best: Option<(u32, f64)> = None;
+        let mut runner_up = f64::INFINITY;
+        let mut fold = |uid: u32, p: f64| {
+            if finite_only && !p.is_finite() {
+                return;
+            }
+            match best {
+                None => best = Some((uid, p)),
+                Some((_, bp)) => {
+                    if p.total_cmp(&bp) != std::cmp::Ordering::Greater {
+                        runner_up = runner_up.min(bp);
+                        best = Some((uid, p));
+                    } else {
+                        runner_up = runner_up.min(p);
+                    }
+                }
+            }
+        };
+        for (uid, m) in self.models.iter().enumerate() {
+            let Some(m) = m else { continue };
+            fold(uid32(uid), m.predict(x));
+        }
+        (best, runner_up)
+    }
+
     /// The paper's selection rule: argmin of predicted runtime.
     /// Returns `(uid, predicted_microseconds)`.
     pub fn select(&self, instance: &Instance) -> (u32, f64) {
@@ -347,24 +385,15 @@ impl Selector {
             .attr("instances", 1u64)
             .attr("models", self.model_count());
         let t = mpcp_obs::maybe_now();
-        let all = self.predict_all(instance);
-        let sel = all
-            .iter()
-            .copied()
-            // total_cmp: a NaN prediction (degenerate model) must order
-            // deterministically instead of panicking mid-selection.
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("selector has no trained models");
+        // total_cmp inside the fold: a NaN prediction (degenerate model)
+        // must order deterministically instead of panicking mid-selection.
+        let (best, runner_up) = self.fused_argmin(&instance.features(), false);
+        let sel = best.expect("selector has no trained models");
         if mpcp_obs::enabled() {
             mpcp_obs::counter_add!("selector.queries", 1);
-            mpcp_obs::counter_add!("selector.models_evaluated", all.len() as u64);
-            let second = all
-                .iter()
-                .filter(|&&(u, _)| u != sel.0)
-                .map(|&(_, p)| p)
-                .fold(f64::INFINITY, f64::min);
-            if second.is_finite() && sel.1 > 0.0 {
-                let ppm = ((second - sel.1) / sel.1 * 1e6).max(0.0);
+            mpcp_obs::counter_add!("selector.models_evaluated", self.model_count() as u64);
+            if runner_up.is_finite() && sel.1 > 0.0 {
+                let ppm = ((runner_up - sel.1) / sel.1 * 1e6).max(0.0);
                 mpcp_obs::hist_record!("selector.margin_ppm", ppm as u64);
             }
         }
@@ -375,10 +404,7 @@ impl Selector {
     /// [`Selector::select`] that never panics: `None` when no trained
     /// model produces a finite prediction for the instance.
     pub fn try_select(&self, instance: &Instance) -> Option<(u32, f64)> {
-        self.predict_all(instance)
-            .into_iter()
-            .filter(|(_, p)| p.is_finite())
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+        self.fused_argmin(&instance.features(), true).0
     }
 
     /// Total selection over partial training coverage: the model argmin
@@ -409,13 +435,18 @@ impl Selector {
     /// Batched selection: the argmin rule of [`Selector::select`]
     /// applied to a block of instances at once.
     ///
-    /// The feature matrix is assembled once (row-major), every model
-    /// evaluates the whole block through its batch kernel — models in
-    /// parallel — and a final pass folds the per-model prediction rows
-    /// into one argmin per instance. Agrees elementwise with calling
+    /// The feature matrix is assembled once (row-major) and split into
+    /// row tiles processed in parallel. Within a tile, every model
+    /// evaluates the rows through its batch kernel into one reusable
+    /// scratch buffer and the predictions fold straight into a fused
+    /// per-row `(best, runner_up)` — no per-model prediction vectors are
+    /// ever materialized. Agrees elementwise with calling
     /// [`Selector::select`] in a loop (ties broken toward the lower
     /// uid, which is also the order `predict_all` yields).
     pub fn select_batch(&self, instances: &[Instance]) -> Vec<(u32, f64)> {
+        /// Rows per parallel tile: large enough to amortize the lockstep
+        /// tree kernels, small enough that the scratch buffer stays in L1.
+        const TILE: usize = 256;
         let mut span = mpcp_obs::span("select")
             .attr("instances", instances.len())
             .attr("models", self.model_count());
@@ -424,22 +455,50 @@ impl Selector {
         for inst in instances {
             xs.extend_from_slice(&inst.features());
         }
-        let per_model: Vec<Option<Vec<f64>>> = self
-            .models
-            .par_iter()
-            .map(|m| m.as_ref().map(|m| m.predict_batch(&xs, NUM_FEATURES)))
-            .collect();
-        let mut best: Vec<(u32, f64)> = vec![(u32::MAX, f64::INFINITY); instances.len()];
-        for (uid, preds) in per_model.iter().enumerate() {
-            let Some(preds) = preds else { continue };
-            for (b, &p) in best.iter_mut().zip(preds) {
-                // `<=` mirrors `Iterator::min_by`, which keeps the LAST
-                // of equally minimal elements — so exact-tie behavior
-                // matches the scalar `select` path.
-                if p <= b.1 {
-                    *b = (uid32(uid), p);
+        // One tile of rows per parallel unit; each tile folds every
+        // model's predictions (one reusable scratch buffer) into a fused
+        // per-row `(best, runner_up)`. The runner-up feeds the margin
+        // histogram below without a second pass over models.
+        /// Per-tile result: fused `(uid, best)` per row plus the
+        /// runner-up predictions feeding the margin histogram.
+        type Tile = (Vec<(u32, f64)>, Vec<f64>);
+        let ntiles = instances.len().div_ceil(TILE);
+        let tiles: Vec<Tile> = (0..ntiles)
+            .into_par_iter()
+            .map(|tile| {
+                let start = tile * TILE;
+                let len = TILE.min(instances.len() - start);
+                let xs_tile = &xs[start * NUM_FEATURES..][..len * NUM_FEATURES];
+                let mut bests = vec![(u32::MAX, f64::INFINITY); len];
+                let mut seconds = vec![f64::INFINITY; len];
+                let mut preds = vec![0.0f64; len];
+                for (uid, m) in self.models.iter().enumerate() {
+                    let Some(m) = m else { continue };
+                    m.predict_batch_into(xs_tile, NUM_FEATURES, &mut preds);
+                    let u = uid32(uid);
+                    for ((b, s), &p) in bests.iter_mut().zip(seconds.iter_mut()).zip(&preds) {
+                        // `<=` mirrors `Iterator::min_by`, which keeps
+                        // the LAST of equally minimal elements — so
+                        // exact-tie behavior matches the scalar `select`
+                        // path. The displaced best (or the losing
+                        // prediction) folds NaN-insensitively into the
+                        // runner-up, like `select`'s f64::min scan.
+                        if p <= b.1 {
+                            *s = s.min(b.1);
+                            *b = (u, p);
+                        } else {
+                            *s = s.min(p);
+                        }
+                    }
                 }
-            }
+                (bests, seconds)
+            })
+            .collect();
+        let mut best: Vec<(u32, f64)> = Vec::with_capacity(instances.len());
+        let mut runner_up: Vec<f64> = Vec::with_capacity(instances.len());
+        for (bests, seconds) in tiles {
+            best.extend_from_slice(&bests);
+            runner_up.extend_from_slice(&seconds);
         }
         assert!(
             instances.is_empty() || best[0].0 != u32::MAX,
@@ -454,14 +513,7 @@ impl Selector {
             );
             // Predicted-vs-chosen margin: how far the runner-up sits
             // above the chosen configuration, in parts per million.
-            for (i, &(uid, pred)) in best.iter().enumerate() {
-                let mut second = f64::INFINITY;
-                for (u, preds) in per_model.iter().enumerate() {
-                    let Some(preds) = preds else { continue };
-                    if uid32(u) != uid && preds[i] < second {
-                        second = preds[i];
-                    }
-                }
+            for (&(_, pred), &second) in best.iter().zip(&runner_up) {
                 if second.is_finite() && pred > 0.0 {
                     let ppm = ((second - pred) / pred * 1e6).max(0.0);
                     mpcp_obs::hist_record!("selector.margin_ppm", ppm as u64);

@@ -1,111 +1,369 @@
-//! Flattened (structure-of-arrays) tree ensembles for batched
-//! inference.
+//! Flattened structure-of-arrays tree ensembles for batched and
+//! scalar inference.
 //!
 //! [`crate::tree::GradTree`] stores nodes as a `Vec` of structs, which
-//! is fine for growing but wasteful to traverse: every hop loads a
-//! 40-byte node to use at most 16 bytes of it. [`FlatTrees`] re-packs an
-//! ensemble into 16-byte traversal nodes (threshold + feature + left
-//! child) plus a separate leaf-value array, all trees concatenated,
-//! exploiting the builder invariant that a node's right child directly
-//! follows its left child — so only the left index is stored and
-//! `right = left + 1`.
+//! is fine for growing but wasteful to traverse. Earlier revisions of
+//! this module packed nodes into 16-byte array-of-structs records; the
+//! current layout goes one step further and splits every node field
+//! into its own cache-aligned array — thresholds, split features, and
+//! the two child indices live in parallel `Vec`s ([`FlatTrees`]). A
+//! traversal step then touches only the arrays it needs, the per-array
+//! stride is minimal (1–8 bytes instead of 16), and the fixed-depth
+//! lockstep loops below compile to straight-line compare/select code
+//! the backend can unroll and vectorize.
 //!
 //! Leaves are encoded as **self-loops**: a leaf routes every row back
-//! to itself (`feat = 0`, `thresh = +∞`, `left = self`). Together with
-//! the stored per-tree depth this removes the am-I-at-a-leaf branch
-//! from batched traversal entirely: stepping any cursor exactly
-//! `depth` times is guaranteed to land (and stay) on its leaf, so
-//! [`FlatTrees::predict_batch_into`] walks a block of rows in lockstep
-//! with no data-dependent branches — the block's loads overlap instead
-//! of serializing on one row's (unpredictable) branch pattern.
+//! to itself (`feat = 0`, `thresh = +∞`, `left = right = self`).
+//! Together with the stored per-tree depth this removes the
+//! am-I-at-a-leaf branch from lockstep traversal entirely: stepping any
+//! cursor exactly `depth` times is guaranteed to land (and stay) on its
+//! leaf, so the batch kernel walks a block of rows per tree — and the
+//! scalar kernel walks a block of *trees* per row — with no
+//! data-dependent branches.
 //!
-//! Feature values must not be NaN: a NaN comparison would step a
-//! parked cursor off its leaf. (The growers never produce NaN
-//! thresholds, and the paper's feature pipeline is NaN-free.)
+//! # Binned traversal
+//!
+//! Histogram training ([`crate::hist`]) already quantizes every feature
+//! into at most [`BinnedDataset::MAX_BINS`] = 256 buckets, so the
+//! thresholds of a hist-grown ensemble are drawn from ≤ 255 distinct
+//! cut values per feature. [`FlatTrees::from_trees`] detects this and
+//! precomputes a [`BinPlan`]: each node's threshold becomes a `u8` bin
+//! index packed — together with the split feature and left-child index
+//! — into a single `u32` word, and a query row is quantized once (a
+//! short branchless binary search per feature) so a traversal step on
+//! the hot path is exactly two loads: the node word and one quantized
+//! byte. The plan is *exact*, not approximate: `x <= thresh`
+//! and `bin(x) <= bin(thresh)` decide identically for every `f64`
+//! (including NaN and ±∞ — see [`quantize_value`]), so binned and
+//! unbinned traversal land on the same leaves and all prediction paths
+//! stay bitwise identical. Ensembles whose thresholds do not fit the
+//! bin budget (e.g. exact-method training on large data) simply carry
+//! no plan and use the f64 arrays.
+//!
+//! Both kernels are **total over non-finite feature values**: a NaN
+//! compares "greater" (routes right, as in XGBoost), and the explicit
+//! `right` array means a parked leaf cursor stays parked no matter what
+//! the comparison says. Derived state (`right`, `depth`, the bin plan)
+//! is never trusted from the wire — the persist decoder rebuilds it
+//! deterministically after validating the node topology.
+//!
+//! [`BinnedDataset::MAX_BINS`]: crate::hist::BinnedDataset::MAX_BINS
 
 use crate::tree::{GradTree, LEAF};
 
-/// Rows traversed in lockstep per block by the batched kernel. Big
-/// enough to hide load latency behind independent work, small enough
-/// that cursor state stays in registers.
+/// Cursors stepped in lockstep per block — rows in the batch kernel,
+/// trees in the scalar kernel. Big enough to hide load latency behind
+/// independent work, small enough that cursor state stays in registers.
 const BLOCK: usize = 16;
 
-/// One traversal node, packed to 16 bytes so a hop is a single
-/// cache-friendly load (leaf values live in a separate array — they are
-/// only read once per tree, at the end of the walk).
-#[derive(Clone, Copy, Debug)]
-struct Node {
-    /// Split threshold (`x[feat] <= thresh` routes left); leaves store
-    /// `+∞` so every comparison routes "left".
-    thresh: f64,
-    /// Split feature; leaves store 0 (self-loop encoding).
-    feat: u32,
-    /// Absolute index of the left child (right child is `left + 1`);
-    /// leaves store their own index, so `left == self` identifies a leaf
-    /// and traversal parks there.
-    left: u32,
+/// Scalar queries with at most this many features are quantized into a
+/// stack buffer; wider rows fall back to unbinned traversal rather than
+/// allocating per call (the paper's feature space has 4 features).
+const QROW_STACK: usize = 16;
+
+/// The bin index stored for leaf nodes and assigned to NaN feature
+/// values. Internal nodes always bin below it (a plan holds at most
+/// [`MAX_CUTS`] cuts, so internal bins are ≤ 254): `bin <= u8::MAX` is
+/// always true (leaf cursors park), and `u8::MAX <= internal_bin` is
+/// always false (NaN routes right, matching the f64 comparison).
+const LEAF_BIN: u8 = u8::MAX;
+
+/// Most distinct cut values a feature may have and still be binned:
+/// one less than [`crate::hist::BinnedDataset::MAX_BINS`], so bin
+/// indices 0..=254 identify cuts and 255 stays reserved for
+/// [`LEAF_BIN`]. Ensembles grown from a [`crate::hist::BinnedDataset`]
+/// satisfy this by construction.
+const MAX_CUTS: usize = crate::hist::BinnedDataset::MAX_BINS - 1;
+
+/// Depth of a grown tree (leaves are `left == LEAF` sentinels), used
+/// to order trees shallowest-first before flattening.
+fn grad_tree_depth(tree: &GradTree) -> u32 {
+    let mut maxd = 0u32;
+    let mut stack: Vec<(usize, u32)> = vec![(0, 0)];
+    while let Some((i, d)) = stack.pop() {
+        let node = &tree.nodes[i];
+        if node.left == LEAF {
+            maxd = maxd.max(d);
+        } else {
+            stack.push((node.left as usize, d + 1));
+            stack.push((node.right as usize, d + 1));
+        }
+    }
+    maxd
 }
 
-/// An ensemble of regression trees packed into parallel arrays.
+/// Node count / index converter. Flat indices are serialized as `u32`;
+/// ensembles are bounded far below `u32::MAX` nodes (the assert is the
+/// one place that invariant lives, shared by builder and decoder).
+fn idx32(i: usize) -> u32 {
+    assert!(u32::try_from(i).is_ok(), "flat node index {i} overflows u32");
+    i as u32
+}
+
+/// Exact per-feature quantization of an ensemble's split thresholds.
+///
+/// For feature `f`, `cuts[offset[f]..offset[f + 1]]` is the sorted set
+/// of distinct thresholds used by any internal node splitting on `f`.
+/// A value's bin is the number of cuts strictly below it (NaN maps to
+/// [`LEAF_BIN`]), and a node's stored bin is the position of its
+/// threshold in that set — so `bin(x) <= bin` decides exactly like
+/// `x <= thresh[i]`.
+#[derive(Clone, Debug, Default)]
+struct BinPlan {
+    /// Sorted distinct cuts, all features concatenated.
+    cuts: Vec<f64>,
+    /// Per-feature extent into `cuts`; length `fcount + 1`.
+    offset: Vec<u32>,
+    /// One packed word per node — `left << 16 | feat << 8 | bin` — so a
+    /// lockstep traversal step is exactly two loads: this word and the
+    /// quantized feature value. `bin` is the threshold's position in
+    /// its feature's cut set ([`LEAF_BIN`] for leaves, whose `left` is
+    /// their own index and `feat` is 0). The right child is *implied*:
+    /// the growers allocate children adjacently (`right == left + 1`,
+    /// asserted at build and validated on decode), so stepping is
+    /// `left + (bin(x) > bin) as usize` — a leaf's `bin` of 255 makes
+    /// that predicate false for every `u8`, parking the cursor, and a
+    /// NaN's bin of 255 makes it true at every internal node (bins ≤
+    /// 254), routing right exactly like the f64 comparison.
+    ///
+    /// The word is deliberately 4 bytes, not 8: an argmin selector
+    /// walks every model's ensemble per uncached query, so the
+    /// traversal working set is what the kernels are bound by. That
+    /// caps a binnable ensemble at [`MAX_META_NODES`] nodes and
+    /// [`MAX_META_FEAT`] split features — bigger ensembles simply
+    /// skip the plan and take the f64 path.
+    meta: Vec<u32>,
+}
+
+/// Largest split-feature index the packed [`BinPlan`] word can hold
+/// (8 bits, i.e. `u8::MAX` — the paper's feature space has 4).
+const MAX_META_FEAT: u32 = 0xff;
+
+/// Largest node count whose indices fit the packed word's 16-bit
+/// child field (index ≤ 65535).
+const MAX_META_NODES: usize = 1 << 16;
+
+/// Bin of one query value within a feature's sorted cut set: the count
+/// of cuts strictly below `x`, or [`LEAF_BIN`] for NaN.
+///
+/// Decides identically to the f64 comparison for every input: for the
+/// cut at position `j`, `x <= cut` ⟺ `bin(x) <= j` when `x` is not
+/// NaN (cuts below `x` all sort before position `j`), and NaN — for
+/// which `x <= cut` is always false — maps past every internal bin.
+fn quantize_value(cuts: &[f64], x: f64) -> u8 {
+    if x.is_nan() {
+        return LEAF_BIN;
+    }
+    // `cuts` is sorted and NaN-free, so the count of cuts `< x` IS the
+    // partition point. A linear count beats binary search here: cut
+    // sets are at most [`MAX_CUTS`] long (typically a few dozen), and
+    // the branch-free independent compares vectorize, where a search's
+    // probes are serially dependent loads with a mispredict per level.
+    let below: usize = cuts.iter().map(|&c| usize::from(c < x)).sum();
+    // `below <= cuts.len() <= MAX_CUTS < 255`: the fallback is
+    // unreachable, but keeps the conversion total without a panic path.
+    u8::try_from(below).unwrap_or(LEAF_BIN)
+}
+
+/// An ensemble of regression trees packed into parallel per-field
+/// arrays (structure-of-arrays), with an optional exact [`BinPlan`].
 #[derive(Clone, Debug, Default)]
 pub struct FlatTrees {
-    /// Traversal nodes for all trees, concatenated.
-    nodes: Vec<Node>,
+    /// Split threshold per node (`x[feat] <= thresh` routes left);
+    /// leaves store `+∞` so every non-NaN comparison routes "left".
+    thresh: Vec<f64>,
+    /// Split feature per node; leaves store 0 (self-loop encoding).
+    feat: Vec<u32>,
+    /// Absolute index of the left child; leaves store their own index,
+    /// so `left == self` identifies a leaf and traversal parks there.
+    left: Vec<u32>,
+    /// Absolute index of the right child (`left + 1` for internal
+    /// nodes — the growers allocate children adjacently); leaves store
+    /// their own index so even a "route right" comparison outcome (a
+    /// NaN feature) keeps the cursor parked. Derived, not serialized.
+    right: Vec<u32>,
     /// Leaf value per node (already scaled by the caller's factor).
     value: Vec<f64>,
     /// Root node index of each tree.
     roots: Vec<u32>,
     /// Depth of each tree: traversal steps that guarantee leaf arrival.
     depth: Vec<u32>,
-    /// Largest split-feature index across all nodes; lets
-    /// [`FlatTrees::predict_batch_into`] validate feature accesses once
-    /// per call instead of once per traversal step.
+    /// Largest split-feature index across all nodes; lets the kernels
+    /// validate feature accesses once per call instead of per step.
     max_feat: u32,
+    /// Exact u8 quantization of the thresholds, when they fit the
+    /// 256-bin space histogram training draws them from.
+    bins: Option<BinPlan>,
 }
 
 impl FlatTrees {
     /// Flatten an ensemble, scaling every leaf value by `scale`
     /// (boosters pass the learning rate so prediction is a plain sum).
+    ///
+    /// Consecutive trees with identical *structure* — same topology,
+    /// split features, and bit-identical thresholds — are merged into
+    /// one tree whose leaf values are the (scaled) sums of the run.
+    /// Any row routes to the same leaf in every tree of such a run, so
+    /// the merged ensemble computes the same real-valued function with
+    /// proportionally fewer traversals. Boosters on small datasets
+    /// converge to repeating the same splits round after round, which
+    /// makes this the single biggest uncached-inference lever: typical
+    /// selector models shrink 3–4× here. (Summing a run's leaf values
+    /// at build time can differ from summing them query-time by an
+    /// ulp; every prediction path uses the merged arrays, so batch ≡
+    /// scalar bitwise equivalence is unaffected.)
+    ///
+    /// Trees are stored **shallowest first**: a lockstep block steps
+    /// every cursor the *deepest* depth in the block, so grouping
+    /// trees by depth stops one deep tree from stretching a block of
+    /// shallow ones. The sort is stable, which keeps originally
+    /// consecutive identical trees adjacent (nothing of equal depth
+    /// can move between them), so the merge above still sees every
+    /// run. Ensemble sums are order-sensitive only in their f64
+    /// rounding; all prediction paths walk the stored order, so they
+    /// stay bitwise identical to each other.
     pub fn from_trees<'a>(trees: impl IntoIterator<Item = &'a GradTree>, scale: f64) -> FlatTrees {
+        let mut by_depth: Vec<&GradTree> = trees.into_iter().collect();
+        by_depth.sort_by_key(|t| grad_tree_depth(t));
         let mut flat = FlatTrees::default();
-        let mut stack: Vec<(usize, u32)> = Vec::new();
-        for tree in trees {
-            let base = flat.nodes.len() as u32;
+        for tree in by_depth {
+            let base = idx32(flat.thresh.len());
+            if let Some(&prev) = flat.roots.last() {
+                if flat.merge_into_previous(prev, base, tree, scale) {
+                    continue;
+                }
+            }
             flat.roots.push(base);
             for (i, node) in tree.nodes.iter().enumerate() {
                 let leaf = node.left == LEAF;
                 if !leaf {
                     // The growers allocate children adjacently and
                     // in-range; the packed layout (and the unchecked
-                    // batch traversal) depend on it.
+                    // lockstep traversal) depend on it.
                     debug_assert_eq!(node.right, node.left + 1, "node {i} children not adjacent");
                     assert!((node.right as usize) < tree.nodes.len(), "node {i} child out of range");
                     flat.max_feat = flat.max_feat.max(node.feat);
                 }
-                flat.nodes.push(Node {
-                    thresh: if leaf { f64::INFINITY } else { node.thresh },
-                    feat: if leaf { 0 } else { node.feat },
-                    left: if leaf { base + i as u32 } else { base + node.left },
-                });
+                let me = base + idx32(i);
+                flat.thresh.push(if leaf { f64::INFINITY } else { node.thresh });
+                flat.feat.push(if leaf { 0 } else { node.feat });
+                flat.left.push(if leaf { me } else { base + node.left });
+                flat.right.push(if leaf { me } else { base + node.right });
                 flat.value.push(node.value * scale);
             }
-            // Tree depth = the step count after which every cursor has
-            // reached (and self-loops on) a leaf.
-            let mut maxd = 0u32;
-            stack.clear();
-            stack.push((base as usize, 0));
-            while let Some((i, d)) = stack.pop() {
-                let l = flat.nodes[i].left as usize;
-                if l == i {
-                    maxd = maxd.max(d);
-                } else {
-                    stack.push((l, d + 1));
-                    stack.push((l + 1, d + 1));
-                }
-            }
-            flat.depth.push(maxd);
+            flat.depth.push(flat.tree_depth(base as usize));
         }
+        flat.bins = flat.build_bin_plan();
         flat
+    }
+
+    /// If `tree` has exactly the structure of the already-flattened
+    /// tree occupying `prev..end`, fold its scaled leaf values into
+    /// that segment and report `true`; otherwise change nothing.
+    fn merge_into_previous(&mut self, prev: u32, end: u32, tree: &GradTree, scale: f64) -> bool {
+        let (prev, end) = (prev as usize, end as usize);
+        if end - prev != tree.nodes.len() {
+            return false;
+        }
+        for (i, node) in tree.nodes.iter().enumerate() {
+            let at = prev + i;
+            let leaf = node.left == LEAF;
+            let was_leaf = self.left[at] as usize == at;
+            if leaf != was_leaf {
+                return false;
+            }
+            if !leaf
+                && (self.thresh[at].to_bits() != node.thresh.to_bits()
+                    || self.feat[at] != node.feat
+                    || self.left[at] as usize != prev + node.left as usize)
+            {
+                return false;
+            }
+        }
+        for (i, node) in tree.nodes.iter().enumerate() {
+            self.value[prev + i] += node.value * scale;
+        }
+        true
+    }
+
+    /// Depth of the tree rooted at `root` — the step count after which
+    /// every cursor has reached (and self-loops on) a leaf.
+    fn tree_depth(&self, root: usize) -> u32 {
+        let mut maxd = 0u32;
+        let mut stack: Vec<(usize, u32)> = vec![(root, 0)];
+        while let Some((i, d)) = stack.pop() {
+            let l = self.left[i] as usize;
+            if l == i {
+                maxd = maxd.max(d);
+            } else {
+                stack.push((l, d + 1));
+                stack.push((l + 1, d + 1));
+            }
+        }
+        maxd
+    }
+
+    /// Features the kernels index when traversing: `max_feat + 1`.
+    /// Query rows are quantized to exactly this many bins — trailing
+    /// features no tree splits on are never binned.
+    fn fcount(&self) -> usize {
+        if self.thresh.is_empty() {
+            0
+        } else {
+            self.max_feat as usize + 1
+        }
+    }
+
+    /// Build the exact u8 quantization, or `None` when any feature's
+    /// distinct internal thresholds exceed the [`MAX_CUTS`] budget (or
+    /// a threshold is non-finite, which the greedy growers never emit).
+    fn build_bin_plan(&self) -> Option<BinPlan> {
+        let fcount = self.fcount();
+        if fcount == 0 || self.max_feat > MAX_META_FEAT || self.thresh.len() > MAX_META_NODES {
+            return None;
+        }
+        let mut per_feat: Vec<Vec<f64>> = vec![Vec::new(); fcount];
+        for i in 0..self.thresh.len() {
+            if self.left[i] as usize == i {
+                continue; // leaf: +∞ sentinel, never a cut
+            }
+            let t = self.thresh[i];
+            if !t.is_finite() {
+                return None;
+            }
+            per_feat[self.feat[i] as usize].push(t);
+        }
+        let mut cuts = Vec::new();
+        let mut offset = Vec::with_capacity(fcount + 1);
+        offset.push(0u32);
+        for col in &mut per_feat {
+            col.sort_by(f64::total_cmp);
+            col.dedup();
+            if col.len() > MAX_CUTS {
+                return None;
+            }
+            cuts.extend_from_slice(col);
+            offset.push(idx32(cuts.len()));
+        }
+        let mut meta = Vec::with_capacity(self.thresh.len());
+        for i in 0..self.thresh.len() {
+            if self.left[i] as usize == i {
+                // Leaf: `left` is the node itself and the bin of 255
+                // guarantees the step predicate is false, so the
+                // packed step parks the cursor in place.
+                meta.push(self.left[i] << 16 | u32::from(LEAF_BIN));
+                continue;
+            }
+            let f = self.feat[i] as usize;
+            let col = &cuts[offset[f] as usize..offset[f + 1] as usize];
+            // The node's threshold is a member of its feature's cut
+            // set by construction; its bin is its position there.
+            let j = col.partition_point(|&c| c < self.thresh[i]);
+            debug_assert!(j < col.len() && col[j] == self.thresh[i], "cut set missing a threshold");
+            let bin = u8::try_from(j).unwrap_or(LEAF_BIN);
+            meta.push(self.left[i] << 16 | self.feat[i] << 8 | u32::from(bin));
+        }
+        Some(BinPlan { cuts, offset, meta })
     }
 
     /// Number of trees.
@@ -115,7 +373,13 @@ impl FlatTrees {
 
     /// Total node count across trees.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.thresh.len()
+    }
+
+    /// Whether the ensemble's thresholds fit the ≤256-bin space and the
+    /// u8 fast path is active (always true for hist-grown boosters).
+    pub fn has_bin_plan(&self) -> bool {
+        self.bins.is_some()
     }
 
     /// Sum of (scaled) leaf values over all trees for one row.
@@ -125,24 +389,122 @@ impl FlatTrees {
     }
 
     /// Like [`FlatTrees::predict_one`] but accumulates onto `init`,
-    /// using the same summation order as [`FlatTrees::predict_batch_into`]
-    /// — so a scalar prediction seeded with the booster's base score is
-    /// bitwise identical to the batched one.
-    #[inline]
+    /// using the same summation order (tree order) as every other
+    /// prediction path — so a scalar prediction seeded with the
+    /// booster's base score is bitwise identical to the batched one.
+    ///
+    /// With a bin plan the row is quantized once and the trees are
+    /// walked as [`BLOCK`]-wide lockstep cursor blocks over `u8`
+    /// arrays; otherwise each tree is walked by ordinary early-exit
+    /// f64 traversal. Both orders visit trees 0..n and add one leaf
+    /// value each, so the result is identical either way.
     pub fn predict_one_from(&self, x: &[f64], init: f64) -> f64 {
+        let fcount = self.fcount();
+        if fcount == 0 {
+            return init;
+        }
+        assert!(
+            fcount <= x.len(),
+            "model uses feature {} but the row has only {}",
+            self.max_feat,
+            x.len()
+        );
+        if let Some(plan) = &self.bins {
+            if fcount <= QROW_STACK {
+                let mut q = [0u8; QROW_STACK];
+                for (f, qv) in q.iter_mut().enumerate().take(fcount) {
+                    let col = &plan.cuts[plan.offset[f] as usize..plan.offset[f + 1] as usize];
+                    *qv = quantize_value(col, x[f]);
+                }
+                return self.predict_one_binned(&q[..fcount], init, plan);
+            }
+        }
+        self.predict_one_from_unbinned(x, init)
+    }
+
+    /// Unbinned (f64-comparison) scalar reference path. Public for the
+    /// layout micro-benchmarks and equivalence proptests; callers
+    /// normally use [`FlatTrees::predict_one_from`], which picks the
+    /// binned kernel when a plan exists. Bitwise identical to it.
+    pub fn predict_one_from_unbinned(&self, x: &[f64], init: f64) -> f64 {
         let mut s = init;
         for &root in &self.roots {
             let mut i = root as usize;
             loop {
-                let n = self.nodes[i];
-                let l = n.left as usize;
+                let l = self.left[i] as usize;
                 if l == i {
                     s += self.value[i];
                     break;
                 }
-                let go_left = x[n.feat as usize] <= n.thresh;
-                i = l + usize::from(!go_left);
+                let go_left = x[self.feat[i] as usize] <= self.thresh[i];
+                i = if go_left { l } else { self.right[i] as usize };
             }
+        }
+        s
+    }
+
+    /// Binned scalar kernel: one quantized row, trees stepped as
+    /// lockstep cursor blocks. A single row has no row-level
+    /// parallelism to mine, but an ensemble walk is a chain of
+    /// dependent loads *per tree* — stepping [`BLOCK`] independent tree
+    /// cursors at once overlaps those chains instead of serializing
+    /// them, which is where the uncached-serving speedup comes from.
+    fn predict_one_binned(&self, q: &[u8], init: f64, plan: &BinPlan) -> f64 {
+        let mut s = init;
+        let ntrees = self.roots.len();
+        let mut c0 = 0usize;
+        while c0 < ntrees {
+            s = self.step_block(c0, q, s, plan);
+            c0 += BLOCK.min(ntrees - c0);
+        }
+        s
+    }
+
+    /// One [`BLOCK`]-wide lockstep block of the binned scalar walk:
+    /// trees `c0 ..` (at most [`BLOCK`] of them), accumulating their
+    /// leaf values onto `init` in tree order.
+    #[inline(always)]
+    fn step_block(&self, c0: usize, q: &[u8], init: f64, plan: &BinPlan) -> f64 {
+        let m = BLOCK.min(self.roots.len() - c0);
+        // A short last block is padded with copies of its first
+        // cursor so the step loop below is always exactly [`BLOCK`]
+        // wide — a fixed-size loop the compiler fully unrolls, with
+        // no per-slot trip-count check. The padded cursors walk a
+        // real tree (their work is wasted, not unsafe) and the value
+        // sum only reads the first `m`.
+        let mut idx = [self.roots[c0] as usize; BLOCK];
+        let mut steps = 0u32;
+        for (t, slot) in idx.iter_mut().enumerate().take(m) {
+            *slot = self.roots[c0 + t] as usize;
+            steps = steps.max(self.depth[c0 + t]);
+        }
+        for _ in 0..steps {
+            for slot in idx.iter_mut() {
+                let i = *slot;
+                // SAFETY: `i` is a root or a child index, both
+                // < `num_nodes` by construction (`from_trees`
+                // asserts, the decoder validates) and `plan.meta`
+                // has `num_nodes` entries. The unpacked feature
+                // index is ≤ `max_feat` < `q.len()` (the caller
+                // quantized `fcount` values). Eliding per-step
+                // bounds checks matters: the kernel is
+                // load-latency bound.
+                let (qv, w) = unsafe {
+                    let w = *plan.meta.get_unchecked(i);
+                    let f = ((w >> 8) & 0xff) as usize;
+                    (u32::from(*q.get_unchecked(f)), w)
+                };
+                // Two loads and pure arithmetic per step: the
+                // right child is implied (`left + 1`), a leaf's
+                // bin of 255 parks the cursor, and a NaN's qv of
+                // 255 beats every internal bin — see
+                // [`BinPlan::meta`].
+                *slot = (w >> 16) as usize + usize::from(qv > (w & 0xff));
+            }
+        }
+        let mut s = init;
+        for &i in idx.iter().take(m) {
+            s += self.value[i];
         }
         s
     }
@@ -150,20 +512,60 @@ impl FlatTrees {
     /// Add each row's ensemble sum into `out` (`out[r] += Σ trees(x_r)`).
     ///
     /// `xs` is row-major with `nfeat` features per row; `out.len()` must
-    /// equal the row count. Trees form the outer loop so each tree's
+    /// equal the row count. With a bin plan every row is quantized once
+    /// up front and traversal compares `u8`s; otherwise the f64 arrays
+    /// are used directly. Trees form the outer loop so each tree's
     /// arrays stay cache-resident while rows stream through; rows go
     /// through in blocks of [`BLOCK`] independent cursors stepped the
     /// tree's depth in lockstep — leaf self-loops make the extra steps
     /// of early-arriving rows free of branches, so the whole block runs
     /// without data-dependent control flow.
     pub fn predict_batch_into(&self, xs: &[f64], nfeat: usize, out: &mut [f64]) {
+        self.check_batch_shape(xs, nfeat, out);
+        if self.thresh.is_empty() {
+            return;
+        }
+        if let Some(plan) = &self.bins {
+            let fcount = self.fcount();
+            let rows = out.len();
+            let mut q = vec![0u8; rows * fcount];
+            for r in 0..rows {
+                let row = &xs[r * nfeat..r * nfeat + fcount];
+                let qrow = &mut q[r * fcount..(r + 1) * fcount];
+                for f in 0..fcount {
+                    let col = &plan.cuts[plan.offset[f] as usize..plan.offset[f + 1] as usize];
+                    qrow[f] = quantize_value(col, row[f]);
+                }
+            }
+            self.batch_binned(&q, fcount, out, plan);
+        } else {
+            self.batch_unbinned(xs, nfeat, out);
+        }
+    }
+
+    /// Unbinned (f64-comparison) batch reference path. Public for the
+    /// layout micro-benchmarks and equivalence proptests; callers
+    /// normally use [`FlatTrees::predict_batch_into`], which picks the
+    /// binned kernel when a plan exists. Bitwise identical to it.
+    pub fn predict_batch_into_unbinned(&self, xs: &[f64], nfeat: usize, out: &mut [f64]) {
+        self.check_batch_shape(xs, nfeat, out);
+        if self.thresh.is_empty() {
+            return;
+        }
+        self.batch_unbinned(xs, nfeat, out);
+    }
+
+    fn check_batch_shape(&self, xs: &[f64], nfeat: usize, out: &[f64]) {
         assert!(nfeat > 0, "nfeat must be positive");
         assert_eq!(xs.len(), out.len() * nfeat, "row-major shape mismatch");
         assert!(
-            self.nodes.is_empty() || (self.max_feat as usize) < nfeat,
+            self.thresh.is_empty() || (self.max_feat as usize) < nfeat,
             "model uses feature {} but rows have only {nfeat}",
             self.max_feat,
         );
+    }
+
+    fn batch_unbinned(&self, xs: &[f64], nfeat: usize, out: &mut [f64]) {
         let rows = out.len();
         let full = rows - rows % BLOCK;
         for (t, &root) in self.roots.iter().enumerate() {
@@ -182,20 +584,25 @@ impl FlatTrees {
                 for _ in 0..depth {
                     for (b, i) in idx.iter_mut().enumerate() {
                         // SAFETY: `*i` is `root` or a child index; both
-                        // are < `nodes.len()` by construction (checked
-                        // in `from_trees`). The feature index is ≤
-                        // `max_feat` < `nfeat` (asserted on entry) and
-                        // `r0 + b` < `full` ≤ `rows`, so the `xs` index
-                        // is < `rows * nfeat` = `xs.len()` (asserted on
-                        // entry). Eliding the per-step bounds checks
-                        // matters: the kernel is load-throughput bound.
-                        let (n, x) = unsafe {
-                            let n = *self.nodes.get_unchecked(*i);
-                            let x = *xs.get_unchecked((r0 + b) * nfeat + n.feat as usize);
-                            (n, x)
+                        // are < `num_nodes` by construction (checked in
+                        // `from_trees`, validated by the decoder), and
+                        // every per-node array has `num_nodes` entries.
+                        // The feature index is ≤ `max_feat` < `nfeat`
+                        // (asserted on entry) and `r0 + b` < `full` ≤
+                        // `rows`, so the `xs` index is < `rows * nfeat`
+                        // = `xs.len()` (asserted on entry). Eliding the
+                        // per-step bounds checks matters: the kernel is
+                        // load-throughput bound.
+                        let (go_left, l, r) = unsafe {
+                            let f = *self.feat.get_unchecked(*i) as usize;
+                            let x = *xs.get_unchecked((r0 + b) * nfeat + f);
+                            (
+                                x <= *self.thresh.get_unchecked(*i),
+                                *self.left.get_unchecked(*i),
+                                *self.right.get_unchecked(*i),
+                            )
                         };
-                        let go_left = x <= n.thresh;
-                        *i = n.left as usize + usize::from(!go_left);
+                        *i = if go_left { l as usize } else { r as usize };
                     }
                 }
                 for (b, &i) in idx.iter().enumerate() {
@@ -208,14 +615,71 @@ impl FlatTrees {
                 let x = &xs[r * nfeat..(r + 1) * nfeat];
                 let mut i = root as usize;
                 loop {
-                    let n = self.nodes[i];
-                    let l = n.left as usize;
+                    let l = self.left[i] as usize;
                     if l == i {
                         out[r] += self.value[i];
                         break;
                     }
-                    let go_left = x[n.feat as usize] <= n.thresh;
-                    i = l + usize::from(!go_left);
+                    let go_left = x[self.feat[i] as usize] <= self.thresh[i];
+                    i = if go_left { l } else { self.right[i] as usize };
+                }
+            }
+        }
+    }
+
+    /// Binned batch kernel over pre-quantized rows (`q` is row-major,
+    /// `fcount` bins per row). Same loop structure as the unbinned
+    /// kernel; each step loads one packed node word and one quantized
+    /// byte, and the next cursor is pure arithmetic on them.
+    fn batch_binned(&self, q: &[u8], fcount: usize, out: &mut [f64], plan: &BinPlan) {
+        let rows = out.len();
+        let full = rows - rows % BLOCK;
+        for (t, &root) in self.roots.iter().enumerate() {
+            let depth = self.depth[t];
+            if depth == 0 {
+                let v = self.value[root as usize];
+                for o in out.iter_mut() {
+                    *o += v;
+                }
+                continue;
+            }
+            for r0 in (0..full).step_by(BLOCK) {
+                let mut idx = [root as usize; BLOCK];
+                for _ in 0..depth {
+                    for (b, i) in idx.iter_mut().enumerate() {
+                        // SAFETY: same index invariants as the unbinned
+                        // kernel (`*i` < `num_nodes`; `plan.meta` has
+                        // `num_nodes` entries). The unpacked feature
+                        // index is ≤ `max_feat` < `fcount` and
+                        // `r0 + b` < `rows`, so the `q` index is
+                        // < `rows * fcount` = `q.len()` (built that
+                        // way one frame up).
+                        let (qv, w) = unsafe {
+                            let w = *plan.meta.get_unchecked(*i);
+                            let f = ((w >> 8) & 0xff) as usize;
+                            (u32::from(*q.get_unchecked((r0 + b) * fcount + f)), w)
+                        };
+                        // Two loads per step; right child implied, leaf
+                        // parks, NaN routes right — see [`BinPlan::meta`].
+                        *i = (w >> 16) as usize + usize::from(qv > (w & 0xff));
+                    }
+                }
+                for (b, &i) in idx.iter().enumerate() {
+                    out[r0 + b] += self.value[i];
+                }
+            }
+            for r in full..rows {
+                let qrow = &q[r * fcount..(r + 1) * fcount];
+                let mut i = root as usize;
+                loop {
+                    let l = self.left[i] as usize;
+                    if l == i {
+                        out[r] += self.value[i];
+                        break;
+                    }
+                    let bin = plan.meta[i] & 0xff;
+                    let go_left = u32::from(qrow[self.feat[i] as usize]) <= bin;
+                    i = if go_left { l } else { self.right[i] as usize };
                 }
             }
         }
@@ -224,14 +688,16 @@ impl FlatTrees {
 
 impl crate::persist::Persist for FlatTrees {
     fn encode(&self, w: &mut crate::persist::ByteWriter) {
-        // `depth` and `max_feat` are derived state — recomputed on
-        // decode rather than trusted from the wire, because the unsafe
-        // batch kernel relies on them.
-        w.put_len(self.nodes.len());
-        for n in &self.nodes {
-            w.put_f64(n.thresh);
-            w.put_u32(n.feat);
-            w.put_u32(n.left);
+        // `right`, `depth`, `max_feat`, and the bin plan are derived
+        // state — recomputed on decode rather than trusted from the
+        // wire, because the unsafe lockstep kernels rely on them. The
+        // wire format is the PR 1 node record (thresh, feat, left),
+        // unchanged by the SoA re-layout.
+        w.put_len(self.thresh.len());
+        for i in 0..self.thresh.len() {
+            w.put_f64(self.thresh[i]);
+            w.put_u32(self.feat[i]);
+            w.put_u32(self.left[i]);
         }
         w.put_f64s(&self.value);
         w.put_u32s(&self.roots);
@@ -245,12 +711,13 @@ impl crate::persist::Persist for FlatTrees {
         if u32::try_from(n).is_err() {
             return Err(CodecError::invalid(format!("{n} flat nodes exceed u32 indexing")));
         }
-        let mut nodes = Vec::with_capacity(n);
+        let mut thresh = Vec::with_capacity(n);
+        let mut feat = Vec::with_capacity(n);
+        let mut left = Vec::with_capacity(n);
         for _ in 0..n {
-            let thresh = r.get_f64()?;
-            let feat = r.get_u32()?;
-            let left = r.get_u32()?;
-            nodes.push(Node { thresh, feat, left });
+            thresh.push(r.get_f64()?);
+            feat.push(r.get_u32()?);
+            left.push(r.get_u32()?);
         }
         let value = r.get_f64s()?;
         if value.len() != n {
@@ -281,16 +748,16 @@ impl crate::persist::Persist for FlatTrees {
             // an internal node whose children (left, left+1) lie
             // strictly deeper in the same segment — this is exactly the
             // acyclicity/progress invariant `from_trees` establishes and
-            // the `get_unchecked` traversal in `predict_batch_into`
+            // the `get_unchecked` traversal in the lockstep kernels
             // depends on.
-            for (i, node) in nodes.iter().enumerate().take(end).skip(start) {
-                let l = node.left as usize;
+            for (i, &l) in left.iter().enumerate().take(end).skip(start) {
+                let l = l as usize;
                 if l == i {
                     // The self-loop only parks cursors when the stored
                     // threshold compares ≥ every feature value; anything
                     // but +∞ would let the lockstep kernel walk off the
                     // leaf (and potentially out of bounds).
-                    if node.thresh != f64::INFINITY {
+                    if thresh[i] != f64::INFINITY {
                         return Err(CodecError::invalid(format!(
                             "flat leaf {i} threshold is not +inf"
                         )));
@@ -305,34 +772,31 @@ impl crate::persist::Persist for FlatTrees {
                 }
             }
         }
-        // Re-derive depth (per tree) and max_feat (over every node, so
-        // the kernel's one-shot feature bound covers leaves too).
+        // Re-derive the right-child array (leaf: self; internal:
+        // left + 1) and max_feat (over every node, so the kernels'
+        // one-shot feature bound covers leaves too).
+        let mut right = Vec::with_capacity(n);
+        let mut max_feat = 0u32;
+        for (i, &l) in left.iter().enumerate() {
+            right.push(if l as usize == i { l } else { l + 1 });
+            max_feat = max_feat.max(feat[i]);
+        }
         let mut flat = FlatTrees {
-            nodes,
+            thresh,
+            feat,
+            left,
+            right,
             value,
             roots,
             depth: Vec::new(),
-            max_feat: 0,
+            max_feat,
+            bins: None,
         };
-        for node in &flat.nodes {
-            flat.max_feat = flat.max_feat.max(node.feat);
-        }
-        let mut stack: Vec<(usize, u32)> = Vec::new();
         for t in 0..flat.roots.len() {
-            let mut maxd = 0u32;
-            stack.clear();
-            stack.push((flat.roots[t] as usize, 0));
-            while let Some((i, d)) = stack.pop() {
-                let l = flat.nodes[i].left as usize;
-                if l == i {
-                    maxd = maxd.max(d);
-                } else {
-                    stack.push((l, d + 1));
-                    stack.push((l + 1, d + 1));
-                }
-            }
-            flat.depth.push(maxd);
+            let d = flat.tree_depth(flat.roots[t] as usize);
+            flat.depth.push(d);
         }
+        flat.bins = flat.build_bin_plan();
         Ok(flat)
     }
 }
@@ -409,6 +873,70 @@ mod tests {
     }
 
     #[test]
+    fn binned_and_unbinned_paths_agree_bitwise() {
+        let (d, t) = grown_tree();
+        // 4 copies: enough trees that the scalar binned kernel runs a
+        // non-trivial lockstep block.
+        let flat = FlatTrees::from_trees([&t, &t, &t, &t], 0.5);
+        assert!(flat.has_bin_plan(), "a 50-row tree must fit the bin budget");
+        let mut xs = Vec::new();
+        for (x, _) in d.iter() {
+            xs.extend_from_slice(x);
+        }
+        // Off-grid queries too: values between and outside training cuts.
+        for shift in [0.0, 0.4, -7.3, 1e9] {
+            let moved: Vec<f64> = xs.iter().map(|v| v + shift).collect();
+            let mut binned = vec![1.5; d.len()];
+            let mut unbinned = vec![1.5; d.len()];
+            flat.predict_batch_into(&moved, d.nfeat(), &mut binned);
+            flat.predict_batch_into_unbinned(&moved, d.nfeat(), &mut unbinned);
+            for i in 0..d.len() {
+                assert_eq!(binned[i], unbinned[i], "row {i} shift {shift}");
+                let row = &moved[i * d.nfeat()..(i + 1) * d.nfeat()];
+                assert_eq!(
+                    flat.predict_one_from(row, 1.5),
+                    binned[i],
+                    "scalar row {i} shift {shift}"
+                );
+                assert_eq!(
+                    flat.predict_one_from_unbinned(row, 1.5),
+                    binned[i],
+                    "unbinned scalar row {i} shift {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_features_route_like_f64_comparisons() {
+        let (_, t) = grown_tree();
+        let flat = FlatTrees::from_trees([&t, &t], 1.0);
+        assert!(flat.has_bin_plan());
+        // NaN routes right everywhere, ±∞ route to the extremes; all
+        // four prediction paths must agree bitwise and never walk off a
+        // leaf (the explicit right-child self-loop).
+        let rows: Vec<[f64; 2]> = vec![
+            [f64::NAN, 3.0],
+            [3.0, f64::NAN],
+            [f64::NAN, f64::NAN],
+            [f64::INFINITY, f64::NEG_INFINITY],
+            [f64::NEG_INFINITY, f64::INFINITY],
+            [f64::INFINITY, f64::NAN],
+        ];
+        let xs: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut binned = vec![0.0; rows.len()];
+        let mut unbinned = vec![0.0; rows.len()];
+        flat.predict_batch_into(&xs, 2, &mut binned);
+        flat.predict_batch_into_unbinned(&xs, 2, &mut unbinned);
+        for (i, row) in rows.iter().enumerate() {
+            assert!(binned[i].is_finite());
+            assert_eq!(binned[i], unbinned[i], "row {i}");
+            assert_eq!(flat.predict_one(row), binned[i], "scalar row {i}");
+            assert_eq!(flat.predict_one_from_unbinned(row, 0.0), binned[i], "ref row {i}");
+        }
+    }
+
+    #[test]
     fn depth_zero_stump_predicts_in_batch() {
         // A single-leaf tree exercises the depth-0 fast path.
         let mut d = Dataset::new(1);
@@ -424,6 +952,39 @@ mod tests {
         flat.predict_batch_into(&xs, 1, &mut out);
         for (i, &o) in out.iter().enumerate() {
             assert_eq!(o, flat.predict_one(&xs[i..i + 1]));
+        }
+    }
+
+    #[test]
+    fn quantize_value_matches_f64_comparisons() {
+        let cuts = [-3.5, 0.0, 1.0, 2.5, 100.0];
+        for x in [
+            -1e300,
+            -3.6,
+            -3.5,
+            -3.4999,
+            0.0,
+            -0.0,
+            0.5,
+            1.0,
+            2.5,
+            99.0,
+            100.0,
+            101.0,
+            1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ] {
+            let bin = quantize_value(&cuts, x);
+            for (j, &c) in cuts.iter().enumerate() {
+                let byte = u8::try_from(j).expect("tiny cut set");
+                assert_eq!(
+                    bin <= byte,
+                    x <= c,
+                    "x={x} cut[{j}]={c}: bin {bin} disagrees with f64 compare"
+                );
+            }
         }
     }
 }

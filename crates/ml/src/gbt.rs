@@ -393,12 +393,27 @@ impl GbtModel {
     pub fn predict_batch(&self, xs: &[f64], nfeat: usize) -> Vec<f64> {
         assert_eq!(xs.len() % nfeat.max(1), 0, "row-major shape mismatch");
         let rows = xs.len() / nfeat.max(1);
-        let mut out = vec![self.base; rows];
-        self.flat.predict_batch_into(xs, nfeat, &mut out);
-        for s in &mut out {
+        let mut out = vec![0.0; rows];
+        self.predict_batch_into(xs, nfeat, &mut out);
+        out
+    }
+
+    /// [`GbtModel::predict_batch`] into a caller-owned buffer
+    /// (overwritten, not accumulated) — the allocation-free form the
+    /// selector's fused argmin reuses across models. `out.len()` must
+    /// equal the row count.
+    pub fn predict_batch_into(&self, xs: &[f64], nfeat: usize, out: &mut [f64]) {
+        out.fill(self.base);
+        self.flat.predict_batch_into(xs, nfeat, out);
+        for s in out.iter_mut() {
             *s = self.objective.response(*s);
         }
-        out
+    }
+
+    /// The flattened ensemble backing this model (kernel layout
+    /// benchmarks and equivalence tests drive it directly).
+    pub fn flat(&self) -> &FlatTrees {
+        &self.flat
     }
 
     /// Number of trees in the ensemble.
@@ -580,7 +595,10 @@ mod tests {
             mape(d.targets(), &preds)
         };
         assert!(err(&long) < err(&short));
-        assert_eq!(long.len(), 100);
+        // Flattening merges structurally identical consecutive rounds,
+        // so the stored tree count is at most (and usually well below)
+        // the round count.
+        assert!(long.len() <= 100 && !long.is_empty(), "stored {} trees", long.len());
     }
 
     #[test]

@@ -131,9 +131,25 @@ impl Model {
     pub fn predict_batch(&self, xs: &[f64], nfeat: usize) -> Vec<f64> {
         assert!(nfeat > 0, "nfeat must be positive");
         assert_eq!(xs.len() % nfeat, 0, "row-major shape mismatch");
+        let mut out = vec![0.0; xs.len() / nfeat];
+        self.predict_batch_into(xs, nfeat, &mut out);
+        out
+    }
+
+    /// [`Model::predict_batch`] into a caller-owned buffer (overwritten,
+    /// not accumulated), so a fused multi-model argmin can reuse one
+    /// scratch buffer instead of materializing a prediction vector per
+    /// model. `out.len()` must equal the row count.
+    pub fn predict_batch_into(&self, xs: &[f64], nfeat: usize, out: &mut [f64]) {
+        assert!(nfeat > 0, "nfeat must be positive");
+        assert_eq!(xs.len(), out.len() * nfeat, "row-major shape mismatch");
         match self {
-            Model::Xgb(m) => m.predict_batch(xs, nfeat),
-            _ => xs.chunks_exact(nfeat).map(|row| self.predict(row)).collect(),
+            Model::Xgb(m) => m.predict_batch_into(xs, nfeat, out),
+            _ => {
+                for (row, o) in xs.chunks_exact(nfeat).zip(out.iter_mut()) {
+                    *o = self.predict(row);
+                }
+            }
         }
     }
 }

@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 
 use mpcp_core::{Instance, Selection};
 
-use crate::{lock, PredictionService, ServeError, ShardKey};
+use crate::{lock, PredictionService, ServeError, ServiceSnapshot, ShardKey};
 
 /// Worker-pool knobs.
 #[derive(Clone, Copy, Debug)]
@@ -162,25 +162,28 @@ fn worker_loop(inner: &Inner, max_batch: usize) {
 
 /// Serve a drained batch: group by shard, answer cache hits directly,
 /// and push each shard's misses through one `select_batch` call.
+///
+/// The whole batch resolves against **one** routing snapshot, so every
+/// group sees the same shard set even if an artifact publication lands
+/// mid-batch.
 fn serve_one_batch(service: &PredictionService, jobs: Vec<Job>) {
+    let snapshot = service.snapshot();
     let mut groups: HashMap<ShardKey, Vec<Job>> = HashMap::new();
     for j in jobs {
         groups.entry(j.key.clone()).or_default().push(j);
     }
     for (key, group) in groups {
-        serve_shard_group(service, &key, group);
+        serve_shard_group(&snapshot, &key, group);
     }
 }
 
-fn serve_shard_group(service: &PredictionService, key: &ShardKey, jobs: Vec<Job>) {
-    let shard = match service.shard(key) {
-        Ok(s) => s,
-        Err(e) => {
-            for j in jobs {
-                let _ = j.reply.send(Err(e.clone()));
-            }
-            return;
+fn serve_shard_group(snapshot: &ServiceSnapshot, key: &ShardKey, jobs: Vec<Job>) {
+    let Some(shard) = snapshot.shard(key) else {
+        let e = ServeError::UnknownShard { key: key.clone() };
+        for j in jobs {
+            let _ = j.reply.send(Err(e.clone()));
         }
+        return;
     };
     let mut misses: Vec<Job> = Vec::new();
     for j in jobs {

@@ -37,15 +37,15 @@
 
 pub mod batch;
 pub mod lru;
+mod snapshot;
 
 pub use batch::{BatchConfig, BatchServer, Ticket};
 pub use lru::LruCache;
 
-use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use mpcp_collectives::Collective;
 use mpcp_core::{
@@ -225,6 +225,36 @@ impl Shard {
     pub(crate) fn cache_lookup(&self, instance: &Instance) -> Option<Selection> {
         lock(&self.cache).get(&(instance.msize, instance.nodes, instance.ppn))
     }
+
+    /// A minimal real shard (tiny KNN fixture, trained once per test
+    /// binary) for routing-table tests.
+    #[cfg(test)]
+    pub(crate) fn for_tests() -> Shard {
+        use std::sync::OnceLock;
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        let bytes = BYTES.get_or_init(|| {
+            let spec = mpcp_benchmark::DatasetSpec::tiny_for_tests();
+            let lib = spec.library(None);
+            let data = spec.generate(&lib, &mpcp_benchmark::BenchConfig::quick());
+            let (selector, report) = Selector::train_with_report(
+                &mpcp_ml::Learner::knn(),
+                &data.records,
+                lib.configs(spec.coll),
+                &mpcp_core::TrainOptions::default(),
+            )
+            .expect("tiny fixture trains");
+            let meta = ArtifactMeta::capture(
+                spec.coll,
+                &format!("{} {}", lib.name, lib.version),
+                &spec.machine.name,
+                Some(spec.seed),
+                &mpcp_core::TrainOptions::default(),
+            );
+            selector.to_artifact_bytes(&report, &meta)
+        });
+        let artifact = SelectorArtifact::from_bytes(bytes).expect("fixture artifact decodes");
+        Shard::new(artifact, 16)
+    }
 }
 
 /// Per-shard serving counters, as observed by [`PredictionService::stats`].
@@ -275,12 +305,15 @@ impl ServeStats {
 
 /// An in-process prediction service over loaded selector artifacts.
 ///
-/// Shards are immutable once loaded (models are pure functions), so
-/// concurrent `select` calls share them behind an `RwLock` that is only
-/// write-locked during artifact loading. All query-path mutation — the
-/// LRU cache, hit/miss counters — is per-shard.
+/// Shards are immutable once loaded (models are pure functions) and
+/// routed through an epoch-swapped snapshot table: every publication
+/// installs a fresh immutable map, and query threads revalidate a
+/// thread-local handle with one atomic load per call — readers never
+/// block, not even during artifact loading (the `snapshot` module
+/// documents the protocol). All query-path mutation — the LRU cache,
+/// hit/miss counters — is per-shard.
 pub struct PredictionService {
-    shards: RwLock<HashMap<ShardKey, Arc<Shard>>>,
+    shards: snapshot::SnapshotCell,
     cache_capacity: usize,
 }
 
@@ -288,7 +321,7 @@ impl PredictionService {
     /// A service whose per-shard result caches hold `cache_capacity`
     /// grid cells each.
     pub fn new(cache_capacity: usize) -> PredictionService {
-        PredictionService { shards: RwLock::new(HashMap::new()), cache_capacity }
+        PredictionService { shards: snapshot::SnapshotCell::new(), cache_capacity }
     }
 
     /// Load a saved artifact from disk and route its manifest's
@@ -304,23 +337,40 @@ impl PredictionService {
     pub fn insert_artifact(&self, artifact: SelectorArtifact) -> ShardKey {
         let key = ShardKey::of_meta(&artifact.meta);
         let shard = Arc::new(Shard::new(artifact, self.cache_capacity));
-        self.shards
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key.clone(), shard);
+        self.shards.update(|map| {
+            map.insert(key.clone(), shard);
+        });
         mpcp_obs::counter_add!("serve.shards_loaded", 1);
         key
     }
 
+    /// Register several artifacts in **one** publication: a reader (or
+    /// a [`PredictionService::snapshot`]) observes either none or all
+    /// of them, never a partially-updated routing table. This is what
+    /// coordinated multi-shard refreshes need — e.g. swapping the
+    /// selectors for every collective of a machine at once.
+    pub fn insert_artifacts(&self, artifacts: Vec<SelectorArtifact>) -> Vec<ShardKey> {
+        let shards: Vec<(ShardKey, Arc<Shard>)> = artifacts
+            .into_iter()
+            .map(|a| {
+                let key = ShardKey::of_meta(&a.meta);
+                (key, Arc::new(Shard::new(a, self.cache_capacity)))
+            })
+            .collect();
+        let keys: Vec<ShardKey> = shards.iter().map(|(k, _)| k.clone()).collect();
+        let loaded = shards.len() as u64;
+        self.shards.update(|map| {
+            for (key, shard) in shards {
+                map.insert(key, shard);
+            }
+        });
+        mpcp_obs::counter_add!("serve.shards_loaded", loaded);
+        keys
+    }
+
     /// Keys of all loaded shards, sorted.
     pub fn shard_keys(&self) -> Vec<ShardKey> {
-        let mut keys: Vec<ShardKey> = self
-            .shards
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .keys()
-            .cloned()
-            .collect();
+        let mut keys: Vec<ShardKey> = self.shards.with(|map| map.keys().cloned().collect());
         keys.sort();
         keys
     }
@@ -337,11 +387,16 @@ impl PredictionService {
 
     pub(crate) fn shard(&self, key: &ShardKey) -> Result<Arc<Shard>, ServeError> {
         self.shards
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(key)
-            .cloned()
+            .with(|map| map.get(key).cloned())
             .ok_or_else(|| ServeError::UnknownShard { key: key.clone() })
+    }
+
+    /// An immutable snapshot of the current routing table. Every read
+    /// through one snapshot sees the same set of shards; a
+    /// multi-artifact [`PredictionService::insert_artifacts`] is either
+    /// fully visible in it or not at all.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot { map: self.shards.arc() }
     }
 
     /// Answer an argmin query through the shard's LRU cache.
@@ -350,8 +405,13 @@ impl PredictionService {
     /// [`Selector::try_select`] and populate the cache. Identical to
     /// [`PredictionService::select_uncached`] result-wise — the cache
     /// stores exactly what the selector computed, keyed by grid cell.
+    /// Shard routing is lock-free (no reader ever blocks on a writer);
+    /// the whole query runs against one consistent snapshot.
     pub fn select(&self, key: &ShardKey, instance: &Instance) -> Result<Selection, ServeError> {
-        self.shard(key)?.select(instance)
+        self.shards.with(|map| match map.get(key) {
+            Some(shard) => shard.select(instance),
+            None => Err(ServeError::UnknownShard { key: key.clone() }),
+        })
     }
 
     /// Answer an argmin query evaluating every model, bypassing (and
@@ -362,40 +422,86 @@ impl PredictionService {
         key: &ShardKey,
         instance: &Instance,
     ) -> Result<Selection, ServeError> {
-        let shard = self.shard(key)?;
-        shard.check_collective(instance)?;
-        let t = mpcp_obs::maybe_now();
-        let sel = shard.compute(instance)?;
-        mpcp_obs::record_elapsed(shard.latency_metric, t);
-        Ok(sel)
+        self.shards.with(|map| {
+            let shard = map
+                .get(key)
+                .ok_or_else(|| ServeError::UnknownShard { key: key.clone() })?;
+            shard.check_collective(instance)?;
+            let t = mpcp_obs::maybe_now();
+            let sel = shard.compute(instance)?;
+            mpcp_obs::record_elapsed(shard.latency_metric, t);
+            Ok(sel)
+        })
     }
 
     /// Snapshot all per-shard counters and publish the global hit
     /// ratio gauge.
     pub fn stats(&self) -> ServeStats {
-        let mut shards: Vec<ShardStats> = {
-            let map = self
-                .shards
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            map.iter()
-                .map(|(key, s)| {
-                    let cache = lock(&s.cache);
-                    ShardStats {
-                        key: key.clone(),
-                        hits: s.hits.load(Ordering::Relaxed),
-                        misses: s.misses.load(Ordering::Relaxed),
-                        cached_entries: cache.len(),
-                        evictions: cache.evictions(),
-                        models: s.selector.model_count(),
-                    }
-                })
-                .collect()
-        };
+        let map = self.shards.arc();
+        let mut shards: Vec<ShardStats> = map
+            .iter()
+            .map(|(key, s)| {
+                let cache = lock(&s.cache);
+                ShardStats {
+                    key: key.clone(),
+                    hits: s.hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    cached_entries: cache.len(),
+                    evictions: cache.evictions(),
+                    models: s.selector.model_count(),
+                }
+            })
+            .collect();
         shards.sort_by(|a, b| a.key.cmp(&b.key));
         let stats = ServeStats { shards };
         mpcp_obs::gauge_set!("serve.cache_hit_ratio", stats.hit_ratio());
         stats
+    }
+}
+
+/// An immutable view of a [`PredictionService`]'s routing table at one
+/// publication epoch (see [`PredictionService::snapshot`]).
+///
+/// Queries through a snapshot share the per-shard LRU caches and
+/// hit/miss counters with the live service — only the *routing* is
+/// frozen.
+pub struct ServiceSnapshot {
+    map: Arc<snapshot::ShardMap>,
+}
+
+impl ServiceSnapshot {
+    /// Keys of the shards in this snapshot, sorted.
+    pub fn shard_keys(&self) -> Vec<ShardKey> {
+        let mut keys: Vec<ShardKey> = self.map.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Shards in this snapshot.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the snapshot holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The manifest of the artifact behind `key`, if present.
+    pub fn meta(&self, key: &ShardKey) -> Option<ArtifactMeta> {
+        self.map.get(key).map(|s| s.meta.clone())
+    }
+
+    /// [`PredictionService::select`] against this snapshot's routing.
+    pub fn select(&self, key: &ShardKey, instance: &Instance) -> Result<Selection, ServeError> {
+        match self.map.get(key) {
+            Some(shard) => shard.select(instance),
+            None => Err(ServeError::UnknownShard { key: key.clone() }),
+        }
+    }
+
+    pub(crate) fn shard(&self, key: &ShardKey) -> Option<&Arc<Shard>> {
+        self.map.get(key)
     }
 }
 

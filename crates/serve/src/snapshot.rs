@@ -1,0 +1,235 @@
+//! Epoch-swapped immutable snapshots of the shard routing table.
+//!
+//! The query hot path must never block on a reader-writer lock: model
+//! refreshes are rare, queries are constant. A [`SnapshotCell`] holds
+//! the routing table as an immutable `Arc<ShardMap>` plus a
+//! monotonically increasing epoch. Publications build a fresh map
+//! (copy-on-write over `Arc`-shared shards), swap it into the slot,
+//! and bump the epoch; readers keep a thread-local `(epoch, Arc)`
+//! pair and revalidate it with a single `Acquire` load per read. In
+//! steady state a read is one atomic load and a thread-local lookup —
+//! no lock, no reference-count traffic, no waiting on writers.
+//!
+//! The slot mutex exists for writers (serializing publications) and
+//! for the *refresh* edge: a reader whose cached epoch is stale takes
+//! it once to fetch a consistent `(epoch, map)` pair, then goes back
+//! to lock-free reads until the next publication.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::{lock, Shard, ShardKey};
+
+/// FNV-1a, the shard map's hasher. Routing keys are hashed on every
+/// uncached query, the map holds a handful of operator-controlled
+/// entries, and SipHash's DoS resistance buys nothing here — a short
+/// multiply-per-byte hash cuts the per-query routing cost.
+#[derive(Default)]
+pub(crate) struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The immutable routing table one publication installs.
+pub(crate) type ShardMap = HashMap<ShardKey, Arc<Shard>, BuildHasherDefault<Fnv1a>>;
+
+/// Process-wide id source, so thread-local entries cached for
+/// different service instances never collide.
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Thread-local cache entries kept per thread. A thread typically
+/// serves one or two services; old entries are evicted FIFO, so a
+/// dropped service's map is released on the next few reads.
+const TLS_CAP: usize = 4;
+
+struct TlsEntry {
+    cell: u64,
+    epoch: u64,
+    map: Arc<ShardMap>,
+}
+
+thread_local! {
+    static SNAPSHOTS: RefCell<Vec<TlsEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One atomically-swapped routing table (see module docs).
+pub(crate) struct SnapshotCell {
+    id: u64,
+    /// Bumped with `Release` ordering — and only while the slot lock
+    /// is held — on every publication; one `Acquire` load on the read
+    /// path detects staleness.
+    epoch: AtomicU64,
+    /// Writer-side slot. Readers touch it only when their thread-local
+    /// epoch is stale (or on a reentrant read), never in steady state.
+    slot: Mutex<Arc<ShardMap>>,
+}
+
+impl SnapshotCell {
+    pub(crate) fn new() -> SnapshotCell {
+        SnapshotCell {
+            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new(Arc::new(ShardMap::default())),
+        }
+    }
+
+    /// Borrow the current snapshot without blocking: one `Acquire`
+    /// epoch load plus a thread-local lookup in steady state, no
+    /// reference-count bump.
+    ///
+    /// `f` should not call back into this cell from the same thread
+    /// (the thread-local table is borrowed for its duration); a
+    /// reentrant call is still answered correctly, straight from the
+    /// slot.
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&ShardMap) -> R) -> R {
+        self.cached(|arc| f(arc))
+    }
+
+    /// An owned handle to the current snapshot (stats, the public
+    /// snapshot API, batch workers); same steady-state read path plus
+    /// one reference-count increment.
+    pub(crate) fn arc(&self) -> Arc<ShardMap> {
+        self.cached(Arc::clone)
+    }
+
+    fn cached<R>(&self, f: impl FnOnce(&Arc<ShardMap>) -> R) -> R {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        SNAPSHOTS.with(|tls| {
+            let Ok(mut tls) = tls.try_borrow_mut() else {
+                // Reentrant read on this thread: bypass the cache.
+                return f(&self.refresh().1);
+            };
+            let idx = match tls.iter().position(|e| e.cell == self.id) {
+                Some(i) => {
+                    if tls[i].epoch != epoch {
+                        let (epoch, map) = self.refresh();
+                        tls[i].epoch = epoch;
+                        tls[i].map = map;
+                    }
+                    i
+                }
+                None => {
+                    if tls.len() == TLS_CAP {
+                        tls.remove(0);
+                    }
+                    let (epoch, map) = self.refresh();
+                    tls.push(TlsEntry { cell: self.id, epoch, map });
+                    tls.len() - 1
+                }
+            };
+            f(&tls[idx].map)
+        })
+    }
+
+    /// A consistent `(epoch, map)` pair from the slot. The epoch is
+    /// only ever bumped while the slot lock is held, so reading both
+    /// under the lock cannot observe a torn publication.
+    fn refresh(&self) -> (u64, Arc<ShardMap>) {
+        let slot = lock(&self.slot);
+        (self.epoch.load(Ordering::Acquire), Arc::clone(&slot))
+    }
+
+    /// Publish a new snapshot: copy-on-write the map (shards are
+    /// `Arc`-shared, so this clones pointers, not models), apply `f`,
+    /// swap the new map in, and bump the epoch — all under the slot
+    /// lock, so concurrent publications serialize and a refreshing
+    /// reader always fetches a fully-built map. Steady-state readers
+    /// never block on this; they serve the previous snapshot until
+    /// their next epoch check.
+    pub(crate) fn update(&self, f: impl FnOnce(&mut ShardMap)) {
+        let mut slot = lock(&self.slot);
+        let mut next: ShardMap = (**slot).clone();
+        f(&mut next);
+        *slot = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(cell: &SnapshotCell) -> Vec<String> {
+        let mut k: Vec<String> = cell.with(|m| m.keys().map(|k| k.to_string()).collect());
+        k.sort();
+        k
+    }
+
+    fn key(scope: &str) -> ShardKey {
+        ShardKey { coll: mpcp_collectives::Collective::Bcast, scope: scope.into() }
+    }
+
+    #[test]
+    fn publications_become_visible_to_cached_readers() {
+        let cell = SnapshotCell::new();
+        assert!(keys(&cell).is_empty());
+        // Prime the thread-local cache, then publish behind its back.
+        cell.update(|m| {
+            m.insert(key("a/x"), Arc::new(crate::Shard::for_tests()));
+        });
+        assert_eq!(keys(&cell), vec!["MPI_Bcast@a/x"]);
+        cell.update(|m| {
+            m.insert(key("b/y"), Arc::new(crate::Shard::for_tests()));
+        });
+        assert_eq!(keys(&cell), vec!["MPI_Bcast@a/x", "MPI_Bcast@b/y"]);
+    }
+
+    #[test]
+    fn arc_handles_are_immutable_snapshots() {
+        let cell = SnapshotCell::new();
+        cell.update(|m| {
+            m.insert(key("a/x"), Arc::new(crate::Shard::for_tests()));
+        });
+        let snap = cell.arc();
+        cell.update(|m| {
+            m.insert(key("b/y"), Arc::new(crate::Shard::for_tests()));
+        });
+        // The old handle still sees exactly one shard; a fresh read
+        // sees two.
+        assert_eq!(snap.len(), 1);
+        assert_eq!(cell.arc().len(), 2);
+    }
+
+    #[test]
+    fn many_cells_share_one_thread_cache() {
+        // More cells than TLS_CAP: eviction must not corrupt reads.
+        let cells: Vec<SnapshotCell> = (0..TLS_CAP + 3).map(|_| SnapshotCell::new()).collect();
+        for (i, c) in cells.iter().enumerate() {
+            c.update(|m| {
+                m.insert(key(&format!("m{i}/l")), Arc::new(crate::Shard::for_tests()));
+            });
+        }
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(keys(c), vec![format!("MPI_Bcast@m{i}/l")]);
+        }
+    }
+
+    #[test]
+    fn reentrant_reads_fall_back_to_the_slot() {
+        let cell = SnapshotCell::new();
+        cell.update(|m| {
+            m.insert(key("a/x"), Arc::new(crate::Shard::for_tests()));
+        });
+        let n = cell.with(|outer| {
+            // The thread-local table is borrowed here; an inner read
+            // must still answer (from the slot) instead of panicking.
+            let inner = cell.with(|m| m.len());
+            outer.len() + inner
+        });
+        assert_eq!(n, 2);
+    }
+}

@@ -185,6 +185,82 @@ fn drop_and_shutdown_both_stop_cleanly() {
 }
 
 #[test]
+fn snapshot_swaps_are_never_torn() {
+    // A writer republishes a *pair* of shards (machine "swapA" and
+    // "swapB") tagged with the same generation in `meta.seed`, through
+    // the atomic multi-artifact publication. Readers grab snapshots as
+    // fast as they can: every snapshot must hold both shards of one
+    // generation — never a mix of generations, never a half-published
+    // pair — and generations must be non-decreasing per reader.
+    const GENERATIONS: u64 = 150;
+    let base = trained_artifact(&Learner::knn());
+    let coll = base.meta.collective;
+    let svc = Arc::new(PredictionService::new(CACHE_CAPACITY));
+
+    let pair = |generation: u64| -> Vec<mpcp_core::SelectorArtifact> {
+        ["swapA", "swapB"]
+            .iter()
+            .map(|machine| {
+                let mut a = trained_artifact(&Learner::knn());
+                a.meta.machine = (*machine).into();
+                a.meta.seed = Some(generation);
+                a
+            })
+            .collect()
+    };
+    let keys = svc.insert_artifacts(pair(0));
+    assert_eq!(keys.len(), 2);
+    let inst = Instance::new(coll, 1024, 3, 2);
+
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Writer: republish the pair for every generation.
+        s.spawn(|| {
+            for generation in 1..GENERATIONS {
+                svc.insert_artifacts(pair(generation));
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+        });
+        for _ in 0..THREADS {
+            let (svc, keys, done, inst) = (&svc, &keys, &done, &inst);
+            s.spawn(move || {
+                let mut last_generation = 0u64;
+                let mut observed = 0u64;
+                loop {
+                    let finished = done.load(std::sync::atomic::Ordering::Acquire);
+                    let snap = svc.snapshot();
+                    assert_eq!(snap.len(), 2, "snapshot lost a shard of the pair");
+                    let seeds: Vec<Option<u64>> =
+                        keys.iter().map(|k| snap.meta(k).expect("pair shard present").seed).collect();
+                    assert_eq!(
+                        seeds[0], seeds[1],
+                        "torn snapshot: shards from different publications"
+                    );
+                    let generation = seeds[0].expect("generation tag");
+                    assert!(
+                        generation >= last_generation,
+                        "snapshot went back in time: {generation} < {last_generation}"
+                    );
+                    last_generation = generation;
+                    observed += 1;
+                    // Queries through the snapshot keep answering.
+                    assert!(snap.select(&keys[0], inst).is_ok());
+                    if finished {
+                        break;
+                    }
+                }
+                assert!(observed > 0);
+            });
+        }
+    });
+    // The final snapshot is the last generation, on both shards.
+    let snap = svc.snapshot();
+    for k in &keys {
+        assert_eq!(snap.meta(k).unwrap().seed, Some(GENERATIONS - 1));
+    }
+}
+
+#[test]
 fn collective_mismatch_is_typed_on_both_paths() {
     let artifact = trained_artifact(&Learner::gam());
     let coll = artifact.meta.collective;
