@@ -179,6 +179,35 @@ fn main() {
     );
     let (binned_secs, unbinned_secs) = (binned_times[0], unbinned_times[0]);
 
+    // --- PR 7: windowed-recorder cost. The serving hot path pays one
+    // clock read plus one `WindowedHistogram::record` per request;
+    // measure both so the serve-bench telemetry gate (QPS on >= 0.95x
+    // off) has a microbenchmark to point at when it trips. ---
+    println!("timing the rolling-window recorder...");
+    let wh = mpcp_obs::window::WindowedHistogram::new(mpcp_obs::window::WindowConfig::default());
+    let wclock = mpcp_obs::clock::Clock::wall();
+    const WREC: usize = 1 << 20;
+    let (clock_times, record_times) = time_pair(
+        9,
+        || {
+            let mut acc = 0u64;
+            for _ in 0..WREC {
+                acc = acc.wrapping_add(wclock.now_ns());
+            }
+            acc
+        },
+        || {
+            for i in 0..WREC {
+                wh.record(wclock.now_ns(), (i & 0xffff) as u64);
+            }
+        },
+    );
+    let (clock_secs, record_secs) = (clock_times[4], record_times[4]);
+    let t0 = Instant::now();
+    let wsnap = std::hint::black_box(wh.snapshot(wclock.now_ns()));
+    let snapshot_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert!(wsnap.count() > 0, "windowed recorder lost every sample");
+
     // --- PR 2: tracing overhead, disabled-path vs enabled-path. ---
     println!("measuring tracing overhead (enabled vs disabled paths)...");
     let (fit_off_times, fit_on_times) = time_pair(
@@ -257,6 +286,13 @@ fn main() {
     "batch_insts_per_sec": {batch_per_sec:.0},
     "scalar_insts_per_sec": {scalar_per_sec:.0}
   }},
+  "window_overhead": {{
+    "records": {WREC},
+    "clock_read_ns": {clock_ns:.1},
+    "record_ns": {record_ns:.1},
+    "records_per_sec": {records_per_sec:.0},
+    "snapshot_us": {snapshot_us:.1}
+  }},
   "tracing_overhead": {{
     "train_hist_secs_disabled": {fit_off:.6},
     "train_hist_secs_enabled": {fit_on:.6},
@@ -275,6 +311,9 @@ fn main() {
 }}
 "#,
         prov_json = prov.to_json(),
+        clock_ns = clock_secs / WREC as f64 * 1e9,
+        record_ns = (record_secs - clock_secs).max(0.0) / WREC as f64 * 1e9,
+        records_per_sec = WREC as f64 / record_secs,
         rows_train = train.len(),
         rows_holdout = test.len(),
         single_us = loop_secs / block.len() as f64 * 1e6,
@@ -313,6 +352,13 @@ fn main() {
     println!(
         "tracing overhead: fit {fit_overhead_pct:+.1}% ({fit_off:.3}s -> {fit_on:.3}s), \
          select_batch {sel_overhead_pct:+.1}% ({sel_off:.2e}s -> {sel_on:.2e}s)"
+    );
+    println!(
+        "windowed recorder: {:.0} records/s ({:.1}ns/record past the {:.1}ns clock read), \
+         snapshot {snapshot_us:.1}us",
+        WREC as f64 / record_secs,
+        (record_secs - clock_secs).max(0.0) / WREC as f64 * 1e9,
+        clock_secs / WREC as f64 * 1e9,
     );
     println!("wrote {out_path}");
     let ok = train_speedup >= 3.0

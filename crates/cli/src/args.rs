@@ -26,9 +26,12 @@ impl Args {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument {a:?}"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            // A flag followed by another flag (or nothing) is a bare
+            // boolean switch, e.g. `mpcp top --once --json`.
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap_or_default(),
+                _ => "true".to_string(),
+            };
             if out.opts.insert(key.to_string(), value).is_some() {
                 return Err(format!("--{key} given twice"));
             }
@@ -54,6 +57,12 @@ impl Args {
     /// All option keys (for unknown-flag diagnostics).
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.opts.keys().map(|s| s.as_str())
+    }
+
+    /// Boolean switch: present (bare or `--key true`) and not
+    /// explicitly `false`.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some(v) if v != "false")
     }
 }
 
@@ -109,8 +118,20 @@ mod tests {
     fn rejects_malformed_lines() {
         assert!(args(&["--machine", "hydra"]).is_err()); // flag before cmd
         assert!(args(&["bench", "stray"]).is_err());
-        assert!(args(&["bench", "--x"]).is_err()); // missing value
         assert!(args(&["bench", "--x", "1", "--x", "2"]).is_err()); // dup
+    }
+
+    #[test]
+    fn bare_flags_parse_as_boolean_switches() {
+        let a = args(&["top", "--once", "--json", "--stats", "f.json"]).unwrap();
+        assert!(a.flag("once"));
+        assert!(a.flag("json"));
+        assert_eq!(a.get("stats"), Some("f.json"));
+        assert!(!a.flag("absent"));
+        let b = args(&["top", "--once", "false"]).unwrap();
+        assert!(!b.flag("once"));
+        // A trailing bare flag is also a switch.
+        assert!(args(&["top", "--once"]).unwrap().flag("once"));
     }
 
     #[test]

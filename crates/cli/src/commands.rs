@@ -540,9 +540,122 @@ fn kernel_rates(selector: &Selector, cells: &[Instance]) -> (f64, f64) {
     (batch_ips, scalar_ips)
 }
 
+/// Atomically publish `body` at `path`: write a sibling tmp file and
+/// rename it over the target, so a concurrent `mpcp top` never reads a
+/// torn document.
+fn write_atomic(path: &str, body: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, body)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// The flight recorder's state as a JSON fragment (`null` if never
+/// armed).
+fn flight_status_json() -> String {
+    match mpcp_obs::flight::status() {
+        Some(st) => format!(
+            "{{\"armed\":{},\"dumped\":{},\"dump_ok\":{},\"events_seen\":{},\"dump_path\":{}}}",
+            st.armed,
+            st.dumped,
+            st.dump_ok,
+            st.events_seen,
+            mpcp_obs::export::json_string(&st.dump_path.display().to_string()),
+        ),
+        None => "null".to_string(),
+    }
+}
+
+/// Publish the service's live windowed stats (plus flight-recorder
+/// state) to `path`. The `finished` marker tells `mpcp top` the run is
+/// over.
+fn write_live_stats(
+    path: &str,
+    svc: &mpcp_serve::PredictionService,
+    finished: bool,
+) -> Result<(), String> {
+    let Some(stats) = svc.live_stats() else { return Ok(()) };
+    let body = format!(
+        "{{\"finished\":{finished},\"flight\":{},\"stats\":{}}}\n",
+        flight_status_json(),
+        stats.to_json(),
+    );
+    write_atomic(path, &body)
+}
+
+/// One synthetic latency spike: a `serve.spike` span that sleeps for
+/// `ms` — long enough to cross the flight recorder's latency trigger.
+fn latency_spike(ms: f64) {
+    let _g = mpcp_obs::span("serve.spike").attr("ms", ms);
+    std::thread::sleep(std::time::Duration::from_secs_f64(ms / 1e3));
+}
+
+/// Open-ended load phase for `--duration`: `threads` threads hammer
+/// the cached path while this thread publishes live stats to
+/// `stats_out` every 200ms (and fires the synthetic spike halfway
+/// through, if requested). Returns the number of requests served.
+fn sustained_phase(
+    threads: usize,
+    secs: f64,
+    cells: &[Instance],
+    svc: &mpcp_serve::PredictionService,
+    key: &mpcp_serve::ShardKey,
+    stats_out: Option<&str>,
+    spike_ms: f64,
+) -> Result<u64, String> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| -> Result<(), String> {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (stop, total) = (&stop, &total);
+                s.spawn(move || -> Result<(), String> {
+                    let mut i = t * 7919;
+                    let mut served = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let inst = &cells[i % cells.len()];
+                        i += 1;
+                        svc.select(key, inst).map_err(|e| format!("sustained query: {e}"))?;
+                        served += 1;
+                    }
+                    total.fetch_add(served, Ordering::Relaxed);
+                    Ok(())
+                })
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let mut spiked = spike_ms <= 0.0;
+        let mut publish_err = Ok(());
+        while t0.elapsed().as_secs_f64() < secs {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            if !spiked && t0.elapsed().as_secs_f64() >= secs * 0.5 {
+                spiked = true;
+                latency_spike(spike_ms);
+            }
+            if let Some(p) = stats_out {
+                if publish_err.is_ok() {
+                    publish_err = write_live_stats(p, svc, false);
+                }
+            }
+        }
+        if !spiked {
+            latency_spike(spike_ms); // duration too short for the midpoint
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().map_err(|_| "sustained thread panicked".to_string())??;
+        }
+        publish_err
+    })?;
+    Ok(total.load(std::sync::atomic::Ordering::Relaxed))
+}
+
 /// `mpcp serve-bench --model <artifact> [--threads 8] [--requests N]
 /// [--cache CAP] [--min-speedup X] [--baseline BENCH_PRn.json]
-/// [--min-uncached-speedup X] [--out BENCH_PR6.json]`
+/// [--min-uncached-speedup X] [--out BENCH_PR7.json]
+/// [--telemetry-gate R] [--duration S] [--stats-out <file>]
+/// [--spike-ms MS] [--flight-out <file>] [--flight-threshold-ms MS]`
 ///
 /// Drives N-thread closed-loop load against a [`PredictionService`]
 /// three ways — uncached (every query evaluates all models), cached
@@ -578,6 +691,24 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
         .get_or("min-uncached-speedup", "0")
         .parse()
         .map_err(|_| "bad --min-uncached-speedup".to_string())?;
+    let telemetry_gate: f64 = args
+        .get_or("telemetry-gate", "0")
+        .parse()
+        .map_err(|_| "bad --telemetry-gate".to_string())?;
+    let duration: f64 = args
+        .get_or("duration", "0")
+        .parse()
+        .map_err(|_| "bad --duration".to_string())?;
+    let spike_ms: f64 = args
+        .get_or("spike-ms", "0")
+        .parse()
+        .map_err(|_| "bad --spike-ms".to_string())?;
+    let flight_threshold_ms: f64 = args
+        .get_or("flight-threshold-ms", "50")
+        .parse()
+        .map_err(|_| "bad --flight-threshold-ms".to_string())?;
+    let stats_out = args.get("stats-out");
+    let flight_out = args.get("flight-out");
     let baseline_qps: Option<f64> = match args.get("baseline") {
         Some(p) => {
             let text =
@@ -650,6 +781,79 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
     let (qps_unc, qps_c, qps_b) = (qps(wall_unc), qps(wall_c), qps(wall_b));
     let speedup = if qps_unc > 0.0 { qps_c / qps_unc } else { 0.0 };
 
+    // Optional telemetry phases: enable windowed recording, re-run the
+    // cached phase to measure the recording overhead (both runs see a
+    // fully warm cache, so the comparison is apples-to-apples), then
+    // sustain load for `--duration` seconds while publishing live
+    // stats for `mpcp top` and letting the flight recorder watch for
+    // the synthetic spike.
+    let run_telemetry =
+        telemetry_gate > 0.0 || duration > 0.0 || stats_out.is_some() || spike_ms > 0.0;
+    let mut telemetry_json = String::new();
+    let mut telemetry_human = String::new();
+    let mut overhead_ratio = None;
+    if run_telemetry {
+        let self_enabled_obs = !mpcp_obs::enabled();
+        if self_enabled_obs {
+            mpcp_obs::set_enabled(true);
+        }
+        svc.enable_telemetry(mpcp_serve::TelemetryConfig::default());
+        let (wall_on, _) = drive_phase(threads, requests, &cells, |i| svc.select(&key, i))?;
+        let qps_on = qps(wall_on);
+        let ratio = if qps_c > 0.0 { qps_on / qps_c } else { 0.0 };
+        overhead_ratio = Some(ratio);
+        // Arm the flight recorder only now: the batch pool (and its
+        // `serve.batch.*` spans) is already drained, so the synthetic
+        // `serve.spike` span is the only thing that can trip the
+        // latency trigger.
+        let armed = spike_ms > 0.0 || flight_out.is_some();
+        if armed {
+            mpcp_obs::flight::arm(mpcp_obs::flight::FlightConfig {
+                latency_threshold_ns: Some((flight_threshold_ms * 1e6) as u64),
+                latency_prefix: "serve.".to_string(),
+                dump_path: flight_out.unwrap_or("flight_dump.json").into(),
+                ..mpcp_obs::flight::FlightConfig::default()
+            });
+        }
+        let sustained = if duration > 0.0 {
+            sustained_phase(threads, duration, &cells, &svc, &key, stats_out, spike_ms)?
+        } else {
+            if spike_ms > 0.0 {
+                latency_spike(spike_ms);
+            }
+            0
+        };
+        let live =
+            svc.live_stats().ok_or_else(|| "telemetry enabled but no live stats".to_string())?;
+        if let Some(p) = stats_out {
+            write_live_stats(p, &svc, true)?;
+        }
+        let flight_json = flight_status_json();
+        if armed {
+            mpcp_obs::flight::disarm();
+        }
+        if self_enabled_obs {
+            mpcp_obs::set_enabled(false);
+        }
+        telemetry_json = format!(
+            "\n  \"telemetry\": {{ \"qps_on\": {qps_on:.0}, \"qps_off\": {qps_c:.0}, \
+             \"overhead_ratio\": {ratio:.3}, \"sustained_requests\": {sustained}, \
+             \"window\": {{ \"p50_ns\": {}, \"p99_ns\": {}, \"rate_per_sec\": {:.0}, \
+             \"hit_ratio\": {:.4}, \"worst_burn_rate\": {:.3} }}, \"flight\": {flight_json} }},",
+            live.p50_ns,
+            live.p99_ns,
+            live.rate_per_sec(),
+            live.hit_ratio(),
+            live.worst_burn_rate(),
+        );
+        telemetry_human = format!(
+            "telemetry: {qps_on:>10.0} qps recording-on vs {qps_c:.0} off \
+             ({ratio:.3}x), window p99 {} ns, hit ratio {:.3}\n",
+            live.p99_ns,
+            live.hit_ratio(),
+        );
+    }
+
     let uncached_speedup = baseline_qps.map(|b| if b > 0.0 { qps_unc / b } else { 0.0 });
     let baseline_json = match (args.get("baseline"), baseline_qps, uncached_speedup) {
         (Some(p), Some(b), Some(s)) => format!(
@@ -662,7 +866,7 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
     let prov = mpcp_obs::provenance::Provenance::capture("mpcp serve-bench", meta.seed);
     let json = format!(
         r#"{{
-  "pr": 6,
+  "pr": 7,
   "provenance": {},
   "config": {{
     "model": {},
@@ -679,7 +883,7 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
   "kernel": {{ "batch_insts_per_sec": {kernel_batch_ips:.0}, "scalar_insts_per_sec": {kernel_scalar_ips:.0} }},
   "uncached": {{ "qps": {qps_unc:.0}, "p50_ns": {}, "p99_ns": {} }},
   "cached": {{ "qps": {qps_c:.0}, "p50_ns": {}, "p99_ns": {}, "hits": {}, "misses": {}, "hit_ratio": {:.4} }},
-  "batched": {{ "qps": {qps_b:.0}, "p50_ns": {}, "p99_ns": {} }},{baseline_json}
+  "batched": {{ "qps": {qps_b:.0}, "p50_ns": {}, "p99_ns": {} }},{baseline_json}{telemetry_json}
   "speedup_cached_vs_uncached": {speedup:.2},
   "equal_results": true
 }}
@@ -719,6 +923,7 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
     if let Some(s) = uncached_speedup {
         out.push_str(&format!("uncached speedup vs baseline: {s:.2}x\n"));
     }
+    out.push_str(&telemetry_human);
     if let Some(out_path) = args.get("out") {
         std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
         out.push_str(&format!("wrote {out_path}\n"));
@@ -735,6 +940,15 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
             return Err(format!(
                 "serve-bench gate failed: uncached throughput {qps_unc:.0} qps is \
                  {s:.2}x the baseline, below the required {min_uncached_speedup}x\n{out}"
+            ));
+        }
+    }
+    if telemetry_gate > 0.0 {
+        let r = overhead_ratio.unwrap_or(0.0);
+        if r < telemetry_gate {
+            return Err(format!(
+                "serve-bench gate failed: telemetry-on throughput is {r:.3}x \
+                 telemetry-off, below the required {telemetry_gate}x\n{out}"
             ));
         }
     }
@@ -763,14 +977,50 @@ fn metric_line(doc: &mpcp_obs::json::JsonValue) -> Option<String> {
     })
 }
 
-/// `mpcp report [--trace <file>] [--metrics <file>] [--require <spans>]`
+/// Serialize a parsed [`JsonValue`] back to JSON text (the vendored
+/// parser has no writer; numbers print shortest-round-trip).
+///
+/// [`JsonValue`]: mpcp_obs::json::JsonValue
+fn json_value_to_string(v: &mpcp_obs::json::JsonValue) -> String {
+    use mpcp_obs::json::JsonValue as J;
+    match v {
+        J::Null => "null".to_string(),
+        J::Bool(b) => b.to_string(),
+        J::Num(n) if n.is_finite() => format!("{n}"),
+        J::Num(_) => "null".to_string(),
+        J::Str(s) => mpcp_obs::export::json_string(s),
+        J::Arr(xs) => {
+            let inner: Vec<String> = xs.iter().map(json_value_to_string).collect();
+            format!("[{}]", inner.join(","))
+        }
+        J::Obj(m) => {
+            let inner: Vec<String> = m
+                .iter()
+                .map(|(k, x)| {
+                    format!("{}:{}", mpcp_obs::export::json_string(k), json_value_to_string(x))
+                })
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// `mpcp report [--trace <file>] [--metrics <file>] [--require <spans>]
+/// [--require-metric <name[>=N]>] [--format text|json]`
 ///
 /// Validates (strict JSON parse) and summarizes the files produced by
 /// `--trace-out` / `--metrics-out`. `--require` takes a comma-separated
 /// list of span names that must appear in the trace — the CI smoke test
-/// uses it to assert the pipeline was actually instrumented.
+/// uses it to assert the pipeline was actually instrumented. With
+/// `--format json` the same validated content is emitted as one JSON
+/// document for downstream tooling.
 pub fn report(args: &Args) -> Result<String, String> {
+    let format = args.get_or("format", "text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("--format must be text or json, got {format:?}"));
+    }
     let mut out = String::new();
+    let mut json_parts: Vec<String> = Vec::new();
     let mut any = false;
     if let Some(path) = args.get("trace") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -793,6 +1043,20 @@ pub fn report(args: &Args) -> Result<String, String> {
             }
             out.push_str(&format!("required spans present: {req}\n"));
         }
+        let mut names: Vec<String> =
+            mpcp_obs::export::trace_span_names(&docs).into_iter().collect();
+        names.sort();
+        let names: Vec<String> =
+            names.iter().map(|n| mpcp_obs::export::json_string(n)).collect();
+        let events = match docs.as_slice() {
+            [one] if one.as_arr().is_some() => one.as_arr().map_or(0, <[_]>::len),
+            _ => docs.len(),
+        };
+        json_parts.push(format!(
+            "\"trace\":{{\"file\":{},\"events\":{events},\"span_names\":[{}]}}",
+            mpcp_obs::export::json_string(path),
+            names.join(","),
+        ));
         any = true;
     }
     if let Some(path) = args.get("metrics") {
@@ -841,6 +1105,12 @@ pub fn report(args: &Args) -> Result<String, String> {
             }
             out.push_str(&format!("required metrics present: {req}\n"));
         }
+        let rendered: Vec<String> = docs.iter().map(json_value_to_string).collect();
+        json_parts.push(format!(
+            "\"metrics\":{{\"file\":{},\"documents\":[{}]}}",
+            mpcp_obs::export::json_string(path),
+            rendered.join(","),
+        ));
         any = true;
     } else if args.get("require-metric").is_some() {
         return Err("--require-metric needs --metrics <file>".into());
@@ -848,13 +1118,152 @@ pub fn report(args: &Args) -> Result<String, String> {
     if !any {
         return Err("report needs --trace <file> and/or --metrics <file>".into());
     }
+    if format == "json" {
+        return Ok(format!("{{{}}}\n", json_parts.join(",")));
+    }
     Ok(out)
+}
+
+/// Compact duration for the `top` table (the exporter's formatter is
+/// private to `mpcp-obs`).
+fn fmt_dur(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Render one live-stats document as the `top` table.
+fn render_top(doc: &mpcp_obs::json::JsonValue) -> Result<String, String> {
+    let stats = doc.get("stats").ok_or("stats file has no \"stats\" object")?;
+    let num = |v: &mpcp_obs::json::JsonValue, k: &str| {
+        v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0)
+    };
+    let finished = matches!(doc.get("finished"), Some(mpcp_obs::json::JsonValue::Bool(true)));
+    let mut out = format!(
+        "mpcp top — window {}ms x {} slots, epoch {}{}\n\
+         requests {:>8}   rate {:>9.0}/s   hit ratio {:.3}   \
+         p50 {:>9}   p95 {:>9}   p99 {:>9}   burn {:.3}\n",
+        num(stats, "slot_ns") / 1e6,
+        num(stats, "slots"),
+        num(stats, "epoch"),
+        if finished { " (finished)" } else { "" },
+        num(stats, "requests"),
+        num(stats, "rate_per_sec"),
+        num(stats, "hit_ratio"),
+        fmt_dur(num(stats, "p50_ns")),
+        fmt_dur(num(stats, "p95_ns")),
+        fmt_dur(num(stats, "p99_ns")),
+        num(stats, "worst_burn_rate"),
+    );
+    if let Some(fl) = doc.get("flight") {
+        if fl.get("armed").is_some() {
+            let dumped = matches!(
+                fl.get("dumped"),
+                Some(mpcp_obs::json::JsonValue::Bool(true))
+            );
+            out.push_str(&format!(
+                "flight:   {} ({} events seen{})\n",
+                if dumped { "DUMPED" } else { "armed" },
+                num(fl, "events_seen"),
+                match fl.get("dump_path").and_then(|v| v.as_str()) {
+                    Some(p) if dumped => format!(", trace at {p}"),
+                    _ => String::new(),
+                },
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{:<40} {:>8} {:>9} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}\n",
+        "shard", "reqs", "rate/s", "hit%", "p50", "p99", "queue p99", "compute99", "probe p99", "burn",
+    ));
+    for s in stats.get("shards").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+        let reqs = num(s, "requests");
+        let hitpc = num(s, "hit_ratio") * 100.0;
+        out.push_str(&format!(
+            "{:<40} {reqs:>8} {:>9.0} {hitpc:>6.1} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.3}\n",
+            s.get("key").and_then(|v| v.as_str()).unwrap_or("?"),
+            num(s, "rate_per_sec"),
+            fmt_dur(num(s, "p50_ns")),
+            fmt_dur(num(s, "p99_ns")),
+            fmt_dur(num(s, "queue_wait_p99_ns")),
+            fmt_dur(num(s, "compute_p99_ns")),
+            fmt_dur(num(s, "cache_probe_p99_ns")),
+            num(s, "burn_rate"),
+        ));
+    }
+    Ok(out)
+}
+
+/// `mpcp top --stats <file> [--once] [--json] [--interval-ms 500]
+/// [--timeout 30]`
+///
+/// Introspect a running `mpcp serve-bench --duration N --stats-out
+/// <file>` session: the bench publishes its live windowed stats
+/// atomically to `<file>`, and `top` renders them as a refreshing
+/// per-shard table — requests, rate, hit ratio, latency quantiles,
+/// the queue-wait/compute/probe attribution split, and the SLO burn
+/// rate. `--once` prints a single sample and exits; `--json` emits
+/// the raw document instead of the table.
+pub fn top(args: &Args) -> Result<String, String> {
+    let path = args.require("stats")?;
+    let once = args.flag("once");
+    let json = args.flag("json");
+    let interval_ms: u64 = args
+        .get_or("interval-ms", "500")
+        .parse()
+        .map_err(|_| "bad --interval-ms".to_string())?;
+    let timeout: f64 = args
+        .get_or("timeout", "30")
+        .parse()
+        .map_err(|_| "bad --timeout".to_string())?;
+
+    let t0 = std::time::Instant::now();
+    let mut last = String::new();
+    loop {
+        // The publisher writes tmp-then-rename, so a successful read is
+        // always a complete document; a missing file means the bench
+        // has not published yet (or a sample landed between unlink and
+        // rename on exotic filesystems) — retry until the deadline.
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if !text.trim().is_empty() {
+                let doc = mpcp_obs::json::parse(&text)
+                    .map_err(|e| format!("{path}: bad JSON: {e}"))?;
+                let finished =
+                    matches!(doc.get("finished"), Some(mpcp_obs::json::JsonValue::Bool(true)));
+                if once {
+                    return Ok(if json { text } else { render_top(&doc)? });
+                }
+                if text != last {
+                    // Clear + home: a refreshing full-screen table.
+                    let frame = if json { text.clone() } else { render_top(&doc)? };
+                    print!("\x1b[2J\x1b[H{frame}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    last = text;
+                }
+                if finished {
+                    return Ok("serve-bench session finished\n".to_string());
+                }
+            }
+        }
+        if t0.elapsed().as_secs_f64() > timeout {
+            return Err(format!("top: no live stats at {path} within {timeout}s"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::args::Args;
+    use mpcp_obs::json::JsonValue;
 
     fn run_args(v: &[&str]) -> Result<String, String> {
         crate::run(Args::parse(v.iter().map(|s| s.to_string())).unwrap())
@@ -1153,7 +1562,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("cached/uncached speedup"), "{out}");
         let doc = mpcp_obs::json::parse(&std::fs::read_to_string(&bench_json).unwrap()).unwrap();
-        assert_eq!(doc.get("pr").and_then(|v| v.as_f64()), Some(6.0));
+        assert_eq!(doc.get("pr").and_then(|v| v.as_f64()), Some(7.0));
         assert!(doc.get("provenance").and_then(|p| p.get("git_sha")).is_some());
         assert!(doc.get("cached").and_then(|c| c.get("qps")).and_then(|v| v.as_f64()).unwrap() > 0.0);
         assert!(
@@ -1197,6 +1606,162 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("gate failed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The full telemetry loop: `serve-bench --duration` publishes live
+    /// stats + a flight dump, `mpcp top` reads them, `mpcp report` sees
+    /// the windowed gauges, and `--format json` re-serializes cleanly.
+    #[test]
+    fn serve_bench_telemetry_top_and_flight_roundtrip() {
+        let _obs = OBS_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("mpcp_cli_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let model = dir.join("m.mpcp");
+        let stats = dir.join("live.json");
+        let flight = dir.join("flight.json");
+        let bench_json = dir.join("b.json");
+        let metrics = dir.join("m.jsonl");
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(&flight).ok();
+        run_args(&[
+            "bench", "--machine", "hydra", "--coll", "bcast", "--nodes", "2,3", "--ppn", "1,2",
+            "--msizes", "16,4K", "--out", csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_args(&[
+            "train", "--data", csv.to_str().unwrap(), "--coll", "bcast", "--learner", "knn",
+            "--save-model", model.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let out = run_args(&[
+            "serve-bench", "--model", model.to_str().unwrap(), "--threads", "2", "--requests",
+            "300", "--duration", "1", "--stats-out", stats.to_str().unwrap(), "--spike-ms",
+            "60", "--flight-out", flight.to_str().unwrap(), "--flight-threshold-ms", "20",
+            "--telemetry-gate", "0.01", "--out", bench_json.to_str().unwrap(),
+            "--metrics-out", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+
+        // The bench JSON carries the telemetry block: overhead ratio,
+        // windowed summary, and the flight status.
+        let doc =
+            mpcp_obs::json::parse(&std::fs::read_to_string(&bench_json).unwrap()).unwrap();
+        let tel = doc.get("telemetry").expect("telemetry block in bench JSON");
+        assert!(tel.get("overhead_ratio").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(tel.get("sustained_requests").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let win = tel.get("window").unwrap();
+        assert!(win.get("p99_ns").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let fl = tel.get("flight").expect("flight status in telemetry block");
+        assert!(matches!(fl.get("dumped"), Some(JsonValue::Bool(true))), "spike must dump");
+        assert!(matches!(fl.get("dump_ok"), Some(JsonValue::Bool(true))));
+
+        // The dump is a valid Chrome trace containing the spike span.
+        let ftext = std::fs::read_to_string(&flight).unwrap();
+        let fdoc = mpcp_obs::json::parse(&ftext).unwrap();
+        let rows = fdoc.as_arr().expect("flight dump is a JSON array");
+        assert!(
+            rows.iter().any(|r| {
+                r.get("name").and_then(|v| v.as_str()) == Some("serve.spike")
+            }),
+            "offending span missing from flight dump"
+        );
+
+        // The final live-stats file is finished and carries traffic.
+        let sdoc = mpcp_obs::json::parse(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+        assert!(matches!(sdoc.get("finished"), Some(JsonValue::Bool(true))));
+        assert!(
+            sdoc.get("stats").and_then(|s| s.get("requests")).and_then(|v| v.as_f64()).unwrap()
+                > 0.0
+        );
+
+        // `top --once --json` hands back the published document.
+        let top_json = run_args(&[
+            "top", "--stats", stats.to_str().unwrap(), "--once", "--json",
+        ])
+        .unwrap();
+        let tdoc = mpcp_obs::json::parse(&top_json).unwrap();
+        assert!(matches!(tdoc.get("finished"), Some(JsonValue::Bool(true))));
+        // ... and the table form renders the header, attribution
+        // columns, and the flight line.
+        let table =
+            run_args(&["top", "--stats", stats.to_str().unwrap(), "--once"]).unwrap();
+        assert!(table.contains("mpcp top"), "{table}");
+        assert!(table.contains("hit ratio"), "{table}");
+        assert!(table.contains("queue p99"), "{table}");
+        assert!(table.contains("DUMPED"), "{table}");
+        // A missing stats file times out with a readable error.
+        let err = run_args(&[
+            "top", "--stats", dir.join("nope.json").to_str().unwrap(), "--once", "--timeout",
+            "0.2", "--interval-ms", "50",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no live stats"), "{err}");
+
+        // The windowed gauges flow into --metrics-out, so `report`
+        // can gate on them end-to-end...
+        let report = run_args(&[
+            "report", "--metrics", metrics.to_str().unwrap(), "--require-metric",
+            "serve.window.p99_ns",
+        ])
+        .unwrap();
+        assert!(report.contains("required metrics present"), "{report}");
+        // ...and `--format json` re-serializes the validated content.
+        let rj = run_args(&[
+            "report", "--metrics", metrics.to_str().unwrap(), "--format", "json",
+        ])
+        .unwrap();
+        let rdoc = mpcp_obs::json::parse(&rj).unwrap();
+        let docs = rdoc
+            .get("metrics")
+            .and_then(|m| m.get("documents"))
+            .and_then(|v| v.as_arr())
+            .expect("documents array");
+        assert!(
+            docs.iter().any(|d| {
+                d.get("metric").and_then(|v| v.as_str()) == Some("serve.window.p99_ns")
+            }),
+            "{rj}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_format_json_round_trips_a_trace() {
+        let dir = std::env::temp_dir().join("mpcp_cli_report_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        std::fs::write(
+            &trace,
+            "[{\"name\":\"fit\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":5},\n\
+             {\"name\":\"select\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":5,\"dur\":3}]\n",
+        )
+        .unwrap();
+        let out = run_args(&[
+            "report", "--trace", trace.to_str().unwrap(), "--require", "fit,select",
+            "--format", "json",
+        ])
+        .unwrap();
+        let doc = mpcp_obs::json::parse(&out).unwrap();
+        let tr = doc.get("trace").expect("trace block");
+        assert_eq!(tr.get("events").and_then(|v| v.as_f64()), Some(2.0));
+        let names: Vec<&str> = tr
+            .get("span_names")
+            .and_then(|v| v.as_arr())
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_str())
+            .collect();
+        assert_eq!(names, ["fit", "select"]);
+        // Unknown formats are a readable error, not silent text.
+        let err = run_args(&[
+            "report", "--trace", trace.to_str().unwrap(), "--format", "yaml",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--format"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -66,14 +66,24 @@ COMMANDS:
               [--min-samples <n>]
   serve-bench  load a model artifact into the concurrent PredictionService
               and measure kernel inst/s plus cached vs uncached vs batched
-              query throughput
+              query throughput; with --duration, sustain load while
+              publishing live windowed stats for `mpcp top` and arming
+              the flight recorder
               --model <file> [--threads 8] [--requests 20000]
-              [--cache 4096] [--min-speedup <x>] [--out BENCH_PR6.json]
+              [--cache 4096] [--min-speedup <x>] [--out BENCH_PR7.json]
               [--baseline BENCH_PRn.json] [--min-uncached-speedup <x>]
+              [--telemetry-gate <ratio>] [--duration <secs>]
+              [--stats-out <file>] [--spike-ms <ms>] [--flight-out <file>]
+              [--flight-threshold-ms <ms>]
+  top         watch a running serve-bench session's live windowed stats
+              (per-shard rate, hit ratio, p50/p99, queue-wait vs compute
+              split, SLO burn rate)
+              --stats <file> [--once] [--json] [--interval-ms 500]
+              [--timeout 30]
   report      summarize trace/metrics files written by --trace-out /
               --metrics-out
               [--trace <file>] [--metrics <file>] [--require <spans>]
-              [--require-metric <name[>=N],...>]
+              [--require-metric <name[>=N],...>] [--format text|json]
 
 FAULT INJECTION (bench):
   --fault-plan \"fail=0.3,timeout=0.05,outlier=0.02x8,blackout=13+19,seed=7\"
@@ -128,6 +138,7 @@ pub fn run(args: Args) -> Result<String, String> {
         "select" => commands::select(&args),
         "serve-bench" => commands::serve_bench(&args),
         "tune" => commands::tune(&args),
+        "top" => commands::top(&args),
         "report" => commands::report(&args),
         "" | "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),

@@ -1,0 +1,116 @@
+//! An injectable clock for the windowed-telemetry layer.
+//!
+//! The rolling-window recorders in [`crate::window`] bucket samples by
+//! "nanoseconds since some epoch". In production that is the monotonic
+//! wall clock; in tests and deterministic replays it must be a logical
+//! clock the test advances by hand — otherwise window-roll semantics
+//! (which slot a sample lands in, when a slot expires) cannot be
+//! asserted bit-exactly. A [`Clock`] is cheap to clone (it shares the
+//! underlying source) and safe to read from any thread.
+//!
+//! Wall-clock reads live here, inside `mpcp-obs`, on purpose: the
+//! workspace lint forbids `Instant`/`SystemTime` in the deterministic
+//! crates, and consumers of windowed telemetry (the serving layer)
+//! only ever see this injectable handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone)]
+enum Source {
+    /// Monotonic wall clock, nanoseconds since this clock's creation.
+    Wall(Instant),
+    /// A hand-advanced logical clock (tests, deterministic replay).
+    Manual(Arc<AtomicU64>),
+}
+
+/// A nanosecond clock: either the monotonic wall clock or a manually
+/// advanced logical clock sharing one atomic across clones.
+#[derive(Clone)]
+pub struct Clock(Source);
+
+impl Clock {
+    /// A monotonic wall clock; `now_ns` counts from this call.
+    pub fn wall() -> Clock {
+        Clock(Source::Wall(Instant::now()))
+    }
+
+    /// A logical clock starting at `start_ns`; advance it with
+    /// [`Clock::advance`] or pin it with [`Clock::set`]. Clones share
+    /// the same underlying time.
+    pub fn manual(start_ns: u64) -> Clock {
+        Clock(Source::Manual(Arc::new(AtomicU64::new(start_ns))))
+    }
+
+    /// Nanoseconds since this clock's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            Source::Wall(epoch) => {
+                // Saturating: a u64 of nanoseconds covers ~584 years.
+                epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+            }
+            Source::Manual(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advance a manual clock by `ns` (no-op on a wall clock) and
+    /// return the new time.
+    pub fn advance(&self, ns: u64) -> u64 {
+        match &self.0 {
+            Source::Wall(_) => self.now_ns(),
+            Source::Manual(t) => t.fetch_add(ns, Ordering::Relaxed) + ns,
+        }
+    }
+
+    /// Pin a manual clock to an absolute time (no-op on a wall clock).
+    pub fn set(&self, ns: u64) {
+        if let Source::Manual(t) = &self.0 {
+            t.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this is a hand-advanced logical clock.
+    pub fn is_manual(&self) -> bool {
+        matches!(self.0, Source::Manual(_))
+    }
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Source::Wall(_) => write!(f, "Clock::wall"),
+            Source::Manual(t) => write!(f, "Clock::manual({})", t.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_across_clones() {
+        let c = Clock::manual(100);
+        let c2 = c.clone();
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c2.advance(50), 150);
+        assert_eq!(c.now_ns(), 150);
+        c.set(7);
+        assert_eq!(c2.now_ns(), 7);
+        assert!(c.is_manual());
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = Clock::wall();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        assert!(!c.is_manual());
+        // advance/set are documented no-ops on wall clocks.
+        c.set(0);
+        assert!(c.now_ns() >= b);
+    }
+}

@@ -171,7 +171,7 @@ pub fn metrics_jsonl(snap: &MetricsSnapshot, provenance: Option<&Provenance>) ->
             .collect();
         let _ = writeln!(
             out,
-            "{{\"metric\":{},\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"buckets\":[{}]}}",
+            "{{\"metric\":{},\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
             json_string(name),
             h.count(),
             h.sum,
@@ -179,7 +179,8 @@ pub fn metrics_jsonl(snap: &MetricsSnapshot, provenance: Option<&Provenance>) ->
             h.quantile(0.50).unwrap_or(0),
             h.quantile(0.95).unwrap_or(0),
             h.quantile(0.99).unwrap_or(0),
-            h.max_bound(),
+            if h.count() > 0 { h.min } else { 0 },
+            if h.count() > 0 { h.max } else { h.max_bound() },
             buckets.join(","),
         );
     }

@@ -1,0 +1,370 @@
+//! Flight recorder: a bounded ring of the most recent trace events,
+//! frozen and dumped to a Chrome-trace post-mortem file when a
+//! trigger fires.
+//!
+//! [`crate::span`] buffers are drain-once and unbounded — fine for a
+//! traced batch run, useless for answering "what happened in the 50ms
+//! before that latency spike" in a long-lived server. The flight
+//! recorder taps the same recording path ([`observe`] is called for
+//! every completed span and instant event while armed), keeps only
+//! the last `capacity` events (overwrite-oldest, one atomic
+//! reservation per event), and on the first matching trigger freezes
+//! itself and writes the ring as a Chrome trace.
+//!
+//! Trigger taxonomy (see [`FlightConfig`]):
+//! - **latency-over-threshold** — a span (optionally name-filtered)
+//!   whose duration exceeds `latency_threshold_ns`;
+//! - **named events** — an instant event matching one of
+//!   `event_prefixes`, e.g. `fit.error` (a training failure) or
+//!   `serve.degraded` (a selection that fell back or produced no
+//!   finite prediction).
+//!
+//! The trigger check runs *after* the event is recorded, so the
+//! offending span is always inside its own dump. `dumped.swap(true)`
+//! guarantees exactly one dump per arming no matter how many threads
+//! trip triggers concurrently; re-[`arm`] to record again.
+//!
+//! Concurrency: the hot path is one relaxed load when disarmed; when
+//! armed, a slot index is reserved with `fetch_add` (lock-free — no
+//! writer ever waits for another to *choose* a slot) and the event is
+//! stored under that slot's own mutex, contended only when writers
+//! lap the ring within one reservation cycle.
+
+use crate::export::chrome_trace;
+use crate::span::{AttrValue, EventKind, TraceEvent};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// What arms the recorder and when it dumps.
+#[derive(Clone, Debug)]
+pub struct FlightConfig {
+    /// Ring size: how many recent events a dump contains at most.
+    pub capacity: usize,
+    /// Dump when a span's duration exceeds this (None = no latency
+    /// trigger).
+    pub latency_threshold_ns: Option<u64>,
+    /// Restrict the latency trigger to spans whose name starts with
+    /// this prefix (empty = any span).
+    pub latency_prefix: String,
+    /// Instant-event name prefixes that trigger a dump (e.g.
+    /// `fit.error`, `serve.degraded`).
+    pub event_prefixes: Vec<String>,
+    /// Where the post-mortem Chrome trace is written.
+    pub dump_path: PathBuf,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 256,
+            latency_threshold_ns: None,
+            latency_prefix: String::new(),
+            event_prefixes: vec!["fit.error".into(), "serve.degraded".into()],
+            dump_path: PathBuf::from("flight_dump.json"),
+        }
+    }
+}
+
+struct Ring {
+    cfg: FlightConfig,
+    /// Total events ever recorded; `head % capacity` is the next slot.
+    head: AtomicU64,
+    slots: Box<[Mutex<Option<TraceEvent>>]>,
+    dumped: AtomicBool,
+    dump_ok: AtomicBool,
+}
+
+/// Fast-path gate: one relaxed load per recorded event when disarmed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn cell() -> &'static RwLock<Option<Arc<Ring>>> {
+    static CELL: OnceLock<RwLock<Option<Arc<Ring>>>> = OnceLock::new();
+    CELL.get_or_init(|| RwLock::new(None))
+}
+
+fn lock_slot(slot: &Mutex<Option<TraceEvent>>) -> std::sync::MutexGuard<'_, Option<TraceEvent>> {
+    slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Ring {
+    fn new(cfg: FlightConfig) -> Ring {
+        let capacity = cfg.capacity.max(1);
+        Ring {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            dumped: AtomicBool::new(false),
+            dump_ok: AtomicBool::new(false),
+            cfg,
+        }
+    }
+
+    fn push(&self, ev: &TraceEvent) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        *lock_slot(&self.slots[(idx % self.slots.len() as u64) as usize]) = Some(ev.clone());
+    }
+
+    fn is_trigger(&self, ev: &TraceEvent) -> Option<String> {
+        match ev.kind {
+            EventKind::Span => {
+                let threshold = self.cfg.latency_threshold_ns?;
+                (ev.dur_ns > threshold && ev.name.starts_with(self.cfg.latency_prefix.as_str()))
+                    .then(|| format!("latency: {} took {}ns > {}ns", ev.name, ev.dur_ns, threshold))
+            }
+            EventKind::Instant => self
+                .cfg
+                .event_prefixes
+                .iter()
+                .find(|p| ev.name.starts_with(p.as_str()))
+                .map(|p| format!("event: {} (matched \"{p}\")", ev.name)),
+        }
+    }
+
+    /// Collect the ring oldest-first (only filled slots), append the
+    /// trigger marker, and write the post-mortem trace.
+    fn dump(&self, reason: &str, trigger: &TraceEvent) {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events: Vec<TraceEvent> = (start..head)
+            .filter_map(|i| lock_slot(&self.slots[(i % cap) as usize]).clone())
+            .collect();
+        events.sort_by_key(|e| (e.ts_ns, e.id));
+        events.push(TraceEvent {
+            name: "flight.trigger",
+            kind: EventKind::Instant,
+            ts_ns: trigger.ts_ns.saturating_add(trigger.dur_ns),
+            dur_ns: 0,
+            tid: trigger.tid,
+            id: 0,
+            parent: trigger.id,
+            attrs: vec![
+                ("reason", AttrValue::Str(reason.to_string())),
+                ("events", AttrValue::U64(events.len() as u64 + 1)),
+            ],
+        });
+        let ok = std::fs::write(&self.cfg.dump_path, chrome_trace(&events, None)).is_ok();
+        self.dump_ok.store(ok, Ordering::Relaxed);
+    }
+}
+
+/// Install and arm a recorder (replacing any previous one). Recording
+/// starts immediately; the first trigger freezes it and writes
+/// `cfg.dump_path`.
+pub fn arm(cfg: FlightConfig) {
+    let ring = Arc::new(Ring::new(cfg));
+    *cell().write().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(ring);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm and drop the recorder (no dump). Returns whether one was
+/// installed.
+pub fn disarm() -> bool {
+    ARMED.store(false, Ordering::Release);
+    cell()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+        .is_some()
+}
+
+/// Point-in-time recorder state, for introspection (`mpcp top`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightStatus {
+    /// Still recording (armed and not yet triggered).
+    pub armed: bool,
+    /// A trigger fired and the ring was dumped.
+    pub dumped: bool,
+    /// The dump file was written successfully.
+    pub dump_ok: bool,
+    /// Total events observed since arming.
+    pub events_seen: u64,
+    /// Configured dump destination.
+    pub dump_path: PathBuf,
+}
+
+/// Current recorder state, `None` when never armed (or disarmed).
+pub fn status() -> Option<FlightStatus> {
+    let guard = cell().read().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ring = guard.as_ref()?;
+    Some(FlightStatus {
+        armed: ARMED.load(Ordering::Relaxed),
+        dumped: ring.dumped.load(Ordering::Relaxed),
+        dump_ok: ring.dump_ok.load(Ordering::Relaxed),
+        events_seen: ring.head.load(Ordering::Relaxed),
+        dump_path: ring.cfg.dump_path.clone(),
+    })
+}
+
+/// Record one completed span/event into the ring and fire a dump if
+/// it matches a trigger. Called from [`crate::span`]'s recording
+/// paths; a disarmed recorder costs one relaxed load.
+pub(crate) fn observe(ev: &TraceEvent) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let ring = {
+        let guard = cell().read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match guard.as_ref() {
+            Some(r) => Arc::clone(r),
+            None => return,
+        }
+    };
+    ring.push(ev);
+    if let Some(reason) = ring.is_trigger(ev) {
+        // Exactly one dump per arming, no matter how many threads trip
+        // triggers concurrently.
+        if !ring.dumped.swap(true, Ordering::SeqCst) {
+            ARMED.store(false, Ordering::Release);
+            ring.dump(&reason, ev);
+        }
+    }
+}
+
+/// Directly observe an externally built event (tests, synthetic
+/// markers). Same semantics as the span-path hook.
+pub fn observe_event(ev: &TraceEvent) {
+    observe(ev);
+}
+
+/// Dump the ring now, without a trigger (e.g. on operator request or
+/// at shutdown), to `path`. Returns false when disarmed/never armed
+/// or the write failed. Does not freeze the recorder.
+pub fn dump_now(path: &Path) -> bool {
+    let guard = cell().read().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(ring) = guard.as_ref() else { return false };
+    let head = ring.head.load(Ordering::Relaxed);
+    let cap = ring.slots.len() as u64;
+    let start = head.saturating_sub(cap);
+    let mut events: Vec<TraceEvent> = (start..head)
+        .filter_map(|i| lock_slot(&ring.slots[(i % cap) as usize]).clone())
+        .collect();
+    events.sort_by_key(|e| (e.ts_ns, e.id));
+    std::fs::write(path, chrome_trace(&events, None)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn span_ev(name: &'static str, ts_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            kind: EventKind::Span,
+            ts_ns,
+            dur_ns,
+            tid: 1,
+            id: ts_ns + 1,
+            parent: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn instant_ev(name: &'static str, ts_ns: u64) -> TraceEvent {
+        TraceEvent { name, kind: EventKind::Instant, ts_ns, dur_ns: 0, tid: 1, id: 0, parent: 0, attrs: Vec::new() }
+    }
+
+    fn temp_path(file: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mpcp_obs_flight_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(file)
+    }
+
+    #[test]
+    fn latency_trigger_dumps_exactly_once_with_offender() {
+        let _lock = crate::span::test_lock();
+        let path = temp_path("latency.json");
+        std::fs::remove_file(&path).ok();
+        arm(FlightConfig {
+            capacity: 8,
+            latency_threshold_ns: Some(1_000),
+            latency_prefix: "serve.".into(),
+            event_prefixes: Vec::new(),
+            dump_path: path.clone(),
+        });
+        for i in 0..5u64 {
+            observe(&span_ev("serve.fast", 10 + i, 100));
+        }
+        // Over threshold but wrong prefix: no trigger.
+        observe(&span_ev("train.slow", 100, 50_000));
+        assert!(!status().unwrap().dumped);
+        observe(&span_ev("serve.spike", 200, 9_000));
+        let st = status().unwrap();
+        assert!(st.dumped && st.dump_ok && !st.armed, "{st:?}");
+        // A second spike after the freeze neither dumps nor records.
+        observe(&span_ev("serve.spike2", 300, 9_000));
+        assert_eq!(status().unwrap().events_seen, st.events_seen);
+
+        let parsed = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let arr = parsed.as_arr().unwrap().to_vec();
+        let names: Vec<_> =
+            arr.iter().filter_map(|d| d.get("name").and_then(|n| n.as_str())).collect();
+        assert!(names.contains(&"serve.spike"), "offending span missing: {names:?}");
+        assert!(names.contains(&"flight.trigger"), "trigger marker missing");
+        assert!(!names.contains(&"serve.spike2"));
+        assert!(disarm());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn event_trigger_and_overwrite_oldest() {
+        let _lock = crate::span::test_lock();
+        let path = temp_path("degraded.json");
+        std::fs::remove_file(&path).ok();
+        arm(FlightConfig {
+            capacity: 4,
+            latency_threshold_ns: None,
+            latency_prefix: String::new(),
+            event_prefixes: vec!["serve.degraded".into()],
+            dump_path: path.clone(),
+        });
+        let fillers: Vec<&'static str> =
+            vec!["f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9"];
+        for (i, name) in fillers.iter().enumerate() {
+            observe(&span_ev(name, 10 * (i as u64 + 1), 5));
+        }
+        observe(&instant_ev("serve.degraded.no_finite", 1_000));
+        let st = status().unwrap();
+        assert!(st.dumped && st.dump_ok, "{st:?}");
+
+        let parsed = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let names: Vec<String> = parsed
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(|d| d.get("name").and_then(|n| n.as_str()).map(str::to_string))
+            .collect();
+        // Ring holds the last 4 events: f7 f8 f9 + the trigger event,
+        // plus the flight.trigger marker appended at dump time.
+        assert!(names.contains(&"serve.degraded.no_finite".to_string()));
+        assert!(names.contains(&"f9".to_string()) && !names.contains(&"f0".to_string()));
+        assert_eq!(names.len(), 5, "{names:?}");
+        assert!(disarm());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dump_now_snapshots_without_freezing() {
+        let _lock = crate::span::test_lock();
+        let path = temp_path("manual.json");
+        std::fs::remove_file(&path).ok();
+        arm(FlightConfig {
+            capacity: 8,
+            latency_threshold_ns: None,
+            latency_prefix: String::new(),
+            event_prefixes: Vec::new(),
+            dump_path: temp_path("unused.json"),
+        });
+        observe(&span_ev("a", 1, 10));
+        assert!(dump_now(&path));
+        let st = status().unwrap();
+        assert!(st.armed && !st.dumped);
+        observe(&span_ev("b", 2, 10));
+        assert_eq!(status().unwrap().events_seen, 2);
+        assert!(disarm());
+        assert!(!dump_now(&path));
+        assert_eq!(status(), None);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,6 +15,10 @@
 //!   wall-clock time) for benchmark and experiment outputs.
 //! * [`json`] — a minimal JSON parser used to validate and re-read the
 //!   emitted files (the vendored serde shim does not serialize).
+//! * [`window`] — rolling-window recorders over an injectable
+//!   [`clock`]: per-window rates, live p50/p95/p99, SLO burn-rate.
+//! * [`flight`] — a bounded ring of recent events dumped as a
+//!   Chrome-trace post-mortem when a latency/failure trigger fires.
 //!
 //! Everything is behind one runtime switch: with tracing disabled
 //! (the default) the instrumented hot paths cost a single relaxed
@@ -34,11 +38,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod provenance;
 mod span;
+pub mod window;
 
 pub use span::{current_span_id, drain, event, span, AttrValue, EventBuilder, EventKind,
     SpanGuard, TraceEvent};

@@ -10,7 +10,7 @@
 //! look the handle up per call (still behind the enabled flag, so the
 //! disabled path is a single atomic load).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -100,11 +100,18 @@ impl Gauge {
 pub struct Histogram {
     buckets: [AtomicU64; NBUCKETS],
     sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [const { AtomicU64::new(0) }; NBUCKETS], sum: AtomicU64::new(0) }
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; NBUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
     }
 }
 
@@ -114,6 +121,8 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Copy out an immutable snapshot.
@@ -122,23 +131,34 @@ impl Histogram {
         for (b, a) in buckets.iter_mut().zip(&self.buckets) {
             *b = a.load(Ordering::Relaxed);
         }
-        HistSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
+        HistSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
     }
 }
 
 /// An immutable histogram snapshot: bucket counts plus the exact sum
-/// of recorded values.
+/// and exact min/max of recorded values. The extremes bound the
+/// interpolated [`HistSnapshot::quantile`] estimate so reported tails
+/// never exceed any value actually observed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistSnapshot {
     /// Count per bucket (see [`bucket_of`]).
     pub buckets: [u64; NBUCKETS],
     /// Sum of all recorded values.
     pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (`0` when empty).
+    pub max: u64,
 }
 
 impl Default for HistSnapshot {
     fn default() -> Self {
-        HistSnapshot { buckets: [0; NBUCKETS], sum: 0 }
+        HistSnapshot { buckets: [0; NBUCKETS], sum: 0, min: u64::MAX, max: 0 }
     }
 }
 
@@ -166,26 +186,38 @@ impl HistSnapshot {
         }
         // Wrapping, like the atomic `record` sum itself.
         self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
-    /// Quantile estimate `q ∈ [0, 1]`: the upper bound of the bucket
-    /// holding the q-th sample, so the estimate is within one bucket
-    /// (≤ 25% relative) of the true sample quantile. Returns `None`
-    /// when empty.
+    /// Quantile estimate `q ∈ [0, 1]`, `None` when empty.
+    ///
+    /// The estimate locates the bucket holding the order statistic
+    /// `ceil(q·n)` (clamped to `[1, n]`, matching "smallest x with
+    /// CDF(x) ≥ q"), linearly interpolates within that bucket by the
+    /// statistic's rank among the bucket's samples, and finally clamps
+    /// to the exact recorded `[min, max]`. Error bound: the result is
+    /// always inside the true quantile's bucket, i.e. within one
+    /// bucket width (≤ 25% relative above 16) of the true sample
+    /// quantile, and never outside the observed value range.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let n = self.count();
         if n == 0 {
             return None;
         }
-        // Rank of the order statistic `ceil(q·n)`, clamped to [1, n] —
-        // matches "smallest x with CDF(x) ≥ q".
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
         for (b, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(bucket_hi(b));
+            if c > 0 && seen + c >= rank {
+                let (lo, hi) = (bucket_lo(b), bucket_hi(b));
+                // rank_in ∈ [1, c]; interpolate lo..=hi at rank_in/c.
+                let rank_in = rank - seen;
+                let est = lo + (u128::from(hi - lo) * u128::from(rank_in) / u128::from(c)) as u64;
+                // min ≤ hi and max ≥ lo because the bucket is nonempty,
+                // so the clamp keeps the estimate inside the bucket.
+                return Some(est.clamp(self.min, self.max));
             }
+            seen += c;
         }
         unreachable!("rank ≤ total count")
     }
@@ -224,6 +256,24 @@ pub fn gauge(name: &'static str) -> Arc<Gauge> {
 /// The histogram named `name` (created on first use).
 pub fn histogram(name: &'static str) -> Arc<Histogram> {
     Arc::clone(registry().histograms.lock().unwrap().entry(name).or_default())
+}
+
+/// Intern a dynamically built metric name, leaking at most once per
+/// unique string for the life of the process. Callers that derive
+/// metric names from runtime data (e.g. one latency histogram per
+/// serving shard) must intern instead of `Box::leak`-ing per call, so
+/// repeated shard reloads reuse the same allocation.
+pub fn interned(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED.get_or_init(Default::default).lock().unwrap();
+    match set.get(name) {
+        Some(s) => s,
+        None => {
+            let s: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            set.insert(s);
+            s
+        }
+    }
 }
 
 /// Add to a named counter iff recording is enabled (disabled path: one
@@ -367,6 +417,33 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn min_max_are_exact_and_bound_quantiles() {
+        let h = Histogram::default();
+        for v in [7u64, 100, 3, 999] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.min, s.max), (3, 999));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!((3..=999).contains(&est), "q={q} est={est}");
+        }
+        // A single sample reports itself exactly at every quantile.
+        let one = Histogram::default();
+        one.record(42);
+        assert_eq!(one.snapshot().quantile(0.99), Some(42));
+    }
+
+    #[test]
+    fn interned_names_are_deduplicated() {
+        let a = interned("test.interned.serve.latency_ns.bcast");
+        let b = interned(&format!("test.interned.serve.latency_ns.{}", "bcast"));
+        assert_eq!(a, b);
+        // Same allocation, not merely equal contents.
+        assert!(std::ptr::eq(a, b));
     }
 
     #[test]

@@ -235,6 +235,7 @@ impl Drop for SpanGuard {
                 parent: s.parent,
                 attrs: s.attrs,
             };
+            crate::flight::observe(&ev);
             l.buf.lock().unwrap().push(ev);
         });
     }
@@ -286,6 +287,7 @@ impl EventBuilder {
                 parent: l.stack.last().copied().unwrap_or(0),
                 attrs: e.attrs,
             };
+            crate::flight::observe(&ev);
             l.buf.lock().unwrap().push(ev);
         });
     }

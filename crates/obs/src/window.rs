@@ -1,0 +1,685 @@
+//! Rolling-window telemetry: lock-free recorders that age cumulative
+//! counters and histograms into fixed windows of recent time.
+//!
+//! PR 2's [`crate::metrics`] registry answers "what happened since the
+//! process started"; a serving operator needs "what is p99 *right
+//! now*". A [`WindowedHistogram`] (and its lighter sibling
+//! [`WindowedCounter`]) buckets samples by wall time into a ring of
+//! `slots` windows of `slot_ns` each (default 1s × 60). Snapshots
+//! merge the in-range windows into per-window [`HistSnapshot`]s,
+//! yielding rolling rates, p50/p95/p99, and SLO burn-rate, while
+//! windows older than the ring silently expire.
+//!
+//! # Concurrency design
+//!
+//! Each recording thread owns a private ring ([`ThreadRing`]) per
+//! recorder, registered globally like the span buffers in
+//! [`crate::span`]. Because every ring has exactly one writer, slot
+//! recycling (claiming a slot whose window has expired for the
+//! current window) never races with another writer; readers observe
+//! recycling through a seqlock tag per slot:
+//!
+//! - writer: bump `seq` to odd, rewrite the slot, bump `seq` to even
+//!   (release), so an in-progress recycle is visible as an odd tag;
+//! - reader: load `seq` (acquire), copy the slot's atomics, fence,
+//!   re-load `seq` — retry/skip on odd or changed tags.
+//!
+//! All slot fields are atomics, so even a theoretically torn read is
+//! well-defined; the seqlock only guards *logical* consistency (a
+//! reader never merges half-recycled slots). Recycling destroys only
+//! windows that are already out of range — a slot is reused for
+//! window `w'` only when it holds `w ≡ w' (mod slots)`, i.e. `w ≤ w'
+//! − slots` — so a full snapshot taken after writers quiesce is exact:
+//! no sample in a live window is lost or double-counted. Samples
+//! racing a concurrent snapshot may smear across the count/sum fields
+//! of the *current* window (readers see a sample's bucket before its
+//! sum, or vice versa); totals re-converge at the next snapshot.
+//!
+//! Time is injected ([`crate::clock::Clock`]) so tests and replays
+//! drive rolls deterministically; only `obs` itself may read the wall
+//! clock (the workspace no-wallclock lint covers the deterministic
+//! crates).
+
+use crate::metrics::{bucket_of, HistSnapshot, NBUCKETS};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Ring geometry: `slots` windows of `slot_ns` nanoseconds each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one window in nanoseconds.
+    pub slot_ns: u64,
+    /// Number of windows retained (ring length).
+    pub slots: usize,
+}
+
+impl Default for WindowConfig {
+    /// One-second windows, one minute of history.
+    fn default() -> Self {
+        WindowConfig { slot_ns: 1_000_000_000, slots: 60 }
+    }
+}
+
+impl WindowConfig {
+    /// Absolute window index for a timestamp.
+    #[inline]
+    fn window_of(&self, now_ns: u64) -> u64 {
+        now_ns / self.slot_ns
+    }
+
+    /// Inclusive tag range (`window + 1`) covering the last `slots`
+    /// windows ending at `now_ns`.
+    #[inline]
+    fn live_tags(&self, now_ns: u64) -> (u64, u64) {
+        let hi = self.window_of(now_ns) + 1;
+        (hi.saturating_sub(self.slots as u64 - 1).max(1), hi)
+    }
+}
+
+/// Per-recorder identity for the thread-local ring cache. Monotonic,
+/// never reused, so a dropped recorder's id cannot alias a new one.
+fn next_recorder_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Most rings a thread caches across all live recorders before the
+/// oldest cache entry is dropped (the registry keeps the ring alive
+/// until its windows expire, so eviction never loses samples).
+const TLS_RING_CAP: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Histogram slots
+// ---------------------------------------------------------------------------
+
+/// One window's worth of histogram state. `window` holds the absolute
+/// window index + 1 (0 = never written); `seq` is the seqlock tag.
+struct HistSlot {
+    seq: AtomicU64,
+    window: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl HistSlot {
+    fn new() -> HistSlot {
+        HistSlot {
+            seq: AtomicU64::new(0),
+            window: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Seqlock read: the slot's window and contents iff the tag lies in
+    /// `[lo_tag, hi_tag]` and no recycle intervened. Bounded retries —
+    /// a slot that keeps recycling is being claimed for a window newer
+    /// than this snapshot anyway.
+    fn read(&self, lo_tag: u64, hi_tag: u64) -> Option<(u64, HistSnapshot)> {
+        for _ in 0..8 {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let tag = self.window.load(Ordering::Relaxed);
+            if tag < lo_tag || tag > hi_tag {
+                return None;
+            }
+            let mut hs = HistSnapshot {
+                sum: self.sum.load(Ordering::Relaxed),
+                min: self.min.load(Ordering::Relaxed),
+                max: self.max.load(Ordering::Relaxed),
+                ..HistSnapshot::default()
+            };
+            for (out, b) in hs.buckets.iter_mut().zip(self.buckets.iter()) {
+                *out = b.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return Some((tag - 1, hs));
+            }
+        }
+        None
+    }
+}
+
+/// A single thread's ring of histogram slots. Exactly one thread
+/// writes; any thread may read via the seqlock protocol.
+struct ThreadRing {
+    slots: Box<[HistSlot]>,
+    /// Newest tag this ring has written (for dead-ring pruning).
+    newest: AtomicU64,
+}
+
+impl ThreadRing {
+    fn new(cfg: &WindowConfig) -> ThreadRing {
+        ThreadRing {
+            slots: (0..cfg.slots).map(|_| HistSlot::new()).collect(),
+            newest: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, cfg: &WindowConfig, now_ns: u64, v: u64, n: u64) {
+        let w = cfg.window_of(now_ns);
+        let tag = w + 1;
+        let slot = &self.slots[(w % self.slots.len() as u64) as usize];
+        if slot.window.load(Ordering::Relaxed) != tag {
+            // Single writer: only this thread ever recycles this slot.
+            let s = slot.seq.load(Ordering::Relaxed);
+            slot.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+            slot.window.store(tag, Ordering::Relaxed);
+            slot.sum.store(0, Ordering::Relaxed);
+            slot.min.store(u64::MAX, Ordering::Relaxed);
+            slot.max.store(0, Ordering::Relaxed);
+            for b in slot.buckets.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+            fence(Ordering::Release);
+            slot.seq.store(s.wrapping_add(2), Ordering::Release);
+        }
+        slot.buckets[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        slot.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        slot.min.fetch_min(v, Ordering::Relaxed);
+        slot.max.fetch_max(v, Ordering::Relaxed);
+        self.newest.fetch_max(tag, Ordering::Relaxed);
+    }
+}
+
+/// A rolling-window histogram recorder. Cheap concurrent recording
+/// (per-thread rings, no shared write contention); snapshots merge all
+/// threads' in-range windows without stopping writers.
+pub struct WindowedHistogram {
+    id: u64,
+    cfg: WindowConfig,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+thread_local! {
+    /// Cache of this thread's rings: `(recorder id, ring)`.
+    static HIST_RINGS: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl WindowedHistogram {
+    /// A recorder with the given geometry. Panics on a zero-sized
+    /// window or ring (misconfiguration, not a runtime condition).
+    pub fn new(cfg: WindowConfig) -> WindowedHistogram {
+        assert!(cfg.slot_ns > 0 && cfg.slots > 0, "degenerate window config");
+        WindowedHistogram { id: next_recorder_id(), cfg, rings: Mutex::new(Vec::new()) }
+    }
+
+    /// Ring geometry.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// This thread's ring, created and registered on first use.
+    fn local_ring(&self) -> Arc<ThreadRing> {
+        HIST_RINGS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(ring);
+            }
+            let ring = Arc::new(ThreadRing::new(&self.cfg));
+            lock_rings(&self.rings).push(Arc::clone(&ring));
+            if cache.len() >= TLS_RING_CAP {
+                cache.remove(0);
+            }
+            cache.push((self.id, Arc::clone(&ring)));
+            ring
+        })
+    }
+
+    /// Record one sample at `now_ns` (from the injected clock).
+    #[inline]
+    pub fn record(&self, now_ns: u64, v: u64) {
+        self.record_n(now_ns, v, 1);
+    }
+
+    /// Record one observed value standing for `n` samples (a sampled
+    /// fast path records every Nth event with weight N, keeping
+    /// counts, rates, and quantile weights statistically consistent).
+    /// `n == 0` is a no-op.
+    #[inline]
+    pub fn record_n(&self, now_ns: u64, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.local_ring().record(&self.cfg, now_ns, v, n);
+    }
+
+    /// Merge every thread's in-range windows into a snapshot, without
+    /// blocking writers. Rings whose owning thread has exited and
+    /// whose windows have all expired are pruned here.
+    pub fn snapshot(&self, now_ns: u64) -> WindowSnapshot {
+        let (lo_tag, hi_tag) = self.cfg.live_tags(now_ns);
+        let mut windows: BTreeMap<u64, HistSnapshot> = BTreeMap::new();
+        let mut rings = lock_rings(&self.rings);
+        rings.retain(|ring| {
+            Arc::strong_count(ring) > 1 || ring.newest.load(Ordering::Relaxed) >= lo_tag
+        });
+        for ring in rings.iter() {
+            for slot in ring.slots.iter() {
+                if let Some((w, hs)) = slot.read(lo_tag, hi_tag) {
+                    match windows.entry(w) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(hs);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            e.get_mut().merge(&hs);
+                        }
+                    }
+                }
+            }
+        }
+        WindowSnapshot {
+            slot_ns: self.cfg.slot_ns,
+            now_ns,
+            windows: windows.into_iter().collect(),
+        }
+    }
+}
+
+/// Lock a ring registry, recovering from a poisoned mutex (a panicked
+/// recorder thread must not take telemetry down with it).
+fn lock_rings<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A point-in-time view of a [`WindowedHistogram`]: the in-range
+/// windows (ascending absolute index) merged across threads.
+#[derive(Clone, Debug, Default)]
+pub struct WindowSnapshot {
+    /// Window width in nanoseconds.
+    pub slot_ns: u64,
+    /// Timestamp the snapshot was taken at.
+    pub now_ns: u64,
+    /// `(absolute window index, merged histogram)`, ascending, only
+    /// nonempty windows.
+    pub windows: Vec<(u64, HistSnapshot)>,
+}
+
+impl WindowSnapshot {
+    /// All windows merged into one histogram.
+    pub fn total(&self) -> HistSnapshot {
+        let mut total = HistSnapshot::default();
+        for (_, hs) in &self.windows {
+            total.merge(hs);
+        }
+        total
+    }
+
+    /// Total samples across the in-range windows.
+    pub fn count(&self) -> u64 {
+        self.windows.iter().map(|(_, hs)| hs.count()).sum()
+    }
+
+    /// Sample rate over the span from the oldest nonempty window's
+    /// start to `now_ns` (0 when empty).
+    pub fn rate_per_sec(&self) -> f64 {
+        let Some(&(w0, _)) = self.windows.first() else {
+            return 0.0;
+        };
+        let span_ns = self.now_ns.saturating_sub(w0.saturating_mul(self.slot_ns)).max(1);
+        self.count() as f64 * 1e9 / span_ns as f64
+    }
+
+    /// Quantile over all in-range windows merged (see
+    /// [`HistSnapshot::quantile`] for the error bound).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.total().quantile(q)
+    }
+
+    /// SLO burn-rate: the fraction of nonempty windows whose
+    /// `q`-quantile exceeds `slo_ns`. 0 when no window has samples.
+    pub fn burn_rate(&self, q: f64, slo_ns: u64) -> f64 {
+        let mut nonempty = 0u64;
+        let mut breached = 0u64;
+        for (_, hs) in &self.windows {
+            if let Some(est) = hs.quantile(q) {
+                nonempty += 1;
+                if est > slo_ns {
+                    breached += 1;
+                }
+            }
+        }
+        if nonempty == 0 {
+            0.0
+        } else {
+            breached as f64 / nonempty as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter slots
+// ---------------------------------------------------------------------------
+
+/// One window of a [`WindowedCounter`]: same seqlock protocol as
+/// [`HistSlot`], one value instead of a histogram.
+struct CountSlot {
+    seq: AtomicU64,
+    window: AtomicU64,
+    value: AtomicU64,
+}
+
+impl CountSlot {
+    fn new() -> CountSlot {
+        CountSlot { seq: AtomicU64::new(0), window: AtomicU64::new(0), value: AtomicU64::new(0) }
+    }
+
+    fn read(&self, lo_tag: u64, hi_tag: u64) -> Option<(u64, u64)> {
+        for _ in 0..8 {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let tag = self.window.load(Ordering::Relaxed);
+            if tag < lo_tag || tag > hi_tag {
+                return None;
+            }
+            let v = self.value.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return Some((tag - 1, v));
+            }
+        }
+        None
+    }
+}
+
+struct CountRing {
+    slots: Box<[CountSlot]>,
+    newest: AtomicU64,
+}
+
+impl CountRing {
+    fn new(cfg: &WindowConfig) -> CountRing {
+        CountRing {
+            slots: (0..cfg.slots).map(|_| CountSlot::new()).collect(),
+            newest: AtomicU64::new(0),
+        }
+    }
+
+    fn add(&self, cfg: &WindowConfig, now_ns: u64, n: u64) {
+        let w = cfg.window_of(now_ns);
+        let tag = w + 1;
+        let slot = &self.slots[(w % self.slots.len() as u64) as usize];
+        if slot.window.load(Ordering::Relaxed) != tag {
+            let s = slot.seq.load(Ordering::Relaxed);
+            slot.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+            slot.window.store(tag, Ordering::Relaxed);
+            slot.value.store(0, Ordering::Relaxed);
+            fence(Ordering::Release);
+            slot.seq.store(s.wrapping_add(2), Ordering::Release);
+        }
+        slot.value.fetch_add(n, Ordering::Relaxed);
+        self.newest.fetch_max(tag, Ordering::Relaxed);
+    }
+}
+
+/// A rolling-window counter: per-window increment totals with the same
+/// per-thread-ring design as [`WindowedHistogram`], for rates like
+/// requests/s or shed/s where a full histogram is overkill.
+pub struct WindowedCounter {
+    id: u64,
+    cfg: WindowConfig,
+    rings: Mutex<Vec<Arc<CountRing>>>,
+}
+
+thread_local! {
+    static COUNT_RINGS: RefCell<Vec<(u64, Arc<CountRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl WindowedCounter {
+    /// A counter with the given geometry (panics on degenerate config).
+    pub fn new(cfg: WindowConfig) -> WindowedCounter {
+        assert!(cfg.slot_ns > 0 && cfg.slots > 0, "degenerate window config");
+        WindowedCounter { id: next_recorder_id(), cfg, rings: Mutex::new(Vec::new()) }
+    }
+
+    fn local_ring(&self) -> Arc<CountRing> {
+        COUNT_RINGS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(ring);
+            }
+            let ring = Arc::new(CountRing::new(&self.cfg));
+            lock_rings(&self.rings).push(Arc::clone(&ring));
+            if cache.len() >= TLS_RING_CAP {
+                cache.remove(0);
+            }
+            cache.push((self.id, Arc::clone(&ring)));
+            ring
+        })
+    }
+
+    /// Add `n` to the window containing `now_ns`.
+    #[inline]
+    pub fn add(&self, now_ns: u64, n: u64) {
+        self.local_ring().add(&self.cfg, now_ns, n);
+    }
+
+    /// Per-window totals across threads, ascending by window index.
+    pub fn snapshot(&self, now_ns: u64) -> CounterWindows {
+        let (lo_tag, hi_tag) = self.cfg.live_tags(now_ns);
+        let mut windows: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rings = lock_rings(&self.rings);
+        rings.retain(|ring| {
+            Arc::strong_count(ring) > 1 || ring.newest.load(Ordering::Relaxed) >= lo_tag
+        });
+        for ring in rings.iter() {
+            for slot in ring.slots.iter() {
+                if let Some((w, v)) = slot.read(lo_tag, hi_tag) {
+                    *windows.entry(w).or_insert(0) += v;
+                }
+            }
+        }
+        CounterWindows {
+            slot_ns: self.cfg.slot_ns,
+            now_ns,
+            windows: windows.into_iter().collect(),
+        }
+    }
+}
+
+/// A point-in-time view of a [`WindowedCounter`].
+#[derive(Clone, Debug, Default)]
+pub struct CounterWindows {
+    /// Window width in nanoseconds.
+    pub slot_ns: u64,
+    /// Timestamp the snapshot was taken at.
+    pub now_ns: u64,
+    /// `(absolute window index, total)`, ascending, nonempty windows.
+    pub windows: Vec<(u64, u64)>,
+}
+
+impl CounterWindows {
+    /// Sum across the in-range windows.
+    pub fn total(&self) -> u64 {
+        self.windows.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Increment rate over the span from the oldest nonempty window's
+    /// start to `now_ns` (0 when empty).
+    pub fn rate_per_sec(&self) -> f64 {
+        let Some(&(w0, _)) = self.windows.first() else {
+            return 0.0;
+        };
+        let span_ns = self.now_ns.saturating_sub(w0.saturating_mul(self.slot_ns)).max(1);
+        self.total() as f64 * 1e9 / span_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::metrics::Histogram;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    const CFG: WindowConfig = WindowConfig { slot_ns: 1_000, slots: 16 };
+
+    #[test]
+    fn single_thread_roll_and_expiry() {
+        let h = WindowedHistogram::new(CFG);
+        let clock = Clock::manual(0);
+        // Window 0: slow samples breaching a 500ns SLO; windows 1–2 fast.
+        for v in [900u64, 950, 980] {
+            h.record(clock.now_ns(), v);
+        }
+        clock.set(1_000);
+        h.record(clock.now_ns(), 100);
+        clock.set(2_500);
+        h.record(clock.now_ns(), 120);
+        let s = h.snapshot(clock.now_ns());
+        assert_eq!(s.windows.iter().map(|(w, _)| *w).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.total().min, 100);
+        assert_eq!(s.total().max, 980);
+        // 1 of 3 nonempty windows breaches p99 > 500ns.
+        let burn = s.burn_rate(0.99, 500);
+        assert!((burn - 1.0 / 3.0).abs() < 1e-9, "burn {burn}");
+        // rate: 5 samples over 2500ns.
+        assert!((s.rate_per_sec() - 5.0 * 1e9 / 2500.0).abs() < 1e-6);
+        // Advance past the ring: everything expires.
+        clock.set(CFG.slot_ns * (CFG.slots as u64 + 3));
+        let s = h.snapshot(clock.now_ns());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.rate_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn slot_recycling_keeps_only_live_windows() {
+        let h = WindowedHistogram::new(CFG);
+        let clock = Clock::manual(0);
+        // Two full laps of the ring, one sample per window.
+        for w in 0..(CFG.slots as u64 * 2) {
+            clock.set(w * CFG.slot_ns);
+            h.record(clock.now_ns(), w);
+        }
+        let s = h.snapshot(clock.now_ns());
+        // Exactly the last `slots` windows survive.
+        assert_eq!(s.windows.len(), CFG.slots);
+        assert_eq!(s.windows.first().unwrap().0, CFG.slots as u64);
+        assert_eq!(s.windows.last().unwrap().0, CFG.slots as u64 * 2 - 1);
+        assert_eq!(s.total().min, CFG.slots as u64);
+    }
+
+    /// The satellite gate: N writer threads with a reader snapshotting
+    /// mid-roll; the final snapshot must equal the single-threaded
+    /// oracle exactly — no lost or double-counted samples across slot
+    /// recycling.
+    #[test]
+    fn concurrent_writers_match_single_thread_oracle() {
+        let threads: usize = if cfg!(miri) { 2 } else { 4 };
+        let per: usize = if cfg!(miri) { 48 } else { 480 };
+        let h = Arc::new(WindowedHistogram::new(CFG));
+        let clock = Clock::manual(0);
+
+        // Prefill every slot with old windows so the concurrent phase
+        // recycles slots while the reader is looking at them.
+        for w in 0..CFG.slots as u64 {
+            clock.set(w * CFG.slot_ns);
+            h.record(clock.now_ns(), 1);
+        }
+        let start_w = CFG.slots as u64 * 2;
+        clock.set(start_w * CFG.slot_ns);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let (h, clock, stop) = (Arc::clone(&h), clock.clone(), Arc::clone(&stop));
+            let expected_total = (threads * per) as u64;
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let s = h.snapshot(clock.now_ns());
+                    assert!(s.count() <= expected_total, "over-counted mid-roll");
+                    assert!(s.windows.windows(2).all(|p| p[0].0 < p[1].0), "unsorted");
+                    thread::yield_now();
+                }
+            })
+        };
+
+        let sample = |t: usize, i: usize| ((t * 7919 + i * 13) % 5_000) as u64;
+        let writers: Vec<_> = (0..threads)
+            .map(|t| {
+                let (h, clock) = (Arc::clone(&h), clock.clone());
+                thread::spawn(move || {
+                    for i in 0..per {
+                        h.record(clock.now_ns(), sample(t, i));
+                        // Advance occasionally: rolls windows, but the
+                        // whole phase spans < `slots` windows so no
+                        // concurrent sample ever expires.
+                        if i % 48 == 47 {
+                            clock.advance(CFG.slot_ns / 4);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+
+        // Span check: advances = threads·per/32 quarter-windows.
+        let advanced = clock.now_ns() - start_w * CFG.slot_ns;
+        assert!(advanced < CFG.slot_ns * (CFG.slots as u64 - 1), "test drifted out of range");
+
+        let oracle_h = Histogram::default();
+        for t in 0..threads {
+            for i in 0..per {
+                oracle_h.record(sample(t, i));
+            }
+        }
+        let oracle = oracle_h.snapshot();
+        let total = h.snapshot(clock.now_ns()).total();
+        assert_eq!(total, oracle);
+    }
+
+    #[test]
+    fn windowed_counter_rates() {
+        let c = WindowedCounter::new(CFG);
+        let clock = Clock::manual(0);
+        c.add(clock.now_ns(), 3);
+        clock.set(1_500);
+        c.add(clock.now_ns(), 2);
+        c.add(clock.now_ns(), 5);
+        let s = c.snapshot(clock.now_ns());
+        assert_eq!(s.windows, vec![(0, 3), (1, 7)]);
+        assert_eq!(s.total(), 10);
+        assert!((s.rate_per_sec() - 10.0 * 1e9 / 1500.0).abs() < 1e-6);
+        clock.set(CFG.slot_ns * (CFG.slots as u64 + 2));
+        assert_eq!(c.snapshot(clock.now_ns()).total(), 0);
+    }
+
+    #[test]
+    fn dead_thread_rings_survive_until_expiry() {
+        let h = Arc::new(WindowedHistogram::new(CFG));
+        let clock = Clock::manual(0);
+        {
+            let (h, clock) = (Arc::clone(&h), clock.clone());
+            thread::spawn(move || h.record(clock.now_ns(), 77)).join().unwrap();
+        }
+        // The writer thread is gone, but its window is still live.
+        let s = h.snapshot(clock.now_ns());
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.total().min, 77);
+        // Once expired, the orphaned ring is pruned.
+        clock.set(CFG.slot_ns * (CFG.slots as u64 + 1));
+        assert_eq!(h.snapshot(clock.now_ns()).count(), 0);
+        assert!(lock_rings(&h.rings).is_empty(), "orphaned ring not pruned");
+    }
+}

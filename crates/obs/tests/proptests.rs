@@ -49,6 +49,25 @@ proptest! {
             xs.iter().chain(&ys).fold(0u64, |acc, &v| acc.wrapping_add(v))
         );
         prop_assert_eq!(merged.count(), both.len() as u64);
+        prop_assert_eq!((merged.min, merged.max), (concat.min, concat.max));
+    }
+
+    /// Min/max are exact, and the interpolated quantile estimate never
+    /// leaves the observed [min, max] range at any q.
+    #[test]
+    fn min_max_exact_and_bound_quantiles(
+        xs in prop::collection::vec(any::<u64>(), 1..300),
+        q_millis in 0u64..=1000,
+    ) {
+        let snap = record_all(&xs);
+        prop_assert_eq!(snap.min, *xs.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *xs.iter().max().unwrap());
+        let q = q_millis as f64 / 1000.0;
+        let est = snap.quantile(q).unwrap();
+        prop_assert!(
+            snap.min <= est && est <= snap.max,
+            "estimate {est} outside observed range [{}, {}]", snap.min, snap.max
+        );
     }
 
     /// The quantile estimate lies in the same bucket as the true sample

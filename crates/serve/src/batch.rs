@@ -34,10 +34,18 @@ impl Default for BatchConfig {
     }
 }
 
+/// Sentinel for [`Job::submitted_ns`] when telemetry was off at
+/// submit time (the telemetry clock may legitimately read 0).
+const UNSTAMPED: u64 = u64::MAX;
+
 struct Job {
     key: ShardKey,
     instance: Instance,
     reply: mpsc::Sender<Result<Selection, ServeError>>,
+    /// Telemetry-clock reading at submit, [`UNSTAMPED`] if telemetry
+    /// was disabled — the anchor for queue-wait and end-to-end latency
+    /// attribution.
+    submitted_ns: u64,
 }
 
 struct QueueState {
@@ -96,12 +104,17 @@ impl BatchServer {
     /// worker has served the batch containing it.
     pub fn submit(&self, key: ShardKey, instance: Instance) -> Ticket {
         let (tx, rx) = mpsc::channel();
+        let submitted_ns = self
+            .inner
+            .service
+            .telemetry()
+            .map_or(UNSTAMPED, crate::telemetry::ServiceTelemetry::now_ns);
         {
             let mut st = lock(&self.inner.state);
             if st.shutdown {
                 let _ = tx.send(Err(ServeError::Disconnected));
             } else {
-                st.jobs.push_back(Job { key, instance, reply: tx });
+                st.jobs.push_back(Job { key, instance, reply: tx, submitted_ns });
                 mpcp_obs::gauge_set!("serve.queue_depth", st.jobs.len() as f64);
             }
         }
@@ -185,34 +198,70 @@ fn serve_shard_group(snapshot: &ServiceSnapshot, key: &ShardKey, jobs: Vec<Job>)
         }
         return;
     };
+    // Latency attribution: queue-wait is recorded per job as it is
+    // picked up; the cache-probe pass and the batched compute call are
+    // timed per group (windowed histograms plus trace spans), and each
+    // reply records the job's end-to-end submit→reply latency.
+    let tel = shard.telemetry.get();
+    let probe_start = tel.map_or(0, crate::telemetry::ShardTelemetry::now_ns);
     let mut misses: Vec<Job> = Vec::new();
-    for j in jobs {
-        if let Err(e) = shard.check_collective(&j.instance) {
-            let _ = j.reply.send(Err(e));
-            continue;
+    {
+        let _probe_span = mpcp_obs::span("serve.batch.cache_probe").attr("jobs", jobs.len());
+        for j in jobs {
+            if let (Some(tl), false) = (tel, j.submitted_ns == UNSTAMPED) {
+                let now = tl.now_ns();
+                tl.record_queue_wait(now, now.saturating_sub(j.submitted_ns));
+            }
+            if let Err(e) = shard.check_collective(&j.instance) {
+                let _ = j.reply.send(Err(e));
+                continue;
+            }
+            if let Some(sel) = shard.cache_lookup(&j.instance) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                mpcp_obs::counter_add!("serve.cache_hits", 1);
+                if let (Some(tl), false) = (tel, j.submitted_ns == UNSTAMPED) {
+                    let now = tl.now_ns();
+                    tl.record_batch_done(now, now.saturating_sub(j.submitted_ns), true);
+                }
+                let _ = j.reply.send(Ok(sel));
+            } else {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                mpcp_obs::counter_add!("serve.cache_misses", 1);
+                misses.push(j);
+            }
         }
-        if let Some(sel) = shard.cache_lookup(&j.instance) {
-            shard.hits.fetch_add(1, Ordering::Relaxed);
-            mpcp_obs::counter_add!("serve.cache_hits", 1);
-            let _ = j.reply.send(Ok(sel));
-        } else {
-            shard.misses.fetch_add(1, Ordering::Relaxed);
-            mpcp_obs::counter_add!("serve.cache_misses", 1);
-            misses.push(j);
-        }
+    }
+    if let Some(tl) = tel {
+        let now = tl.now_ns();
+        tl.record_batch_probe(now, now.saturating_sub(probe_start));
     }
     if misses.is_empty() {
         return;
     }
     let instances: Vec<Instance> = misses.iter().map(|j| j.instance).collect();
     let t = mpcp_obs::maybe_now();
-    let best = shard.selector.select_batch(&instances);
+    let compute_start = tel.map_or(0, crate::telemetry::ShardTelemetry::now_ns);
+    let best = {
+        let _compute_span =
+            mpcp_obs::span("serve.batch.compute").attr("batch", instances.len());
+        shard.selector.select_batch(&instances)
+    };
     mpcp_obs::record_elapsed(shard.latency_metric, t);
+    if let Some(tl) = tel {
+        let now = tl.now_ns();
+        tl.record_batch_compute(now, now.saturating_sub(compute_start));
+    }
     for (j, (uid, pred)) in misses.into_iter().zip(best) {
         // `select_batch` marks an all-non-finite instance with the
         // `u32::MAX` sentinel; surface it as the same typed error the
-        // scalar path returns.
+        // scalar path returns (and as the degraded-selection instant
+        // event the flight recorder triggers on).
         if uid == u32::MAX || !pred.is_finite() {
+            mpcp_obs::event("serve.degraded.no_finite")
+                .attr("msize", j.instance.msize)
+                .attr("nodes", j.instance.nodes)
+                .attr("ppn", j.instance.ppn)
+                .emit();
             let _ = j
                 .reply
                 .send(Err(ServeError::NoFinitePrediction { instance: j.instance }));
@@ -220,6 +269,10 @@ fn serve_shard_group(snapshot: &ServiceSnapshot, key: &ShardKey, jobs: Vec<Job>)
         }
         let sel = Selection { uid, predicted_us: Some(pred), degraded: false };
         shard.cache_insert(&j.instance, sel);
+        if let (Some(tl), false) = (tel, j.submitted_ns == UNSTAMPED) {
+            let now = tl.now_ns();
+            tl.record_batch_done(now, now.saturating_sub(j.submitted_ns), false);
+        }
         let _ = j.reply.send(Ok(sel));
     }
 }

@@ -38,19 +38,22 @@
 pub mod batch;
 pub mod lru;
 mod snapshot;
+pub mod telemetry;
 
 pub use batch::{BatchConfig, BatchServer, Ticket};
 pub use lru::LruCache;
+pub use telemetry::{LiveStats, ShardLiveStats, TelemetryConfig};
 
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use mpcp_collectives::Collective;
 use mpcp_core::{
     ArtifactError, ArtifactMeta, Instance, Selection, Selector, SelectorArtifact, TrainReport,
 };
+use mpcp_obs::metrics::HistSnapshot;
 
 /// Lock a mutex, recovering the data on poisoning: a panicking writer
 /// can at worst leave a *stale* cache entry or counter, never a torn
@@ -156,16 +159,19 @@ pub(crate) struct Shard {
     cache: Mutex<LruCache<CacheKey, Selection>>,
     pub(crate) hits: AtomicU64,
     pub(crate) misses: AtomicU64,
-    /// Leaked per-shard histogram name (`serve.latency_ns.<coll>`);
-    /// shards are few and live for the process, so the leak is bounded.
+    /// Interned per-shard histogram name (`serve.latency_ns.<coll>`):
+    /// one allocation per *unique* name for the process lifetime, not
+    /// one per shard reload (see `mpcp_obs::metrics::interned`).
     pub(crate) latency_metric: &'static str,
+    /// Rolling-window recorders, attached once telemetry is enabled
+    /// (empty until then: the hot path pays one `OnceLock` load).
+    pub(crate) telemetry: OnceLock<telemetry::ShardTelemetry>,
 }
 
 impl Shard {
     fn new(artifact: SelectorArtifact, cache_capacity: usize) -> Shard {
-        let name: &'static str = Box::leak(
-            format!("serve.latency_ns.{}", artifact.meta.collective).into_boxed_str(),
-        );
+        let name =
+            mpcp_obs::metrics::interned(&format!("serve.latency_ns.{}", artifact.meta.collective));
         Shard {
             selector: artifact.selector,
             meta: artifact.meta,
@@ -174,7 +180,12 @@ impl Shard {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             latency_metric: name,
+            telemetry: OnceLock::new(),
         }
+    }
+
+    pub(crate) fn attach_telemetry(&self, tel: &telemetry::ServiceTelemetry) {
+        let _ = self.telemetry.set(tel.shard_telemetry());
     }
 
     pub(crate) fn check_collective(&self, instance: &Instance) -> Result<(), ServeError> {
@@ -187,34 +198,63 @@ impl Shard {
         Ok(())
     }
 
-    /// Uncached argmin through the selector.
+    /// Uncached argmin through the selector. A selection with no
+    /// finite prediction also emits a `serve.degraded.no_finite`
+    /// instant event — one of the flight recorder's dump triggers.
     fn compute(&self, instance: &Instance) -> Result<Selection, ServeError> {
         match self.selector.try_select(instance) {
             Some((uid, pred)) => {
                 Ok(Selection { uid, predicted_us: Some(pred), degraded: false })
             }
-            None => Err(ServeError::NoFinitePrediction { instance: *instance }),
+            None => {
+                mpcp_obs::event("serve.degraded.no_finite")
+                    .attr("msize", instance.msize)
+                    .attr("nodes", instance.nodes)
+                    .attr("ppn", instance.ppn)
+                    .emit();
+                Err(ServeError::NoFinitePrediction { instance: *instance })
+            }
         }
     }
 
     fn select(&self, instance: &Instance) -> Result<Selection, ServeError> {
         self.check_collective(instance)?;
         let t = mpcp_obs::maybe_now();
+        // Windowed recording is active only after `enable_telemetry`,
+        // and the scalar path is *sampled*: most requests pay one
+        // `OnceLock` load plus a thread-local tick, and only every
+        // `scalar_sample`-th request reads the clock and records (with
+        // matching weight, so windowed counts and rates stay unbiased).
+        let tel = self
+            .telemetry
+            .get()
+            .and_then(|tl| match tl.scalar_weight() {
+                0 => None,
+                w => Some((tl, w)),
+            });
+        let start_ns = tel.as_ref().map_or(0, |(tl, _)| tl.now_ns());
         let cell: CacheKey = (instance.msize, instance.nodes, instance.ppn);
         if let Some(sel) = lock(&self.cache).get(&cell) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             mpcp_obs::counter_add!("serve.cache_hits", 1);
             mpcp_obs::record_elapsed(self.latency_metric, t);
+            if let Some((tl, w)) = tel {
+                tl.record_hit(start_ns, w);
+            }
             return Ok(sel);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         mpcp_obs::counter_add!("serve.cache_misses", 1);
+        let probe_ns = tel.as_ref().map_or(0, |(tl, _)| tl.now_ns());
         // Computed outside the cache lock: two threads racing on the
         // same cold cell both evaluate the models (identical, pure
         // results), which is cheaper than serializing every miss.
         let sel = self.compute(instance)?;
         lock(&self.cache).put(cell, sel);
         mpcp_obs::record_elapsed(self.latency_metric, t);
+        if let Some((tl, w)) = tel {
+            tl.record_scalar_miss(start_ns, probe_ns, tl.now_ns(), w);
+        }
         Ok(sel)
     }
 
@@ -230,7 +270,6 @@ impl Shard {
     /// binary) for routing-table tests.
     #[cfg(test)]
     pub(crate) fn for_tests() -> Shard {
-        use std::sync::OnceLock;
         static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
         let bytes = BYTES.get_or_init(|| {
             let spec = mpcp_benchmark::DatasetSpec::tiny_for_tests();
@@ -270,6 +309,8 @@ pub struct ShardStats {
     pub cached_entries: usize,
     /// Entries evicted since load.
     pub evictions: u64,
+    /// New cache entries inserted since load (refreshes excluded).
+    pub inserts: u64,
     /// Trained models in the shard's selector.
     pub models: usize,
 }
@@ -315,13 +356,89 @@ impl ServeStats {
 pub struct PredictionService {
     shards: snapshot::SnapshotCell,
     cache_capacity: usize,
+    telemetry: OnceLock<telemetry::ServiceTelemetry>,
 }
 
 impl PredictionService {
     /// A service whose per-shard result caches hold `cache_capacity`
     /// grid cells each.
     pub fn new(cache_capacity: usize) -> PredictionService {
-        PredictionService { shards: snapshot::SnapshotCell::new(), cache_capacity }
+        PredictionService {
+            shards: snapshot::SnapshotCell::new(),
+            cache_capacity,
+            telemetry: OnceLock::new(),
+        }
+    }
+
+    /// Turn on rolling-window telemetry: every loaded shard (and every
+    /// shard loaded later) gets its own windowed latency, queue-wait,
+    /// cache-probe, and compute recorders, readable without pausing
+    /// traffic via [`PredictionService::live_stats`]. Idempotent —
+    /// returns `false` (and changes nothing) if telemetry was already
+    /// enabled; the first configuration wins.
+    pub fn enable_telemetry(&self, cfg: TelemetryConfig) -> bool {
+        if self.telemetry.set(telemetry::ServiceTelemetry::new(cfg)).is_err() {
+            return false;
+        }
+        if let Some(tel) = self.telemetry.get() {
+            self.shards.with(|map| {
+                for shard in map.values() {
+                    shard.attach_telemetry(tel);
+                }
+            });
+        }
+        true
+    }
+
+    /// Whether [`PredictionService::enable_telemetry`] has run.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.get().is_some()
+    }
+
+    pub(crate) fn telemetry(&self) -> Option<&telemetry::ServiceTelemetry> {
+        self.telemetry.get()
+    }
+
+    /// Rolling-window stats for every shard — p50/p95/p99 over the
+    /// retained windows, request rate, windowed hit ratio, SLO
+    /// burn-rate, and the queue-wait/cache-probe/compute split — read
+    /// without stopping the world: query threads keep recording while
+    /// the snapshot is taken. `None` until telemetry is enabled.
+    ///
+    /// Also publishes the merged windowed summary as gauges
+    /// (`serve.window.p50_ns`, `serve.window.p99_ns`,
+    /// `serve.window.rate_per_sec`, `serve.window.burn_rate`) so
+    /// metric dumps and `mpcp report --require-metric` see them.
+    pub fn live_stats(&self) -> Option<LiveStats> {
+        let tel = self.telemetry.get()?;
+        let now = tel.now_ns();
+        let map = self.shards.arc();
+        let mut shards: Vec<ShardLiveStats> = Vec::with_capacity(map.len());
+        let mut merged = HistSnapshot::default();
+        for (key, shard) in map.iter() {
+            if let Some(st) = shard.telemetry.get() {
+                let (stats, total) = st.live(key, now);
+                merged.merge(&total);
+                shards.push(stats);
+            }
+        }
+        shards.sort_by(|a, b| a.key.cmp(&b.key));
+        let stats = LiveStats {
+            now_ns: now,
+            slot_ns: tel.cfg.window.slot_ns,
+            slots: tel.cfg.window.slots,
+            epoch: self.shards.epoch(),
+            shards,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+        }
+        .finish(&merged);
+        mpcp_obs::gauge_set!("serve.window.p50_ns", stats.p50_ns as f64);
+        mpcp_obs::gauge_set!("serve.window.p99_ns", stats.p99_ns as f64);
+        mpcp_obs::gauge_set!("serve.window.rate_per_sec", stats.rate_per_sec());
+        mpcp_obs::gauge_set!("serve.window.burn_rate", stats.worst_burn_rate());
+        Some(stats)
     }
 
     /// Load a saved artifact from disk and route its manifest's
@@ -337,6 +454,9 @@ impl PredictionService {
     pub fn insert_artifact(&self, artifact: SelectorArtifact) -> ShardKey {
         let key = ShardKey::of_meta(&artifact.meta);
         let shard = Arc::new(Shard::new(artifact, self.cache_capacity));
+        if let Some(tel) = self.telemetry.get() {
+            shard.attach_telemetry(tel);
+        }
         self.shards.update(|map| {
             map.insert(key.clone(), shard);
         });
@@ -354,7 +474,11 @@ impl PredictionService {
             .into_iter()
             .map(|a| {
                 let key = ShardKey::of_meta(&a.meta);
-                (key, Arc::new(Shard::new(a, self.cache_capacity)))
+                let shard = Arc::new(Shard::new(a, self.cache_capacity));
+                if let Some(tel) = self.telemetry.get() {
+                    shard.attach_telemetry(tel);
+                }
+                (key, shard)
             })
             .collect();
         let keys: Vec<ShardKey> = shards.iter().map(|(k, _)| k.clone()).collect();
@@ -448,6 +572,7 @@ impl PredictionService {
                     misses: s.misses.load(Ordering::Relaxed),
                     cached_entries: cache.len(),
                     evictions: cache.evictions(),
+                    inserts: cache.inserts(),
                     models: s.selector.model_count(),
                 }
             })

@@ -30,6 +30,7 @@ pub struct LruCache<K, V> {
     tail: usize,
     capacity: usize,
     evictions: u64,
+    inserts: u64,
 }
 
 impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
@@ -46,6 +47,7 @@ impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
             tail: NIL,
             capacity,
             evictions: 0,
+            inserts: 0,
         }
     }
 
@@ -67,6 +69,14 @@ impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
     /// Entries evicted to make room since construction.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// New entries inserted since construction (refreshes of an
+    /// existing key do not count). With `evictions`, this gives cache
+    /// churn: `inserts - evictions - len` entries would be negative
+    /// only if accounting broke.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
     }
 
     /// Look up `key`, marking it most recently used on a hit.
@@ -106,6 +116,7 @@ impl<K: Clone + Eq + Hash, V: Clone> LruCache<K, V> {
             self.tail = i;
         }
         self.index.insert(key, i);
+        self.inserts += 1;
     }
 
     /// Splice entry `i` out of the recency list and relink it at the
@@ -173,6 +184,8 @@ mod tests {
         c.put("a", 9);
         assert_eq!(c.get(&"a"), Some(9));
         assert_eq!(c.len(), 1);
+        // A refresh is not a new insert.
+        assert_eq!(c.inserts(), 1);
     }
 
     #[test]
@@ -217,6 +230,7 @@ mod tests {
         assert!(c.slab.len() <= 3);
         assert_eq!(c.len(), 3);
         assert_eq!(c.evictions(), 97);
+        assert_eq!(c.inserts(), 100);
         for i in 97..100 {
             assert_eq!(c.get(&i), Some(i * 2));
         }

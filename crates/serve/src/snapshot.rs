@@ -135,6 +135,13 @@ impl SnapshotCell {
         })
     }
 
+    /// The current publication epoch (how many routing-table updates
+    /// have been published). Live-stats snapshots report it so an
+    /// operator can tell "shard set changed" from "traffic changed".
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// A consistent `(epoch, map)` pair from the slot. The epoch is
     /// only ever bumped while the slot lock is held, so reading both
     /// under the lock cannot observe a torn publication.

@@ -1,0 +1,387 @@
+//! Live serving telemetry: per-shard rolling-window recorders and the
+//! [`LiveStats`] view behind `PredictionService::live_stats()`.
+//!
+//! The cumulative counters in [`crate::PredictionService::stats`]
+//! answer "what happened since load"; an operator watching a server
+//! needs "what is p99 *right now*". Each shard carries (once
+//! [`crate::PredictionService::enable_telemetry`] runs) a
+//! [`ShardTelemetry`]: rolling-window histograms over an injectable
+//! [`Clock`] for request latency and the batch-path attribution split
+//! (queue-wait vs cache-probe vs compute), plus windowed hit/miss
+//! counters. Recording is lock-free (per-thread rings in
+//! [`mpcp_obs::window`]) and happens *outside* the shard's cache
+//! mutex, so telemetry never extends the critical section the cached
+//! hot path serializes on.
+//!
+//! Reading is non-quiescent by construction: [`LiveStats`] merges the
+//! in-range windows while writers keep recording — no lock is taken
+//! that a query thread could block on.
+
+use std::fmt::Write as _;
+
+use mpcp_obs::clock::Clock;
+use mpcp_obs::export::json_string;
+use mpcp_obs::metrics::HistSnapshot;
+use mpcp_obs::window::{WindowConfig, WindowedCounter, WindowedHistogram};
+
+use crate::ShardKey;
+
+/// Knobs for [`crate::PredictionService::enable_telemetry`].
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Rolling-window geometry (default: 1s windows, 60 retained).
+    pub window: WindowConfig,
+    /// Latency objective for the burn-rate: the fraction of windows
+    /// whose p99 exceeds this is reported per shard.
+    pub slo_ns: u64,
+    /// Time source. [`Clock::wall`] in production; [`Clock::manual`]
+    /// makes window rolls deterministic in tests.
+    pub clock: Clock,
+    /// Scalar-path sampling period: record every Nth scalar request
+    /// (with weight N, so windowed counts and rates stay unbiased).
+    /// The scalar cache hit is a few hundred nanoseconds of work; two
+    /// clock reads plus two ring records per hit would cost a double-
+    /// digit share of it, so the fast path pays one thread-local tick
+    /// per request instead and only the sampled ones pay full price.
+    /// The batch path always records exactly (its per-job cost is
+    /// amortized by queueing). `1` records everything — what the
+    /// deterministic tests use; values are floored at 1.
+    pub scalar_sample: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            window: WindowConfig::default(),
+            slo_ns: 10_000_000, // 10ms: generous for an in-process argmin
+            clock: Clock::wall(),
+            scalar_sample: 64,
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scalar-path sampling tick, shared across shards: one
+    /// `Cell` bump per request instead of a contended shared counter.
+    /// Which shard a sampled event lands on is proportional to that
+    /// shard's share of the thread's traffic, so per-shard windowed
+    /// counts stay unbiased in expectation.
+    static SCALAR_TICK: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Service-wide telemetry state: the shared config every shard's
+/// recorders are built from.
+pub(crate) struct ServiceTelemetry {
+    pub(crate) cfg: TelemetryConfig,
+}
+
+impl ServiceTelemetry {
+    pub(crate) fn new(cfg: TelemetryConfig) -> ServiceTelemetry {
+        ServiceTelemetry { cfg }
+    }
+
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.cfg.clock.now_ns()
+    }
+
+    pub(crate) fn shard_telemetry(&self) -> ShardTelemetry {
+        ShardTelemetry {
+            clock: self.cfg.clock.clone(),
+            slo_ns: self.cfg.slo_ns,
+            scalar_sample: self.cfg.scalar_sample.max(1),
+            latency: WindowedHistogram::new(self.cfg.window),
+            queue_wait: WindowedHistogram::new(self.cfg.window),
+            cache_probe: WindowedHistogram::new(self.cfg.window),
+            compute: WindowedHistogram::new(self.cfg.window),
+            hits: WindowedCounter::new(self.cfg.window),
+            misses: WindowedCounter::new(self.cfg.window),
+        }
+    }
+}
+
+/// One shard's rolling-window recorders. All record methods are called
+/// from query threads outside any shard lock.
+pub(crate) struct ShardTelemetry {
+    clock: Clock,
+    slo_ns: u64,
+    /// Scalar-path sampling period (>= 1; see [`TelemetryConfig`]).
+    scalar_sample: u32,
+    /// End-to-end request latency (cache hits and misses; batch-path
+    /// requests include their queue wait).
+    latency: WindowedHistogram,
+    /// Batch path: submit → dequeue.
+    queue_wait: WindowedHistogram,
+    /// Cache-probe portion (scalar misses; per-group on the batch path).
+    cache_probe: WindowedHistogram,
+    /// Model-evaluation portion (scalar misses; per-group batch calls).
+    compute: WindowedHistogram,
+    hits: WindowedCounter,
+    misses: WindowedCounter,
+}
+
+impl ShardTelemetry {
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Scalar-path sampling decision, made *before* any clock read:
+    /// the weight this request's telemetry should carry, or 0 to skip
+    /// recording entirely (the common case — one thread-local tick).
+    #[inline]
+    pub(crate) fn scalar_weight(&self) -> u64 {
+        if self.scalar_sample <= 1 {
+            return 1;
+        }
+        let due = SCALAR_TICK.with(|t| {
+            let n = t.get().wrapping_add(1);
+            t.set(if n >= self.scalar_sample { 0 } else { n });
+            n >= self.scalar_sample
+        });
+        if due {
+            u64::from(self.scalar_sample)
+        } else {
+            0
+        }
+    }
+
+    /// A sampled cache hit that started at `start_ns` and finished
+    /// now, standing for `weight` hits.
+    #[inline]
+    pub(crate) fn record_hit(&self, start_ns: u64, weight: u64) {
+        let now = self.clock.now_ns();
+        self.latency.record_n(now, now.saturating_sub(start_ns), weight);
+        self.hits.add(now, weight);
+    }
+
+    /// A sampled scalar-path miss standing for `weight` misses: probe
+    /// ended at `probe_ns`, compute at `end_ns`.
+    pub(crate) fn record_scalar_miss(&self, start_ns: u64, probe_ns: u64, end_ns: u64, weight: u64) {
+        self.cache_probe.record_n(probe_ns, probe_ns.saturating_sub(start_ns), weight);
+        self.compute.record_n(end_ns, end_ns.saturating_sub(probe_ns), weight);
+        self.latency.record_n(end_ns, end_ns.saturating_sub(start_ns), weight);
+        self.misses.add(end_ns, weight);
+    }
+
+    /// Batch path: one job waited `wait_ns` in the queue.
+    #[inline]
+    pub(crate) fn record_queue_wait(&self, now_ns: u64, wait_ns: u64) {
+        self.queue_wait.record(now_ns, wait_ns);
+    }
+
+    /// Batch path: one group's cache-probe pass took `dur_ns`.
+    pub(crate) fn record_batch_probe(&self, now_ns: u64, dur_ns: u64) {
+        self.cache_probe.record(now_ns, dur_ns);
+    }
+
+    /// Batch path: one group's `select_batch` call took `dur_ns`.
+    pub(crate) fn record_batch_compute(&self, now_ns: u64, dur_ns: u64) {
+        self.compute.record(now_ns, dur_ns);
+    }
+
+    /// Batch path: a request resolved (hit or miss) with end-to-end
+    /// latency `latency_ns` (submit → reply).
+    pub(crate) fn record_batch_done(&self, now_ns: u64, latency_ns: u64, hit: bool) {
+        self.latency.record(now_ns, latency_ns);
+        if hit {
+            self.hits.add(now_ns, 1);
+        } else {
+            self.misses.add(now_ns, 1);
+        }
+    }
+
+    /// Windowed stats as of `now_ns`. Also returns the merged latency
+    /// histogram so callers can aggregate across shards exactly.
+    pub(crate) fn live(&self, key: &ShardKey, now_ns: u64) -> (ShardLiveStats, HistSnapshot) {
+        let latency = self.latency.snapshot(now_ns);
+        let total = latency.total();
+        let hits = self.hits.snapshot(now_ns).total();
+        let misses = self.misses.snapshot(now_ns).total();
+        let requests = hits + misses;
+        let queue = self.queue_wait.snapshot(now_ns).total();
+        let probe = self.cache_probe.snapshot(now_ns).total();
+        let compute = self.compute.snapshot(now_ns).total();
+        let stats = ShardLiveStats {
+            key: key.clone(),
+            requests,
+            rate_per_sec: latency.rate_per_sec(),
+            hits,
+            misses,
+            hit_ratio: if requests == 0 { 0.0 } else { hits as f64 / requests as f64 },
+            p50_ns: total.quantile(0.50).unwrap_or(0),
+            p95_ns: total.quantile(0.95).unwrap_or(0),
+            p99_ns: total.quantile(0.99).unwrap_or(0),
+            max_ns: if total.count() > 0 { total.max } else { 0 },
+            mean_ns: total.mean(),
+            burn_rate: latency.burn_rate(0.99, self.slo_ns),
+            slo_ns: self.slo_ns,
+            queue_wait_p50_ns: queue.quantile(0.50).unwrap_or(0),
+            queue_wait_p99_ns: queue.quantile(0.99).unwrap_or(0),
+            cache_probe_p99_ns: probe.quantile(0.99).unwrap_or(0),
+            compute_p50_ns: compute.quantile(0.50).unwrap_or(0),
+            compute_p99_ns: compute.quantile(0.99).unwrap_or(0),
+        };
+        (stats, total)
+    }
+}
+
+/// One shard's rolling-window view (see [`LiveStats`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardLiveStats {
+    /// The shard's routing key.
+    pub key: ShardKey,
+    /// Requests in the retained windows (hits + misses).
+    pub requests: u64,
+    /// Request rate over the retained span.
+    pub rate_per_sec: f64,
+    /// Windowed cache hits.
+    pub hits: u64,
+    /// Windowed cache misses.
+    pub misses: u64,
+    /// Windowed hit ratio (0 before any traffic).
+    pub hit_ratio: f64,
+    /// Rolling latency quantiles (interpolated, clamped to observed
+    /// min/max — see `HistSnapshot::quantile`).
+    pub p50_ns: u64,
+    /// Rolling p95.
+    pub p95_ns: u64,
+    /// Rolling p99.
+    pub p99_ns: u64,
+    /// Exact slowest request in the retained windows.
+    pub max_ns: u64,
+    /// Rolling mean latency.
+    pub mean_ns: f64,
+    /// Fraction of retained windows whose p99 breached [`Self::slo_ns`].
+    pub burn_rate: f64,
+    /// The latency objective the burn rate is measured against.
+    pub slo_ns: u64,
+    /// Batch-path queue wait, p50.
+    pub queue_wait_p50_ns: u64,
+    /// Batch-path queue wait, p99.
+    pub queue_wait_p99_ns: u64,
+    /// Cache-probe portion, p99.
+    pub cache_probe_p99_ns: u64,
+    /// Compute (model evaluation) portion, p50.
+    pub compute_p50_ns: u64,
+    /// Compute portion, p99.
+    pub compute_p99_ns: u64,
+}
+
+impl ShardLiveStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"key\":{},\"requests\":{},\"rate_per_sec\":{:.1},\"hits\":{},\"misses\":{},\
+             \"hit_ratio\":{:.4},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+             \"mean_ns\":{:.1},\"burn_rate\":{:.4},\"slo_ns\":{},\"queue_wait_p50_ns\":{},\
+             \"queue_wait_p99_ns\":{},\"cache_probe_p99_ns\":{},\"compute_p50_ns\":{},\
+             \"compute_p99_ns\":{}}}",
+            json_string(&self.key.to_string()),
+            self.requests,
+            self.rate_per_sec,
+            self.hits,
+            self.misses,
+            self.hit_ratio,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.max_ns,
+            self.mean_ns,
+            self.burn_rate,
+            self.slo_ns,
+            self.queue_wait_p50_ns,
+            self.queue_wait_p99_ns,
+            self.cache_probe_p99_ns,
+            self.compute_p50_ns,
+            self.compute_p99_ns,
+        )
+    }
+}
+
+/// A non-quiescent, point-in-time view of every shard's rolling
+/// windows, from `PredictionService::live_stats()`. Writers keep
+/// recording while this is taken.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LiveStats {
+    /// Clock reading the snapshot was taken at.
+    pub now_ns: u64,
+    /// Window width of the underlying recorders.
+    pub slot_ns: u64,
+    /// Windows retained.
+    pub slots: usize,
+    /// Routing-table publication epoch at snapshot time.
+    pub epoch: u64,
+    /// Per-shard windowed stats, in shard-key order.
+    pub shards: Vec<ShardLiveStats>,
+    /// All shards' rolling p50 (merged exactly across shards).
+    pub p50_ns: u64,
+    /// Merged rolling p95.
+    pub p95_ns: u64,
+    /// Merged rolling p99.
+    pub p99_ns: u64,
+}
+
+impl LiveStats {
+    pub(crate) fn finish(mut self, merged: &HistSnapshot) -> LiveStats {
+        self.p50_ns = merged.quantile(0.50).unwrap_or(0);
+        self.p95_ns = merged.quantile(0.95).unwrap_or(0);
+        self.p99_ns = merged.quantile(0.99).unwrap_or(0);
+        self
+    }
+
+    /// Total windowed requests across shards.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Summed request rate across shards.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.shards.iter().map(|s| s.rate_per_sec).sum()
+    }
+
+    /// Worst per-shard burn rate (0 when no shard has traffic).
+    pub fn worst_burn_rate(&self) -> f64 {
+        self.shards.iter().map(|s| s.burn_rate).fold(0.0, f64::max)
+    }
+
+    /// Overall windowed hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        let hits: u64 = self.shards.iter().map(|s| s.hits).sum();
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Machine-readable form (parsed back by `mpcp top` with
+    /// `mpcp_obs::json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.shards.len() * 256);
+        let _ = write!(
+            out,
+            "{{\"now_ns\":{},\"slot_ns\":{},\"slots\":{},\"epoch\":{},\"requests\":{},\
+             \"rate_per_sec\":{:.1},\"hit_ratio\":{:.4},\"p50_ns\":{},\"p95_ns\":{},\
+             \"p99_ns\":{},\"worst_burn_rate\":{:.4},\"shards\":[",
+            self.now_ns,
+            self.slot_ns,
+            self.slots,
+            self.epoch,
+            self.requests(),
+            self.rate_per_sec(),
+            self.hit_ratio(),
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.worst_burn_rate(),
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}

@@ -1,0 +1,187 @@
+//! Live-telemetry integration tests: rolling-window stats must count
+//! every request, split hits from misses, expire with the clock, and
+//! attribute batch-path time — all without pausing traffic.
+
+// The shared integration fixture: the grid is benchmarked once per
+// binary and each learner's selector is trained once, saved, and
+// reloaded through the artifact codec.
+#[path = "../../../tests/fixture.rs"]
+mod fixture;
+
+use std::sync::Arc;
+
+use mpcp_core::Instance;
+use mpcp_ml::Learner;
+use mpcp_obs::clock::Clock;
+use mpcp_obs::window::WindowConfig;
+use mpcp_serve::{BatchConfig, BatchServer, PredictionService, TelemetryConfig};
+
+const SLOT_NS: u64 = 1_000_000; // 1ms windows for the manual-clock tests
+const SLOTS: usize = 8;
+
+fn manual_cfg(clock: &Clock) -> TelemetryConfig {
+    TelemetryConfig {
+        window: WindowConfig { slot_ns: SLOT_NS, slots: SLOTS },
+        slo_ns: 1_000_000,
+        clock: clock.clone(),
+        scalar_sample: 1, // record everything: exact counts for asserts
+    }
+}
+
+#[test]
+fn live_stats_count_roll_and_expire_deterministically() {
+    let artifact = fixture::trained(&Learner::knn(), &[]);
+    let coll = artifact.meta.collective;
+    let svc = PredictionService::new(64);
+    assert!(svc.live_stats().is_none(), "no stats before telemetry is enabled");
+    let key = svc.insert_artifact(artifact);
+
+    let clock = Clock::manual(1);
+    assert!(svc.enable_telemetry(manual_cfg(&clock)));
+    assert!(svc.telemetry_enabled());
+    // Idempotent: the first configuration wins.
+    assert!(!svc.enable_telemetry(TelemetryConfig::default()));
+
+    let cells: Vec<Instance> =
+        (0..5u32).map(|i| Instance::new(coll, 64u64 << i, 2 + i, 2)).collect();
+    for inst in &cells {
+        svc.select(&key, inst).unwrap(); // cold: 5 misses
+    }
+    for inst in &cells {
+        svc.select(&key, inst).unwrap(); // warm: 5 hits
+    }
+
+    let stats = svc.live_stats().unwrap();
+    assert_eq!(stats.requests(), 10);
+    assert_eq!(stats.shards.len(), 1);
+    let s = &stats.shards[0];
+    assert_eq!((s.hits, s.misses), (5, 5));
+    assert!((s.hit_ratio - 0.5).abs() < 1e-9);
+    assert!(s.rate_per_sec > 0.0);
+    // The manual clock never advanced mid-query, so every recorded
+    // latency is exactly zero — and so are the quantiles.
+    assert_eq!((s.p50_ns, s.p99_ns, s.max_ns), (0, 0, 0));
+    assert_eq!(s.burn_rate, 0.0);
+    assert_eq!(stats.slot_ns, SLOT_NS);
+    assert_eq!(stats.slots, SLOTS);
+    assert_eq!(stats.epoch, 1, "one publication so far");
+
+    // The JSON form round-trips through the vendored parser.
+    let doc = mpcp_obs::json::parse(&stats.to_json()).unwrap();
+    assert_eq!(doc.get("requests").and_then(|v| v.as_f64()), Some(10.0));
+    assert_eq!(
+        doc.get("shards").and_then(|v| v.as_arr()).map(<[_]>::len),
+        Some(1)
+    );
+    let shard0 = &doc.get("shards").unwrap().as_arr().unwrap()[0];
+    assert_eq!(shard0.get("hits").and_then(|v| v.as_f64()), Some(5.0));
+
+    // Roll the clock past the retention horizon: the traffic above
+    // expires out of the windows and live stats go quiet.
+    clock.advance(SLOT_NS * (SLOTS as u64 + 1));
+    let quiet = svc.live_stats().unwrap();
+    assert_eq!(quiet.requests(), 0, "expired windows must not be counted");
+    assert_eq!(quiet.shards[0].hits, 0);
+}
+
+#[test]
+fn scalar_sampling_keeps_windowed_counts_unbiased() {
+    let artifact = fixture::trained(&Learner::knn(), &[]);
+    let coll = artifact.meta.collective;
+    let svc = PredictionService::new(64);
+    let key = svc.insert_artifact(artifact);
+    let clock = Clock::manual(1);
+    // Sample every 5th scalar request, weight 5. This test runs on its
+    // own thread, so the thread-local tick deterministically starts
+    // fresh.
+    assert!(svc.enable_telemetry(TelemetryConfig { scalar_sample: 5, ..manual_cfg(&clock) }));
+
+    let inst = Instance::new(coll, 1024, 3, 2);
+    svc.select(&key, &inst).unwrap(); // miss, warms the cell
+    for _ in 0..24 {
+        svc.select(&key, &inst).unwrap(); // 24 hits
+    }
+    // 25 scalar requests -> 5 sampled events of weight 5 each: the
+    // windowed totals match the true request count exactly, and every
+    // sampled tick after the first landed on a hit.
+    let stats = svc.live_stats().unwrap();
+    assert_eq!(stats.requests(), 25);
+    assert_eq!(stats.shards[0].hits + stats.shards[0].misses, 25);
+    assert!(stats.shards[0].hits >= 20);
+}
+
+#[test]
+fn telemetry_attaches_to_existing_and_future_shards() {
+    let a = fixture::trained(&Learner::knn(), &[]);
+    let coll = a.meta.collective;
+    let mut b = fixture::trained(&Learner::linear(), &[]);
+    b.meta.machine = "otherbox".into();
+
+    let svc = PredictionService::new(16);
+    let key_a = svc.insert_artifact(a); // loaded before enable_telemetry
+    let clock = Clock::manual(1);
+    assert!(svc.enable_telemetry(manual_cfg(&clock)));
+    let key_b = svc.insert_artifact(b); // loaded after
+
+    let inst = Instance::new(coll, 1024, 3, 2);
+    svc.select(&key_a, &inst).unwrap();
+    svc.select(&key_b, &inst).unwrap();
+    svc.select(&key_b, &inst).unwrap();
+
+    let stats = svc.live_stats().unwrap();
+    assert_eq!(stats.shards.len(), 2, "both shards report windowed stats");
+    let by_key: std::collections::HashMap<String, u64> =
+        stats.shards.iter().map(|s| (s.key.to_string(), s.requests)).collect();
+    assert_eq!(by_key[&key_a.to_string()], 1);
+    assert_eq!(by_key[&key_b.to_string()], 2);
+    // Sorted by shard key, like `ServeStats`.
+    let mut keys: Vec<_> = stats.shards.iter().map(|s| s.key.clone()).collect();
+    let sorted = keys.clone();
+    keys.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn batch_path_attributes_queue_wait_and_counts_every_request() {
+    let artifact = fixture::trained(&Learner::knn(), &[]);
+    let coll = artifact.meta.collective;
+    let svc = Arc::new(PredictionService::new(64));
+    let key = svc.insert_artifact(artifact);
+    // Wall clock, default windows: a test run fits well inside the
+    // 60s retention, so nothing expires mid-assertion.
+    assert!(svc.enable_telemetry(TelemetryConfig::default()));
+
+    let server = BatchServer::start(Arc::clone(&svc), BatchConfig { workers: 2, max_batch: 16 });
+    let cells: Vec<Instance> = (0..20u32)
+        .map(|i| Instance::new(coll, (u64::from(i) * 37 + 5) % 50_000, 2 + i % 8, 1 + i % 4))
+        .collect();
+    for round in 0..5 {
+        let tickets: Vec<_> = cells
+            .iter()
+            .map(|inst| server.submit(key.clone(), *inst))
+            .collect();
+        for t in tickets {
+            t.wait().unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+    server.shutdown();
+
+    let stats = svc.live_stats().unwrap();
+    assert_eq!(stats.requests(), 100, "every batch request is windowed");
+    let s = &stats.shards[0];
+    assert_eq!(s.hits + s.misses, 100);
+    assert!(s.misses >= 20, "each distinct cell misses at least once");
+    assert!(s.hits > 0, "repeat rounds hit the shared cache");
+    // End-to-end batch latency includes a real (wall-clock) wait, so
+    // the windowed quantiles are nonzero and ordered.
+    assert!(s.p99_ns >= s.p50_ns);
+    assert!(s.max_ns >= s.p99_ns);
+    assert!(s.p99_ns > 0, "batch round-trips take measurable time");
+    // Attribution recorded on the batch path: compute happened (there
+    // were misses), and queue-wait quantiles are well-formed.
+    assert!(s.compute_p99_ns > 0, "batched compute takes measurable time");
+    assert!(s.queue_wait_p99_ns >= s.queue_wait_p50_ns);
+    // The merged service-level view agrees with the single shard.
+    assert_eq!(stats.p99_ns, s.p99_ns);
+    assert!((stats.hit_ratio() - s.hit_ratio).abs() < 1e-9);
+}
