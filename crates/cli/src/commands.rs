@@ -566,17 +566,40 @@ fn flight_status_json() -> String {
     }
 }
 
+/// A daemon counter snapshot as a JSON fragment for the stats file.
+fn net_stats_json(n: &mpcp_serve::NetStatsSnapshot) -> String {
+    format!(
+        "{{\"requests\":{},\"accepted\":{},\"shed\":{},\"overloaded\":{},\
+         \"errors\":{},\"inflight\":{},\"connections_open\":{},\
+         \"connections_total\":{},\"idle_closed\":{}}}",
+        n.requests,
+        n.accepted,
+        n.shed,
+        n.overloaded,
+        n.errors,
+        n.inflight,
+        n.connections_open,
+        n.connections_total,
+        n.idle_closed,
+    )
+}
+
 /// Publish the service's live windowed stats (plus flight-recorder
-/// state) to `path`. The `finished` marker tells `mpcp top` the run is
-/// over.
+/// state and, for the daemon, the wire counters) to `path`. The
+/// `finished` marker tells `mpcp top` the run is over.
 fn write_live_stats(
     path: &str,
     svc: &mpcp_serve::PredictionService,
+    net: Option<&mpcp_serve::NetStatsSnapshot>,
     finished: bool,
 ) -> Result<(), String> {
     let Some(stats) = svc.live_stats() else { return Ok(()) };
+    let net_json = match net {
+        Some(n) => net_stats_json(n),
+        None => "null".to_string(),
+    };
     let body = format!(
-        "{{\"finished\":{finished},\"flight\":{},\"stats\":{}}}\n",
+        "{{\"finished\":{finished},\"flight\":{},\"net\":{net_json},\"stats\":{}}}\n",
         flight_status_json(),
         stats.to_json(),
     );
@@ -635,7 +658,7 @@ fn sustained_phase(
             }
             if let Some(p) = stats_out {
                 if publish_err.is_ok() {
-                    publish_err = write_live_stats(p, svc, false);
+                    publish_err = write_live_stats(p, svc, None, false);
                 }
             }
         }
@@ -649,6 +672,153 @@ fn sustained_phase(
         publish_err
     })?;
     Ok(total.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+/// `mpcp served --model <artifact> [--addr 127.0.0.1:0]
+/// [--addr-out <file>] [--workers 2] [--max-batch 64] [--max-queue 1024]
+/// [--idle-timeout-ms 300000] [--reply-timeout-ms 30000]
+/// [--max-shed-inflight 64] [--cache 4096] [--duration <secs>]
+/// [--stats-out <file>]`
+///
+/// Serve a saved model artifact over TCP. Requests and responses are
+/// length-framed with the persist codec (magic, version, kind,
+/// checksum — see DESIGN §15) and pipelined per connection. Admission
+/// is bounded by `--max-queue`: overloaded requests are shed to the
+/// library's built-in decision logic and the reply is marked degraded;
+/// once `--max-shed-inflight` concurrent fallbacks are in flight the
+/// daemon answers a typed `overloaded` error instead. Nothing queues
+/// unboundedly and nothing is silently dropped.
+///
+/// Runs until a wire `shutdown` op arrives (`mpcp serve-bench
+/// --connect <addr> --shutdown-server`) or `--duration` elapses, then
+/// drains every admitted request to a written reply before exiting.
+/// With `--stats-out`, live windowed stats plus the wire counters are
+/// published for `mpcp top`; `--addr-out` writes the resolved listen
+/// address (use `--addr 127.0.0.1:0` for an ephemeral port).
+pub fn served(args: &Args) -> Result<String, String> {
+    use mpcp_serve::{BatchConfig, NetConfig, NetServer, PredictionService, ShedFn};
+
+    let path = args.require("model")?;
+    let addr = args.get_or("addr", "127.0.0.1:0").to_string();
+    let workers: usize =
+        args.get_or("workers", "2").parse().map_err(|_| "bad --workers".to_string())?;
+    let max_batch: usize =
+        args.get_or("max-batch", "64").parse().map_err(|_| "bad --max-batch".to_string())?;
+    let max_queue: usize =
+        args.get_or("max-queue", "1024").parse().map_err(|_| "bad --max-queue".to_string())?;
+    let cache: usize =
+        args.get_or("cache", "4096").parse().map_err(|_| "bad --cache".to_string())?;
+    let idle_ms: u64 = args
+        .get_or("idle-timeout-ms", "300000")
+        .parse()
+        .map_err(|_| "bad --idle-timeout-ms".to_string())?;
+    let reply_ms: u64 = args
+        .get_or("reply-timeout-ms", "30000")
+        .parse()
+        .map_err(|_| "bad --reply-timeout-ms".to_string())?;
+    let max_shed_inflight: usize = args
+        .get_or("max-shed-inflight", "64")
+        .parse()
+        .map_err(|_| "bad --max-shed-inflight".to_string())?;
+    let duration: f64 =
+        args.get_or("duration", "0").parse().map_err(|_| "bad --duration".to_string())?;
+    let stats_out = args.get("stats-out");
+
+    let artifact =
+        Selector::load(Path::new(path)).map_err(|e| format!("loading model: {e}"))?;
+    let learner = artifact.selector.learner_name();
+    let meta = artifact.meta.clone();
+    let lib = library_of_meta(&meta)?;
+    let coll = meta.collective;
+    let svc = std::sync::Arc::new(PredictionService::new(cache));
+    let key = svc.insert_artifact(artifact);
+
+    let self_enabled_obs = stats_out.is_some() && !mpcp_obs::enabled();
+    if self_enabled_obs {
+        mpcp_obs::set_enabled(true);
+    }
+    if stats_out.is_some() {
+        svc.enable_telemetry(mpcp_serve::TelemetryConfig::default());
+    }
+
+    // The overload fallback: the library's own decision logic, exactly
+    // what an untrained deployment would run. Shard/collective
+    // mismatches return None so the daemon answers a typed error
+    // instead of a wrong-model guess.
+    let shed: ShedFn = {
+        let key = key.clone();
+        std::sync::Arc::new(move |k: &mpcp_serve::ShardKey, inst: &Instance| {
+            if *k != key || inst.coll != coll {
+                return None;
+            }
+            let uid =
+                lib.default_choice(coll, inst.msize, &Topology::new(inst.nodes, inst.ppn));
+            let uid = u32::try_from(uid).ok()?;
+            Some(mpcp_core::Selection { uid, predicted_us: None, degraded: true })
+        })
+    };
+    let cfg = NetConfig {
+        addr,
+        batch: BatchConfig {
+            workers: workers.max(1),
+            max_batch: max_batch.max(1),
+            max_queue: max_queue.max(1),
+        },
+        idle_timeout: std::time::Duration::from_millis(idle_ms.max(1)),
+        reply_timeout: std::time::Duration::from_millis(reply_ms.max(1)),
+        max_shed_inflight,
+    };
+    let server = NetServer::start(std::sync::Arc::clone(&svc), shed, cfg)
+        .map_err(|e| format!("starting daemon: {e}"))?;
+    let bound = server.local_addr();
+    if let Some(p) = args.get("addr-out") {
+        write_atomic(p, &format!("{bound}\n"))?;
+    }
+    println!("mpcp served: {learner}/{} listening on {bound} (shard {key})", meta.machine);
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut publish_err: Result<(), String> = Ok(());
+    while server.running() {
+        if duration > 0.0 && t0.elapsed().as_secs_f64() >= duration {
+            server.stop();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if let Some(p) = stats_out {
+            if publish_err.is_ok() {
+                publish_err = write_live_stats(p, &svc, Some(&server.stats()), false);
+            }
+        }
+    }
+    // Join before surfacing a publish error: the drain must happen
+    // even when the stats file went bad mid-run.
+    let stats = server.join();
+    publish_err?;
+    if let Some(p) = stats_out {
+        write_live_stats(p, &svc, Some(&stats), true)?;
+    }
+    if self_enabled_obs {
+        mpcp_obs::set_enabled(false);
+    }
+    Ok(format!(
+        "mpcp served: drained and stopped after {:.1}s\n\
+         connections: {} total, {} closed idle\n\
+         requests:    {} decoded = {} accepted + {} shed + {} overloaded \
+         ({} error replies, {} in flight at exit)\n",
+        t0.elapsed().as_secs_f64(),
+        stats.connections_total,
+        stats.idle_closed,
+        stats.requests,
+        stats.accepted,
+        stats.shed,
+        stats.overloaded,
+        stats.errors,
+        stats.inflight,
+    ))
 }
 
 /// `mpcp serve-bench --model <artifact> [--threads 8] [--requests N]
@@ -671,6 +841,10 @@ fn sustained_phase(
 /// [`BatchServer`]: mpcp_serve::BatchServer
 pub fn serve_bench(args: &Args) -> Result<String, String> {
     use mpcp_serve::{BatchConfig, BatchServer, PredictionService};
+
+    if args.get("connect").is_some() {
+        return serve_bench_connect(args);
+    }
 
     let path = args.require("model")?;
     let threads: usize = args
@@ -746,7 +920,7 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
     // uncached, and batch paths must agree bit-for-bit.
     let batch = BatchServer::start(
         std::sync::Arc::clone(&svc),
-        BatchConfig { workers: threads.min(4), max_batch: 64 },
+        BatchConfig { workers: threads.min(4), max_batch: 64, ..BatchConfig::default() },
     );
     for inst in &cells {
         let uncached = svc.select_uncached(&key, inst).map_err(|e| e.to_string())?;
@@ -826,7 +1000,7 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
         let live =
             svc.live_stats().ok_or_else(|| "telemetry enabled but no live stats".to_string())?;
         if let Some(p) = stats_out {
-            write_live_stats(p, &svc, true)?;
+            write_live_stats(p, &svc, None, true)?;
         }
         let flight_json = flight_status_json();
         if armed {
@@ -951,6 +1125,309 @@ pub fn serve_bench(args: &Args) -> Result<String, String> {
                  telemetry-off, below the required {telemetry_gate}x\n{out}"
             ));
         }
+    }
+    Ok(out)
+}
+
+/// One wire phase's merged tally (see [`wire_phase`]).
+struct WirePhase {
+    /// Per-reply round-trip latencies in ns, unsorted.
+    lats: Vec<u64>,
+    /// Non-degraded selections.
+    ok: u64,
+    /// Degraded (shed) selections.
+    shed: u64,
+    /// Typed error replies (overloaded, timeout, ...).
+    errors: u64,
+}
+
+/// Drive `requests` pipelined selects against the daemon at `addr`
+/// from `threads` connections, keeping up to `window` requests in
+/// flight per connection. Every send is matched to exactly one
+/// in-order reply — a missing or reordered reply fails the phase, so
+/// a silent drop can never masquerade as throughput. Returns
+/// `(wall_secs, offered, tally)`; `offered = threads *
+/// ceil(requests/threads)`.
+fn wire_phase(
+    addr: &str,
+    key: &mpcp_serve::ShardKey,
+    cells: &[Instance],
+    threads: usize,
+    requests: usize,
+    window: usize,
+) -> Result<(f64, usize, WirePhase), String> {
+    use mpcp_serve::{NetClient, Reply};
+
+    let per = requests.div_ceil(threads);
+    let t0 = std::time::Instant::now();
+    let parts = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || -> Result<WirePhase, String> {
+                    let mut client = NetClient::connect(addr)
+                        .map_err(|e| format!("connecting {addr}: {e}"))?;
+                    let mut out =
+                        WirePhase { lats: Vec::with_capacity(per), ok: 0, shed: 0, errors: 0 };
+                    let mut pending: std::collections::VecDeque<(u64, std::time::Instant)> =
+                        std::collections::VecDeque::with_capacity(window);
+                    let mut sent = 0usize;
+                    while sent < per || !pending.is_empty() {
+                        while sent < per && pending.len() < window {
+                            let inst = &cells[(t * 7919 + sent) % cells.len()];
+                            let id = client
+                                .send_select(key, inst)
+                                .map_err(|e| format!("send: {e}"))?;
+                            pending.push_back((id, std::time::Instant::now()));
+                            sent += 1;
+                        }
+                        let (id, reply) = client.recv().map_err(|e| format!("recv: {e}"))?;
+                        let Some((want, q0)) = pending.pop_front() else {
+                            return Err(format!("reply {id} with nothing in flight"));
+                        };
+                        if id != want {
+                            return Err(format!("reply order broken: got {id}, want {want}"));
+                        }
+                        out.lats
+                            .push(u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        match reply {
+                            Reply::Selection { shed: true, .. } => out.shed += 1,
+                            Reply::Selection { .. } => out.ok += 1,
+                            Reply::Error { .. } => out.errors += 1,
+                            Reply::ShutdownAck => {
+                                return Err("unsolicited shutdown ack".to_string());
+                            }
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        let mut acc = Vec::with_capacity(threads);
+        for h in handles {
+            acc.push(h.join().map_err(|_| "wire client thread panicked".to_string()));
+        }
+        acc
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut merged = WirePhase { lats: Vec::new(), ok: 0, shed: 0, errors: 0 };
+    for p in parts {
+        let p = p??;
+        merged.lats.extend(p.lats);
+        merged.ok += p.ok;
+        merged.shed += p.shed;
+        merged.errors += p.errors;
+    }
+    let offered = per * threads;
+    if merged.lats.len() != offered
+        || merged.ok + merged.shed + merged.errors != offered as u64
+    {
+        return Err(format!(
+            "wire phase accounting broken: offered {offered}, got {} replies \
+             ({} ok + {} shed + {} errors)",
+            merged.lats.len(),
+            merged.ok,
+            merged.shed,
+            merged.errors,
+        ));
+    }
+    Ok((wall, offered, merged))
+}
+
+/// `mpcp serve-bench --connect <addr> --model <artifact> [--threads 4]
+/// [--requests 4000] [--window 32] [--overload-burst N]
+/// [--max-p99-ms X] [--shutdown-server] [--out BENCH_PR8.json]`
+///
+/// Client mode: drive a running `mpcp served` daemon over TCP instead
+/// of an in-process service. Three phases:
+///
+/// 1. **Equal results** — one synchronous sweep over the bench grid;
+///    every non-shed wire answer must be bit-identical to the
+///    in-process `select_uncached` on the same artifact file.
+/// 2. **Pipelined throughput** — `--threads` connections, up to
+///    `--window` requests in flight each.
+/// 3. **Overload burst** (with `--overload-burst N`) — each
+///    connection blasts N requests open-loop before reading a single
+///    reply, pushing the daemon's admission queue past its cap. The
+///    phase asserts exactly one reply per request: shed and
+///    overloaded answers are counted, never dropped.
+///
+/// `--max-p99-ms` gates the overload phase's p99 round-trip (the
+/// pipelined phase's when no burst is requested). `--shutdown-server`
+/// sends the wire shutdown op at the end, draining the daemon.
+fn serve_bench_connect(args: &Args) -> Result<String, String> {
+    use mpcp_serve::{NetClient, PredictionService};
+
+    let addr = args.require("connect")?;
+    let path = args.require("model")?;
+    let threads: usize =
+        args.get_or("threads", "4").parse().map_err(|_| "bad --threads".to_string())?;
+    let threads = threads.max(1);
+    let requests: usize =
+        args.get_or("requests", "4000").parse().map_err(|_| "bad --requests".to_string())?;
+    let window: usize =
+        args.get_or("window", "32").parse().map_err(|_| "bad --window".to_string())?;
+    let window = window.max(1);
+    let overload_burst: usize = args
+        .get_or("overload-burst", "0")
+        .parse()
+        .map_err(|_| "bad --overload-burst".to_string())?;
+    let max_p99_ms: f64 = args
+        .get_or("max-p99-ms", "0")
+        .parse()
+        .map_err(|_| "bad --max-p99-ms".to_string())?;
+
+    let artifact =
+        Selector::load(Path::new(path)).map_err(|e| format!("loading model: {e}"))?;
+    let learner = artifact.selector.learner_name();
+    let meta = artifact.meta.clone();
+    let (max_nodes, max_ppn) = match parse_machine(&meta.machine) {
+        Ok(m) => (m.max_nodes, m.max_ppn),
+        Err(_) => (8, 16),
+    };
+    let cells = bench_cells(meta.collective, max_nodes, max_ppn);
+    // The local oracle: the same artifact file the daemon loaded,
+    // evaluated in-process with no cache in the way.
+    let svc = PredictionService::new(cells.len().max(16));
+    let key = svc.insert_artifact(artifact);
+
+    // Phase 1: synchronous equal-results sweep.
+    let mut client =
+        NetClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut sync_shed = 0u64;
+    for inst in &cells {
+        let want = svc.select_uncached(&key, inst).map_err(|e| e.to_string())?;
+        let (got, shed) =
+            client.select(&key, inst).map_err(|e| format!("select {inst}: {e}"))?;
+        if shed {
+            sync_shed += 1; // degraded fallback: not comparable to the model
+            continue;
+        }
+        if got.uid != want.uid
+            || got.predicted_us.map(f64::to_bits) != want.predicted_us.map(f64::to_bits)
+            || got.degraded != want.degraded
+        {
+            return Err(format!(
+                "wire answer diverged from in-process select on {inst}: {got:?} vs {want:?}"
+            ));
+        }
+    }
+
+    // Phase 2: pipelined throughput.
+    let (wall_p, offered_p, pipe) = wire_phase(addr, &key, &cells, threads, requests, window)?;
+    let mut lat_p = pipe.lats.clone();
+    lat_p.sort_unstable();
+    let qps_p = if wall_p > 0.0 { offered_p as f64 / wall_p } else { 0.0 };
+
+    // Phase 3: open-loop overload burst (window == burst: every
+    // request is sent before the first reply is read).
+    let overload = if overload_burst > 0 {
+        let (wall_o, offered_o, o) = wire_phase(
+            addr,
+            &key,
+            &cells,
+            threads,
+            overload_burst * threads,
+            overload_burst,
+        )?;
+        let mut lat_o = o.lats.clone();
+        lat_o.sort_unstable();
+        let qps_o = if wall_o > 0.0 { offered_o as f64 / wall_o } else { 0.0 };
+        Some((wall_o, offered_o, o, lat_o, qps_o))
+    } else {
+        None
+    };
+
+    // The latency gate reads the harshest phase we ran.
+    let gated_p99_ns = match &overload {
+        Some((_, _, _, lat_o, _)) => percentile(lat_o, 99),
+        None => percentile(&lat_p, 99),
+    };
+    if args.flag("shutdown-server") {
+        client.shutdown_server().map_err(|e| format!("shutdown: {e}"))?;
+    }
+    drop(client);
+
+    let overload_json = match &overload {
+        Some((_, offered_o, o, lat_o, qps_o)) => format!(
+            "{{ \"offered\": {offered_o}, \"qps\": {qps_o:.0}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {} }}",
+            percentile(lat_o, 50),
+            percentile(lat_o, 99),
+            o.ok,
+            o.shed,
+            o.errors,
+        ),
+        None => "null".to_string(),
+    };
+    let prov = mpcp_obs::provenance::Provenance::capture("mpcp serve-bench --connect", meta.seed);
+    let json = format!(
+        r#"{{
+  "pr": 8,
+  "provenance": {},
+  "config": {{
+    "addr": {},
+    "model": {},
+    "learner": {},
+    "collective": {},
+    "machine": {},
+    "threads": {threads},
+    "requests": {requests},
+    "window": {window},
+    "overload_burst": {overload_burst},
+    "distinct_cells": {}
+  }},
+  "sync": {{ "requests": {}, "shed": {sync_shed} }},
+  "pipelined": {{ "offered": {offered_p}, "qps": {qps_p:.0}, "p50_ns": {}, "p99_ns": {}, "ok": {}, "shed": {}, "errors": {} }},
+  "overload": {overload_json},
+  "equal_results": true,
+  "all_replies_accounted": true
+}}
+"#,
+        prov.to_json(),
+        mpcp_obs::export::json_string(addr),
+        mpcp_obs::export::json_string(path),
+        mpcp_obs::export::json_string(learner),
+        mpcp_obs::export::json_string(meta.collective.mpi_name()),
+        mpcp_obs::export::json_string(&meta.machine),
+        cells.len(),
+        cells.len(),
+        percentile(&lat_p, 50),
+        percentile(&lat_p, 99),
+        pipe.ok,
+        pipe.shed,
+        pipe.errors,
+    );
+
+    let mut out = format!(
+        "serve-bench --connect {addr}: {key} over {} cells\n\
+         sync:      {} requests, {sync_shed} shed, non-shed bit-identical to in-process\n\
+         pipelined: {qps_p:>10.0} qps  (p99 {:>8} ns, {} ok / {} shed / {} errors of {offered_p})\n",
+        cells.len(),
+        cells.len(),
+        percentile(&lat_p, 99),
+        pipe.ok,
+        pipe.shed,
+        pipe.errors,
+    );
+    if let Some((_, offered_o, o, lat_o, qps_o)) = &overload {
+        out.push_str(&format!(
+            "overload:  {qps_o:>10.0} qps  (p99 {:>8} ns, {} ok / {} shed / {} errors of {offered_o})\n\
+             every request answered: accepted + shed + errors == offered\n",
+            percentile(lat_o, 99),
+            o.ok,
+            o.shed,
+            o.errors,
+        ));
+    }
+    if let Some(out_path) = args.get("out") {
+        std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+        out.push_str(&format!("wrote {out_path}\n"));
+    }
+    if max_p99_ms > 0.0 && gated_p99_ns as f64 > max_p99_ms * 1e6 {
+        return Err(format!(
+            "serve-bench gate failed: wire p99 {:.3} ms exceeds --max-p99-ms {max_p99_ms}\n{out}",
+            gated_p99_ns as f64 / 1e6
+        ));
     }
     Ok(out)
 }
@@ -1178,6 +1655,23 @@ fn render_top(doc: &mpcp_obs::json::JsonValue) -> Result<String, String> {
             ));
         }
     }
+    if let Some(net) = doc.get("net") {
+        if net.get("requests").is_some() {
+            out.push_str(&format!(
+                "net:      conns {}/{}   reqs {}   accepted {}   shed {}   \
+                 overloaded {}   errors {}   inflight {}   idle-closed {}\n",
+                num(net, "connections_open"),
+                num(net, "connections_total"),
+                num(net, "requests"),
+                num(net, "accepted"),
+                num(net, "shed"),
+                num(net, "overloaded"),
+                num(net, "errors"),
+                num(net, "inflight"),
+                num(net, "idle_closed"),
+            ));
+        }
+    }
     out.push_str(&format!(
         "{:<40} {:>8} {:>9} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}\n",
         "shard", "reqs", "rate/s", "hit%", "p50", "p99", "queue p99", "compute99", "probe p99", "burn",
@@ -1332,6 +1826,78 @@ mod tests {
         .unwrap();
         assert!(out.contains("written to"), "{out}");
         assert!(tunef.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn served_daemon_roundtrip_over_tcp() {
+        let dir = std::env::temp_dir().join("mpcp_cli_served_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let model = dir.join("m.model");
+        let addr_file = dir.join("addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        run_args(&[
+            "bench", "--machine", "hydra", "--coll", "allreduce", "--nodes", "2,3,4", "--ppn",
+            "1,2", "--msizes", "16,4K", "--out", csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_args(&[
+            "train", "--data", csv.to_str().unwrap(), "--coll", "allreduce", "--learner",
+            "knn", "--save-model", model.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let model_s = model.to_str().unwrap().to_string();
+        let addr_s = addr_file.to_str().unwrap().to_string();
+        let daemon = std::thread::spawn(move || {
+            run_args(&[
+                "served", "--model", &model_s, "--addr", "127.0.0.1:0", "--addr-out", &addr_s,
+                "--workers", "1", "--max-batch", "8",
+            ])
+        });
+        let t0 = std::time::Instant::now();
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                if s.trim().contains(':') {
+                    break s.trim().to_string();
+                }
+            }
+            assert!(t0.elapsed().as_secs() < 30, "daemon never published its address");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // The wire answers match the same artifact file evaluated
+        // in-process, bit for bit.
+        let artifact = Selector::load(&model).unwrap();
+        let coll = artifact.meta.collective;
+        let svc = mpcp_serve::PredictionService::new(16);
+        let key = svc.insert_artifact(artifact);
+        let mut client = mpcp_serve::NetClient::connect(&addr).unwrap();
+        for inst in [Instance::new(coll, 4096, 3, 2), Instance::new(coll, 16, 2, 1)] {
+            let want = svc.select_uncached(&key, &inst).unwrap();
+            let (got, shed) = client.select(&key, &inst).unwrap();
+            assert!(!shed, "an idle daemon must not shed");
+            assert_eq!((got.uid, got.degraded), (want.uid, want.degraded));
+            assert_eq!(
+                got.predicted_us.map(f64::to_bits),
+                want.predicted_us.map(f64::to_bits)
+            );
+        }
+        // An unknown shard is a typed remote error, not a guess.
+        let bogus = mpcp_serve::ShardKey { coll, scope: "nowhere/none".into() };
+        let err = client.select(&bogus, &Instance::new(coll, 64, 2, 1)).unwrap_err();
+        assert!(
+            matches!(err, mpcp_serve::NetError::Remote { code, .. }
+                if code == mpcp_serve::net::ERR_UNKNOWN_SHARD),
+            "{err}"
+        );
+        // The wire shutdown op drains the daemon and resolves the CLI
+        // call with the final counter summary.
+        client.shutdown_server().unwrap();
+        let out = daemon.join().unwrap().unwrap();
+        assert!(out.contains("drained and stopped"), "{out}");
+        assert!(out.contains("connections: 1 total"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -75,7 +75,24 @@ COMMANDS:
               [--telemetry-gate <ratio>] [--duration <secs>]
               [--stats-out <file>] [--spike-ms <ms>] [--flight-out <file>]
               [--flight-threshold-ms <ms>]
-  top         watch a running serve-bench session's live windowed stats
+              with --connect <addr>: drive a running `mpcp served`
+              daemon over TCP instead (equal-results sweep, pipelined
+              throughput, open-loop overload burst asserting one reply
+              per request)
+              --connect <addr> --model <file> [--threads 4]
+              [--requests 4000] [--window 32] [--overload-burst <n>]
+              [--max-p99-ms <x>] [--shutdown-server] [--out <file>]
+  served      serve a model artifact over TCP: persist-codec framed
+              requests, pipelined per connection, bounded admission
+              queue with degraded load shedding; runs until the wire
+              shutdown op or --duration
+              --model <file> [--addr 127.0.0.1:0] [--addr-out <file>]
+              [--workers 2] [--max-batch 64] [--max-queue 1024]
+              [--idle-timeout-ms 300000] [--reply-timeout-ms 30000]
+              [--max-shed-inflight 64] [--cache 4096]
+              [--duration <secs>] [--stats-out <file>]
+  top         watch a running serve-bench or served session's live
+              windowed stats
               (per-shard rate, hit ratio, p50/p99, queue-wait vs compute
               split, SLO burn rate)
               --stats <file> [--once] [--json] [--interval-ms 500]
@@ -137,6 +154,7 @@ pub fn run(args: Args) -> Result<String, String> {
         "train" => commands::train(&args),
         "select" => commands::select(&args),
         "serve-bench" => commands::serve_bench(&args),
+        "served" => commands::served(&args),
         "tune" => commands::tune(&args),
         "top" => commands::top(&args),
         "report" => commands::report(&args),

@@ -40,6 +40,17 @@ pub const KIND_MODEL: u8 = 1;
 /// Artifact kind tag: a whole selector bundle (written by `mpcp-core`).
 pub const KIND_SELECTOR: u8 = 2;
 
+/// Frame kind tag: one request message on the `mpcp served` wire.
+pub const KIND_NET_REQUEST: u8 = 3;
+
+/// Frame kind tag: one response message on the `mpcp served` wire.
+pub const KIND_NET_RESPONSE: u8 = 4;
+
+/// Fixed byte length of the header that precedes every payload:
+/// magic (4) + version `u32` (4) + kind `u8` (1) + payload length
+/// `u64` (8) + FNV-1a checksum `u64` (8).
+pub const FRAME_HEADER_LEN: usize = 25;
+
 /// Why a byte stream could not be decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CodecError {
@@ -370,6 +381,59 @@ pub fn unframe(bytes: &[u8], kind: u8) -> Result<&[u8], CodecError> {
     Ok(payload)
 }
 
+/// Validated header of one frame, as read off a byte stream by
+/// [`read_frame_header`]. Tells a streaming reader how many payload
+/// bytes to pull before handing them to [`check_frame_payload`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Kind byte found in the header (already matched by the reader).
+    pub kind: u8,
+    /// Number of payload bytes that follow the header.
+    pub payload_len: usize,
+    /// FNV-1a 64 checksum the payload must hash to.
+    pub checksum: u64,
+}
+
+/// Parse and validate exactly [`FRAME_HEADER_LEN`] header bytes without
+/// touching the payload. This is the streaming counterpart of
+/// [`unframe`]: a socket reader pulls the fixed-size header first, asks
+/// this function how long the payload is, then reads that many bytes
+/// and verifies them with [`check_frame_payload`]. Header fields are
+/// checked in the same order as [`unframe`] — magic, version, kind — so
+/// each corruption class maps to the same typed error.
+pub fn read_frame_header(header: &[u8; FRAME_HEADER_LEN], kind: u8) -> Result<FrameHeader, CodecError> {
+    let mut r = ByteReader::new(header);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnknownVersion { found: version, supported: FORMAT_VERSION });
+    }
+    let found_kind = r.get_u8()?;
+    if found_kind != kind {
+        return Err(CodecError::WrongKind { expected: kind, found: found_kind });
+    }
+    let raw_len = r.get_u64()?;
+    let payload_len = usize::try_from(raw_len)
+        .map_err(|_| CodecError::invalid(format!("payload length {raw_len} exceeds address space")))?;
+    let checksum = r.get_u64()?;
+    Ok(FrameHeader { kind: found_kind, payload_len, checksum })
+}
+
+/// Verify `payload` against a header returned by [`read_frame_header`].
+pub fn check_frame_payload(header: &FrameHeader, payload: &[u8]) -> Result<(), CodecError> {
+    if payload.len() != header.payload_len {
+        return Err(CodecError::Truncated { offset: payload.len(), needed: header.payload_len });
+    }
+    let found = fnv1a64(payload);
+    if found != header.checksum {
+        return Err(CodecError::ChecksumMismatch { expected: header.checksum, found });
+    }
+    Ok(())
+}
+
 /// Decode a framed value of the given `kind`, requiring the payload to
 /// be consumed exactly.
 pub fn decode_framed<T: Persist>(kind: u8, bytes: &[u8]) -> Result<T, CodecError> {
@@ -620,6 +684,56 @@ mod tests {
         // Reference values for the empty string and "a" (FNV-1a 64).
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn streaming_header_agrees_with_unframe() {
+        let bytes = encode_framed(KIND_NET_REQUEST, &sample());
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&bytes[..FRAME_HEADER_LEN]);
+        let h = read_frame_header(&header, KIND_NET_REQUEST).unwrap();
+        assert_eq!(h.kind, KIND_NET_REQUEST);
+        assert_eq!(h.payload_len, bytes.len() - FRAME_HEADER_LEN);
+        let payload = &bytes[FRAME_HEADER_LEN..];
+        check_frame_payload(&h, payload).unwrap();
+        assert_eq!(h.checksum, fnv1a64(payload));
+    }
+
+    #[test]
+    fn streaming_header_corruption_maps_to_typed_errors() {
+        let bytes = encode_framed(KIND_NET_RESPONSE, &sample());
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&bytes[..FRAME_HEADER_LEN]);
+
+        let mut m = header;
+        m[0] = b'X';
+        assert_eq!(read_frame_header(&m, KIND_NET_RESPONSE).unwrap_err(), CodecError::BadMagic);
+
+        let mut v = header;
+        v[4] = 0xFE;
+        assert_eq!(
+            read_frame_header(&v, KIND_NET_RESPONSE).unwrap_err(),
+            CodecError::UnknownVersion { found: 0xFE, supported: FORMAT_VERSION }
+        );
+
+        // A response frame where a request was expected is WrongKind —
+        // this is how a served connection rejects a confused peer.
+        assert_eq!(
+            read_frame_header(&header, KIND_NET_REQUEST).unwrap_err(),
+            CodecError::WrongKind { expected: KIND_NET_REQUEST, found: KIND_NET_RESPONSE }
+        );
+
+        let h = read_frame_header(&header, KIND_NET_RESPONSE).unwrap();
+        let mut payload = bytes[FRAME_HEADER_LEN..].to_vec();
+        payload[0] ^= 0x5A;
+        assert!(matches!(
+            check_frame_payload(&h, &payload),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            check_frame_payload(&h, &payload[..payload.len() - 1]),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]

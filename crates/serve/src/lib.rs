@@ -37,11 +37,13 @@
 
 pub mod batch;
 pub mod lru;
+pub mod net;
 mod snapshot;
 pub mod telemetry;
 
 pub use batch::{BatchConfig, BatchServer, Ticket};
 pub use lru::LruCache;
+pub use net::{NetClient, NetConfig, NetError, NetServer, NetStatsSnapshot, Reply, ShedFn};
 pub use telemetry::{LiveStats, ShardLiveStats, TelemetryConfig};
 
 use std::fmt;
@@ -87,6 +89,12 @@ pub enum ServeError {
     Artifact(ArtifactError),
     /// The batch server shut down (or its worker died) before replying.
     Disconnected,
+    /// The bounded admission queue is full and shedding capacity is
+    /// saturated — the request was refused rather than queued.
+    Overloaded,
+    /// The reply did not arrive within the caller's deadline
+    /// ([`Ticket::wait_timeout`]); the request may still complete.
+    Timeout,
 }
 
 impl fmt::Display for ServeError {
@@ -106,6 +114,12 @@ impl fmt::Display for ServeError {
             ServeError::Artifact(e) => write!(f, "{e}"),
             ServeError::Disconnected => {
                 write!(f, "batch server disconnected before replying")
+            }
+            ServeError::Overloaded => {
+                write!(f, "server overloaded: admission queue full")
+            }
+            ServeError::Timeout => {
+                write!(f, "timed out waiting for a batch worker to reply")
             }
         }
     }
@@ -270,30 +284,37 @@ impl Shard {
     /// binary) for routing-table tests.
     #[cfg(test)]
     pub(crate) fn for_tests() -> Shard {
-        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
-        let bytes = BYTES.get_or_init(|| {
-            let spec = mpcp_benchmark::DatasetSpec::tiny_for_tests();
-            let lib = spec.library(None);
-            let data = spec.generate(&lib, &mpcp_benchmark::BenchConfig::quick());
-            let (selector, report) = Selector::train_with_report(
-                &mpcp_ml::Learner::knn(),
-                &data.records,
-                lib.configs(spec.coll),
-                &mpcp_core::TrainOptions::default(),
-            )
-            .expect("tiny fixture trains");
-            let meta = ArtifactMeta::capture(
-                spec.coll,
-                &format!("{} {}", lib.name, lib.version),
-                &spec.machine.name,
-                Some(spec.seed),
-                &mpcp_core::TrainOptions::default(),
-            );
-            selector.to_artifact_bytes(&report, &meta)
-        });
-        let artifact = SelectorArtifact::from_bytes(bytes).expect("fixture artifact decodes");
-        Shard::new(artifact, 16)
+        Shard::new(test_artifact(), 16)
     }
+}
+
+/// A tiny real selector artifact (KNN on the benchmark fixture grid),
+/// trained once per test binary — shared by routing-table and batch
+/// unit tests.
+#[cfg(test)]
+pub(crate) fn test_artifact() -> SelectorArtifact {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    let bytes = BYTES.get_or_init(|| {
+        let spec = mpcp_benchmark::DatasetSpec::tiny_for_tests();
+        let lib = spec.library(None);
+        let data = spec.generate(&lib, &mpcp_benchmark::BenchConfig::quick());
+        let (selector, report) = Selector::train_with_report(
+            &mpcp_ml::Learner::knn(),
+            &data.records,
+            lib.configs(spec.coll),
+            &mpcp_core::TrainOptions::default(),
+        )
+        .expect("tiny fixture trains");
+        let meta = ArtifactMeta::capture(
+            spec.coll,
+            &format!("{} {}", lib.name, lib.version),
+            &spec.machine.name,
+            Some(spec.seed),
+            &mpcp_core::TrainOptions::default(),
+        );
+        selector.to_artifact_bytes(&report, &meta)
+    });
+    SelectorArtifact::from_bytes(bytes).expect("fixture artifact decodes")
 }
 
 /// Per-shard serving counters, as observed by [`PredictionService::stats`].

@@ -1,0 +1,1065 @@
+//! `mpcp served`: a zero-dependency TCP daemon over [`PredictionService`].
+//!
+//! The wire protocol reuses the artifact codec's framing
+//! ([`mpcp_ml::persist`]): every message is a `MAGIC`/version/kind/
+//! length/FNV-checksum frame whose payload is a [`Persist`]-encoded
+//! request or response. Requests carry a client-chosen `req_id` echoed
+//! in the reply, and a connection may pipeline any number of requests;
+//! replies come back in request order.
+//!
+//! Overload never queues without bound and never drops a connection:
+//! admission is the *bounded* [`BatchServer`] queue, and a request the
+//! queue refuses is **shed** — answered synchronously from the injected
+//! fallback ([`ShedFn`], the library-default decision logic) with the
+//! reply marked `degraded`. Only when even shedding is saturated
+//! (`max_shed_inflight` concurrent fallback computations) does the
+//! daemon return a typed `overloaded` error, still a well-formed reply
+//! on the wire.
+//!
+//! Each connection gets a reader thread (decodes frames, admits or
+//! sheds) and a writer thread (resolves batch tickets with a deadline,
+//! encodes replies); an idle connection is closed after
+//! `idle_timeout`. Shutdown — the wire `shutdown` op or
+//! [`NetServer::stop`] — stops accepting, half-closes every
+//! connection's read side, drains every accepted request to a written
+//! reply, and joins all threads.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mpcp_collectives::Collective;
+use mpcp_core::{Instance, Selection};
+use mpcp_ml::persist::{
+    check_frame_payload, encode_framed, read_frame_header, ByteReader, ByteWriter, CodecError,
+    Persist, FRAME_HEADER_LEN, KIND_NET_REQUEST, KIND_NET_RESPONSE,
+};
+
+use crate::batch::{BatchConfig, BatchServer, Ticket};
+use crate::{lock, PredictionService, ServeError, ShardKey};
+
+/// Hard cap on a single message payload. Requests and responses are a
+/// few dozen bytes plus a scope string; anything near this limit is a
+/// corrupt or hostile frame and closes the connection.
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// Request op byte: select a collective algorithm.
+pub const OP_SELECT: u8 = 1;
+/// Request op byte: drain and stop the daemon.
+pub const OP_SHUTDOWN: u8 = 2;
+
+/// Response status byte: computed selection.
+pub const STATUS_OK: u8 = 0;
+/// Response status byte: shed — degraded fallback selection.
+pub const STATUS_SHED: u8 = 1;
+/// Response status byte: typed error (code + message).
+pub const STATUS_ERR: u8 = 2;
+/// Response status byte: shutdown acknowledged.
+pub const STATUS_SHUTDOWN_ACK: u8 = 3;
+
+/// Wire error code for [`ServeError::UnknownShard`].
+pub const ERR_UNKNOWN_SHARD: u8 = 1;
+/// Wire error code for [`ServeError::CollectiveMismatch`].
+pub const ERR_COLLECTIVE_MISMATCH: u8 = 2;
+/// Wire error code for [`ServeError::NoFinitePrediction`].
+pub const ERR_NO_FINITE_PREDICTION: u8 = 3;
+/// Wire error code for [`ServeError::Artifact`].
+pub const ERR_ARTIFACT: u8 = 4;
+/// Wire error code for [`ServeError::Disconnected`].
+pub const ERR_DISCONNECTED: u8 = 5;
+/// Wire error code for [`ServeError::Overloaded`].
+pub const ERR_OVERLOADED: u8 = 6;
+/// Wire error code for [`ServeError::Timeout`].
+pub const ERR_TIMEOUT: u8 = 7;
+
+fn error_code(e: &ServeError) -> u8 {
+    match e {
+        ServeError::UnknownShard { .. } => ERR_UNKNOWN_SHARD,
+        ServeError::CollectiveMismatch { .. } => ERR_COLLECTIVE_MISMATCH,
+        ServeError::NoFinitePrediction { .. } => ERR_NO_FINITE_PREDICTION,
+        ServeError::Artifact(_) => ERR_ARTIFACT,
+        ServeError::Disconnected => ERR_DISCONNECTED,
+        ServeError::Overloaded => ERR_OVERLOADED,
+        ServeError::Timeout => ERR_TIMEOUT,
+    }
+}
+
+/// One request frame payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetRequest {
+    /// Route `instance` to the shard under `key` and select.
+    Select {
+        /// Client-chosen correlation id, echoed in the reply.
+        req_id: u64,
+        /// Shard the request is routed to.
+        key: ShardKey,
+        /// The query.
+        instance: Instance,
+    },
+    /// Drain and stop the daemon (acknowledged before the drain).
+    Shutdown {
+        /// Client-chosen correlation id, echoed in the ack.
+        req_id: u64,
+    },
+}
+
+fn put_collective(w: &mut ByteWriter, c: Collective) {
+    // Same representation as `ArtifactMeta`: the index in the stable,
+    // registry-ordered `Collective::ALL`.
+    let idx = Collective::ALL.iter().position(|x| *x == c).unwrap_or(usize::MAX);
+    w.put_len(idx);
+}
+
+fn get_collective(r: &mut ByteReader<'_>) -> Result<Collective, CodecError> {
+    let idx = r.get_len(0)?;
+    Collective::ALL
+        .get(idx)
+        .copied()
+        .ok_or_else(|| CodecError::invalid(format!("collective index {idx}")))
+}
+
+impl Persist for NetRequest {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            NetRequest::Select { req_id, key, instance } => {
+                w.put_u64(*req_id);
+                w.put_u8(OP_SELECT);
+                put_collective(w, key.coll);
+                w.put_str(&key.scope);
+                put_collective(w, instance.coll);
+                w.put_u64(instance.msize);
+                w.put_u32(instance.nodes);
+                w.put_u32(instance.ppn);
+            }
+            NetRequest::Shutdown { req_id } => {
+                w.put_u64(*req_id);
+                w.put_u8(OP_SHUTDOWN);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<NetRequest, CodecError> {
+        let req_id = r.get_u64()?;
+        match r.get_u8()? {
+            OP_SELECT => {
+                let key_coll = get_collective(r)?;
+                let scope = r.get_string()?;
+                let coll = get_collective(r)?;
+                let msize = r.get_u64()?;
+                let nodes = r.get_u32()?;
+                let ppn = r.get_u32()?;
+                Ok(NetRequest::Select {
+                    req_id,
+                    key: ShardKey { coll: key_coll, scope },
+                    instance: Instance::new(coll, msize, nodes, ppn),
+                })
+            }
+            OP_SHUTDOWN => Ok(NetRequest::Shutdown { req_id }),
+            op => Err(CodecError::invalid(format!("request op {op}"))),
+        }
+    }
+}
+
+/// One response frame payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetResponse {
+    /// Computed selection for the echoed request.
+    Ok {
+        /// The request's correlation id.
+        req_id: u64,
+        /// The selection (never degraded on this status).
+        selection: Selection,
+    },
+    /// The request was shed: a degraded fallback selection.
+    Shed {
+        /// The request's correlation id.
+        req_id: u64,
+        /// The fallback selection (`degraded` is always true).
+        selection: Selection,
+    },
+    /// The request failed with a typed error.
+    Err {
+        /// The request's correlation id.
+        req_id: u64,
+        /// Stable wire error code (`ERR_*`).
+        code: u8,
+        /// Human-readable rendering of the server-side error.
+        message: String,
+    },
+    /// Shutdown acknowledged; the daemon is draining.
+    ShutdownAck {
+        /// The request's correlation id.
+        req_id: u64,
+    },
+}
+
+impl NetResponse {
+    /// The echoed correlation id.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            NetResponse::Ok { req_id, .. }
+            | NetResponse::Shed { req_id, .. }
+            | NetResponse::Err { req_id, .. }
+            | NetResponse::ShutdownAck { req_id } => *req_id,
+        }
+    }
+}
+
+fn put_selection(w: &mut ByteWriter, s: &Selection) {
+    w.put_u32(s.uid);
+    match s.predicted_us {
+        None => w.put_u8(0),
+        Some(p) => {
+            w.put_u8(1);
+            w.put_f64(p);
+        }
+    }
+    w.put_bool(s.degraded);
+}
+
+fn get_selection(r: &mut ByteReader<'_>) -> Result<Selection, CodecError> {
+    let uid = r.get_u32()?;
+    let predicted_us = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_f64()?),
+        b => return Err(CodecError::invalid(format!("prediction tag {b}"))),
+    };
+    let degraded = r.get_bool()?;
+    Ok(Selection { uid, predicted_us, degraded })
+}
+
+impl Persist for NetResponse {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            NetResponse::Ok { req_id, selection } => {
+                w.put_u64(*req_id);
+                w.put_u8(STATUS_OK);
+                put_selection(w, selection);
+            }
+            NetResponse::Shed { req_id, selection } => {
+                w.put_u64(*req_id);
+                w.put_u8(STATUS_SHED);
+                put_selection(w, selection);
+            }
+            NetResponse::Err { req_id, code, message } => {
+                w.put_u64(*req_id);
+                w.put_u8(STATUS_ERR);
+                w.put_u8(*code);
+                w.put_str(message);
+            }
+            NetResponse::ShutdownAck { req_id } => {
+                w.put_u64(*req_id);
+                w.put_u8(STATUS_SHUTDOWN_ACK);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<NetResponse, CodecError> {
+        let req_id = r.get_u64()?;
+        match r.get_u8()? {
+            STATUS_OK => Ok(NetResponse::Ok { req_id, selection: get_selection(r)? }),
+            STATUS_SHED => Ok(NetResponse::Shed { req_id, selection: get_selection(r)? }),
+            STATUS_ERR => {
+                let code = r.get_u8()?;
+                let message = r.get_string()?;
+                Ok(NetResponse::Err { req_id, code, message })
+            }
+            STATUS_SHUTDOWN_ACK => Ok(NetResponse::ShutdownAck { req_id }),
+            s => Err(CodecError::invalid(format!("response status {s}"))),
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetError {
+    /// A socket operation failed (connect, read, write, or EOF).
+    Io(String),
+    /// The peer sent bytes this build cannot decode.
+    Codec(CodecError),
+    /// The server answered with a typed error (`ERR_*` code).
+    Remote {
+        /// Stable wire error code.
+        code: u8,
+        /// Server-side error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(m) => write!(f, "socket error: {m}"),
+            NetError::Codec(e) => write!(f, "wire decode error: {e}"),
+            NetError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> NetError {
+        NetError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framed stream I/O (shared by client and server)
+// ---------------------------------------------------------------------
+
+/// How a blocking frame read ended.
+enum ReadFrame<T> {
+    /// A whole frame arrived and decoded.
+    Msg(T),
+    /// The peer closed (EOF at a frame boundary).
+    Eof,
+    /// The read timed out with the connection idle or mid-frame.
+    Idle,
+    /// The stream is unusable (io error or undecodable bytes).
+    Broken,
+}
+
+/// Read one framed message of `kind` from `stream`. Any outcome other
+/// than `Msg` means the caller should close the connection.
+fn read_frame<T: Persist>(stream: &mut TcpStream, kind: u8) -> ReadFrame<T> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) => {
+            return match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => ReadFrame::Eof,
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadFrame::Idle,
+                _ => ReadFrame::Broken,
+            };
+        }
+    }
+    let h = match read_frame_header(&header, kind) {
+        Ok(h) => h,
+        Err(_) => return ReadFrame::Broken,
+    };
+    if h.payload_len > MAX_PAYLOAD {
+        return ReadFrame::Broken;
+    }
+    let mut payload = vec![0u8; h.payload_len];
+    match stream.read_exact(&mut payload) {
+        Ok(()) => {}
+        Err(e) => {
+            return match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadFrame::Idle,
+                _ => ReadFrame::Broken,
+            };
+        }
+    }
+    if check_frame_payload(&h, &payload).is_err() {
+        return ReadFrame::Broken;
+    }
+    let mut r = ByteReader::new(&payload);
+    match T::decode(&mut r) {
+        Ok(msg) if r.remaining() == 0 => ReadFrame::Msg(msg),
+        _ => ReadFrame::Broken,
+    }
+}
+
+/// Client-side frame read mapping every failure to a typed error.
+fn read_frame_client<T: Persist>(stream: &mut TcpStream, kind: u8) -> Result<T, NetError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let h = read_frame_header(&header, kind)?;
+    if h.payload_len > MAX_PAYLOAD {
+        return Err(NetError::Codec(CodecError::invalid(format!(
+            "payload length {} exceeds the {MAX_PAYLOAD}-byte cap",
+            h.payload_len
+        ))));
+    }
+    let mut payload = vec![0u8; h.payload_len];
+    stream.read_exact(&mut payload)?;
+    check_frame_payload(&h, &payload)?;
+    let mut r = ByteReader::new(&payload);
+    let msg = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(NetError::Codec(CodecError::invalid(format!(
+            "{} undecoded byte(s) at end of message",
+            r.remaining()
+        ))));
+    }
+    Ok(msg)
+}
+
+fn write_frame<T: Persist>(stream: &mut TcpStream, kind: u8, msg: &T) -> std::io::Result<()> {
+    stream.write_all(&encode_framed(kind, msg))
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Fallback used when the admission queue refuses a request: compute a
+/// cheap library-default selection for the instance (`None` when the
+/// shard key is unknown). The daemon marks the reply `degraded`.
+pub type ShedFn = Arc<dyn Fn(&ShardKey, &Instance) -> Option<Selection> + Send + Sync>;
+
+/// Daemon knobs.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port; see
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Batch-server pool feeding [`PredictionService`]; its `max_queue`
+    /// is the admission bound that triggers shedding.
+    pub batch: BatchConfig,
+    /// Close a connection that sends nothing for this long.
+    pub idle_timeout: Duration,
+    /// Deadline for a batch worker to answer an admitted request;
+    /// beyond it the client gets a typed `timeout` error.
+    pub reply_timeout: Duration,
+    /// Concurrent shed (fallback) computations beyond which the daemon
+    /// answers `overloaded` instead of shedding.
+    pub max_shed_inflight: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch: BatchConfig::default(),
+            idle_timeout: Duration::from_secs(300),
+            reply_timeout: Duration::from_secs(30),
+            max_shed_inflight: 64,
+        }
+    }
+}
+
+/// Point-in-time daemon counters ([`NetServer::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Select requests decoded off the wire.
+    pub requests: u64,
+    /// Requests admitted to the batch queue.
+    pub accepted: u64,
+    /// Requests answered by the degraded fallback.
+    pub shed: u64,
+    /// Requests refused with a typed `overloaded` error.
+    pub overloaded: u64,
+    /// Error replies written (includes `overloaded` and timeouts).
+    pub errors: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: u64,
+    /// Requests received but not yet answered.
+    pub inflight: u64,
+}
+
+struct NetShared {
+    batch: BatchServer,
+    shed: ShedFn,
+    idle_timeout: Duration,
+    reply_timeout: Duration,
+    max_shed_inflight: usize,
+    local_addr: SocketAddr,
+    stop: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+    requests: AtomicU64,
+    accepted: AtomicU64,
+    shed_n: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+    connections_open: AtomicU64,
+    connections_total: AtomicU64,
+    idle_closed: AtomicU64,
+    inflight: AtomicU64,
+    shed_inflight: AtomicU64,
+}
+
+impl NetShared {
+    fn stats(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed_n.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Initiate shutdown: flip the flag and poke the accept loop with a
+    /// throwaway connection so it observes the flag.
+    fn begin_stop(&self) {
+        if !self.stop.swap(true, Ordering::AcqRel) {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+/// What the connection writer sends next, in request order.
+enum WriterItem {
+    /// An admitted request: resolve the ticket under the reply deadline.
+    Pending { req_id: u64, ticket: Ticket, t0: Instant },
+    /// An already-resolved reply (shed, error, or shutdown ack).
+    Ready { resp: NetResponse, t0: Instant },
+}
+
+/// The serving daemon. Start with [`NetServer::start`]; stop with the
+/// wire `shutdown` op or [`NetServer::stop`], then [`NetServer::join`].
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    accept: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl NetServer {
+    /// Bind `cfg.addr` and start serving `service`, shedding refused
+    /// requests through `shed`.
+    pub fn start(
+        service: Arc<PredictionService>,
+        shed: ShedFn,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        NetServer::start_inner(service, shed, cfg, None)
+    }
+
+    /// [`NetServer::start`] with a test-only batch-worker gate (see
+    /// `BatchServer::start_with_gate`) so overload tests can wedge the
+    /// workers deterministically.
+    #[doc(hidden)]
+    pub fn start_with_gate(
+        service: Arc<PredictionService>,
+        shed: ShedFn,
+        cfg: NetConfig,
+        gate: Arc<dyn Fn() + Send + Sync>,
+    ) -> std::io::Result<NetServer> {
+        NetServer::start_inner(service, shed, cfg, Some(gate))
+    }
+
+    fn start_inner(
+        service: Arc<PredictionService>,
+        shed: ShedFn,
+        cfg: NetConfig,
+        gate: Option<Arc<dyn Fn() + Send + Sync>>,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let batch = match gate {
+            None => BatchServer::start(service, cfg.batch),
+            Some(g) => BatchServer::start_with_gate(service, cfg.batch, g),
+        };
+        let shared = Arc::new(NetShared {
+            batch,
+            shed,
+            idle_timeout: cfg.idle_timeout,
+            reply_timeout: cfg.reply_timeout,
+            max_shed_inflight: cfg.max_shed_inflight,
+            local_addr,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            shed_n: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shed_inflight: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mpcp-net-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        Ok(NetServer { shared, accept: Some(accept), local_addr })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// False once shutdown has been initiated (wire op or [`stop`]).
+    ///
+    /// [`stop`]: NetServer::stop
+    pub fn running(&self) -> bool {
+        !self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Initiate shutdown without blocking (idempotent).
+    pub fn stop(&self) {
+        self.shared.begin_stop();
+    }
+
+    /// Stop accepting, drain every accepted request to a written reply,
+    /// join all threads, and return the final counters.
+    pub fn join(mut self) -> NetStatsSnapshot {
+        self.stop_and_join_threads();
+        self.shared.stats()
+        // Dropping `self` here releases the last `Arc<NetShared>` (all
+        // connection threads are joined), which drops the inner
+        // `BatchServer` — draining its queue and joining its workers.
+    }
+
+    fn stop_and_join_threads(&mut self) {
+        self.shared.begin_stop();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Half-close the read side of every live connection: readers
+        // see EOF and exit; writers first drain the replies already
+        // admitted (the clean part of the drain), then close.
+        for (_, s) in lock(&self.shared.conns).drain() {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<JoinHandle<()>> = lock(&self.shared.handles).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join_threads();
+    }
+}
+
+fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _peer)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            // The throwaway wake-up connection (or a late client).
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        // Track a clone so shutdown can half-close the read side even
+        // while the reader is blocked in `read_exact`.
+        if let Ok(tracked) = stream.try_clone() {
+            lock(&shared.conns).insert(conn_id, tracked);
+        }
+        shared.connections_total.fetch_add(1, Ordering::Relaxed);
+        shared.connections_open.fetch_add(1, Ordering::Relaxed);
+        mpcp_obs::gauge_set!(
+            "serve.net.connections",
+            shared.connections_open.load(Ordering::Relaxed) as f64
+        );
+        let spawned = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("mpcp-net-conn-{conn_id}"))
+                .spawn(move || conn_reader(&shared, stream, conn_id))
+        };
+        let mut handles = lock(&shared.handles);
+        match spawned {
+            Ok(h) => handles.push(h),
+            Err(_) => {
+                // Could not spawn a reader: refuse the connection.
+                drop(handles);
+                close_conn(shared, conn_id);
+                continue;
+            }
+        }
+        // Reap finished connections so a long-lived daemon does not
+        // accumulate JoinHandles.
+        let mut live = Vec::with_capacity(handles.len());
+        for h in handles.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        *handles = live;
+    }
+}
+
+fn close_conn(shared: &Arc<NetShared>, conn_id: u64) {
+    if lock(&shared.conns).remove(&conn_id).is_some() {
+        shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+        mpcp_obs::gauge_set!(
+            "serve.net.connections",
+            shared.connections_open.load(Ordering::Relaxed) as f64
+        );
+    }
+}
+
+fn conn_reader(shared: &Arc<NetShared>, mut stream: TcpStream, conn_id: u64) {
+    let (tx, rx) = mpsc::channel::<WriterItem>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        let ws = stream.try_clone();
+        match ws {
+            Ok(ws) => std::thread::Builder::new()
+                .name(format!("mpcp-net-write-{conn_id}"))
+                .spawn(move || conn_writer(&shared, ws, &rx))
+                .ok(),
+            Err(_) => None,
+        }
+    };
+    let Some(writer) = writer else {
+        close_conn(shared, conn_id);
+        return;
+    };
+    loop {
+        match read_frame::<NetRequest>(&mut stream, KIND_NET_REQUEST) {
+            ReadFrame::Msg(NetRequest::Select { req_id, key, instance }) => {
+                let t0 = Instant::now();
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.inflight.fetch_add(1, Ordering::Relaxed);
+                mpcp_obs::counter_add!("serve.net.requests", 1);
+                let item = match shared.batch.submit(key.clone(), instance) {
+                    Ok(ticket) => {
+                        shared.accepted.fetch_add(1, Ordering::Relaxed);
+                        mpcp_obs::counter_add!("serve.net.accepted", 1);
+                        WriterItem::Pending { req_id, ticket, t0 }
+                    }
+                    Err(ServeError::Overloaded) => {
+                        WriterItem::Ready { resp: shed_reply(shared, req_id, &key, &instance), t0 }
+                    }
+                    Err(e) => WriterItem::Ready { resp: error_reply(shared, req_id, &e), t0 },
+                };
+                if tx.send(item).is_err() {
+                    break; // writer died; nothing can be answered
+                }
+            }
+            ReadFrame::Msg(NetRequest::Shutdown { req_id }) => {
+                // Flip the stop flag before the ack can be written: a
+                // client that has received the ack must observe
+                // `running() == false`, in that order.
+                shared.begin_stop();
+                let _ = tx.send(WriterItem::Ready {
+                    resp: NetResponse::ShutdownAck { req_id },
+                    t0: Instant::now(),
+                });
+                break;
+            }
+            ReadFrame::Idle => {
+                shared.idle_closed.fetch_add(1, Ordering::Relaxed);
+                mpcp_obs::counter_add!("serve.net.idle_closed", 1);
+                break;
+            }
+            ReadFrame::Eof | ReadFrame::Broken => break,
+        }
+    }
+    // Dropping the sender lets the writer drain what was admitted and
+    // exit; every accepted request still gets its reply written.
+    drop(tx);
+    let _ = writer.join();
+    close_conn(shared, conn_id);
+}
+
+/// Build the reply for a request the bounded queue refused: shed to the
+/// fallback if shed capacity allows, else a typed `overloaded` error.
+fn shed_reply(
+    shared: &Arc<NetShared>,
+    req_id: u64,
+    key: &ShardKey,
+    instance: &Instance,
+) -> NetResponse {
+    if shared.shed_inflight.fetch_add(1, Ordering::AcqRel) >= shared.max_shed_inflight as u64 {
+        shared.shed_inflight.fetch_sub(1, Ordering::AcqRel);
+        return error_reply(shared, req_id, &ServeError::Overloaded);
+    }
+    let fallback = (shared.shed)(key, instance);
+    shared.shed_inflight.fetch_sub(1, Ordering::AcqRel);
+    match fallback {
+        Some(sel) => {
+            shared.shed_n.fetch_add(1, Ordering::Relaxed);
+            mpcp_obs::counter_add!("serve.shed", 1);
+            NetResponse::Shed { req_id, selection: Selection { degraded: true, ..sel } }
+        }
+        None => error_reply(shared, req_id, &ServeError::UnknownShard { key: key.clone() }),
+    }
+}
+
+fn error_reply(shared: &Arc<NetShared>, req_id: u64, e: &ServeError) -> NetResponse {
+    if matches!(e, ServeError::Overloaded) {
+        shared.overloaded.fetch_add(1, Ordering::Relaxed);
+        mpcp_obs::counter_add!("serve.net.overloaded", 1);
+    }
+    shared.errors.fetch_add(1, Ordering::Relaxed);
+    NetResponse::Err { req_id, code: error_code(e), message: e.to_string() }
+}
+
+fn conn_writer(shared: &Arc<NetShared>, mut stream: TcpStream, rx: &mpsc::Receiver<WriterItem>) {
+    // After a write failure the peer is gone: keep draining items (so
+    // tickets resolve and the inflight gauge stays balanced) without
+    // touching the socket.
+    let mut sink_only = false;
+    for item in rx.iter() {
+        let (resp, t0, counted) = match item {
+            WriterItem::Pending { req_id, ticket, t0 } => {
+                let resp = match ticket.wait_timeout(shared.reply_timeout) {
+                    Ok(sel) => NetResponse::Ok { req_id, selection: sel },
+                    Err(e) => error_reply(shared, req_id, &e),
+                };
+                (resp, t0, true)
+            }
+            WriterItem::Ready { resp, t0 } => {
+                let counted = !matches!(resp, NetResponse::ShutdownAck { .. });
+                (resp, t0, counted)
+            }
+        };
+        if !sink_only && write_frame(&mut stream, KIND_NET_RESPONSE, &resp).is_err() {
+            sink_only = true;
+        }
+        if counted {
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            mpcp_obs::hist_record!("serve.net.req_us", us);
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A decoded reply to one select request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// A selection; `shed` is true when it came from the degraded
+    /// fallback path.
+    Selection {
+        /// The selection.
+        selection: Selection,
+        /// True when the server shed the request.
+        shed: bool,
+    },
+    /// A typed server error.
+    Error {
+        /// Stable wire error code (`ERR_*`).
+        code: u8,
+        /// Server-side error message.
+        message: String,
+    },
+    /// The server acknowledged a shutdown request.
+    ShutdownAck,
+}
+
+/// Blocking client for one daemon connection. Supports pipelining:
+/// queue sends with [`NetClient::send_select`], then collect replies in
+/// request order with [`NetClient::recv`].
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connect to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// Cap how long [`NetClient::recv`] blocks (None restores blocking).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Send one select request without waiting; returns its `req_id`.
+    pub fn send_select(&mut self, key: &ShardKey, instance: &Instance) -> Result<u64, NetError> {
+        let req_id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let req =
+            NetRequest::Select { req_id, key: key.clone(), instance: *instance };
+        write_frame(&mut self.stream, KIND_NET_REQUEST, &req)?;
+        Ok(req_id)
+    }
+
+    /// Read the next reply (replies arrive in request order).
+    pub fn recv(&mut self) -> Result<(u64, Reply), NetError> {
+        let resp: NetResponse = read_frame_client(&mut self.stream, KIND_NET_RESPONSE)?;
+        let id = resp.req_id();
+        let reply = match resp {
+            NetResponse::Ok { selection, .. } => Reply::Selection { selection, shed: false },
+            NetResponse::Shed { selection, .. } => Reply::Selection { selection, shed: true },
+            NetResponse::Err { code, message, .. } => Reply::Error { code, message },
+            NetResponse::ShutdownAck { .. } => Reply::ShutdownAck,
+        };
+        Ok((id, reply))
+    }
+
+    /// One synchronous round-trip; the bool is true when the reply was
+    /// shed (degraded fallback).
+    pub fn select(
+        &mut self,
+        key: &ShardKey,
+        instance: &Instance,
+    ) -> Result<(Selection, bool), NetError> {
+        let want = self.send_select(key, instance)?;
+        loop {
+            let (id, reply) = self.recv()?;
+            if id != want {
+                continue; // a stale reply from an abandoned earlier call
+            }
+            return match reply {
+                Reply::Selection { selection, shed } => Ok((selection, shed)),
+                Reply::Error { code, message } => Err(NetError::Remote { code, message }),
+                Reply::ShutdownAck => Err(NetError::Codec(CodecError::invalid(
+                    "shutdown ack in reply to a select",
+                ))),
+            };
+        }
+    }
+
+    /// Ask the daemon to drain and stop; resolves once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        let req_id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(&mut self.stream, KIND_NET_REQUEST, &NetRequest::Shutdown { req_id })?;
+        loop {
+            let (id, reply) = self.recv()?;
+            if id == req_id && matches!(reply, Reply::ShutdownAck) {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> NetRequest {
+        NetRequest::Select {
+            req_id: 42,
+            key: ShardKey { coll: Collective::Allreduce, scope: "hydra/OpenMPI 4.0.2".into() },
+            instance: Instance::new(Collective::Allreduce, 4096, 8, 4),
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        for req in [sample_request(), NetRequest::Shutdown { req_id: 7 }] {
+            let bytes = encode_framed(KIND_NET_REQUEST, &req);
+            let back: NetRequest =
+                mpcp_ml::persist::decode_framed(KIND_NET_REQUEST, &bytes).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip_bit_exactly() {
+        let sels = [
+            Selection { uid: 3, predicted_us: Some(12.75), degraded: false },
+            Selection { uid: 0, predicted_us: None, degraded: true },
+            Selection { uid: u32::MAX - 1, predicted_us: Some(-0.0), degraded: false },
+        ];
+        let mut msgs = vec![
+            NetResponse::Err { req_id: 9, code: ERR_OVERLOADED, message: "busy".into() },
+            NetResponse::ShutdownAck { req_id: 1 },
+        ];
+        for (i, s) in sels.iter().enumerate() {
+            msgs.push(NetResponse::Ok { req_id: i as u64, selection: *s });
+            msgs.push(NetResponse::Shed { req_id: i as u64, selection: *s });
+        }
+        for msg in msgs {
+            let bytes = encode_framed(KIND_NET_RESPONSE, &msg);
+            let back: NetResponse =
+                mpcp_ml::persist::decode_framed(KIND_NET_RESPONSE, &bytes).unwrap();
+            match (&back, &msg) {
+                (
+                    NetResponse::Ok { selection: a, .. } | NetResponse::Shed { selection: a, .. },
+                    NetResponse::Ok { selection: b, .. } | NetResponse::Shed { selection: b, .. },
+                ) => {
+                    assert_eq!(a.uid, b.uid);
+                    assert_eq!(
+                        a.predicted_us.map(f64::to_bits),
+                        b.predicted_us.map(f64::to_bits)
+                    );
+                    assert_eq!(a.degraded, b.degraded);
+                }
+                _ => assert_eq!(back, msg),
+            }
+        }
+    }
+
+    #[test]
+    fn request_and_response_kinds_do_not_cross() {
+        let bytes = encode_framed(KIND_NET_REQUEST, &sample_request());
+        let err =
+            mpcp_ml::persist::decode_framed::<NetResponse>(KIND_NET_RESPONSE, &bytes).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::WrongKind { expected: KIND_NET_RESPONSE, found: KIND_NET_REQUEST }
+        );
+    }
+
+    #[test]
+    fn corrupt_wire_payloads_are_typed_never_panics() {
+        let bytes = encode_framed(KIND_NET_REQUEST, &sample_request());
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x5A;
+            assert!(
+                mpcp_ml::persist::decode_framed::<NetRequest>(KIND_NET_REQUEST, &corrupt).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_distinct() {
+        let key = ShardKey { coll: Collective::Bcast, scope: "m/l".into() };
+        let inst = Instance::new(Collective::Bcast, 1, 1, 1);
+        let errs = [
+            ServeError::UnknownShard { key },
+            ServeError::CollectiveMismatch {
+                shard: Collective::Bcast,
+                instance: Collective::Barrier,
+            },
+            ServeError::NoFinitePrediction { instance: inst },
+            ServeError::Disconnected,
+            ServeError::Overloaded,
+            ServeError::Timeout,
+        ];
+        let codes: Vec<u8> = errs.iter().map(error_code).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes must be distinct");
+        assert_eq!(error_code(&ServeError::Overloaded), ERR_OVERLOADED);
+        assert_eq!(error_code(&ServeError::Timeout), ERR_TIMEOUT);
+    }
+}

@@ -122,7 +122,7 @@ fn batch_server_matches_oracle_and_shuts_down_cleanly() {
 
     let server = Arc::new(BatchServer::start(
         Arc::clone(&svc),
-        BatchConfig { workers: 3, max_batch: 32 },
+        BatchConfig { workers: 3, max_batch: 32, ..BatchConfig::default() },
     ));
     std::thread::scope(|s| {
         for t in 0..4 {
@@ -134,7 +134,7 @@ fn batch_server_matches_oracle_and_shuts_down_cleanly() {
                     let tickets: Vec<_> = (0..40)
                         .map(|i| {
                             let inst = pool[(t * 131 + chunk * 17 + i) % pool.len()];
-                            (inst, server.submit(key.clone(), inst))
+                            (inst, server.submit(key.clone(), inst).expect("under queue cap"))
                         })
                         .collect();
                     for (inst, ticket) in tickets {

@@ -151,14 +151,17 @@ fn batch_path_attributes_queue_wait_and_counts_every_request() {
     // 60s retention, so nothing expires mid-assertion.
     assert!(svc.enable_telemetry(TelemetryConfig::default()));
 
-    let server = BatchServer::start(Arc::clone(&svc), BatchConfig { workers: 2, max_batch: 16 });
+    let server = BatchServer::start(
+        Arc::clone(&svc),
+        BatchConfig { workers: 2, max_batch: 16, ..BatchConfig::default() },
+    );
     let cells: Vec<Instance> = (0..20u32)
         .map(|i| Instance::new(coll, (u64::from(i) * 37 + 5) % 50_000, 2 + i % 8, 1 + i % 4))
         .collect();
     for round in 0..5 {
         let tickets: Vec<_> = cells
             .iter()
-            .map(|inst| server.submit(key.clone(), *inst))
+            .map(|inst| server.submit(key.clone(), *inst).expect("under queue cap"))
             .collect();
         for t in tickets {
             t.wait().unwrap_or_else(|e| panic!("round {round}: {e}"));
