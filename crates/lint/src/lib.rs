@@ -20,6 +20,13 @@
 //! | `safety-comment-required` | `unsafe` stays in `ml`, always justified |
 //! | `no-wallclock-in-deterministic` | determinism-critical crates never read clocks |
 //! | `no-lossy-cast` | serialization paths never truncate silently |
+//! | `ordering-comment-required` | every explicit atomic `Ordering` is justified |
+//! | `no-relaxed-publish` | publish words (seq/epoch) never written `Relaxed` |
+//! | `no-lock-across-blocking` | no Mutex/RwLock guard held across blocking calls |
+//!
+//! The last three ride on [`syntax`], a recursive-descent structural
+//! layer (block tree, fn items, let-binding scopes) recovered from the
+//! same token stream — still zero-dependency, still total on soup.
 //!
 //! Run it with `cargo run -p mpcp-lint -- check`; the whole workspace
 //! lexes and checks in well under a second.
@@ -30,6 +37,7 @@ pub mod config;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 
 use std::path::{Path, PathBuf};
 

@@ -1,13 +1,18 @@
 //! `mpcp-lint` — the workspace's static-analysis gate.
 //!
 //! ```text
-//! cargo run -p mpcp-lint -- check                 # lint the workspace
-//! cargo run -p mpcp-lint -- check --json out.json # + machine-readable report
-//! cargo run -p mpcp-lint -- check --fix-allowlist # emit lint.toml stanzas
-//! cargo run -p mpcp-lint -- rules                 # print the rule catalog
+//! cargo run -p mpcp-lint -- check                  # lint the workspace
+//! cargo run -p mpcp-lint -- check --json out.json  # + JSON v1 report
+//! cargo run -p mpcp-lint -- check --sarif out.sarif # + SARIF 2.1.0 report
+//! cargo run -p mpcp-lint -- check --format sarif   # SARIF on stdout
+//! cargo run -p mpcp-lint -- check --fix-allowlist  # emit lint.toml stanzas
+//! cargo run -p mpcp-lint -- check --deny-unused-allows # stale [[allow]] = exit 1
+//! cargo run -p mpcp-lint -- rules                  # print the rule catalog
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+//! Exit codes: 0 clean, 1 violations found (or, with
+//! `--deny-unused-allows`, stale allowlist entries), 2 usage/config
+//! error.
 
 #![forbid(unsafe_code)]
 
@@ -20,15 +25,26 @@ struct CheckOpts {
     root: PathBuf,
     config: Option<PathBuf>,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    format: Format,
+    deny_unused_allows: bool,
     fix_allowlist: bool,
     fix_rule: Option<String>,
     fix_path: Option<String>,
     show_allowed: bool,
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mpcp-lint check [--root DIR] [--config FILE] [--json FILE] \
+         [--sarif FILE] [--format human|json|sarif] [--deny-unused-allows] \
          [--show-allowed] [--fix-allowlist [--rule NAME] [--path SUBSTR]]\n       \
          mpcp-lint rules"
     );
@@ -54,6 +70,9 @@ fn parse_check_opts(args: &[String]) -> Option<CheckOpts> {
         root: find_workspace_root(),
         config: None,
         json: None,
+        sarif: None,
+        format: Format::Human,
+        deny_unused_allows: false,
         fix_allowlist: false,
         fix_rule: None,
         fix_path: None,
@@ -65,6 +84,16 @@ fn parse_check_opts(args: &[String]) -> Option<CheckOpts> {
             "--root" => opts.root = PathBuf::from(it.next()?),
             "--config" => opts.config = Some(PathBuf::from(it.next()?)),
             "--json" => opts.json = Some(PathBuf::from(it.next()?)),
+            "--sarif" => opts.sarif = Some(PathBuf::from(it.next()?)),
+            "--format" => {
+                opts.format = match it.next()?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    _ => return None,
+                }
+            }
+            "--deny-unused-allows" => opts.deny_unused_allows = true,
             "--fix-allowlist" => opts.fix_allowlist = true,
             "--rule" => opts.fix_rule = Some(it.next()?.clone()),
             "--path" => opts.fix_path = Some(it.next()?.clone()),
@@ -113,20 +142,36 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(sarif_path) = &opts.sarif {
+        let sarif = report::render_sarif(&lint_report);
+        if let Err(e) = std::fs::write(sarif_path, sarif) {
+            eprintln!("error: cannot write {}: {e}", sarif_path.display());
+            return ExitCode::from(2);
+        }
+    }
     if opts.fix_allowlist {
         print!(
             "{}",
             report::render_fix_allowlist(
                 &lint_report,
+                &cfg.allow,
                 opts.fix_rule.as_deref(),
                 opts.fix_path.as_deref(),
             )
         );
         return ExitCode::SUCCESS;
     }
-    print!("{}", report::render_human(&lint_report, opts.show_allowed));
-    println!("analyzed in {:?}", started.elapsed());
-    if lint_report.violation_count() > 0 {
+    match opts.format {
+        Format::Human => {
+            print!("{}", report::render_human(&lint_report, opts.show_allowed));
+            println!("analyzed in {:?}", started.elapsed());
+        }
+        Format::Json => print!("{}", report::render_json(&lint_report)),
+        Format::Sarif => print!("{}", report::render_sarif(&lint_report)),
+    }
+    if lint_report.violation_count() > 0
+        || (opts.deny_unused_allows && !lint_report.unused_allows.is_empty())
+    {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,9 +1,10 @@
-//! Human (diff-style) and machine-readable (JSON) rendering of a
-//! [`LintReport`], plus the `--fix-allowlist` stanza emitter.
+//! Human (diff-style) and machine-readable (JSON v1 / SARIF 2.1.0
+//! subset) rendering of a [`LintReport`], plus the `--fix-allowlist`
+//! stanza emitter.
 
 use std::fmt::Write as _;
 
-use crate::config::allow_stanza;
+use crate::config::{allow_stanza, AllowEntry};
 use crate::{Finding, LintReport};
 
 /// Render one finding the way rustc renders diagnostics, so editors
@@ -110,10 +111,66 @@ pub fn render_json(report: &LintReport) -> String {
     out
 }
 
+/// Render the report as a SARIF 2.1.0 document (subset: one run, the
+/// rule catalog as `tool.driver.rules`, one `result` per finding with a
+/// physical location). GitHub's code-scanning upload and most SARIF
+/// viewers render these as inline annotations. Violations map to
+/// `error`; allowlisted findings are kept as `note`s so the exceptions
+/// stay visible in the same artifact.
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"mpcp-lint\",\n          \"rules\": [\n",
+    );
+    let registry = crate::rules::all_rules();
+    for (i, r) in registry.iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(r.name()),
+            esc(r.summary()),
+        );
+        out.push_str(if i + 1 < registry.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let level = if f.allowed.is_some() { "note" } else { "error" };
+        let message = match &f.allowed {
+            Some(reason) => format!("{} (allowed: {reason})", f.message),
+            None => f.message.clone(),
+        };
+        let _ = write!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            esc(f.rule),
+            esc(&message),
+            esc(&f.path),
+            f.line,
+            f.col,
+        );
+        out.push_str(if i + 1 < report.findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
 /// Emit ready-to-paste `[[allow]]` stanzas for the (non-allowed)
 /// findings, optionally filtered by rule and/or path substring.
+///
+/// `existing` is the config's current allowlist: a finding whose
+/// rule/path/line an existing entry already covers (exact path or
+/// directory prefix) gets no stanza — pasting one would shadow the
+/// checked-in entry and go stale the moment either is edited. A
+/// same-rule entry that covers the path but whose `contains` misses the
+/// line gets a pointer instead, so the fix is "widen the entry", not
+/// "add a twin".
 pub fn render_fix_allowlist(
     report: &LintReport,
+    existing: &[AllowEntry],
     rule: Option<&str>,
     path: Option<&str>,
 ) -> String {
@@ -132,14 +189,36 @@ pub fn render_fix_allowlist(
         if seen.contains(&key) {
             continue;
         }
+        seen.push(key);
+        let path_covered = |a: &AllowEntry| {
+            a.rule == f.rule
+                && (f.path == a.path
+                    || (a.path.ends_with('/') && f.path.starts_with(a.path.as_str())))
+        };
+        if existing
+            .iter()
+            .any(|a| path_covered(a) && a.contains.as_deref().is_none_or(|c| f.line_text.contains(c)))
+        {
+            // Already covered by a checked-in entry: nothing to paste.
+            continue;
+        }
         let _ = writeln!(
             out,
             "# {}:{}:{} — {}",
             f.path, f.line, f.col, f.message
         );
+        if let Some(a) = existing.iter().find(|a| path_covered(a)) {
+            let _ = writeln!(
+                out,
+                "# note: an existing [[allow]] ({} @ {}{}) covers this path — widen its \
+                 `contains` instead of adding the stanza below",
+                a.rule,
+                a.path,
+                a.contains.as_deref().map(|c| format!(", contains \"{c}\"")).unwrap_or_default(),
+            );
+        }
         out.push_str(&allow_stanza(f.rule, &f.path, f.line_text.trim()));
         out.push('\n');
-        seen.push(key);
     }
     if out.is_empty() {
         out.push_str("# no unallowed findings — nothing to triage\n");
@@ -193,10 +272,64 @@ mod tests {
 
     #[test]
     fn fix_allowlist_emits_a_stanza_per_unique_finding() {
-        let text = render_fix_allowlist(&sample(None), None, None);
+        let text = render_fix_allowlist(&sample(None), &[], None, None);
         assert!(text.contains("[[allow]]"), "{text}");
         assert!(text.contains("contains = \"let v = x.unwrap();\""), "{text}");
-        let filtered = render_fix_allowlist(&sample(None), Some("other-rule"), None);
+        let filtered = render_fix_allowlist(&sample(None), &[], Some("other-rule"), None);
         assert!(filtered.contains("nothing to triage"), "{filtered}");
+    }
+
+    #[test]
+    fn fix_allowlist_dedups_against_existing_directory_prefix_entries() {
+        // An existing dir-prefix entry that already covers the finding's
+        // rule/path/line: no stanza to paste.
+        let covered = AllowEntry {
+            rule: "no-panic-paths".into(),
+            path: "crates/x/src/".into(),
+            contains: None,
+            reason: "whole crate exempt".into(),
+        };
+        let text = render_fix_allowlist(&sample(None), &[covered], None, None);
+        assert!(text.contains("nothing to triage"), "{text}");
+
+        // Same rule and path coverage but a `contains` that misses the
+        // line: emit the stanza, with a pointer at the near-miss entry.
+        let near_miss = AllowEntry {
+            rule: "no-panic-paths".into(),
+            path: "crates/x/src/".into(),
+            contains: Some("some_other_line()".into()),
+            reason: "narrow exception".into(),
+        };
+        let text = render_fix_allowlist(&sample(None), &[near_miss], None, None);
+        assert!(text.contains("[[allow]]"), "{text}");
+        assert!(text.contains("widen its `contains`"), "{text}");
+
+        // An entry for a different rule changes nothing.
+        let other_rule = AllowEntry {
+            rule: "no-lossy-cast".into(),
+            path: "crates/x/src/".into(),
+            contains: None,
+            reason: "unrelated".into(),
+        };
+        let text = render_fix_allowlist(&sample(None), &[other_rule], None, None);
+        assert!(text.contains("[[allow]]"), "{text}");
+        assert!(!text.contains("widen its `contains`"), "{text}");
+    }
+
+    #[test]
+    fn sarif_report_has_rules_results_and_locations() {
+        let sarif = render_sarif(&sample(None));
+        assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+        assert!(sarif.contains("\"id\": \"no-lock-across-blocking\""), "{sarif}");
+        assert!(sarif.contains("\"ruleId\": \"no-panic-paths\""), "{sarif}");
+        assert!(sarif.contains("\"level\": \"error\""), "{sarif}");
+        assert!(sarif.contains("\"uri\": \"crates/x/src/a.rs\""), "{sarif}");
+        assert!(sarif.contains("\"startLine\": 7"), "{sarif}");
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+
+        // Allowlisted findings downgrade to notes but stay present.
+        let sarif = render_sarif(&sample(Some("bounded by registry")));
+        assert!(sarif.contains("\"level\": \"note\""), "{sarif}");
+        assert!(sarif.contains("allowed: bounded by registry"), "{sarif}");
     }
 }

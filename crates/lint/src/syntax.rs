@@ -1,0 +1,311 @@
+//! A lightweight structural layer over the token stream: block
+//! nesting, fn items, let bindings, and balanced-delimiter matching.
+//!
+//! The PR 4 rules are purely token-local — enough for "is this ident
+//! `partial_cmp`", useless for "is this Mutex guard still live at that
+//! blocking call". This module recovers just enough structure for the
+//! concurrency rules without becoming a parser: a single
+//! recursive-descent-shaped pass over the non-comment tokens builds
+//!
+//! - the **block tree** (every `{ ... }`, with parent links and a
+//!   closure-body flag so deferred code can be told apart from inline
+//!   code),
+//! - **fn items** (name → body block),
+//! - **let bindings** (name, initializer span, terminating `;`, and the
+//!   enclosing block — i.e. the binding's drop scope).
+//!
+//! Like the lexer it is total: arbitrary byte soup produces *some*
+//! tree (unclosed blocks keep `close = None`, stray `}` at the root
+//! are ignored), never a panic. The `syntax_props` proptests pin that
+//! down: parsing never panics, block spans nest properly, and every
+//! code token is assigned to exactly one innermost block.
+//!
+//! No type inference, no name resolution — rules built on top accept
+//! the same "syntactic fact, not semantic proof" contract the
+//! token-level rules already have, and stay zero-dependency.
+
+use crate::lexer::TokKind;
+use crate::SourceFile;
+
+/// One `{ ... }` block. Indices are *code-token* indices (positions in
+/// [`Syntax::code`], not raw token indices).
+#[derive(Debug)]
+pub struct Block {
+    /// Code index of the opening `{`; `None` only for the synthetic
+    /// root block that covers the whole file.
+    pub open: Option<usize>,
+    /// Code index of the matching `}`; `None` when unclosed at EOF.
+    pub close: Option<usize>,
+    /// Parent block id; `None` only for the root.
+    pub parent: Option<usize>,
+    /// The block is a closure body (`|x| { ... }` / `move || { ... }`):
+    /// code inside runs *later*, not at the point of definition.
+    pub closure: bool,
+}
+
+/// A `fn` item header and (when present) its body block.
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Code index of the name ident.
+    pub name_ci: usize,
+    /// Body block id; `None` for trait-method declarations (`fn f();`).
+    pub body: Option<usize>,
+}
+
+/// A `let [mut] name [: Ty] = init;` binding. Pattern bindings
+/// (`let (a, b) = ..`, `let Some(x) = ..`) are deliberately skipped:
+/// the guard-tracking rule only needs simple named bindings, and a
+/// miss there is a false *negative*, never a false positive.
+#[derive(Debug)]
+pub struct LetBinding {
+    pub name: String,
+    /// Code index of the bound name.
+    pub name_ci: usize,
+    /// Code index of the first initializer token (just past `=`).
+    pub init_start: usize,
+    /// Code index of the terminating `;`; `None` when the statement is
+    /// unterminated (soup, or a `let ... else` we chose not to model).
+    pub semi: Option<usize>,
+    /// Innermost enclosing block — the binding's drop scope.
+    pub block: usize,
+}
+
+/// The recovered structure of one source file.
+pub struct Syntax {
+    /// Indices of non-comment tokens, in order (the alphabet every
+    /// other field's "code index" refers to).
+    pub code: Vec<usize>,
+    /// Block tree; index 0 is the synthetic whole-file root.
+    pub blocks: Vec<Block>,
+    /// Innermost block id per code token (same length as `code`).
+    pub block_of: Vec<usize>,
+    pub fns: Vec<FnItem>,
+    pub lets: Vec<LetBinding>,
+}
+
+impl Syntax {
+    /// Build the structural view of `file`. Total: never panics, any
+    /// input yields a tree.
+    pub fn parse(file: &SourceFile) -> Syntax {
+        let toks = &file.lexed.toks;
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| {
+                !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment)
+            })
+            .collect();
+        let txt =
+            |ci: usize| file.text.get(toks[code[ci]].start..toks[code[ci]].end).unwrap_or("");
+        let kind = |ci: usize| toks[code[ci]].kind;
+
+        let mut blocks =
+            vec![Block { open: None, close: None, parent: None, closure: false }];
+        let mut stack: Vec<usize> = vec![0];
+        let mut block_of = vec![0usize; code.len()];
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut lets: Vec<LetBinding> = Vec::new();
+        // Index of the fn item whose body `{` we are waiting for; the
+        // wait is cancelled by a `;` outside parens (trait decl).
+        let mut pending_fn: Option<usize> = None;
+        let mut paren_depth = 0usize;
+
+        for k in 0..code.len() {
+            let cur = *stack.last().unwrap_or(&0);
+            block_of[k] = cur;
+            match txt(k) {
+                "{" => {
+                    let id = blocks.len();
+                    blocks.push(Block {
+                        open: Some(k),
+                        close: None,
+                        parent: Some(cur),
+                        closure: is_closure_header(k, &txt, &kind),
+                    });
+                    block_of[k] = id;
+                    if paren_depth == 0 {
+                        if let Some(fi) = pending_fn.take() {
+                            fns[fi].body = Some(id);
+                        }
+                    }
+                    stack.push(id);
+                }
+                "}" => {
+                    // A stray `}` at the root is soup; ignore it there.
+                    if stack.len() > 1 {
+                        let id = stack.pop().unwrap_or(0);
+                        blocks[id].close = Some(k);
+                        block_of[k] = id;
+                    }
+                }
+                "(" | "[" => paren_depth += 1,
+                ")" | "]" => paren_depth = paren_depth.saturating_sub(1),
+                ";" => {
+                    if paren_depth == 0 {
+                        pending_fn = None;
+                    }
+                }
+                "fn" if kind(k) == TokKind::Ident => {
+                    if k + 1 < code.len() && kind(k + 1) == TokKind::Ident {
+                        fns.push(FnItem {
+                            name: txt(k + 1).to_string(),
+                            name_ci: k + 1,
+                            body: None,
+                        });
+                        pending_fn = Some(fns.len() - 1);
+                    }
+                }
+                "let" if kind(k) == TokKind::Ident => {
+                    if let Some(lb) = parse_let(k, cur, &code, &txt, &kind) {
+                        lets.push(lb);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Syntax { code, blocks, block_of, fns, lets }
+    }
+
+    /// Code index of the `)`/`]`/`}` matching the opener at `open_ci`,
+    /// or `None` when unbalanced.
+    pub fn matching_close(&self, file: &SourceFile, open_ci: usize) -> Option<usize> {
+        let toks = &file.lexed.toks;
+        let txt = |ci: usize| {
+            file.text.get(toks[self.code[ci]].start..toks[self.code[ci]].end).unwrap_or("")
+        };
+        let (open, close) = match txt(open_ci) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return None,
+        };
+        let mut depth = 1usize;
+        let mut m = open_ci + 1;
+        while m < self.code.len() {
+            let t = txt(m);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(m);
+                }
+            }
+            m += 1;
+        }
+        None
+    }
+
+    /// Block id of the closure body opening at code index `ci`, if any.
+    pub fn closure_block_at(&self, ci: usize) -> Option<usize> {
+        // `block_of` maps an opening `{` to its own block id.
+        let id = *self.block_of.get(ci)?;
+        let b = self.blocks.get(id)?;
+        (b.open == Some(ci) && b.closure).then_some(id)
+    }
+}
+
+/// Is the `{` at code index `k` a closure body? True when the tokens
+/// just before it are `|`/`||` (param list end), optionally through a
+/// `-> Type` return annotation. Heuristic — `a | b -> c {` does not
+/// occur in expression position in real Rust — and biased toward
+/// *false* (treating a closure as inline code), which for the
+/// guard-scope rule only risks a stricter check, never a missed scope.
+fn is_closure_header<'t>(
+    k: usize,
+    txt: &impl Fn(usize) -> &'t str,
+    kind: &impl Fn(usize) -> TokKind,
+) -> bool {
+    if k == 0 {
+        return false;
+    }
+    let mut i = k - 1;
+    if matches!(txt(i), "|" | "||") {
+        return true;
+    }
+    // Walk back through a plausible `-> Type` tail (bounded).
+    for _ in 0..24 {
+        let t = txt(i);
+        if t == "->" {
+            return i > 0 && matches!(txt(i - 1), "|" | "||");
+        }
+        let typeish = matches!(kind(i), TokKind::Ident | TokKind::Lifetime)
+            || matches!(t, "::" | "<" | ">" | ">>" | "&" | "&&" | "(" | ")" | "[" | "]" | "," | "+");
+        if !typeish || i == 0 {
+            return false;
+        }
+        i -= 1;
+    }
+    false
+}
+
+/// Parse `let [mut] name [: Ty] = init ;` starting at the `let` token.
+fn parse_let<'t>(
+    k: usize,
+    block: usize,
+    code: &[usize],
+    txt: &impl Fn(usize) -> &'t str,
+    kind: &impl Fn(usize) -> TokKind,
+) -> Option<LetBinding> {
+    let mut j = k + 1;
+    if j < code.len() && txt(j) == "mut" {
+        j += 1;
+    }
+    if j >= code.len() || kind(j) != TokKind::Ident {
+        return None;
+    }
+    let name_ci = j;
+    let name = txt(j);
+    // Patterns (`let Some(x)`, `let (a, b)`) are skipped: the next
+    // token after a simple binding is `:`, `=`, or `;`.
+    if j + 1 < code.len() && !matches!(txt(j + 1), ":" | "=" | ";") {
+        return None;
+    }
+    // Find `=` at depth 0 before any `;`/`{`-of-a-body surprises; the
+    // lexer emits `==`, `=>`, `<=` etc. as single tokens, so a bare
+    // `=` here is exactly the initializer's assignment.
+    let mut depth = 0usize;
+    let mut eq = None;
+    let mut m = j + 1;
+    while m < code.len() {
+        match txt(m) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return None; // end of enclosing block: no init
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return None, // `let x;`
+            "=" if depth == 0 => {
+                eq = Some(m);
+                break;
+            }
+            _ => {}
+        }
+        m += 1;
+    }
+    let eq = eq?;
+    // Find the terminating `;` at depth 0 (brace-aware: the init may
+    // be an `if`/`match`/block expression).
+    let mut depth = 0usize;
+    let mut semi = None;
+    let mut m = eq + 1;
+    while m < code.len() {
+        match txt(m) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    break; // unterminated (soup or block end)
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => {
+                semi = Some(m);
+                break;
+            }
+            _ => {}
+        }
+        m += 1;
+    }
+    Some(LetBinding { name: name.to_string(), name_ci, init_start: eq + 1, semi, block })
+}

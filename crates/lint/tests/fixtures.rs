@@ -181,6 +181,117 @@ fn lossy_cast_out_of_scope_files_are_ignored() {
 }
 
 // -------------------------------------------------------------------
+// ordering-comment-required
+// -------------------------------------------------------------------
+
+#[test]
+fn ordering_comment_fires_on_bad_fixture() {
+    let text = fixture_text("ordering-comment-required", "bad");
+    // Lint as one of the lock-free modules the rule defaults to.
+    let findings = lint_fixture("crates/obs/src/window.rs", &text);
+    let hits = of_rule(&findings, "ordering-comment-required");
+    // Relaxed store, Release store, Acquire load — none justified.
+    assert_eq!(hits.len(), 3, "findings: {hits:?}");
+    assert!(hits.iter().any(|f| f.line == 4 && f.message.contains("Relaxed")));
+    assert!(hits.iter().any(|f| f.line == 6 && f.message.contains("Release")));
+    assert!(hits.iter().any(|f| f.line == 10 && f.message.contains("Acquire")));
+    for f in &hits {
+        // The caret points at the `Ordering` token itself.
+        let at = f.line_text.find("Ordering").expect("line shows the site") as u32;
+        assert_eq!(f.col, at + 1, "finding: {f:?}");
+    }
+}
+
+#[test]
+fn ordering_comment_silent_on_good_fixture() {
+    let text = fixture_text("ordering-comment-required", "good");
+    // Same-line tags, a comment above a cluster, a struct-literal
+    // snapshot, orderings in strings/comments, and test code.
+    let findings = lint_fixture("crates/obs/src/window.rs", &text);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn ordering_comment_out_of_scope_files_are_ignored() {
+    let text = fixture_text("ordering-comment-required", "bad");
+    // Only the hand-rolled lock-free modules are in the default scope.
+    let findings = lint_fixture("crates/core/src/selector.rs", &text);
+    assert!(of_rule(&findings, "ordering-comment-required").is_empty());
+}
+
+// -------------------------------------------------------------------
+// no-relaxed-publish
+// -------------------------------------------------------------------
+
+#[test]
+fn relaxed_publish_fires_on_bad_fixture() {
+    let text = fixture_text("no-relaxed-publish", "bad");
+    let findings = lint_fixture("crates/serve/src/epochs.rs", &text);
+    let hits = of_rule(&findings, "no-relaxed-publish");
+    // A Relaxed store to `seq` and a Relaxed RMW to `epoch`.
+    assert_eq!(hits.len(), 2, "findings: {hits:?}");
+    assert!(hits.iter().any(|f| f.line == 10 && f.message.contains("`seq.store`")));
+    assert!(hits.iter().any(|f| f.line == 11 && f.message.contains("`epoch.fetch_add`")));
+    for f in &hits {
+        assert!(f.message.contains("publish word"), "finding: {f:?}");
+    }
+}
+
+#[test]
+fn relaxed_publish_silent_on_good_fixture() {
+    let text = fixture_text("no-relaxed-publish", "good");
+    // Release publishes, a Relaxed plain counter, Relaxed loads, a
+    // string decoy, and test code.
+    let findings = lint_fixture("crates/serve/src/epochs.rs", &text);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+// -------------------------------------------------------------------
+// no-lock-across-blocking
+// -------------------------------------------------------------------
+
+#[test]
+fn lock_across_blocking_fires_on_bad_fixture() {
+    let text = fixture_text("no-lock-across-blocking", "bad");
+    let findings = lint_fixture("crates/serve/src/daemon.rs", &text);
+    let hits = of_rule(&findings, "no-lock-across-blocking");
+    // A guard live across write_all, and one across join.
+    assert_eq!(hits.len(), 2, "findings: {hits:?}");
+    assert!(
+        hits.iter().any(|f| f.line == 9
+            && f.message.contains("guard `guard`")
+            && f.message.contains("write_all")),
+        "findings: {hits:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.line == 16
+            && f.message.contains("guard `handles`")
+            && f.message.contains("join")),
+        "findings: {hits:?}"
+    );
+    for f in &hits {
+        assert!(f.col >= 1 && !f.line_text.is_empty());
+    }
+}
+
+#[test]
+fn lock_across_blocking_silent_on_good_fixture() {
+    let text = fixture_text("no-lock-across-blocking", "good");
+    // drop() before I/O, an inner scope, a condvar hand-off, a closure
+    // that defers the I/O, and decoy calls in strings/comments.
+    let findings = lint_fixture("crates/serve/src/daemon.rs", &text);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn lock_across_blocking_out_of_scope_crates_are_ignored() {
+    let text = fixture_text("no-lock-across-blocking", "bad");
+    // The rule polices the concurrent serving/observability crates.
+    let findings = lint_fixture("crates/core/src/daemon.rs", &text);
+    assert!(of_rule(&findings, "no-lock-across-blocking").is_empty());
+}
+
+// -------------------------------------------------------------------
 // Allowlist semantics
 // -------------------------------------------------------------------
 
@@ -312,6 +423,88 @@ fn fix_allowlist_stanza_round_trips_to_clean_exit() {
     let (code, stdout, stderr) = run_lint(&root, &[]);
     assert_eq!(code, 0, "allowlisted finding must pass\nstdout: {stdout}\nstderr: {stderr}");
     assert!(stdout.contains("0 violation(s)"), "stdout: {stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn binary_writes_sarif_report() {
+    let root = seed_temp_workspace("sarif");
+    let sarif_path = root.join("lint.sarif");
+    let (code, _, _) = run_lint(&root, &["--sarif", sarif_path.to_str().unwrap()]);
+    assert_eq!(code, 1, "the seeded violation still fails the run");
+    let sarif = std::fs::read_to_string(&sarif_path).expect("sarif report written");
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"no-panic-paths\""), "{sarif}");
+    assert!(sarif.contains("\"uri\": \"crates/core/src/picker.rs\""), "{sarif}");
+    assert!(sarif.contains("\"startLine\": 2"), "{sarif}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deny_unused_allows_turns_stale_entries_into_failures() {
+    let root = seed_temp_workspace("stale");
+    std::fs::write(
+        root.join("lint.toml"),
+        r#"
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/core/src/picker.rs"
+contains = "x.unwrap()"
+reason = "e2e: accepted for the test"
+
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/core/src/deleted_long_ago.rs"
+reason = "stale: the file it excused is gone"
+"#,
+    )
+    .unwrap();
+    // Without the flag the stale entry is only a warning.
+    let (code, stdout, _) = run_lint(&root, &[]);
+    assert_eq!(code, 0, "stdout: {stdout}");
+    assert!(stdout.contains("unused-allow"), "stdout: {stdout}");
+    // With it, CI can insist the allowlist carries no dead weight.
+    let (code, stdout, _) = run_lint(&root, &["--deny-unused-allows"]);
+    assert_eq!(code, 1, "stdout: {stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fix_allowlist_dedups_against_directory_prefix_entries() {
+    let root = seed_temp_workspace("dedup");
+    // A dir-prefix entry whose `contains` misses the unwrap line: the
+    // finding stays a violation, but --fix-allowlist must point at the
+    // existing entry instead of pasting a twin stanza blindly.
+    std::fs::write(
+        root.join("lint.toml"),
+        r#"
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/core/src/"
+contains = "some_other_line()"
+reason = "e2e: near-miss entry the emitter should point at"
+"#,
+    )
+    .unwrap();
+    let (code, stanza, _) = run_lint(&root, &["--fix-allowlist"]);
+    assert_eq!(code, 0, "stanza:\n{stanza}");
+    assert!(stanza.contains("widen its `contains`"), "stanza:\n{stanza}");
+
+    // Widened to cover the line, the emitter has nothing left to say.
+    std::fs::write(
+        root.join("lint.toml"),
+        r#"
+[[allow]]
+rule = "no-panic-paths"
+path = "crates/core/src/"
+contains = "x.unwrap()"
+reason = "e2e: now covers the finding"
+"#,
+    )
+    .unwrap();
+    let (code, stanza, _) = run_lint(&root, &["--fix-allowlist"]);
+    assert_eq!(code, 0, "stanza:\n{stanza}");
+    assert!(stanza.contains("nothing to triage"), "stanza:\n{stanza}");
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -1,0 +1,18 @@
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub fn respond(m: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let guard = m.lock().unwrap();
+    let first = guard.first().copied().unwrap_or(0);
+    stream.write_all(&[first])?;
+    Ok(())
+}
+
+pub fn reap(pool: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut handles = pool.lock().unwrap();
+    if let Some(h) = handles.pop() {
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,42 @@
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+pub fn drop_then_write(m: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let guard = m.lock().unwrap();
+    let first = guard.first().copied().unwrap_or(0);
+    drop(guard);
+    stream.write_all(&[first])?;
+    Ok(())
+}
+
+pub fn scoped_then_write(m: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let first = {
+        let guard = m.lock().unwrap();
+        guard.first().copied().unwrap_or(0)
+    };
+    stream.write_all(&[first])?;
+    Ok(())
+}
+
+pub fn condvar_handoff(m: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = m.lock().unwrap();
+    while !*ready {
+        ready = cv.wait(ready).unwrap();
+    }
+}
+
+pub fn closure_defers_io(m: &Mutex<Vec<u8>>) -> impl FnOnce(&mut TcpStream) {
+    let guard = m.lock().unwrap();
+    let first = guard.first().copied().unwrap_or(0);
+    move |stream: &mut TcpStream| {
+        let _ = stream.write_all(&[first]);
+    }
+}
+
+pub fn decoy(m: &Mutex<Vec<u8>>) -> usize {
+    let guard = m.lock().unwrap();
+    // stream.write_all(&buf) in a comment is not a call.
+    let n = "accept() connect() recv()".len();
+    guard.len() + n
+}

@@ -1,0 +1,13 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    seq: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Cell {
+    pub fn bump(&self) {
+        self.seq.store(1, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,34 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    seq: AtomicU64,
+    epoch: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Cell {
+    pub fn publish(&self) {
+        self.seq.store(2, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn observe(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    pub fn decoy() -> &'static str {
+        "seq.store(0, Ordering::Relaxed) inside a string is not a site"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn relaxed_publish_in_tests_is_exempt() {
+        let seq = AtomicU64::new(0);
+        seq.store(1, Ordering::Relaxed);
+    }
+}

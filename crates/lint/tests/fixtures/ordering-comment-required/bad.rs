@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(seq: &AtomicU64, data: &AtomicU64) {
+    data.store(1, Ordering::Relaxed);
+
+    seq.store(2, Ordering::Release);
+}
+
+pub fn read_flag(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Acquire)
+}

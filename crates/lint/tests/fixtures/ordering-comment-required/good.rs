@@ -1,0 +1,45 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn annotated(flag: &AtomicU64) -> u64 {
+    // ORDERING: Acquire pairs with the Release store below.
+    let v = flag.load(Ordering::Acquire);
+    flag.store(v, Ordering::Release); // ORDERING: publishes v back.
+    v
+}
+
+pub struct Snap {
+    pub a: u64,
+    pub b: u64,
+}
+
+pub fn snapshot(x: &AtomicU64, y: &AtomicU64) -> Snap {
+    Snap {
+        // ORDERING: Relaxed — point-in-time counter snapshot; one
+        // comment covers the whole cluster of loads.
+        a: x.load(Ordering::Relaxed),
+        b: y.load(Ordering::Relaxed),
+    }
+}
+
+pub fn cluster(seq: &AtomicU64, data: &AtomicU64) {
+    // ORDERING: seqlock-style write sequence: the comment above the
+    // first statement covers the contiguous run of atomic statements.
+    data.store(1, Ordering::Relaxed);
+    seq.store(2, Ordering::Release);
+}
+
+pub fn decoys() -> &'static str {
+    // A mention of Ordering::SeqCst in a comment is not an atomic op.
+    "Ordering::Relaxed inside a string literal is not a site either"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = AtomicU64::new(0);
+        f.store(1, Ordering::Relaxed);
+    }
+}

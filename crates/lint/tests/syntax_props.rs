@@ -1,0 +1,156 @@
+//! Property tests for the structural layer's total-function guarantees
+//! (see the module docs in `syntax.rs`): on arbitrary input, parsing
+//! never panics, every code token is assigned to exactly one block
+//! whose span contains it, block spans nest properly through parent
+//! links, and delimiter matching is an involution on whatever it
+//! matches.
+//!
+//! The generators mirror `lexer_props`: uniform ASCII soup, plus a
+//! fragment mix biased toward the constructs the block/let recovery has
+//! to survive — unbalanced braces, closures, `let` chains, match arms.
+
+use mpcp_lint::syntax::Syntax;
+use mpcp_lint::SourceFile;
+use proptest::prelude::*;
+
+/// Uniform ASCII, control characters included.
+fn ascii_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..127, 0..400)
+        .prop_map(|v| v.into_iter().map(|c| c as u8 as char).collect())
+}
+
+/// Concatenations of the parser's hard cases, glued in random order so
+/// braces, closures, and statement boundaries collide in unplanned
+/// ways.
+fn fragment_mix() -> impl Strategy<Value = String> {
+    let frag = prop::sample::select(vec![
+        "fn f() {", "fn g();", "}", "{", "}}", "{{", "let x = 1;", "let mut y = a.lock();",
+        "let (a, b) = t;", "let Some(v) = o else { return };", "|x| x + 1", "move || {",
+        "|| y", "match m {", "Ok(_) => {}", "=> {", "impl T for U {", "struct S;",
+        "if a < b {", "while let Some(q) = it.next() {", "for i in 0..n {", "unsafe {",
+        "loop {", "else {", "-> u64 {", "::<Vec<u8>>", "\"{ not a brace }\"",
+        "// { comment brace\n", "/* } */", "r#\"{{\"#", ";", "(", ")", "[", "]", "'a",
+        "drop(guard);", "m.lock().unwrap();", "\n",
+    ]);
+    prop::collection::vec(frag, 0..40).prop_map(|v| v.concat())
+}
+
+/// The structural invariants, asserted for any input string.
+fn check_invariants(src: &str) -> Result<(), TestCaseError> {
+    let file = SourceFile::new("crates/x/src/soup.rs", src);
+    let syn = Syntax::parse(&file);
+
+    // Every code token is assigned to exactly one valid block.
+    prop_assert_eq!(syn.block_of.len(), syn.code.len());
+    for (k, &b) in syn.block_of.iter().enumerate() {
+        prop_assert!(b < syn.blocks.len(), "token {k} assigned to missing block {b}");
+        let blk = &syn.blocks[b];
+        // The token must sit inside its block's span.
+        if let Some(open) = blk.open {
+            prop_assert!(k >= open, "token {k} before its block's open {open}");
+        }
+        if let Some(close) = blk.close {
+            prop_assert!(k <= close, "token {k} after its block's close {close}");
+        }
+    }
+
+    // Block tree shape: root is the only parentless block, every
+    // other block's parent id is smaller (blocks are created in open
+    // order), and child spans nest inside parent spans.
+    prop_assert!(!syn.blocks.is_empty());
+    prop_assert!(syn.blocks[0].open.is_none() && syn.blocks[0].parent.is_none());
+    for (id, blk) in syn.blocks.iter().enumerate().skip(1) {
+        let Some(parent) = blk.parent else {
+            prop_assert!(false, "non-root block {id} has no parent");
+            continue;
+        };
+        prop_assert!(parent < id, "parent {parent} not created before child {id}");
+        let open = blk.open.unwrap_or(0);
+        if let Some(close) = blk.close {
+            prop_assert!(open < close, "block {id} closes before it opens");
+        }
+        let p = &syn.blocks[parent];
+        if let (Some(po), Some(_)) = (p.open, blk.open) {
+            prop_assert!(po < open, "child {id} opens before parent {parent}");
+        }
+        if let (Some(pc), Some(cc)) = (p.close, blk.close) {
+            prop_assert!(cc < pc, "child {id} closes after parent {parent}");
+        }
+    }
+
+    // Let bindings point at real tokens in their recorded order.
+    for lb in &syn.lets {
+        prop_assert!(lb.name_ci < syn.code.len());
+        prop_assert!(lb.init_start > lb.name_ci);
+        if let Some(semi) = lb.semi {
+            prop_assert!(semi >= lb.init_start, "init after its terminating `;`");
+            prop_assert!(semi < syn.code.len());
+        }
+        prop_assert!(lb.block < syn.blocks.len());
+        prop_assert!(!lb.name.is_empty());
+    }
+
+    // Delimiter matching: whatever it matches is the same kind of
+    // closer, after the opener.
+    let toks = &file.lexed.toks;
+    for k in 0..syn.code.len() {
+        let t = file.tok_text(&toks[syn.code[k]]);
+        if matches!(t, "(" | "[" | "{") {
+            if let Some(c) = syn.matching_close(&file, k) {
+                prop_assert!(c > k);
+                let ct = file.tok_text(&toks[syn.code[c]]);
+                let expect = match t {
+                    "(" => ")",
+                    "[" => "]",
+                    _ => "}",
+                };
+                prop_assert_eq!(ct, expect);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parsing_ascii_soup_never_panics_and_assigns_every_token(src in ascii_soup()) {
+        check_invariants(&src)?;
+    }
+
+    #[test]
+    fn parsing_fragment_mixes_never_panics_and_assigns_every_token(src in fragment_mix()) {
+        check_invariants(&src)?;
+    }
+}
+
+#[test]
+fn realistic_item_recovers_fns_lets_and_closure_blocks() {
+    let src = r#"
+impl Server {
+    fn run(&self) {
+        let guard = self.state.lock().unwrap();
+        let n = guard.len();
+        drop(guard);
+        let worker = std::thread::spawn(move || {
+            let inner = 1;
+            inner + n
+        });
+        let _ = worker;
+    }
+}
+"#;
+    let file = SourceFile::new("crates/x/src/server.rs", src);
+    let syn = Syntax::parse(&file);
+    assert!(syn.fns.iter().any(|f| f.name == "run" && f.body.is_some()));
+    let names: Vec<&str> = syn.lets.iter().map(|l| l.name.as_str()).collect();
+    assert!(names.contains(&"guard") && names.contains(&"n") && names.contains(&"worker"));
+    assert!(
+        syn.blocks.iter().any(|b| b.closure),
+        "the spawn closure body must be flagged as a closure block"
+    );
+    // The guard binding's drop scope is the fn body, not the closure.
+    let guard = syn.lets.iter().find(|l| l.name == "guard").unwrap();
+    assert!(!syn.blocks[guard.block].closure);
+}

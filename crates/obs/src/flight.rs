@@ -100,6 +100,8 @@ impl Ring {
     }
 
     fn push(&self, ev: &TraceEvent) {
+        // ORDERING: Relaxed — the ticket's uniqueness comes from the
+        // RMW; the event payload is published by the slot Mutex.
         let idx = self.head.fetch_add(1, Ordering::Relaxed);
         *lock_slot(&self.slots[(idx % self.slots.len() as u64) as usize]) = Some(ev.clone());
     }
@@ -123,6 +125,8 @@ impl Ring {
     /// Collect the ring oldest-first (only filled slots), append the
     /// trigger marker, and write the post-mortem trace.
     fn dump(&self, reason: &str, trigger: &TraceEvent) {
+        // ORDERING: Relaxed — an approximate cursor is fine: racing
+        // pushes may land or miss, and each slot read is Mutex-fenced.
         let head = self.head.load(Ordering::Relaxed);
         let cap = self.slots.len() as u64;
         let start = head.saturating_sub(cap);
@@ -144,6 +148,8 @@ impl Ring {
             ],
         });
         let ok = std::fs::write(&self.cfg.dump_path, chrome_trace(&events, None)).is_ok();
+        // ORDERING: Relaxed — a status flag read only by `status()`
+        // polling; no data is published under it.
         self.dump_ok.store(ok, Ordering::Relaxed);
     }
 }
@@ -154,12 +160,16 @@ impl Ring {
 pub fn arm(cfg: FlightConfig) {
     let ring = Arc::new(Ring::new(cfg));
     *cell().write().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(ring);
+    // ORDERING: Release pairs with `observe`'s load: a thread that sees
+    // armed=true then takes the RwLock, which orders the ring install.
     ARMED.store(true, Ordering::Release);
 }
 
 /// Disarm and drop the recorder (no dump). Returns whether one was
 /// installed.
 pub fn disarm() -> bool {
+    // ORDERING: Release mirrors `arm`; stragglers that still see true
+    // just find an empty cell under the RwLock and bail.
     ARMED.store(false, Ordering::Release);
     cell()
         .write()
@@ -187,6 +197,8 @@ pub struct FlightStatus {
 pub fn status() -> Option<FlightStatus> {
     let guard = cell().read().unwrap_or_else(std::sync::PoisonError::into_inner);
     let ring = guard.as_ref()?;
+    // ORDERING: Relaxed throughout — a point-in-time status poll; the
+    // fields need no mutual consistency, only eventual visibility.
     Some(FlightStatus {
         armed: ARMED.load(Ordering::Relaxed),
         dumped: ring.dumped.load(Ordering::Relaxed),
@@ -200,6 +212,8 @@ pub fn status() -> Option<FlightStatus> {
 /// it matches a trigger. Called from [`crate::span`]'s recording
 /// paths; a disarmed recorder costs one relaxed load.
 pub(crate) fn observe(ev: &TraceEvent) {
+    // ORDERING: Relaxed — the cheap disarmed-fast-path check; the ring
+    // itself is fetched under the RwLock, which provides the ordering.
     if !ARMED.load(Ordering::Relaxed) {
         return;
     }
@@ -212,8 +226,10 @@ pub(crate) fn observe(ev: &TraceEvent) {
     };
     ring.push(ev);
     if let Some(reason) = ring.is_trigger(ev) {
-        // Exactly one dump per arming, no matter how many threads trip
-        // triggers concurrently.
+        // ORDERING: the SeqCst swap makes "who dumps" a single total-
+        // order race: exactly one dump per arming, no matter how many
+        // threads trip triggers concurrently. The Release disarm then
+        // stops further recording as soon as other threads observe it.
         if !ring.dumped.swap(true, Ordering::SeqCst) {
             ARMED.store(false, Ordering::Release);
             ring.dump(&reason, ev);
@@ -233,6 +249,8 @@ pub fn observe_event(ev: &TraceEvent) {
 pub fn dump_now(path: &Path) -> bool {
     let guard = cell().read().unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(ring) = guard.as_ref() else { return false };
+    // ORDERING: Relaxed — same approximate-cursor contract as
+    // `Ring::dump`; slot contents are Mutex-fenced.
     let head = ring.head.load(Ordering::Relaxed);
     let cap = ring.slots.len() as u64;
     let start = head.saturating_sub(cap);

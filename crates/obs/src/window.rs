@@ -82,6 +82,8 @@ impl WindowConfig {
 /// never reused, so a dropped recorder's id cannot alias a new one.
 fn next_recorder_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
+    // ORDERING: Relaxed — an id ticket: uniqueness comes from the RMW
+    // itself; no other data is published under this counter.
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -123,24 +125,36 @@ impl HistSlot {
     /// than this snapshot anyway.
     fn read(&self, lo_tag: u64, hi_tag: u64) -> Option<(u64, HistSnapshot)> {
         for _ in 0..8 {
+            // ORDERING: Acquire pairs with the writer's Release seq
+            // store in `record`: an even s1 means every payload store
+            // from that write epoch is visible to the loads below.
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
                 std::hint::spin_loop();
                 continue;
             }
+            // ORDERING: Relaxed — the tag may be torn by a racing
+            // recycle; the seq re-check below rejects any such read.
             let tag = self.window.load(Ordering::Relaxed);
             if tag < lo_tag || tag > hi_tag {
                 return None;
             }
+            // ORDERING: Relaxed payload loads — validity is established
+            // solely by the Acquire fence + seq re-check below, not by
+            // per-load ordering (classic seqlock read side).
             let mut hs = HistSnapshot {
                 sum: self.sum.load(Ordering::Relaxed),
                 min: self.min.load(Ordering::Relaxed),
                 max: self.max.load(Ordering::Relaxed),
                 ..HistSnapshot::default()
             };
+            // ORDERING: Relaxed bucket loads, validated the same way.
             for (out, b) in hs.buckets.iter_mut().zip(self.buckets.iter()) {
                 *out = b.load(Ordering::Relaxed);
             }
+            // ORDERING: the Acquire fence orders every payload load
+            // above before the Relaxed seq re-check; an unchanged even
+            // seq proves no recycle overlapped the reads.
             fence(Ordering::Acquire);
             if self.seq.load(Ordering::Relaxed) == s1 {
                 return Some((tag - 1, hs));
@@ -170,8 +184,16 @@ impl ThreadRing {
         let w = cfg.window_of(now_ns);
         let tag = w + 1;
         let slot = &self.slots[(w % self.slots.len() as u64) as usize];
+        // ORDERING: Relaxed claim check — single-writer slot: only this
+        // thread ever recycles it, so the tag cannot move underneath us.
         if slot.window.load(Ordering::Relaxed) != tag {
             // Single writer: only this thread ever recycles this slot.
+            // ORDERING: the odd seq bump may be Relaxed because the
+            // Release fence right after it orders it before the payload
+            // resets (readers reject odd seqs outright); the closing
+            // Release fence + Release seq store publish the rewritten
+            // slot, pairing with the Acquire load in `read`. See the
+            // no-relaxed-publish [[allow]] in lint.toml.
             let s = slot.seq.load(Ordering::Relaxed);
             slot.seq.store(s.wrapping_add(1), Ordering::Relaxed);
             fence(Ordering::Release);
@@ -185,6 +207,9 @@ impl ThreadRing {
             fence(Ordering::Release);
             slot.seq.store(s.wrapping_add(2), Ordering::Release);
         }
+        // ORDERING: Relaxed sample bumps — same-epoch readers may merge
+        // a slightly stale histogram; what must be ordered (the slot's
+        // identity) is carried by the seqlock protocol above.
         slot.buckets[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
         slot.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
         slot.min.fetch_min(v, Ordering::Relaxed);
@@ -263,6 +288,9 @@ impl WindowedHistogram {
         let mut windows: BTreeMap<u64, HistSnapshot> = BTreeMap::new();
         let mut rings = lock_rings(&self.rings);
         rings.retain(|ring| {
+            // ORDERING: Relaxed — `newest` is a monotonic high-water
+            // mark; pruning a hair late is harmless, pruning is
+            // serialized by the registry lock we hold.
             Arc::strong_count(ring) > 1 || ring.newest.load(Ordering::Relaxed) >= lo_tag
         });
         for ring in rings.iter() {
@@ -377,16 +405,20 @@ impl CountSlot {
 
     fn read(&self, lo_tag: u64, hi_tag: u64) -> Option<(u64, u64)> {
         for _ in 0..8 {
+            // ORDERING: Acquire pairs with the writer's Release seq
+            // store (same seqlock read protocol as HistSlot::read).
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
                 std::hint::spin_loop();
                 continue;
             }
-            let tag = self.window.load(Ordering::Relaxed);
+            let tag = self.window.load(Ordering::Relaxed); // ORDERING: see HistSlot::read.
             if tag < lo_tag || tag > hi_tag {
                 return None;
             }
-            let v = self.value.load(Ordering::Relaxed);
+            let v = self.value.load(Ordering::Relaxed); // ORDERING: see HistSlot::read.
+            // ORDERING: Acquire fence before the Relaxed seq re-check
+            // validates the payload loads above (see HistSlot::read).
             fence(Ordering::Acquire);
             if self.seq.load(Ordering::Relaxed) == s1 {
                 return Some((tag - 1, v));
@@ -413,7 +445,13 @@ impl CountRing {
         let w = cfg.window_of(now_ns);
         let tag = w + 1;
         let slot = &self.slots[(w % self.slots.len() as u64) as usize];
+        // ORDERING: Relaxed claim check — single-writer slot, exactly
+        // as in ThreadRing::record.
         if slot.window.load(Ordering::Relaxed) != tag {
+            // ORDERING: odd-bump Relaxed + paired Release fences +
+            // closing Release seq store publish the recycled slot
+            // exactly as in ThreadRing::record (see the
+            // no-relaxed-publish [[allow]] in lint.toml).
             let s = slot.seq.load(Ordering::Relaxed);
             slot.seq.store(s.wrapping_add(1), Ordering::Relaxed);
             fence(Ordering::Release);
@@ -422,6 +460,8 @@ impl CountRing {
             fence(Ordering::Release);
             slot.seq.store(s.wrapping_add(2), Ordering::Release);
         }
+        // ORDERING: Relaxed — monotonic count/watermark bumps, ordered
+        // by the seqlock protocol above where it matters.
         slot.value.fetch_add(n, Ordering::Relaxed);
         self.newest.fetch_max(tag, Ordering::Relaxed);
     }
@@ -475,6 +515,8 @@ impl WindowedCounter {
         let mut windows: BTreeMap<u64, u64> = BTreeMap::new();
         let mut rings = lock_rings(&self.rings);
         rings.retain(|ring| {
+            // ORDERING: Relaxed — monotonic high-water mark; see the
+            // matching retain in WindowedHistogram::snapshot.
             Arc::strong_count(ring) > 1 || ring.newest.load(Ordering::Relaxed) >= lo_tag
         });
         for ring in rings.iter() {

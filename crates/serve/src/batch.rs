@@ -277,6 +277,8 @@ fn serve_shard_group(snapshot: &ServiceSnapshot, key: &ShardKey, jobs: Vec<Job>)
                 continue;
             }
             if let Some(sel) = shard.cache_lookup(&j.instance) {
+                // ORDERING: Relaxed — monotonic stat counter; readers
+                // only ever sum it, nothing is published under it.
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 mpcp_obs::counter_add!("serve.cache_hits", 1);
                 if let (Some(tl), false) = (tel, j.submitted_ns == UNSTAMPED) {
@@ -285,6 +287,7 @@ fn serve_shard_group(snapshot: &ServiceSnapshot, key: &ShardKey, jobs: Vec<Job>)
                 }
                 let _ = j.reply.send(Ok(sel));
             } else {
+                // ORDERING: Relaxed — monotonic stat counter, as above.
                 shard.misses.fetch_add(1, Ordering::Relaxed);
                 mpcp_obs::counter_add!("serve.cache_misses", 1);
                 misses.push(j);

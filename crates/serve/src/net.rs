@@ -491,6 +491,9 @@ struct NetShared {
 impl NetShared {
     fn stats(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
+            // ORDERING: Relaxed throughout — a point-in-time counter
+            // snapshot; the fields need no mutual consistency and no
+            // data is published under any of them.
             requests: self.requests.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed_n.load(Ordering::Relaxed),
@@ -506,6 +509,10 @@ impl NetShared {
     /// Initiate shutdown: flip the flag and poke the accept loop with a
     /// throwaway connection so it observes the flag.
     fn begin_stop(&self) {
+        // ORDERING: AcqRel — the swap both publishes "stopping" to the
+        // accept loop's Acquire loads and makes the first caller's
+        // pre-stop writes visible to whoever observes the flag; the
+        // swap also elects exactly one thread to poke the listener.
         if !self.stop.swap(true, Ordering::AcqRel) {
             let _ = TcpStream::connect(self.local_addr);
         }
@@ -604,6 +611,7 @@ impl NetServer {
     ///
     /// [`stop`]: NetServer::stop
     pub fn running(&self) -> bool {
+        // ORDERING: Acquire pairs with `begin_stop`'s AcqRel swap.
         !self.shared.stop.load(Ordering::Acquire)
     }
 
@@ -656,24 +664,31 @@ fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
         let stream = match listener.accept() {
             Ok((s, _peer)) => s,
             Err(_) => {
+                // ORDERING: Acquire pairs with `begin_stop`'s swap, so
+                // a stopping server's pre-stop writes are visible here.
                 if shared.stop.load(Ordering::Acquire) {
                     return;
                 }
                 continue;
             }
         };
+        // ORDERING: Acquire — same pairing as above.
         if shared.stop.load(Ordering::Acquire) {
             // The throwaway wake-up connection (or a late client).
             return;
         }
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+        // ORDERING: Relaxed — an id ticket; uniqueness comes from the
+        // RMW itself, nothing is published under it.
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         // Track a clone so shutdown can half-close the read side even
         // while the reader is blocked in `read_exact`.
         if let Ok(tracked) = stream.try_clone() {
             lock(&shared.conns).insert(conn_id, tracked);
         }
+        // ORDERING: Relaxed — monotonic stat counters and a gauge
+        // refresh; readers only ever sum/display them.
         shared.connections_total.fetch_add(1, Ordering::Relaxed);
         shared.connections_open.fetch_add(1, Ordering::Relaxed);
         mpcp_obs::gauge_set!(
@@ -712,6 +727,8 @@ fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
 
 fn close_conn(shared: &Arc<NetShared>, conn_id: u64) {
     if lock(&shared.conns).remove(&conn_id).is_some() {
+        // ORDERING: Relaxed — stat counter + gauge refresh, as in
+        // `accept_loop`; the conns lock already serializes the remove.
         shared.connections_open.fetch_sub(1, Ordering::Relaxed);
         mpcp_obs::gauge_set!(
             "serve.net.connections",
@@ -741,11 +758,15 @@ fn conn_reader(shared: &Arc<NetShared>, mut stream: TcpStream, conn_id: u64) {
         match read_frame::<NetRequest>(&mut stream, KIND_NET_REQUEST) {
             ReadFrame::Msg(NetRequest::Select { req_id, key, instance }) => {
                 let t0 = Instant::now();
+                // ORDERING: Relaxed — stat counters; the matching
+                // inflight decrement rides the writer channel, which
+                // is itself the synchronization edge.
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 shared.inflight.fetch_add(1, Ordering::Relaxed);
                 mpcp_obs::counter_add!("serve.net.requests", 1);
                 let item = match shared.batch.submit(key.clone(), instance) {
                     Ok(ticket) => {
+                        // ORDERING: Relaxed — stat counter.
                         shared.accepted.fetch_add(1, Ordering::Relaxed);
                         mpcp_obs::counter_add!("serve.net.accepted", 1);
                         WriterItem::Pending { req_id, ticket, t0 }
@@ -771,6 +792,7 @@ fn conn_reader(shared: &Arc<NetShared>, mut stream: TcpStream, conn_id: u64) {
                 break;
             }
             ReadFrame::Idle => {
+                // ORDERING: Relaxed — stat counter.
                 shared.idle_closed.fetch_add(1, Ordering::Relaxed);
                 mpcp_obs::counter_add!("serve.net.idle_closed", 1);
                 break;
@@ -793,14 +815,20 @@ fn shed_reply(
     key: &ShardKey,
     instance: &Instance,
 ) -> NetResponse {
+    // ORDERING: AcqRel on the shed-admission ticket: the increment
+    // must be globally ordered against concurrent increments (it is an
+    // admission decision, not a statistic) and the decrement must not
+    // sink below the fallback call it releases capacity for.
     if shared.shed_inflight.fetch_add(1, Ordering::AcqRel) >= shared.max_shed_inflight as u64 {
         shared.shed_inflight.fetch_sub(1, Ordering::AcqRel);
         return error_reply(shared, req_id, &ServeError::Overloaded);
     }
     let fallback = (shared.shed)(key, instance);
+    // ORDERING: AcqRel — releases the shed slot taken above.
     shared.shed_inflight.fetch_sub(1, Ordering::AcqRel);
     match fallback {
         Some(sel) => {
+            // ORDERING: Relaxed — stat counter.
             shared.shed_n.fetch_add(1, Ordering::Relaxed);
             mpcp_obs::counter_add!("serve.shed", 1);
             NetResponse::Shed { req_id, selection: Selection { degraded: true, ..sel } }
@@ -811,9 +839,11 @@ fn shed_reply(
 
 fn error_reply(shared: &Arc<NetShared>, req_id: u64, e: &ServeError) -> NetResponse {
     if matches!(e, ServeError::Overloaded) {
+        // ORDERING: Relaxed — stat counters, here and below.
         shared.overloaded.fetch_add(1, Ordering::Relaxed);
         mpcp_obs::counter_add!("serve.net.overloaded", 1);
     }
+    // ORDERING: Relaxed — stat counter.
     shared.errors.fetch_add(1, Ordering::Relaxed);
     NetResponse::Err { req_id, code: error_code(e), message: e.to_string() }
 }
@@ -841,6 +871,8 @@ fn conn_writer(shared: &Arc<NetShared>, mut stream: TcpStream, rx: &mpsc::Receiv
             sink_only = true;
         }
         if counted {
+            // ORDERING: Relaxed — balances the reader's Relaxed
+            // increment; the channel hand-off orders the two.
             shared.inflight.fetch_sub(1, Ordering::Relaxed);
             let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
             mpcp_obs::hist_record!("serve.net.req_us", us);

@@ -81,6 +81,8 @@ pub(crate) struct SnapshotCell {
 impl SnapshotCell {
     pub(crate) fn new() -> SnapshotCell {
         SnapshotCell {
+            // ORDERING: Relaxed — an id ticket; uniqueness comes from
+            // the RMW itself, nothing is published under it.
             id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
             epoch: AtomicU64::new(0),
             slot: Mutex::new(Arc::new(ShardMap::default())),
@@ -107,6 +109,9 @@ impl SnapshotCell {
     }
 
     fn cached<R>(&self, f: impl FnOnce(&Arc<ShardMap>) -> R) -> R {
+        // ORDERING: Acquire pairs with the Release bump in `update`: a
+        // reader that sees the new epoch refreshes under the slot lock
+        // and is guaranteed the fully-built map.
         let epoch = self.epoch.load(Ordering::Acquire);
         SNAPSHOTS.with(|tls| {
             let Ok(mut tls) = tls.try_borrow_mut() else {
@@ -139,7 +144,7 @@ impl SnapshotCell {
     /// have been published). Live-stats snapshots report it so an
     /// operator can tell "shard set changed" from "traffic changed".
     pub(crate) fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.epoch.load(Ordering::Acquire) // ORDERING: pairs with `update`'s Release bump.
     }
 
     /// A consistent `(epoch, map)` pair from the slot. The epoch is
@@ -147,6 +152,8 @@ impl SnapshotCell {
     /// under the lock cannot observe a torn publication.
     fn refresh(&self) -> (u64, Arc<ShardMap>) {
         let slot = lock(&self.slot);
+        // ORDERING: Acquire (see `cached`); the slot lock additionally
+        // pins the (epoch, map) pair — bumps happen only under it.
         (self.epoch.load(Ordering::Acquire), Arc::clone(&slot))
     }
 
@@ -162,6 +169,8 @@ impl SnapshotCell {
         let mut next: ShardMap = (**slot).clone();
         f(&mut next);
         *slot = Arc::new(next);
+        // ORDERING: Release publishes the swapped-in map to readers
+        // whose Acquire epoch load (in `cached`) observes the bump.
         self.epoch.fetch_add(1, Ordering::Release);
     }
 }
