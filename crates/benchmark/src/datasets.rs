@@ -15,8 +15,9 @@ use mpcp_collectives::{Collective, MpiLibrary};
 use mpcp_collectives::decision::TuningGrid;
 use mpcp_simnet::{Machine, SimTime, Simulator, Topology};
 
-use crate::fault::{measure_cell, CellOutcome, FaultPlan, FaultSummary, RetryPolicy};
-use crate::noise::{cell_stream, NoiseModel};
+use crate::cells::{measure_grid_cell, CellGrid, CellMeasurement};
+use crate::fault::{FaultPlan, FaultSummary, RetryPolicy};
+use crate::noise::NoiseModel;
 use crate::record::{read_csv, write_csv, Record};
 use crate::repro::BenchConfig;
 
@@ -269,6 +270,17 @@ impl DatasetSpec {
         library.configs(self.coll).len() * self.nodes.len() * self.ppn.len() * self.msizes.len()
     }
 
+    /// The canonical cell-id mapping for this dataset's grid (shared by
+    /// [`DatasetSpec::generate_with_faults`] and the campaign runner).
+    pub fn cell_grid(&self, library: &MpiLibrary) -> CellGrid {
+        CellGrid::new(
+            self.nodes.clone(),
+            self.ppn.clone(),
+            self.msizes.clone(),
+            library.configs(self.coll).len(),
+        )
+    }
+
     /// Benchmark the full grid.
     ///
     /// Every cell simulates the collective once (deterministic) and runs
@@ -299,16 +311,15 @@ impl DatasetSpec {
             .attr("dataset", self.id)
             .attr("configs", configs.len());
         let wall = mpcp_obs::maybe_now();
-        // Parallelize over (nodes, ppn): each worker owns one topology.
-        let mut grid: Vec<(u32, u32)> = Vec::new();
-        for &n in &self.nodes {
-            for &ppn in &self.ppn {
-                grid.push((n, ppn));
-            }
-        }
-        let cells: Vec<(Vec<Record>, SimTime, FaultSummary)> = grid
+        // The canonical cell enumeration shared with the campaign runner:
+        // parallelize over (nodes, ppn) topology groups, each worker
+        // walking its group's contiguous cell-id range in order.
+        let grid = self.cell_grid(library);
+        let groups: Vec<usize> = (0..grid.topo_groups()).collect();
+        let cells: Vec<(Vec<Record>, SimTime, FaultSummary)> = groups
             .par_iter()
-            .map(|&(n, ppn)| {
+            .map(|&g| {
+                let (n, ppn) = grid.group(g);
                 let _cell_span = mpcp_obs::span("measure")
                     .attr("nodes", n)
                     .attr("ppn", ppn)
@@ -318,51 +329,30 @@ impl DatasetSpec {
                 let mut records = Vec::with_capacity(configs.len() * self.msizes.len());
                 let mut consumed = SimTime::ZERO;
                 let mut faults = FaultSummary::default();
-                for (uid, cfg) in configs.iter().enumerate() {
-                    // Serialized uids are u32; a registry too large to
-                    // index is corrupt and must not truncate silently.
-                    let uid = u32::try_from(uid).expect("config count exceeds u32 uid range");
-                    for &m in &self.msizes {
-                        let progs = cfg.build(&topo, m);
-                        let base = match sim.run(&progs) {
-                            Ok(run) => run.makespan(),
-                            Err(e) => {
-                                // A broken cell must not abort the grid:
-                                // count it and move on.
-                                mpcp_obs::counter_add!("bench.sim_errors", 1);
-                                eprintln!(
-                                    "warning: {} {} n={n} ppn={ppn} m={m}: {e}",
-                                    self.id,
-                                    cfg.label()
-                                );
-                                faults.sim_errors += 1;
-                                continue;
-                            }
-                        };
-                        let mut stream = cell_stream(self.seed, uid, n, ppn, m);
-                        let result = measure_cell(
-                            base,
-                            bench,
-                            &noise,
-                            &mut stream,
-                            plan,
-                            retry,
-                            (uid, n, ppn, m),
-                        );
-                        faults.absorb(&result);
-                        consumed += result.consumed;
-                        if let CellOutcome::Ok(meas) = result.outcome {
-                            records.push(Record {
-                                nodes: n,
-                                ppn,
-                                msize: m,
-                                uid,
-                                alg_id: cfg.alg_id,
-                                excluded: cfg.excluded,
-                                runtime: meas.median_secs,
-                                base: meas.base.as_secs_f64(),
-                                reps: meas.reps,
-                            });
+                for cell in grid.group_cells(g) {
+                    let cfg = &configs[cell.uid as usize];
+                    match measure_grid_cell(
+                        &sim, &topo, cfg, cell, self.seed, bench, &noise, plan, retry,
+                    ) {
+                        CellMeasurement::Measured { record, result } => {
+                            faults.absorb(&result);
+                            consumed += result.consumed;
+                            records.push(record);
+                        }
+                        CellMeasurement::Lost(result) => {
+                            faults.absorb(&result);
+                            consumed += result.consumed;
+                        }
+                        CellMeasurement::SimError(e) => {
+                            // A broken cell must not abort the grid:
+                            // count it and move on.
+                            eprintln!(
+                                "warning: {} {} n={n} ppn={ppn} m={}: {e}",
+                                self.id,
+                                cfg.label(),
+                                cell.msize
+                            );
+                            faults.sim_errors += 1;
                         }
                     }
                 }

@@ -26,14 +26,20 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
+pub mod cells;
 pub mod datasets;
 pub mod fault;
 pub mod noise;
 pub mod record;
 pub mod repro;
+pub mod store;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use cells::{Cell, CellGrid, CellMeasurement};
 pub use datasets::{DatasetResult, DatasetSpec, LibKind};
 pub use fault::{CellFate, CellOutcome, CellResult, FaultPlan, FaultSummary, RetryPolicy};
 pub use noise::NoiseModel;
 pub use record::Record;
 pub use repro::{BenchConfig, Measurement};
+pub use store::{CampaignStore, ChunkData, StoreError, StoreHeader};

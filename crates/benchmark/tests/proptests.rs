@@ -7,8 +7,22 @@ use mpcp_benchmark::fault::measure_cell;
 use mpcp_benchmark::noise::{cell_stream, SplitMix64};
 use mpcp_benchmark::record::Record;
 use mpcp_benchmark::repro::{summarize, BenchConfig};
-use mpcp_benchmark::{CellOutcome, FaultPlan, NoiseModel, RetryPolicy};
+use mpcp_benchmark::{CellOutcome, FaultPlan, FaultSummary, NoiseModel, RetryPolicy};
 use mpcp_simnet::SimTime;
+
+/// A strategy for arbitrary (but bounded) fault summaries.
+fn arb_summary() -> impl Strategy<Value = FaultSummary> {
+    (0usize..1000, 0usize..1000, 0usize..1000, 0usize..1000, 0u64..10_000, 0u64..(1 << 40)).prop_map(
+        |(cells_ok, cells_failed, cells_timed_out, sim_errors, retries, picos)| FaultSummary {
+            cells_ok,
+            cells_failed,
+            cells_timed_out,
+            sim_errors,
+            retries,
+            retry_time: SimTime(picos),
+        },
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -174,6 +188,100 @@ proptest! {
         prop_assert_eq!(m.median_secs.to_bits(), plain.median_secs.to_bits());
         prop_assert_eq!(m.reps, plain.reps);
         prop_assert_eq!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn fault_summary_merge_is_commutative(
+        a in arb_summary(),
+        b in arb_summary(),
+    ) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn fault_summary_merge_is_associative_with_identity(
+        a in arb_summary(),
+        b in arb_summary(),
+        c in arb_summary(),
+    ) {
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+        // default is the identity element
+        let mut with_id = a;
+        with_id.merge(&FaultSummary::default());
+        prop_assert_eq!(with_id, a);
+    }
+
+    #[test]
+    fn merge_of_shards_equals_sequential_concat(
+        base_us in 0.1f64..1e3,
+        fail in 0.0f64..0.6,
+        timeout in 0.0f64..0.2,
+        seed in any::<u64>(),
+        cells in proptest::collection::vec(
+            (0u32..100, 1u32..50, 1u32..50, 1u64..1_000_000), 1..24),
+        split_a in 0usize..24,
+        split_b in 0usize..24,
+    ) {
+        // Summarizing shards independently and merging must equal
+        // absorbing every cell into one summary, for ANY partition —
+        // the property the work-stealing campaign runner relies on when
+        // it folds per-chunk summaries in commit order.
+        let config = BenchConfig::quick();
+        let noise = NoiseModel::default();
+        let plan = FaultPlan {
+            fail_prob: fail * (1.0 - timeout),
+            timeout_prob: timeout,
+            seed,
+            ..FaultPlan::none()
+        };
+        let retry = RetryPolicy::default();
+        let results: Vec<_> = cells
+            .iter()
+            .map(|&cell| {
+                let mut stream = cell_stream(seed, cell.0, cell.1, cell.2, cell.3);
+                measure_cell(
+                    SimTime::from_micros_f64(base_us),
+                    &config,
+                    &noise,
+                    &mut stream,
+                    Some(&plan),
+                    &retry,
+                    cell,
+                )
+            })
+            .collect();
+
+        let mut whole = FaultSummary::default();
+        for r in &results {
+            whole.absorb(r);
+        }
+
+        let (mut i, mut j) = (split_a.min(results.len()), split_b.min(results.len()));
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let mut merged = FaultSummary::default();
+        for shard in [&results[..i], &results[i..j], &results[j..]] {
+            let mut s = FaultSummary::default();
+            for r in shard {
+                s.absorb(r);
+            }
+            merged.merge(&s);
+        }
+        prop_assert_eq!(merged, whole);
+        prop_assert_eq!(whole.total(), results.len());
     }
 
     #[test]

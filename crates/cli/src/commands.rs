@@ -3,7 +3,10 @@
 use std::path::Path;
 
 use mpcp_benchmark::record::{read_csv, write_csv};
-use mpcp_benchmark::{BenchConfig, DatasetSpec, FaultPlan, LibKind, RetryPolicy};
+use mpcp_benchmark::{
+    run_campaign, BenchConfig, CampaignConfig, CampaignReport, DatasetSpec, FaultPlan, LibKind,
+    RetryPolicy,
+};
 use mpcp_collectives::{Collective, MpiLibrary};
 use mpcp_core::tuning_file::{default_query_sizes, TuningFile};
 use mpcp_core::{ArtifactMeta, Instance, RuntimeTable, Selector, TrainOptions, TrainReport};
@@ -125,14 +128,22 @@ pub fn simulate(args: &Args) -> Result<String, String> {
     ))
 }
 
-/// `mpcp bench ...`
-pub fn bench(args: &Args) -> Result<String, String> {
+/// Everything a grid-measuring command (`bench`, `campaign`) needs,
+/// parsed once so both commands accept the identical flag set.
+struct BenchSetup {
+    spec: DatasetSpec,
+    library: MpiLibrary,
+    bench: BenchConfig,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+}
+
+fn bench_setup(args: &Args, id: &'static str) -> Result<BenchSetup, String> {
     let machine = parse_machine(args.require("machine")?)?;
     let coll = parse_coll(args.require("coll")?)?;
     let nodes = parse_u32_list(args.require("nodes")?)?;
     let ppn = parse_u32_list(args.require("ppn")?)?;
     let msizes = parse_size_list(args.require("msizes")?)?;
-    let out_path = args.require("out")?;
     let seed: u64 = args.get_or("seed", "1").parse().map_err(|_| "bad --seed".to_string())?;
     let plan = match args.get("fault-plan") {
         Some(s) => Some(FaultPlan::parse(s).map_err(|e| format!("--fault-plan: {e}"))?),
@@ -156,7 +167,7 @@ pub fn bench(args: &Args) -> Result<String, String> {
         _ => LibKind::OpenMpi,
     };
     let spec = DatasetSpec {
-        id: "cli",
+        id,
         coll,
         lib: lib_kind,
         machine: machine.clone(),
@@ -166,7 +177,19 @@ pub fn bench(args: &Args) -> Result<String, String> {
         seed,
     };
     let library = spec.library(None);
-    let bench = BenchConfig::paper_default(&machine.name);
+    let mut bench = BenchConfig::paper_default(&machine.name);
+    if let Some(s) = args.get("max-reps") {
+        bench.max_reps =
+            s.parse().map_err(|_| "bad --max-reps (want a positive integer)".to_string())?;
+    }
+    Ok(BenchSetup { spec, library, bench, plan, retry })
+}
+
+/// `mpcp bench ...`
+pub fn bench(args: &Args) -> Result<String, String> {
+    let BenchSetup { spec, library, bench, plan, retry } = bench_setup(args, "cli")?;
+    let coll = spec.coll;
+    let out_path = args.require("out")?;
     let t0 = std::time::Instant::now();
     let data = spec.generate_with_faults(&library, &bench, plan.as_ref(), &retry);
     if data.records.is_empty() {
@@ -188,6 +211,198 @@ pub fn bench(args: &Args) -> Result<String, String> {
         out.push_str(&format!("fault injection: {}\n", data.faults.summary()));
     }
     out.push_str(&format!("wrote {out_path}\n"));
+    Ok(out)
+}
+
+/// One line of human-readable campaign accounting.
+fn campaign_summary(report: &CampaignReport, secs: f64) -> String {
+    let fresh = report.cells_total - report.cells_resumed;
+    let mut out = format!(
+        "campaign: {} cells in {} chunks, {} records ({:.1}% coverage)\n",
+        report.cells_total,
+        report.chunks_total,
+        report.records.len(),
+        100.0 * report.faults.coverage(),
+    );
+    if report.cells_resumed > 0 {
+        out.push_str(&format!(
+            "resumed {} cells ({} chunks) from the store; {} measured fresh\n",
+            report.cells_resumed, report.chunks_resumed, fresh
+        ));
+    }
+    if secs > 0.0 && fresh > 0 {
+        out.push_str(&format!(
+            "throughput: {:.0} cells/s over {:.1}s wall ({} steal(s))\n",
+            fresh as f64 / secs,
+            secs,
+            report.steals
+        ));
+    }
+    out.push_str(&format!(
+        "simulated benchmarking time: {:.1} min\n",
+        report.total_bench.as_secs_f64() / 60.0
+    ));
+    out
+}
+
+/// `mpcp campaign ...` — the parallel, checkpointed grid sweep.
+///
+/// With `--bench-out` it instead runs the same campaign fresh at 1
+/// thread and at `--threads`, verifies the two stores are byte-for-byte
+/// identical, and writes a BENCH_PR10.json speedup report (gated by
+/// `--min-speedup`).
+pub fn campaign(args: &Args) -> Result<String, String> {
+    let setup = bench_setup(args, "campaign")?;
+    let store_path = args.require("store")?;
+    let threads: usize = match args.get("threads") {
+        Some(s) => s.parse().map_err(|_| "bad --threads (want a positive integer)".to_string())?,
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let checkpoint_every: u64 = args
+        .get_or("checkpoint-every", "256")
+        .parse()
+        .map_err(|_| "bad --checkpoint-every (want cells per chunk)".to_string())?;
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let cfg = CampaignConfig { threads, checkpoint_every, resume: args.flag("resume") };
+
+    if let Some(bench_out) = args.get("bench-out") {
+        return campaign_bench(args, &setup, store_path, &cfg, bench_out);
+    }
+
+    let t0 = std::time::Instant::now();
+    let report = run_campaign(
+        &setup.spec,
+        &setup.library,
+        &setup.bench,
+        setup.plan.as_ref(),
+        &setup.retry,
+        &cfg,
+        Path::new(store_path),
+    )
+    .map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    let mut out = campaign_summary(&report, secs);
+    if setup.plan.is_some() || report.faults.total() != report.faults.cells_ok {
+        out.push_str(&format!("fault injection: {}\n", report.faults.summary()));
+    }
+    if let Some(csv) = args.get("out") {
+        if report.records.is_empty() {
+            return Err(format!(
+                "no cells survived the campaign ({}); relax the fault plan",
+                report.faults.summary()
+            ));
+        }
+        write_csv(Path::new(csv), &report.records).map_err(|e| e.to_string())?;
+        out.push_str(&format!("wrote {csv}\n"));
+    }
+    out.push_str(&format!("store: {store_path} ({} chunks)\n", report.chunks_total));
+    Ok(out)
+}
+
+/// The `--bench-out` mode of `mpcp campaign`: 1-thread vs N-thread
+/// byte-identity check plus speedup measurement.
+fn campaign_bench(
+    args: &Args,
+    setup: &BenchSetup,
+    store_path: &str,
+    cfg: &CampaignConfig,
+    bench_out: &str,
+) -> Result<String, String> {
+    let single_path = format!("{store_path}.t1");
+    let run = |threads: usize, path: &str| -> Result<(CampaignReport, f64), String> {
+        let cfg = CampaignConfig { threads, resume: false, ..*cfg };
+        let t0 = std::time::Instant::now();
+        let report = run_campaign(
+            &setup.spec,
+            &setup.library,
+            &setup.bench,
+            setup.plan.as_ref(),
+            &setup.retry,
+            &cfg,
+            Path::new(path),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok((report, t0.elapsed().as_secs_f64()))
+    };
+    let (_single, single_secs) = run(1, &single_path)?;
+    let (multi, multi_secs) = run(cfg.threads, store_path)?;
+    let single_bytes = std::fs::read(&single_path).map_err(|e| e.to_string())?;
+    let multi_bytes = std::fs::read(store_path).map_err(|e| e.to_string())?;
+    let byte_identical = single_bytes == multi_bytes;
+    std::fs::remove_file(&single_path).ok();
+    let cells = multi.cells_total;
+    let speedup = if multi_secs > 0.0 { single_secs / multi_secs } else { 0.0 };
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let seed = setup.spec.seed;
+    let prov = mpcp_obs::provenance::Provenance::capture("mpcp campaign --bench-out", Some(seed));
+    let json = format!(
+        r#"{{
+  "pr": 10,
+  "provenance": {},
+  "config": {{
+    "collective": {},
+    "machine": {},
+    "library": {},
+    "seed": {seed},
+    "cells": {cells},
+    "chunks": {},
+    "checkpoint_every": {},
+    "threads": {},
+    "cpus": {cpus}
+  }},
+  "single": {{ "secs": {single_secs:.3}, "cells_per_sec": {:.0} }},
+  "multi": {{ "secs": {multi_secs:.3}, "cells_per_sec": {:.0} }},
+  "speedup": {speedup:.2},
+  "byte_identical": {byte_identical},
+  "store_bytes": {}
+}}
+"#,
+        prov.to_json(),
+        mpcp_obs::export::json_string(setup.spec.coll.mpi_name()),
+        mpcp_obs::export::json_string(&setup.spec.machine.name),
+        mpcp_obs::export::json_string(setup.spec.lib.name()),
+        multi.chunks_total,
+        cfg.checkpoint_every,
+        cfg.threads,
+        if single_secs > 0.0 { cells as f64 / single_secs } else { 0.0 },
+        if multi_secs > 0.0 { cells as f64 / multi_secs } else { 0.0 },
+        multi_bytes.len(),
+    );
+    std::fs::write(bench_out, &json).map_err(|e| format!("writing {bench_out}: {e}"))?;
+    let mut out = format!(
+        "campaign bench: {cells} cells, {} threads on {cpus} cpu(s)\n\
+         single-thread: {single_secs:.2}s ({:.0} cells/s)\n\
+         {}-thread:     {multi_secs:.2}s ({:.0} cells/s)\n\
+         speedup: {speedup:.2}x, stores byte-identical: {byte_identical}\n\
+         wrote {bench_out}\n",
+        cfg.threads,
+        if single_secs > 0.0 { cells as f64 / single_secs } else { 0.0 },
+        cfg.threads,
+        if multi_secs > 0.0 { cells as f64 / multi_secs } else { 0.0 },
+    );
+    if !byte_identical {
+        return Err(format!(
+            "campaign gate failed: {}-thread store differs from 1-thread store\n{out}",
+            cfg.threads
+        ));
+    }
+    let min_speedup: f64 = args
+        .get_or("min-speedup", "0")
+        .parse()
+        .map_err(|_| "bad --min-speedup (want a factor)".to_string())?;
+    if min_speedup > 0.0 && speedup < min_speedup {
+        return Err(format!(
+            "campaign gate failed: speedup {speedup:.2}x at {} threads is below the \
+             required {min_speedup}x\n{out}",
+            cfg.threads
+        ));
+    }
+    out.push_str(&campaign_summary(&multi, multi_secs));
     Ok(out)
 }
 

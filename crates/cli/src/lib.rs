@@ -48,6 +48,17 @@ COMMANDS:
               --machine <name> --coll <c> --nodes <list> --ppn <list>
               --msizes <sizes> --out <file> [--lib openmpi] [--seed <u64>]
               [--fault-plan <plan>] [--retries <n>] [--retry-backoff-ms <ms>]
+  campaign    parallel work-stealing grid sweep into a checkpointed
+              columnar store; byte-identical at any thread count, and
+              resumable after a crash from the last committed chunk
+              --machine <name> --coll <c> --nodes <list> --ppn <list>
+              --msizes <sizes> --store <file> [--threads <n>]
+              [--checkpoint-every <cells>] [--resume] [--out <csv>]
+              [--max-reps <n>] [--lib openmpi] [--seed <u64>]
+              [--fault-plan <plan>] [--retries <n>] [--retry-backoff-ms <ms>]
+              with --bench-out <file>: run fresh at 1 thread and at
+              --threads, assert the stores are byte-identical, and write
+              a BENCH_PR10.json speedup report [--min-speedup <x>]
   train       train on a dataset CSV and save the selector as a binary
               model artifact (models + coverage + provenance manifest)
               --data <file> --coll <c> --save-model <file>
@@ -151,6 +162,7 @@ pub fn run(args: Args) -> Result<String, String> {
         "algorithms" => commands::algorithms(&args),
         "simulate" => commands::simulate(&args),
         "bench" => commands::bench(&args),
+        "campaign" => commands::campaign(&args),
         "train" => commands::train(&args),
         "select" => commands::select(&args),
         "serve-bench" => commands::serve_bench(&args),

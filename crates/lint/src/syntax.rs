@@ -109,6 +109,9 @@ impl Syntax {
         let mut pending_fn: Option<usize> = None;
         let mut paren_depth = 0usize;
 
+        // Indexed loop on purpose: `k + 1` lookahead and the `txt`/`kind`
+        // closures all key off the code-token index.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..code.len() {
             let cur = *stack.last().unwrap_or(&0);
             block_of[k] = cur;
@@ -129,30 +132,25 @@ impl Syntax {
                     }
                     stack.push(id);
                 }
-                "}" => {
-                    // A stray `}` at the root is soup; ignore it there.
-                    if stack.len() > 1 {
-                        let id = stack.pop().unwrap_or(0);
-                        blocks[id].close = Some(k);
-                        block_of[k] = id;
-                    }
+                // A stray `}` at the root is soup; ignore it there.
+                "}" if stack.len() > 1 => {
+                    let id = stack.pop().unwrap_or(0);
+                    blocks[id].close = Some(k);
+                    block_of[k] = id;
                 }
                 "(" | "[" => paren_depth += 1,
                 ")" | "]" => paren_depth = paren_depth.saturating_sub(1),
-                ";" => {
-                    if paren_depth == 0 {
-                        pending_fn = None;
-                    }
-                }
-                "fn" if kind(k) == TokKind::Ident => {
-                    if k + 1 < code.len() && kind(k + 1) == TokKind::Ident {
-                        fns.push(FnItem {
-                            name: txt(k + 1).to_string(),
-                            name_ci: k + 1,
-                            body: None,
-                        });
-                        pending_fn = Some(fns.len() - 1);
-                    }
+                ";" if paren_depth == 0 => pending_fn = None,
+                "fn" if kind(k) == TokKind::Ident
+                    && k + 1 < code.len()
+                    && kind(k + 1) == TokKind::Ident =>
+                {
+                    fns.push(FnItem {
+                        name: txt(k + 1).to_string(),
+                        name_ci: k + 1,
+                        body: None,
+                    });
+                    pending_fn = Some(fns.len() - 1);
                 }
                 "let" if kind(k) == TokKind::Ident => {
                     if let Some(lb) = parse_let(k, cur, &code, &txt, &kind) {

@@ -46,6 +46,12 @@ pub const KIND_NET_REQUEST: u8 = 3;
 /// Frame kind tag: one response message on the `mpcp served` wire.
 pub const KIND_NET_RESPONSE: u8 = 4;
 
+/// Frame kind tag: the header frame of a campaign results store.
+pub const KIND_CAMPAIGN_HEADER: u8 = 5;
+
+/// Frame kind tag: one columnar result chunk in a campaign store.
+pub const KIND_CAMPAIGN_CHUNK: u8 = 6;
+
 /// Fixed byte length of the header that precedes every payload:
 /// magic (4) + version `u32` (4) + kind `u8` (1) + payload length
 /// `u64` (8) + FNV-1a checksum `u64` (8).
@@ -214,6 +220,20 @@ impl ByteWriter {
             self.put_u32(v);
         }
     }
+
+    /// Append a length-prefixed `u64` slice.
+    pub fn put_u64s(&mut self, vs: &[u64]) {
+        self.put_len(vs.len());
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    /// Append a length-prefixed raw byte column.
+    pub fn put_u8s(&mut self, vs: &[u8]) {
+        self.put_len(vs.len());
+        self.buf.extend_from_slice(vs);
+    }
 }
 
 /// Bounded little-endian cursor used by [`Persist::decode`]. Every read
@@ -319,6 +339,22 @@ impl<'a> ByteReader<'a> {
             out.push(self.get_u32()?);
         }
         Ok(out)
+    }
+
+    /// Read a length-prefixed `u64` vector.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.get_len(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed raw byte column.
+    pub fn get_u8s(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_len(1)?;
+        Ok(self.take(len)?.to_vec())
     }
 }
 
@@ -434,10 +470,89 @@ pub fn check_frame_payload(header: &FrameHeader, payload: &[u8]) -> Result<(), C
     Ok(())
 }
 
+/// Append a framed encoding of `value` to an existing byte stream.
+///
+/// Frames are self-delimiting (the header carries the payload length),
+/// so concatenating frames yields a valid multi-frame stream that
+/// [`FrameScanner`] can walk — this is the append primitive of the
+/// campaign store's checkpoint files.
+pub fn append_framed<T: Persist>(out: &mut Vec<u8>, kind: u8, value: &T) {
+    out.extend_from_slice(&encode_framed(kind, value));
+}
+
+/// Streaming cursor over a concatenation of checksummed frames, as
+/// written by [`append_framed`] — the read side of an append-only store
+/// file.
+///
+/// [`FrameScanner::next_frame`] distinguishes three cases a resuming
+/// reader must treat differently:
+///
+/// * a complete valid frame — returned as its payload slice;
+/// * a clean end of stream (scanner exactly at the end) — `Ok(None)`;
+/// * anything else — a typed [`CodecError`]. In particular, a tail that
+///   holds *part* of a frame (a crash mid-append) is
+///   [`CodecError::Truncated`], and [`FrameScanner::offset`] still
+///   points at the start of that torn frame, which is exactly where a
+///   recovering writer should truncate the file to.
+#[derive(Debug)]
+pub struct FrameScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameScanner<'a> {
+    /// A scanner over `bytes`, positioned at the first frame.
+    pub fn new(bytes: &'a [u8]) -> FrameScanner<'a> {
+        FrameScanner { bytes, pos: 0 }
+    }
+
+    /// Byte offset of the next unread frame (= the end of the last
+    /// successfully validated one).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Read and validate the next frame, requiring kind `kind`.
+    ///
+    /// Returns the payload slice, `Ok(None)` at a clean end of stream,
+    /// or a typed error (leaving [`FrameScanner::offset`] at the start
+    /// of the bad frame).
+    pub fn next_frame(&mut self, kind: u8) -> Result<Option<&'a [u8]>, CodecError> {
+        let rest = &self.bytes[self.pos..];
+        if rest.is_empty() {
+            return Ok(None);
+        }
+        if rest.len() < FRAME_HEADER_LEN {
+            return Err(CodecError::Truncated { offset: self.pos, needed: FRAME_HEADER_LEN });
+        }
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&rest[..FRAME_HEADER_LEN]);
+        let h = read_frame_header(&header, kind)?;
+        let body = &rest[FRAME_HEADER_LEN..];
+        if body.len() < h.payload_len {
+            return Err(CodecError::Truncated {
+                offset: self.pos + FRAME_HEADER_LEN,
+                needed: h.payload_len,
+            });
+        }
+        let payload = &body[..h.payload_len];
+        check_frame_payload(&h, payload)?;
+        self.pos += FRAME_HEADER_LEN + h.payload_len;
+        Ok(Some(payload))
+    }
+}
+
 /// Decode a framed value of the given `kind`, requiring the payload to
 /// be consumed exactly.
 pub fn decode_framed<T: Persist>(kind: u8, bytes: &[u8]) -> Result<T, CodecError> {
     let payload = unframe(bytes, kind)?;
+    decode_payload(payload)
+}
+
+/// Decode a value from an already-validated payload slice (e.g. one
+/// returned by [`FrameScanner::next_frame`]), requiring the payload to
+/// be consumed exactly.
+pub fn decode_payload<T: Persist>(payload: &[u8]) -> Result<T, CodecError> {
     let mut r = ByteReader::new(payload);
     let value = T::decode(&mut r)?;
     if r.remaining() != 0 {
@@ -734,6 +849,102 @@ mod tests {
             check_frame_payload(&h, &payload[..payload.len() - 1]),
             Err(CodecError::Truncated { .. })
         ));
+    }
+
+    /// A minimal Persist value for frame-stream tests.
+    #[derive(Debug, PartialEq)]
+    struct Blob {
+        tag: u64,
+        data: Vec<u8>,
+        wide: Vec<u64>,
+    }
+
+    impl Persist for Blob {
+        fn encode(&self, w: &mut ByteWriter) {
+            w.put_u64(self.tag);
+            w.put_u8s(&self.data);
+            w.put_u64s(&self.wide);
+        }
+
+        fn decode(r: &mut ByteReader<'_>) -> Result<Blob, CodecError> {
+            Ok(Blob { tag: r.get_u64()?, data: r.get_u8s()?, wide: r.get_u64s()? })
+        }
+    }
+
+    fn blob(i: u64) -> Blob {
+        Blob {
+            tag: i,
+            data: (0..=(i as u8).wrapping_mul(3)).collect(),
+            wide: vec![u64::MAX - i, 0, i << 40],
+        }
+    }
+
+    #[test]
+    fn u64_and_u8_columns_round_trip() {
+        let b = blob(5);
+        let bytes = encode_framed(KIND_CAMPAIGN_CHUNK, &b);
+        let back: Blob = decode_framed(KIND_CAMPAIGN_CHUNK, &bytes).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn frame_scanner_walks_an_appended_stream() {
+        let mut stream = Vec::new();
+        for i in 0..4 {
+            append_framed(&mut stream, KIND_CAMPAIGN_CHUNK, &blob(i));
+        }
+        let mut scan = FrameScanner::new(&stream);
+        for i in 0..4 {
+            let payload = scan.next_frame(KIND_CAMPAIGN_CHUNK).unwrap().unwrap();
+            assert_eq!(decode_payload::<Blob>(payload).unwrap(), blob(i));
+        }
+        assert_eq!(scan.next_frame(KIND_CAMPAIGN_CHUNK).unwrap(), None);
+        assert_eq!(scan.offset(), stream.len());
+    }
+
+    #[test]
+    fn frame_scanner_truncation_points_at_the_torn_frame() {
+        let mut stream = Vec::new();
+        append_framed(&mut stream, KIND_CAMPAIGN_CHUNK, &blob(1));
+        let first_end = stream.len();
+        append_framed(&mut stream, KIND_CAMPAIGN_CHUNK, &blob(2));
+        // Cut at exactly the frame boundary: that is a clean EOF.
+        let mut scan = FrameScanner::new(&stream[..first_end]);
+        assert!(scan.next_frame(KIND_CAMPAIGN_CHUNK).unwrap().is_some());
+        assert_eq!(scan.next_frame(KIND_CAMPAIGN_CHUNK).unwrap(), None);
+        // Cut the second frame at every interior byte: the scanner must
+        // yield the first frame, then a typed error with offset() still
+        // at the start of the torn frame (the recovery truncation point).
+        for cut in first_end + 1..stream.len() {
+            let mut scan = FrameScanner::new(&stream[..cut]);
+            assert!(scan.next_frame(KIND_CAMPAIGN_CHUNK).unwrap().is_some());
+            let err = scan.next_frame(KIND_CAMPAIGN_CHUNK).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::ChecksumMismatch { .. }),
+                "cut at {cut}: {err}"
+            );
+            assert_eq!(scan.offset(), first_end, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_scanner_rejects_wrong_kind_and_corruption() {
+        let mut stream = Vec::new();
+        append_framed(&mut stream, KIND_CAMPAIGN_HEADER, &blob(1));
+        let mut scan = FrameScanner::new(&stream);
+        assert_eq!(
+            scan.next_frame(KIND_CAMPAIGN_CHUNK).unwrap_err(),
+            CodecError::WrongKind { expected: KIND_CAMPAIGN_CHUNK, found: KIND_CAMPAIGN_HEADER }
+        );
+        // A flipped payload byte is a checksum mismatch, not a panic.
+        let last = stream.len() - 1;
+        stream[last] ^= 0x5A;
+        let mut scan = FrameScanner::new(&stream);
+        assert!(matches!(
+            scan.next_frame(KIND_CAMPAIGN_HEADER).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+        assert_eq!(scan.offset(), 0);
     }
 
     #[test]
